@@ -1,0 +1,179 @@
+// Ablations of Scoop's design choices (DESIGN.md §4):
+//  1. storlet staging — object node (default) vs proxy (§V-A);
+//  2. filter + compression pipeline on/off across selectivities (§VI-C);
+//  3. partition chunk size — transfer volume and request count of the
+//     byte-range record-alignment protocol (§VII);
+//  4. record alignment site — at the store (pushdown) vs at the client
+//     (plain ingest): extra GETs per partition.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "simnet/simulator.h"
+#include "storlets/headers.h"
+
+namespace scoop {
+namespace {
+
+void StagingAblation() {
+  std::printf("Ablation 1 (model): filter staging, 500 GB dataset\n\n");
+  ClusterSimulator sim;
+  bench::TablePrinter table({"selectivity", "object-node S_Q", "proxy S_Q",
+                             "object advantage"});
+  for (double sel : {0.5, 0.9, 0.99}) {
+    SimQuery plain;
+    plain.mode = SimMode::kPlain;
+    plain.dataset_bytes = 500e9;
+    double plain_s = sim.Simulate(plain).total_seconds;
+    SimQuery query;
+    query.mode = SimMode::kScoop;
+    query.dataset_bytes = 500e9;
+    query.data_selectivity = sel;
+    double object_s = sim.Simulate(query).total_seconds;
+    query.filter_at_proxy = true;
+    double proxy_s = sim.Simulate(query).total_seconds;
+    table.AddRow({StrFormat("%4.0f%%", sel * 100),
+                  StrFormat("%5.2f", plain_s / object_s),
+                  StrFormat("%5.2f", plain_s / proxy_s),
+                  StrFormat("%4.1fx", proxy_s / object_s)});
+  }
+  table.Print();
+  std::printf(
+      "\nObject-node staging wins throughout: 29 filtering nodes vs 6\n"
+      "proxies, and no raw-byte hop to the proxies (paper §V-A).\n\n");
+}
+
+void CompressionAblation() {
+  std::printf(
+      "Ablation 2 (real): csvstorlet alone vs csvstorlet,compress\n"
+      "pipeline — transfer bytes at several selectivities\n\n");
+  bench::MiniDeployment d = bench::MakeMiniDeployment(30, 2000, 3);
+  CsvSourceOptions base;
+  base.chunk_size = 64 * 1024;
+  d.session->RegisterCsvTable("plainPush", "meters", "m", d.schema, true,
+                              base);
+  CsvSourceOptions zipped = base;
+  zipped.compress_transfer = true;
+  d.session->RegisterCsvTable("zipPush", "meters", "m", d.schema, true,
+                              zipped);
+
+  struct Case {
+    const char* label;
+    const char* where;
+  };
+  const Case kCases[] = {
+      {"sel ~0% (full scan)", ""},
+      {"sel ~50%", " WHERE date LIKE '2015-01-0%'"},
+      {"sel ~93%", " WHERE date LIKE '2015-01-01%'"},
+  };
+  bench::TablePrinter table({"query", "filtered bytes", "filtered+compressed",
+                             "compression win"});
+  for (const Case& c : kCases) {
+    std::string suffix = std::string(c.where) + " ORDER BY vid, date";
+    auto raw = d.session->Sql(
+        std::string("SELECT vid, date, index FROM plainPush") + suffix);
+    auto zip = d.session->Sql(
+        std::string("SELECT vid, date, index FROM zipPush") + suffix);
+    if (!raw.ok() || !zip.ok()) {
+      std::fprintf(stderr, "query failed\n");
+      return;
+    }
+    if (raw->table.ToCsv() != zip->table.ToCsv()) {
+      std::fprintf(stderr, "ABLATION MISMATCH\n");
+      return;
+    }
+    table.AddRow(
+        {c.label,
+         FormatBytes(static_cast<double>(raw->stats.bytes_ingested)),
+         FormatBytes(static_cast<double>(zip->stats.bytes_ingested)),
+         StrFormat("%4.1fx", static_cast<double>(raw->stats.bytes_ingested) /
+                                 std::max<uint64_t>(
+                                     1, zip->stats.bytes_ingested))});
+  }
+  table.Print();
+  std::printf(
+      "\nCompression stacks on top of filtering: the lower the\n"
+      "selectivity, the more it recovers — closing Fig. 8's\n"
+      "low-selectivity gap to Parquet (§VI-C future work, implemented).\n\n");
+}
+
+void ChunkSizeAblation() {
+  std::printf(
+      "Ablation 3 (real): partition chunk size vs requests and transfer\n"
+      "(the §VII argument that the HDFS chunk size is unnatural for\n"
+      "object stores)\n\n");
+  bench::MiniDeployment d = bench::MakeMiniDeployment(25, 2000, 3);
+  bench::TablePrinter table({"chunk", "partitions", "GET requests",
+                             "bytes ingested", "wall (s)"});
+  const char* kSql =
+      "SELECT vid, sum(index) AS s FROM ablate WHERE city LIKE 'R%' "
+      "GROUP BY vid ORDER BY vid";
+  for (uint64_t chunk : {4 * 1024ULL, 32 * 1024ULL, 256 * 1024ULL,
+                         2 * 1024 * 1024ULL}) {
+    CsvSourceOptions options;
+    options.chunk_size = chunk;
+    d.session->RegisterCsvTable("ablate", "meters", "m", d.schema, true,
+                                options);
+    auto outcome = d.session->Sql(kSql);
+    if (!outcome.ok()) return;
+    table.AddRow(
+        {FormatBytes(static_cast<double>(chunk)),
+         std::to_string(outcome->stats.partitions),
+         std::to_string(outcome->stats.requests),
+         FormatBytes(static_cast<double>(outcome->stats.bytes_ingested)),
+         StrFormat("%.3f", outcome->stats.wall_seconds)});
+  }
+  // Object-aware partitioning (§VII) for comparison.
+  CsvSourceOptions aware;
+  aware.object_aware_partitioning = true;
+  aware.target_parallelism = 8;
+  aware.min_partition_bytes = 64 * 1024;
+  d.session->RegisterCsvTable("ablate", "meters", "m", d.schema, true, aware);
+  auto outcome = d.session->Sql(kSql);
+  if (!outcome.ok()) return;
+  table.AddRow(
+      {"object-aware(8)", std::to_string(outcome->stats.partitions),
+       std::to_string(outcome->stats.requests),
+       FormatBytes(static_cast<double>(outcome->stats.bytes_ingested)),
+       StrFormat("%.3f", outcome->stats.wall_seconds)});
+  table.Print();
+  std::printf("\n");
+}
+
+void AlignmentAblation() {
+  std::printf(
+      "Ablation 4 (real): record-alignment site. Plain ingest aligns at\n"
+      "the client (an extra ranged GET whenever a record straddles a\n"
+      "partition boundary); pushdown aligns at the object node with local\n"
+      "reads, so the request count stays at one per partition.\n\n");
+  bench::MiniDeployment d = bench::MakeMiniDeployment(20, 1500, 2);
+  bench::TablePrinter table(
+      {"mode", "partitions", "GET requests", "requests/partition"});
+  for (bool pushdown : {false, true}) {
+    CsvSourceOptions options;
+    options.chunk_size = 16 * 1024;
+    options.pushdown_enabled = pushdown;
+    d.session->RegisterCsvTable("align", "meters", "m", d.schema, pushdown,
+                                options);
+    auto outcome = d.session->Sql("SELECT count(*) AS n FROM align");
+    if (!outcome.ok()) return;
+    table.AddRow({pushdown ? "pushdown (store-side)" : "plain (client-side)",
+                  std::to_string(outcome->stats.partitions),
+                  std::to_string(outcome->stats.requests),
+                  StrFormat("%.2f", static_cast<double>(
+                                        outcome->stats.requests) /
+                                        outcome->stats.partitions)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace scoop
+
+int main() {
+  scoop::StagingAblation();
+  scoop::CompressionAblation();
+  scoop::ChunkSizeAblation();
+  scoop::AlignmentAblation();
+  return 0;
+}

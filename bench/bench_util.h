@@ -1,0 +1,114 @@
+#ifndef SCOOP_BENCH_BENCH_UTIL_H_
+#define SCOOP_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "scoop/scoop.h"
+#include "workload/generator.h"
+
+namespace scoop::bench {
+
+// Prints a padded table row; benches report results as aligned text
+// tables mirroring the paper's figures and tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    widths_.reserve(headers_.size());
+    for (const std::string& h : headers_) widths_.push_back(h.size());
+  }
+
+  void AddRow(std::vector<std::string> row) {
+    for (size_t i = 0; i < row.size() && i < widths_.size(); ++i) {
+      widths_[i] = std::max(widths_[i], row[i].size());
+    }
+    rows_.push_back(std::move(row));
+  }
+
+  void Print() const {
+    PrintRow(headers_);
+    std::string sep;
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      sep += (i == 0 ? "|" : "+");
+      sep += std::string(widths_[i] + 2, '-');
+    }
+    std::printf("%s|\n", sep.c_str());
+    for (const auto& row : rows_) PrintRow(row);
+  }
+
+ private:
+  void PrintRow(const std::vector<std::string>& row) const {
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      line += "| ";
+      line += row[i];
+      line += std::string(widths_[i] - row[i].size() + 1, ' ');
+    }
+    std::printf("%s|\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<size_t> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(const char* fmt, double v) { return StrFormat(fmt, v); }
+
+// A small real deployment used by benches to validate functional behaviour
+// (bytes moved, selectivity) at laptop scale: the timing figures come from
+// the calibrated testbed model, the byte counts from these real runs.
+struct MiniDeployment {
+  std::unique_ptr<ScoopCluster> cluster;
+  std::unique_ptr<ScoopSession> session;
+  std::unique_ptr<GridPocketGenerator> generator;
+  Schema schema;
+};
+
+inline MiniDeployment MakeMiniDeployment(int num_meters, int readings,
+                                         int num_objects,
+                                         uint64_t chunk_size = 64 * 1024) {
+  MiniDeployment d;
+  SwiftConfig config;
+  config.num_proxies = 2;
+  config.num_storage_nodes = 4;
+  config.disks_per_node = 2;
+  config.part_power = 6;
+  auto cluster = ScoopCluster::Create(config);
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "cluster: %s\n", cluster.status().ToString().c_str());
+    std::abort();
+  }
+  d.cluster = std::move(cluster).value();
+  auto client = d.cluster->Connect("gridpocket", "secret", "gp");
+  if (!client.ok()) std::abort();
+
+  GeneratorConfig gen;
+  gen.num_meters = num_meters;
+  gen.readings_per_meter = readings;
+  gen.seed = 2015;
+  d.generator = std::make_unique<GridPocketGenerator>(gen);
+  d.schema = GridPocketGenerator::MeterSchema();
+  d.session = std::make_unique<ScoopSession>(d.cluster.get(),
+                                             std::move(client).value(), 4);
+  Status up = d.generator->Upload(&d.session->client(), "meters", "m",
+                                  num_objects);
+  if (!up.ok()) {
+    std::fprintf(stderr, "upload: %s\n", up.ToString().c_str());
+    std::abort();
+  }
+  CsvSourceOptions options;
+  options.chunk_size = chunk_size;
+  d.session->RegisterCsvTable("largeMeter", "meters", "m", d.schema, true,
+                              options);
+  d.session->RegisterCsvTable("plainMeter", "meters", "m", d.schema, false,
+                              options);
+  return d;
+}
+
+}  // namespace scoop::bench
+
+#endif  // SCOOP_BENCH_BENCH_UTIL_H_

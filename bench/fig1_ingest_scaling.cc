@@ -1,0 +1,76 @@
+// Fig. 1 — impact of the ingest-then-compute problem: query completion
+// time grows linearly with dataset size when the whole dataset must be
+// ingested before computing.
+//
+// Reproduced twice: (a) on the calibrated OSIC testbed model at the
+// paper's dataset scale, and (b) for real, end-to-end, on the in-process
+// cluster at laptop scale (same linear shape, smaller constants).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "simnet/simulator.h"
+
+namespace scoop {
+namespace {
+
+void RunModelScale() {
+  std::printf(
+      "Fig. 1 (model, OSIC testbed scale): ingest-then-compute query time "
+      "vs dataset size\n\n");
+  ClusterSimulator sim;
+  bench::TablePrinter table(
+      {"dataset", "query time (s)", "s per GB", "lb saturated"});
+  double first_per_gb = 0.0;
+  for (double gb : {50.0, 125.0, 250.0, 500.0, 1000.0, 2000.0, 3000.0}) {
+    SimQuery query;
+    query.mode = SimMode::kPlain;
+    query.dataset_bytes = gb * 1e9;
+    SimResult result = sim.Simulate(query);
+    double per_gb = result.total_seconds / gb;
+    if (first_per_gb == 0.0) first_per_gb = per_gb;
+    table.AddRow({StrFormat("%6.0f GB", gb),
+                  StrFormat("%9.1f", result.total_seconds),
+                  StrFormat("%6.3f", per_gb),
+                  result.lb_tx_Bps.Max() > 1.2e9 ? "yes" : "no"});
+  }
+  table.Print();
+  std::printf(
+      "\nLinear growth: the per-GB cost stays ~constant from 50 GB to 3 TB\n"
+      "(first=%0.3f s/GB), exactly the paper's motivation plot.\n\n",
+      first_per_gb);
+}
+
+void RunRealScale() {
+  std::printf(
+      "Fig. 1 (real end-to-end, laptop scale): plain ingest over the\n"
+      "in-process Swift cluster, one query, growing datasets\n\n");
+  bench::TablePrinter table({"rows", "bytes", "wall (s)", "bytes ingested"});
+  const char* kSql =
+      "SELECT vid, sum(index) as total FROM plainMeter "
+      "WHERE date LIKE '2015-01%' GROUP BY vid ORDER BY vid";
+  for (int readings : {300, 600, 1200, 2400}) {
+    bench::MiniDeployment d = bench::MakeMiniDeployment(40, readings, 4);
+    auto outcome = d.session->Sql(kSql);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   outcome.status().ToString().c_str());
+      return;
+    }
+    table.AddRow({std::to_string(40 * readings),
+                  FormatBytes(static_cast<double>(outcome->stats.raw_bytes)),
+                  StrFormat("%.3f", outcome->stats.wall_seconds),
+                  FormatBytes(
+                      static_cast<double>(outcome->stats.bytes_ingested))});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace scoop
+
+int main() {
+  scoop::RunModelScale();
+  scoop::RunRealScale();
+  return 0;
+}

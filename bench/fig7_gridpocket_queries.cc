@@ -1,0 +1,114 @@
+// Fig. 7 — speedup of the seven real GridPocket queries over the small
+// (50 GB) and medium (500 GB) datasets, annotated with absolute
+// original / pushdown execution times.
+//
+// Pipeline: each query's *data selectivity* is measured by really running
+// its extracted filters over synthetic GridPocket data; the measured
+// selectivity then drives the calibrated testbed model for the
+// paper-scale times. A real end-to-end section runs the same queries on
+// the in-process cluster and reports measured wall-clock and ingest
+// reduction.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "simnet/simulator.h"
+#include "workload/queries.h"
+#include "workload/selectivity.h"
+
+namespace scoop {
+namespace {
+
+void ModelScale() {
+  // Measure each query's selectivity on a 90-day sample.
+  GeneratorConfig config;
+  config.num_meters = 40;
+  config.readings_per_meter = 12960;
+  config.seed = 2015;
+  GridPocketGenerator generator(config);
+  std::string csv;
+  generator.AppendCsv(0, generator.TotalRows(), &csv);
+  Schema schema = GridPocketGenerator::MeterSchema();
+
+  ClusterSimulator sim;
+  for (double gb : {50.0, 500.0}) {
+    std::printf("Fig. 7 (model), %s dataset (%.0f GB):\n\n",
+                gb < 100 ? "small" : "medium", gb);
+    bench::TablePrinter table({"query", "data sel", "orig (s)",
+                               "pushdown (s)", "S_Q"});
+    double total_plain = 0.0;
+    double total_scoop = 0.0;
+    for (const GridPocketQuery& query : GridPocketQueries()) {
+      auto report = MeasureSelectivity(query.sql, schema, csv);
+      if (!report.ok()) {
+        std::fprintf(stderr, "%s: %s\n", query.name.c_str(),
+                     report.status().ToString().c_str());
+        return;
+      }
+      // Our 90-day sample keeps more of the data than the paper's
+      // longer-range dataset; use the measured selectivity as-is for the
+      // model input and print it alongside.
+      SimQuery plain;
+      plain.mode = SimMode::kPlain;
+      plain.dataset_bytes = gb * 1e9;
+      SimQuery scoop_query;
+      scoop_query.mode = SimMode::kScoop;
+      scoop_query.dataset_bytes = gb * 1e9;
+      scoop_query.data_selectivity = report->data_selectivity;
+      double plain_s = sim.Simulate(plain).total_seconds;
+      double scoop_s = sim.Simulate(scoop_query).total_seconds;
+      total_plain += plain_s;
+      total_scoop += scoop_s;
+      table.AddRow({query.name,
+                    StrFormat("%5.1f%%", report->data_selectivity * 100),
+                    StrFormat("%8.1f", plain_s), StrFormat("%8.1f", scoop_s),
+                    StrFormat("%5.2f", plain_s / scoop_s)});
+    }
+    table.Print();
+    std::printf("suite total: %.1f s orig vs %.1f s pushdown (%.1fx)\n\n",
+                total_plain, total_scoop, total_plain / total_scoop);
+  }
+  std::printf(
+      "Paper anchors (50 GB): S_Q from 4.1x to 18.7x depending on each\n"
+      "query's selectivity; larger dataset -> higher and more uniform S_Q.\n"
+      "Our sample dataset spans 90 days (vs the paper's longer range), so\n"
+      "measured selectivities and hence S_Q are lower; the ordering and\n"
+      "shape match.\n\n");
+}
+
+void RealScale() {
+  std::printf(
+      "Fig. 7 (real end-to-end, laptop scale): Table I queries on the\n"
+      "in-process cluster, pushdown vs plain\n\n");
+  bench::MiniDeployment d = bench::MakeMiniDeployment(30, 4464, 4);  // 31 days
+  bench::TablePrinter table({"query", "ingest scoop", "ingest plain",
+                             "wall scoop (s)", "wall plain (s)", "S_Q"});
+  for (const GridPocketQuery& query : GridPocketQueries()) {
+    auto scoop_run = d.session->Sql(query.sql);
+    std::string plain_sql = query.sql;
+    plain_sql.replace(plain_sql.find("largeMeter"), 10, "plainMeter");
+    auto plain_run = d.session->Sql(plain_sql);
+    if (!scoop_run.ok() || !plain_run.ok()) {
+      std::fprintf(stderr, "%s failed\n", query.name.c_str());
+      return;
+    }
+    table.AddRow(
+        {query.name,
+         FormatBytes(static_cast<double>(scoop_run->stats.bytes_ingested)),
+         FormatBytes(static_cast<double>(plain_run->stats.bytes_ingested)),
+         StrFormat("%.3f", scoop_run->stats.wall_seconds),
+         StrFormat("%.3f", plain_run->stats.wall_seconds),
+         StrFormat("%.2f", plain_run->stats.wall_seconds /
+                               std::max(1e-9, scoop_run->stats.wall_seconds))});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace scoop
+
+int main() {
+  scoop::ModelScale();
+  scoop::RealScale();
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Fig. 8 — Scoop vs Apache Parquet for column selectivity on the 50 GB
+// dataset: Parquet (columnar + compressed, pruned compute-side) wins at
+// low selectivity, Scoop overtakes from ~60% and is ~2.16x faster at 90%.
+//
+// Model section at paper scale + a real section comparing ingest volume
+// of the same query over the CSV-pushdown table and the parquet-like
+// table on the in-process cluster.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datasource/parquet_source.h"
+#include "simnet/simulator.h"
+
+namespace scoop {
+namespace {
+
+void ModelScale() {
+  std::printf(
+      "Fig. 8 (model, 50 GB): speedup over plain Swift ingest vs column\n"
+      "selectivity — Scoop pushdown vs Parquet\n\n");
+  ClusterSimulator sim;
+  SimQuery plain;
+  plain.mode = SimMode::kPlain;
+  plain.dataset_bytes = 50e9;
+  double plain_s = sim.Simulate(plain).total_seconds;
+
+  bench::TablePrinter table(
+      {"col selectivity", "S_Q scoop", "S_Q parquet", "winner"});
+  for (double sel : {0.0, 0.2, 0.4, 0.6, 0.7, 0.8, 0.9, 0.95}) {
+    SimQuery scoop_query;
+    scoop_query.mode = SimMode::kScoop;
+    scoop_query.dataset_bytes = 50e9;
+    scoop_query.data_selectivity = sel;
+    scoop_query.selectivity_type = SelectivityType::kColumn;
+    SimQuery parquet;
+    parquet.mode = SimMode::kParquet;
+    parquet.dataset_bytes = 50e9;
+    parquet.data_selectivity = sel;
+    double s_scoop = plain_s / sim.Simulate(scoop_query).total_seconds;
+    double s_parquet = plain_s / sim.Simulate(parquet).total_seconds;
+    table.AddRow({StrFormat("%4.0f%%", sel * 100),
+                  StrFormat("%5.2f", s_scoop),
+                  StrFormat("%5.2f", s_parquet),
+                  s_scoop > s_parquet ? "scoop" : "parquet"});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper anchors: Parquet ahead at 0%% (compression shortens the\n"
+      "ingest), crossover ~60%%, Scoop 2.16x faster at 90%%. Scoop also\n"
+      "supports row/mixed selectivity, which Parquet cannot express.\n\n");
+}
+
+void RealScale() {
+  std::printf(
+      "Fig. 8 (real, laptop scale): same query over the CSV-pushdown\n"
+      "table vs the parquet-like table — bytes over the wire\n\n");
+  bench::MiniDeployment d = bench::MakeMiniDeployment(30, 3000, 3);
+  // Convert the dataset to parquet-like objects.
+  Schema schema = d.schema;
+  if (!d.session->client().CreateContainer("pq").ok()) return;
+  std::vector<Row> rows = d.generator->MakeAllRows();
+  size_t per_object = rows.size() / 3 + 1;
+  for (size_t k = 0, i = 0; i < rows.size(); ++k, i += per_object) {
+    size_t end = std::min(i + per_object, rows.size());
+    Status s = WriteParquetObject(
+        &d.session->client(), "pq", StrFormat("p%zu", k), schema,
+        {rows.begin() + static_cast<long>(i),
+         rows.begin() + static_cast<long>(end)});
+    if (!s.ok()) return;
+  }
+  d.session->RegisterParquetTable("pqMeter", "pq", "p", schema, true);
+
+  struct Case {
+    const char* label;
+    const char* projection;
+  };
+  const Case kCases[] = {
+      {"all 10 columns", "*"},
+      {"4 columns", "vid, date, index, city"},
+      {"2 columns", "vid, index"},
+      {"1 column", "index"},
+  };
+  bench::TablePrinter table({"projection", "csv+pushdown ingest",
+                             "parquet ingest", "plain csv ingest"});
+  for (const Case& c : kCases) {
+    std::string select = StrFormat("SELECT %s FROM ", c.projection);
+    auto scoop_run = d.session->Sql(select + "largeMeter");
+    auto parquet_run = d.session->Sql(select + "pqMeter");
+    auto plain_run = d.session->Sql(select + "plainMeter");
+    if (!scoop_run.ok() || !parquet_run.ok() || !plain_run.ok()) {
+      std::fprintf(stderr, "query failed\n");
+      return;
+    }
+    table.AddRow(
+        {c.label,
+         FormatBytes(static_cast<double>(scoop_run->stats.bytes_ingested)),
+         FormatBytes(static_cast<double>(parquet_run->stats.bytes_ingested)),
+         FormatBytes(static_cast<double>(plain_run->stats.bytes_ingested))});
+  }
+  table.Print();
+  std::printf(
+      "\nParquet's compressed transfer is flat-ish (whole objects move);\n"
+      "Scoop's shrinks with the projection — the byte-level mechanism\n"
+      "behind the Fig. 8 crossover.\n\n");
+}
+
+}  // namespace
+}  // namespace scoop
+
+int main() {
+  scoop::ModelScale();
+  scoop::RealScale();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Fig. 9 — resource usage of the compute cluster and the inter-cluster
+// network while executing ShowGraphHCHP (99% data selectivity) on the
+// 3 TB dataset, with and without Scoop: (a) Spark CPU, (b) Spark memory,
+// (c) load-balancer / proxy network traffic.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "simnet/simulator.h"
+
+namespace scoop {
+namespace {
+
+void PrintTrace(const char* title, const TimeSeries& series,
+                const char* unit, double scale) {
+  std::printf("%s\n", title);
+  // Downsample to 12 points for the text rendering.
+  const auto& samples = series.samples();
+  if (samples.empty()) return;
+  size_t step = std::max<size_t>(1, samples.size() / 12);
+  for (size_t i = 0; i < samples.size(); i += step) {
+    std::printf("  t=%8.1fs  %8.2f %s\n", samples[i].time,
+                samples[i].value * scale, unit);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace scoop
+
+int main() {
+  using namespace scoop;
+  std::printf(
+      "Fig. 9 (model): ShowGraphHCHP (99%% data selectivity) on 3 TB\n\n");
+  ClusterSimulator sim;
+  SimQuery plain;
+  plain.mode = SimMode::kPlain;
+  plain.dataset_bytes = 3000e9;
+  plain.data_selectivity = 0.99;
+  SimQuery scoop_query = plain;
+  scoop_query.mode = SimMode::kScoop;
+
+  SimResult plain_result = sim.Simulate(plain);
+  SimResult scoop_result = sim.Simulate(scoop_query);
+
+  bench::TablePrinter summary({"metric", "plain swift", "scoop", "paper"});
+  summary.AddRow({"query time (s)",
+                  StrFormat("%.0f", plain_result.total_seconds),
+                  StrFormat("%.0f", scoop_result.total_seconds), "-"});
+  summary.AddRow(
+      {"LB peak tx", StrFormat("%.2f Gbps", plain_result.lb_tx_Bps.Max() *
+                                                8 / 1e9),
+       StrFormat("%.2f Gbps", scoop_result.lb_tx_Bps.Max() * 8 / 1e9),
+       "~10 Gbps vs low"});
+  summary.AddRow(
+      {"LB mean tx during ingest",
+       StrFormat("%.0f MB/s", plain_result.lb_tx_Bps.Max() / 1e6),
+       StrFormat("%.0f MB/s",
+                 scoop_result.bytes_transferred /
+                     std::max(1.0, scoop_result.ingest_seconds) / 1e6),
+       "189 MB/s (scoop)"});
+  summary.AddRow({"transfer window (s)",
+                  StrFormat("%.0f", plain_result.ingest_seconds),
+                  StrFormat("%.0f", scoop_result.ingest_seconds),
+                  "~120 s (scoop)"});
+  summary.AddRow({"Spark CPU mean",
+                  StrFormat("%.2f%%", plain_result.spark_cpu_pct.Mean()),
+                  StrFormat("%.2f%%", scoop_result.spark_cpu_pct.Mean()),
+                  "3.1% vs 1.2%"});
+  summary.AddRow({"Spark mem peak",
+                  StrFormat("%.1f%%", plain_result.spark_mem_pct.Max()),
+                  StrFormat("%.1f%%", scoop_result.spark_mem_pct.Max()),
+                  "13.2% lower w/ scoop"});
+  summary.AddRow(
+      {"mem held (s)", StrFormat("%.0f", plain_result.spark_mem_pct.Duration()),
+       StrFormat("%.0f", scoop_result.spark_mem_pct.Duration()),
+       "12-15x shorter w/ scoop"});
+  double cycles_plain =
+      plain_result.spark_cpu_pct.Mean() * plain_result.total_seconds;
+  double cycles_scoop =
+      scoop_result.spark_cpu_pct.Mean() * scoop_result.total_seconds;
+  summary.AddRow({"CPU-cycle reduction", "-",
+                  StrFormat("%.1f%%", 100.0 * (1.0 - cycles_scoop /
+                                                         cycles_plain)),
+                  "97.8%"});
+  summary.Print();
+  std::printf("\n");
+
+  PrintTrace("Fig. 9(c) trace, plain Swift: LB transmit (Gbps)",
+             plain_result.lb_tx_Bps, "Gbps", 8e-9);
+  PrintTrace("Fig. 9(c) trace, Scoop: LB transmit (Gbps)",
+             scoop_result.lb_tx_Bps, "Gbps", 8e-9);
+  PrintTrace("Fig. 9(b) trace, plain Swift: Spark memory (%)",
+             plain_result.spark_mem_pct, "%", 1.0);
+  PrintTrace("Fig. 9(b) trace, Scoop: Spark memory (%)",
+             scoop_result.spark_mem_pct, "%", 1.0);
+  return 0;
+}

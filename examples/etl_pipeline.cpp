@@ -1,0 +1,69 @@
+// ETL on the upload path (paper §V-A): sensors push raw, messy CSV; an
+// ETL storlet on the PUT data path cleanses it (trimming, malformed-row
+// dropping, CRLF normalization) and reshapes it (splitting a combined
+// timestamp column), so every later analytics job reads clean data without
+// "painful rewrites of huge data sets".
+//
+//   build/examples/etl_pipeline
+#include <cstdio>
+
+#include "datasource/stocator.h"
+#include "scoop/scoop.h"
+
+using namespace scoop;
+
+int main() {
+  auto cluster = ScoopCluster::Create();
+  if (!cluster.ok()) return 1;
+  auto client = (*cluster)->Connect("ingest", "key", "iot");
+  if (!client.ok()) return 1;
+  ScoopSession session(cluster->get(), std::move(*client), 2);
+  if (!session.client().CreateContainer("raw").ok()) return 1;
+
+  // What a batch from the field looks like: padded fields, CRLF endings,
+  // a corrupt line, and a combined "date;time" stamp column.
+  const char* kDirtyBatch =
+      " 1001 , 2015-01-01;00:00 , 120 \r\n"
+      "GARBAGE LINE FROM A FLAKY SENSOR\r\n"
+      "1002,2015-01-01;00:10,95\r\n"
+      " 1003 ,2015-01-01;00:20, not-a-number \r\n"
+      "1004,2015-01-01;00:30,210\r\n";
+  std::printf("uploading dirty batch (%zu bytes):\n%s\n",
+              std::string(kDirtyBatch).size(), kDirtyBatch);
+
+  // The ETL storlet runs at the proxy, before replication, so every
+  // replica stores the cleansed version.
+  StorletParams etl;
+  etl["schema"] = "vid:int64,stamp:string,kwh:int64";
+  etl["split_column"] = "stamp";
+  etl["split_separator"] = ";";
+  etl["split_names"] = "date,time";
+  Status put = session.stocator().PutObject("raw", "batch-0001.csv",
+                                            kDirtyBatch, &etl);
+  if (!put.ok()) {
+    std::fprintf(stderr, "put: %s\n", put.ToString().c_str());
+    return 1;
+  }
+
+  auto stored = session.client().GetObject("raw", "batch-0001.csv");
+  if (!stored.ok()) return 1;
+  std::printf("stored after ETL (%zu bytes):\n%s\n", stored->size(),
+              stored->c_str());
+
+  // The cleansed object is immediately queryable with the post-ETL schema.
+  Schema schema({{"vid", ColumnType::kInt64},
+                 {"date", ColumnType::kString},
+                 {"time", ColumnType::kString},
+                 {"kwh", ColumnType::kInt64}});
+  session.RegisterCsvTable("batches", "raw", "batch-", schema, true);
+  auto outcome = session.Sql(
+      "SELECT vid, time, kwh FROM batches WHERE kwh >= 100 ORDER BY kwh "
+      "DESC");
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "query: %s\n", outcome.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("high-consumption readings (kwh >= 100):\n%s",
+              outcome->table.ToDisplayString().c_str());
+  return 0;
+}

@@ -1,0 +1,22 @@
+#ifndef SCOOP_COMMON_HASH_H_
+#define SCOOP_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace scoop {
+
+// 64-bit FNV-1a over an arbitrary byte string. Used for ring placement and
+// container hashing; stable across platforms and runs.
+uint64_t Fnv1a64(std::string_view data);
+
+// Strong 64-bit finalizer (MurmurHash3 fmix64). Good avalanche; used to
+// decorrelate sequential ids before ring placement.
+uint64_t Mix64(uint64_t x);
+
+// Combines two hashes (boost-style).
+uint64_t HashCombine(uint64_t a, uint64_t b);
+
+}  // namespace scoop
+
+#endif  // SCOOP_COMMON_HASH_H_

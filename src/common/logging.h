@@ -1,0 +1,45 @@
+#ifndef SCOOP_COMMON_LOGGING_H_
+#define SCOOP_COMMON_LOGGING_H_
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace scoop {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are dropped. Defaults to
+// kWarning so tests and benches stay quiet unless something is wrong.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one line to stderr (thread-safe). Prefer the SCOOP_LOG macro.
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message);
+
+namespace internal {
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define SCOOP_LOG(level)                                              \
+  if (::scoop::LogLevel::level >= ::scoop::GetLogLevel())             \
+  ::scoop::internal::LogStream(::scoop::LogLevel::level, __FILE__,    \
+                               __LINE__)                              \
+      .stream()
+
+}  // namespace scoop
+
+#endif  // SCOOP_COMMON_LOGGING_H_

@@ -1,0 +1,116 @@
+#include "common/lz.h"
+
+#include <cstring>
+#include <vector>
+
+namespace scoop {
+
+namespace {
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 0x7f + kMinMatch;  // 131
+constexpr size_t kMaxLiteralRun = 0x80;         // 128
+constexpr size_t kWindow = 65535;
+constexpr size_t kHashBits = 15;
+
+inline uint32_t Hash4(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void FlushLiterals(std::string_view input, size_t lit_start, size_t lit_end,
+                   std::string* out) {
+  while (lit_start < lit_end) {
+    size_t run = std::min(kMaxLiteralRun, lit_end - lit_start);
+    out->push_back(static_cast<char>(run - 1));
+    out->append(input.substr(lit_start, run));
+    lit_start += run;
+  }
+}
+
+}  // namespace
+
+std::string LzCompress(std::string_view input) {
+  std::string out;
+  out.reserve(input.size() / 2 + 16);
+  std::vector<size_t> table(1 << kHashBits, SIZE_MAX);
+
+  size_t pos = 0;
+  size_t lit_start = 0;
+  while (pos + kMinMatch <= input.size()) {
+    uint32_t h = Hash4(input.data() + pos);
+    size_t candidate = table[h];
+    table[h] = pos;
+    if (candidate != SIZE_MAX && pos - candidate <= kWindow &&
+        std::memcmp(input.data() + candidate, input.data() + pos, kMinMatch) ==
+            0) {
+      // Extend the match.
+      size_t len = kMinMatch;
+      size_t max_len = std::min(kMaxMatch, input.size() - pos);
+      while (len < max_len &&
+             input[candidate + len] == input[pos + len]) {
+        ++len;
+      }
+      FlushLiterals(input, lit_start, pos, &out);
+      out.push_back(static_cast<char>(0x80 | (len - kMinMatch)));
+      uint16_t offset = static_cast<uint16_t>(pos - candidate);
+      out.push_back(static_cast<char>(offset & 0xff));
+      out.push_back(static_cast<char>(offset >> 8));
+      // Seed the hash table inside the match so later data can refer into
+      // it (sparse seeding keeps compression fast).
+      size_t end = pos + len;
+      for (size_t i = pos + 1; i + kMinMatch <= end && i + kMinMatch <= input.size();
+           i += 3) {
+        table[Hash4(input.data() + i)] = i;
+      }
+      pos = end;
+      lit_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  FlushLiterals(input, lit_start, input.size(), &out);
+  return out;
+}
+
+Result<std::string> LzDecompress(std::string_view compressed,
+                                 size_t max_output_bytes) {
+  std::string out;
+  size_t pos = 0;
+  while (pos < compressed.size()) {
+    unsigned char token = static_cast<unsigned char>(compressed[pos++]);
+    if (token < 0x80) {
+      size_t run = static_cast<size_t>(token) + 1;
+      if (pos + run > compressed.size()) {
+        return Status::InvalidArgument("corrupt LZ stream: literal overrun");
+      }
+      if (out.size() + run > max_output_bytes) {
+        return Status::ResourceExhausted("LZ output exceeds limit");
+      }
+      out.append(compressed.substr(pos, run));
+      pos += run;
+    } else {
+      if (pos + 2 > compressed.size()) {
+        return Status::InvalidArgument("corrupt LZ stream: truncated match");
+      }
+      size_t len = static_cast<size_t>(token & 0x7f) + kMinMatch;
+      size_t offset = static_cast<unsigned char>(compressed[pos]) |
+                      (static_cast<size_t>(
+                           static_cast<unsigned char>(compressed[pos + 1]))
+                       << 8);
+      pos += 2;
+      if (offset == 0 || offset > out.size()) {
+        return Status::InvalidArgument("corrupt LZ stream: bad offset");
+      }
+      if (out.size() + len > max_output_bytes) {
+        return Status::ResourceExhausted("LZ output exceeds limit");
+      }
+      // Byte-by-byte copy: overlapping matches are valid (RLE-style).
+      size_t src = out.size() - offset;
+      for (size_t i = 0; i < len; ++i) out.push_back(out[src + i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace scoop

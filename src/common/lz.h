@@ -1,0 +1,29 @@
+#ifndef SCOOP_COMMON_LZ_H_
+#define SCOOP_COMMON_LZ_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace scoop {
+
+// Byte-level LZ77 codec. Used by the Parquet-like columnar format (the
+// Fig. 8 baseline) and by the CompressStorlet that implements the paper's
+// §VI-C "combination of data filtering and compression" idea.
+//
+// Format: a token stream. Token byte T:
+//   T < 0x80  — literal run of T+1 bytes, which follow verbatim.
+//   T >= 0x80 — match: length (T & 0x7f) + kMinMatch, followed by a
+//               2-byte little-endian backwards offset (1..65535).
+// Greedy matching over a 64 KiB window with a 4-byte hash chain head.
+std::string LzCompress(std::string_view input);
+
+// Inverse of LzCompress; validates offsets/lengths and fails on corrupt
+// input instead of reading out of bounds.
+Result<std::string> LzDecompress(std::string_view compressed,
+                                 size_t max_output_bytes = 1ULL << 32);
+
+}  // namespace scoop
+
+#endif  // SCOOP_COMMON_LZ_H_

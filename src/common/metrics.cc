@@ -1,0 +1,59 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+
+namespace scoop {
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &counters_[name];
+}
+
+std::vector<std::pair<std::string, int64_t>> MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter.value());
+  }
+  return out;
+}
+
+void MetricRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter.Reset();
+}
+
+double TimeSeries::Max() const {
+  double m = 0.0;
+  for (const auto& s : samples_) m = std::max(m, s.value);
+  return m;
+}
+
+double TimeSeries::Mean() const {
+  if (samples_.empty()) return 0.0;
+  if (samples_.size() == 1) return samples_[0].value;
+  double area = 0.0;
+  double span = samples_.back().time - samples_.front().time;
+  for (size_t i = 1; i < samples_.size(); ++i) {
+    double dt = samples_[i].time - samples_[i - 1].time;
+    area += 0.5 * (samples_[i].value + samples_[i - 1].value) * dt;
+  }
+  if (span <= 0.0) return samples_[0].value;
+  return area / span;
+}
+
+double TimeSeries::Integral() const {
+  double area = 0.0;
+  for (size_t i = 1; i < samples_.size(); ++i) {
+    double dt = samples_[i].time - samples_[i - 1].time;
+    area += 0.5 * (samples_[i].value + samples_[i - 1].value) * dt;
+  }
+  return area;
+}
+
+double TimeSeries::Duration() const {
+  return samples_.empty() ? 0.0 : samples_.back().time;
+}
+
+}  // namespace scoop

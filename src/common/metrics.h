@@ -1,0 +1,85 @@
+#ifndef SCOOP_COMMON_METRICS_H_
+#define SCOOP_COMMON_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace scoop {
+
+// Monotonic counter, safe for concurrent increments.
+class Counter {
+ public:
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Named counters shared by a subsystem (e.g., one registry per cluster).
+// Counter pointers remain valid for the registry's lifetime.
+class MetricRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+
+  // Snapshot of all counter values, sorted by name.
+  std::vector<std::pair<std::string, int64_t>> Snapshot() const;
+
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Counter> counters_;
+};
+
+// A sampled (time, value) series, e.g. "compute-cluster CPU%" over a
+// simulated query execution. Samples must be appended in time order.
+class TimeSeries {
+ public:
+  struct Sample {
+    double time;
+    double value;
+  };
+
+  void Add(double time, double value) { samples_.push_back({time, value}); }
+  const std::vector<Sample>& samples() const { return samples_; }
+  bool empty() const { return samples_.empty(); }
+
+  double Max() const;
+  // Time-weighted mean (trapezoid over sample intervals); plain mean of the
+  // sample values when fewer than two samples exist.
+  double Mean() const;
+  // Integral of value over time (e.g., bytes if value is bytes/sec).
+  double Integral() const;
+  // Last sampled timestamp; 0 when empty.
+  double Duration() const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+// Wall-clock stopwatch used by the cost-model calibration.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_COMMON_METRICS_H_

@@ -1,0 +1,61 @@
+#ifndef SCOOP_COMMON_RANDOM_H_
+#define SCOOP_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scoop {
+
+// Deterministic, seedable PRNG (xoshiro256**). All synthetic data in the
+// repository flows through this generator so experiments are reproducible
+// bit-for-bit across runs and platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  // Bernoulli draw with probability `p` of true.
+  bool NextBool(double p);
+
+  // Approximately normal via sum of uniforms (Irwin-Hall, 12 draws).
+  double NextGaussian(double mean, double stddev);
+
+  // Picks a uniformly random element index for a container of `size`.
+  size_t NextIndex(size_t size);
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipf-distributed sampler over ranks [0, n). Used for skewed workload
+// generation (popular meters / cities appear disproportionately often).
+class ZipfSampler {
+ public:
+  // `exponent` > 0; exponent 0.99 is the YCSB default.
+  ZipfSampler(size_t n, double exponent, uint64_t seed);
+
+  size_t Next();
+
+ private:
+  std::vector<double> cdf_;
+  Rng rng_;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_COMMON_RANDOM_H_

@@ -1,0 +1,81 @@
+#ifndef SCOOP_COMMON_RESULT_H_
+#define SCOOP_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace scoop {
+
+// Holds either a value of type T or a non-OK Status. The usual way fallible
+// value-producing functions report errors in this codebase.
+//
+//   Result<int> ParsePort(std::string_view s);
+//   ...
+//   SCOOP_ASSIGN_OR_RETURN(int port, ParsePort(arg));
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : data_(std::move(value)) {}
+  Result(Status status) : data_(std::move(status)) {
+    assert(!std::get<Status>(data_).ok() && "Result from OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  // Returns OK when a value is held, the error otherwise.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+#define SCOOP_CONCAT_IMPL_(a, b) a##b
+#define SCOOP_CONCAT_(a, b) SCOOP_CONCAT_IMPL_(a, b)
+
+// Evaluates a Result<T> expression; on error returns the Status, otherwise
+// binds the value to `lhs` (which may include a type declaration).
+#define SCOOP_ASSIGN_OR_RETURN(lhs, expr)                            \
+  auto SCOOP_CONCAT_(_scoop_result_, __LINE__) = (expr);             \
+  if (!SCOOP_CONCAT_(_scoop_result_, __LINE__).ok())                 \
+    return SCOOP_CONCAT_(_scoop_result_, __LINE__).status();         \
+  lhs = std::move(SCOOP_CONCAT_(_scoop_result_, __LINE__)).value()
+
+}  // namespace scoop
+
+#endif  // SCOOP_COMMON_RESULT_H_

@@ -1,0 +1,50 @@
+#ifndef SCOOP_COMMON_STRINGS_H_
+#define SCOOP_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace scoop {
+
+// Splits `input` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string_view> Split(std::string_view input, char sep);
+
+// Splits and copies each field into an owned string.
+std::vector<std::string> SplitCopy(std::string_view input, char sep);
+
+// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+// ASCII-lowercases a copy of `s`.
+std::string ToLower(std::string_view s);
+
+// Case-sensitive prefix / suffix / containment tests.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+bool Contains(std::string_view s, std::string_view needle);
+
+// Strict integer / floating-point parsers: the whole input must be consumed.
+Result<int64_t> ParseInt64(std::string_view s);
+Result<double> ParseDouble(std::string_view s);
+
+// Matches `s` against a SQL LIKE `pattern` where '%' matches any run of
+// characters and '_' matches exactly one character. Case-sensitive, like
+// Spark SQL's default collation.
+bool LikeMatch(std::string_view s, std::string_view pattern);
+
+// Renders a byte count with binary units ("1.5 GiB").
+std::string FormatBytes(double bytes);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace scoop
+
+#endif  // SCOOP_COMMON_STRINGS_H_

@@ -1,0 +1,49 @@
+#ifndef SCOOP_COMMON_THREAD_POOL_H_
+#define SCOOP_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scoop {
+
+// Fixed-size worker pool with a FIFO queue. Used to run Spark-like tasks
+// concurrently; keeps its own bookkeeping so callers can wait for drain.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `fn` for execution on some worker thread.
+  void Submit(std::function<void()> fn);
+
+  // Blocks until the queue is empty and no task is running.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// Runs `fn(i)` for i in [0, n) on `pool`, blocking until all complete.
+void ParallelFor(ThreadPool& pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace scoop
+
+#endif  // SCOOP_COMMON_THREAD_POOL_H_

@@ -1,0 +1,62 @@
+#include "compute/dataframe.h"
+
+#include "common/strings.h"
+
+namespace scoop {
+
+DataFrame& DataFrame::Select(std::vector<std::string> exprs) {
+  if (!exprs.empty()) select_ = std::move(exprs);
+  return *this;
+}
+
+DataFrame& DataFrame::Where(const std::string& predicate) {
+  where_.push_back(predicate);
+  return *this;
+}
+
+DataFrame& DataFrame::GroupBy(std::vector<std::string> keys) {
+  group_by_ = std::move(keys);
+  return *this;
+}
+
+DataFrame& DataFrame::Having(const std::string& predicate) {
+  having_ = predicate;
+  return *this;
+}
+
+DataFrame& DataFrame::OrderBy(const std::string& expr, bool descending) {
+  order_by_.emplace_back(expr, descending);
+  return *this;
+}
+
+DataFrame& DataFrame::Limit(int64_t n) {
+  limit_ = n;
+  return *this;
+}
+
+std::string DataFrame::ToSql() const {
+  std::string sql = "SELECT " + Join(select_, ", ") + " FROM " + table_;
+  for (size_t i = 0; i < where_.size(); ++i) {
+    sql += (i == 0 ? " WHERE " : " AND ");
+    sql += "(" + where_[i] + ")";
+  }
+  if (!group_by_.empty()) sql += " GROUP BY " + Join(group_by_, ", ");
+  if (!having_.empty()) sql += " HAVING " + having_;
+  for (size_t i = 0; i < order_by_.size(); ++i) {
+    sql += (i == 0 ? " ORDER BY " : ", ");
+    sql += order_by_[i].first;
+    if (order_by_[i].second) sql += " DESC";
+  }
+  if (limit_ >= 0) sql += " LIMIT " + std::to_string(limit_);
+  return sql;
+}
+
+Result<QueryOutcome> DataFrame::Collect() const {
+  return session_->Sql(ToSql());
+}
+
+Result<std::string> DataFrame::Explain() const {
+  return session_->ExplainSql(ToSql());
+}
+
+}  // namespace scoop

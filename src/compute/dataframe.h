@@ -1,0 +1,70 @@
+#ifndef SCOOP_COMPUTE_DATAFRAME_H_
+#define SCOOP_COMPUTE_DATAFRAME_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "compute/session.h"
+
+namespace scoop {
+
+// The programmatic face of Spark SQL (§III-A: "operations on data are done
+// using SQL queries and a programmatic API (i.e., Data Frames API)").
+// A DataFrame is a fluent builder over a registered table; Collect()
+// compiles it to the same plans — and hence the same pushdown — as SQL.
+//
+//   auto out = DataFrame(session, "largeMeter")
+//                  .Select({"vid", "sum(index) AS total"})
+//                  .Where("city LIKE 'Rotterdam'")
+//                  .GroupBy({"vid"})
+//                  .OrderBy("vid")
+//                  .Collect();
+//
+// Expression fragments use the SQL expression syntax; the builder only
+// assembles the statement, so every validation error a SQL string would
+// produce surfaces from Collect()/Explain() identically.
+class DataFrame {
+ public:
+  DataFrame(SparkSession* session, std::string table)
+      : session_(session), table_(std::move(table)) {}
+
+  // Replaces the projection (default "*"). Entries may carry aliases.
+  DataFrame& Select(std::vector<std::string> exprs);
+
+  // Adds a conjunct to the WHERE clause (multiple calls AND together).
+  DataFrame& Where(const std::string& predicate);
+
+  DataFrame& GroupBy(std::vector<std::string> keys);
+
+  // HAVING predicate (requires GroupBy or aggregate projections).
+  DataFrame& Having(const std::string& predicate);
+
+  // Appends a sort key.
+  DataFrame& OrderBy(const std::string& expr, bool descending = false);
+
+  DataFrame& Limit(int64_t n);
+
+  // The SQL text this builder compiles to.
+  std::string ToSql() const;
+
+  // Executes on the session's cluster (pushdown included).
+  Result<QueryOutcome> Collect() const;
+
+  // The EXPLAIN text of the compiled plan.
+  Result<std::string> Explain() const;
+
+ private:
+  SparkSession* session_;
+  std::string table_;
+  std::vector<std::string> select_ = {"*"};
+  std::vector<std::string> where_;
+  std::vector<std::string> group_by_;
+  std::string having_;
+  std::vector<std::pair<std::string, bool>> order_by_;
+  int64_t limit_ = -1;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_COMPUTE_DATAFRAME_H_

@@ -1,0 +1,69 @@
+#include "compute/job.h"
+
+#include <mutex>
+
+#include "sql/parser.h"
+
+namespace scoop {
+
+Result<QueryOutcome> SqlJobRunner::Run(const SelectStatement& stmt,
+                                       PartitionedRelation* relation) {
+  Stopwatch watch;
+  SCOOP_ASSIGN_OR_RETURN(auto plan,
+                         PhysicalPlan::Create(stmt, relation->schema()));
+  SCOOP_ASSIGN_OR_RETURN(std::vector<Partition> partitions,
+                         relation->Partitions());
+
+  struct TaskOutput {
+    PartialResult partial;
+    PartitionScanResult scan_info;  // rows cleared, stats kept
+    Status status = Status::OK();
+  };
+  std::vector<TaskOutput> outputs(partitions.size());
+
+  std::vector<TaskInfo> task_infos = scheduler_->RunTasks(
+      partitions.size(), [&](size_t index, int /*worker_id*/) {
+        TaskOutput& out = outputs[index];
+        auto scan = relation->ScanPartition(partitions[index],
+                                            plan->required_columns(),
+                                            plan->pushed_filter());
+        if (!scan.ok()) {
+          out.status = scan.status();
+          return;
+        }
+        for (const Row& row : scan->rows) {
+          plan->ProcessRow(row, scan->filter_applied, &out.partial);
+        }
+        scan->rows.clear();
+        out.scan_info = std::move(scan).value();
+      });
+
+  QueryOutcome outcome;
+  outcome.stats.partitions = static_cast<int>(partitions.size());
+  outcome.stats.tasks = std::move(task_infos);
+  PartialResult merged;
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    SCOOP_RETURN_IF_ERROR(outputs[i].status);
+    // Merge in partition order: first_value determinism depends on it.
+    plan->MergePartial(&merged, std::move(outputs[i].partial));
+    const PartitionScanResult& info = outputs[i].scan_info;
+    outcome.stats.raw_bytes += info.raw_bytes;
+    outcome.stats.bytes_ingested += info.bytes_transferred;
+    outcome.stats.requests += info.requests;
+    if (info.filter_applied) ++outcome.stats.partitions_pushdown;
+  }
+  outcome.stats.rows_scanned = merged.rows_seen;
+  outcome.stats.rows_passed = merged.rows_passed;
+  SCOOP_ASSIGN_OR_RETURN(outcome.table, plan->Finalize(std::move(merged)));
+  outcome.stats.rows_output = static_cast<int64_t>(outcome.table.rows.size());
+  outcome.stats.wall_seconds = watch.ElapsedSeconds();
+  return outcome;
+}
+
+Result<QueryOutcome> SqlJobRunner::RunSql(const std::string& sql,
+                                          PartitionedRelation* relation) {
+  SCOOP_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSql(sql));
+  return Run(stmt, relation);
+}
+
+}  // namespace scoop

@@ -1,0 +1,33 @@
+#include "compute/scheduler.h"
+
+namespace scoop {
+
+std::vector<TaskInfo> TaskScheduler::RunTasks(
+    size_t task_count, const std::function<void(size_t, int)>& fn) {
+  std::vector<TaskInfo> infos(task_count);
+  std::atomic<size_t> next{0};
+  auto worker_loop = [&](int worker_id) {
+    while (true) {
+      size_t index = next.fetch_add(1);
+      if (index >= task_count) return;
+      Stopwatch watch;
+      fn(index, worker_id);
+      infos[index].task_index = index;
+      infos[index].worker_id = worker_id;
+      infos[index].seconds = watch.ElapsedSeconds();
+    }
+  };
+  int workers = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(num_workers_), task_count));
+  if (workers <= 1) {
+    worker_loop(0);
+    return infos;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) threads.emplace_back(worker_loop, w);
+  for (auto& t : threads) t.join();
+  return infos;
+}
+
+}  // namespace scoop

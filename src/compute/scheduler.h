@@ -1,0 +1,42 @@
+#ifndef SCOOP_COMPUTE_SCHEDULER_H_
+#define SCOOP_COMPUTE_SCHEDULER_H_
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace scoop {
+
+// Per-task execution record kept by the scheduler.
+struct TaskInfo {
+  size_t task_index = 0;
+  int worker_id = 0;
+  double seconds = 0.0;
+};
+
+// Spark-style dynamic task scheduler: a fixed pool of workers pulls task
+// indices from a shared queue, so slow tasks (stragglers) don't idle the
+// rest of the cluster. One scheduler instance models the job's stage.
+class TaskScheduler {
+ public:
+  explicit TaskScheduler(int num_workers)
+      : num_workers_(num_workers < 1 ? 1 : num_workers) {}
+
+  int num_workers() const { return num_workers_; }
+
+  // Runs `fn(task_index, worker_id)` for every index in [0, task_count),
+  // distributing dynamically over the workers; blocks until all complete.
+  // Returns per-task execution records ordered by task index.
+  std::vector<TaskInfo> RunTasks(
+      size_t task_count, const std::function<void(size_t, int)>& fn);
+
+ private:
+  int num_workers_;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_COMPUTE_SCHEDULER_H_

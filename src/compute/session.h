@@ -1,0 +1,48 @@
+#ifndef SCOOP_COMPUTE_SESSION_H_
+#define SCOOP_COMPUTE_SESSION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "compute/job.h"
+#include "compute/scheduler.h"
+#include "datasource/datasource.h"
+
+namespace scoop {
+
+// The SparkSession-like entry point of the compute cluster: tables are
+// registered against data sources, then queried with SQL. The FROM clause
+// resolves against the registered names (the paper's `largeMeter`).
+class SparkSession {
+ public:
+  explicit SparkSession(int num_workers) : scheduler_(num_workers) {}
+
+  SparkSession(const SparkSession&) = delete;
+  SparkSession& operator=(const SparkSession&) = delete;
+
+  TaskScheduler& scheduler() { return scheduler_; }
+
+  // Registers (or replaces) a table backed by `relation`.
+  void RegisterTable(const std::string& name,
+                     std::shared_ptr<PartitionedRelation> relation);
+
+  Result<std::shared_ptr<PartitionedRelation>> GetTable(
+      const std::string& name) const;
+
+  // Parses and executes `query`, returning the result and job statistics.
+  Result<QueryOutcome> Sql(const std::string& query);
+
+  // Compiles `query` and returns the EXPLAIN text (scan projection,
+  // pushed vs residual filters, aggregation, ordering) without running it.
+  Result<std::string> ExplainSql(const std::string& query);
+
+ private:
+  TaskScheduler scheduler_;
+  std::map<std::string, std::shared_ptr<PartitionedRelation>> tables_;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_COMPUTE_SESSION_H_

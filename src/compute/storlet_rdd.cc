@@ -1,0 +1,46 @@
+#include "compute/storlet_rdd.h"
+
+#include "storlets/headers.h"
+
+namespace scoop {
+
+Result<std::vector<StorletRdd::PartitionOutput>> StorletRdd::Collect() {
+  SCOOP_ASSIGN_OR_RETURN(std::vector<ObjectInfo> objects,
+                         client_->ListObjects(container_, prefix_));
+  std::vector<PartitionOutput> outputs(objects.size());
+  std::vector<Status> statuses(objects.size(), Status::OK());
+
+  scheduler_->RunTasks(objects.size(), [&](size_t index, int /*worker*/) {
+    Headers headers;
+    headers.Set(kRunStorletHeader, storlet_);
+    for (const auto& [key, value] : params_) {
+      headers.Set(std::string(kStorletParamPrefix) + key, value);
+    }
+    Request request = Request::Get("/" + client_->account() + "/" +
+                                   container_ + "/" + objects[index].name);
+    for (const auto& [name, value] : headers) request.headers.Set(name, value);
+    HttpResponse response = client_->Send(std::move(request));
+    if (!response.ok()) {
+      statuses[index] = Status::Internal(
+          "storlet GET -> " + std::to_string(response.status) + " " +
+          response.body);
+      return;
+    }
+    outputs[index].object = objects[index].name;
+    outputs[index].output = std::move(response.body);
+    // When the store declined (policy off), the body is the raw object.
+    outputs[index].executed_at_store =
+        response.headers.Has(kStorletExecutedHeader);
+  });
+  for (const Status& status : statuses) SCOOP_RETURN_IF_ERROR(status);
+  return outputs;
+}
+
+Result<std::string> StorletRdd::CollectConcatenated() {
+  SCOOP_ASSIGN_OR_RETURN(std::vector<PartitionOutput> outputs, Collect());
+  std::string out;
+  for (PartitionOutput& output : outputs) out += output.output;
+  return out;
+}
+
+}  // namespace scoop

@@ -1,0 +1,55 @@
+#ifndef SCOOP_COMPUTE_STORLET_RDD_H_
+#define SCOOP_COMPUTE_STORLET_RDD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "compute/scheduler.h"
+#include "objectstore/cluster.h"
+#include "storlets/storlet.h"
+
+namespace scoop {
+
+// The Spark-Storlets RDD of the paper's §VII: a programmatic way for a
+// Spark job to explicitly invoke a storlet on every object of a dataset,
+// holding the invocation outputs as its distributed collection. It
+// bypasses the Hadoop layer entirely: partitioning is object-aware (one
+// task per object) rather than derived from an HDFS chunk size.
+class StorletRdd {
+ public:
+  StorletRdd(SwiftClient* client, TaskScheduler* scheduler,
+             std::string container, std::string prefix, std::string storlet,
+             StorletParams params)
+      : client_(client),
+        scheduler_(scheduler),
+        container_(std::move(container)),
+        prefix_(std::move(prefix)),
+        storlet_(std::move(storlet)),
+        params_(std::move(params)) {}
+
+  struct PartitionOutput {
+    std::string object;
+    std::string output;          // the storlet's output stream for the object
+    bool executed_at_store = false;
+  };
+
+  // Runs the storlet on every object (in parallel tasks) and collects the
+  // outputs, ordered by object name.
+  Result<std::vector<PartitionOutput>> Collect();
+
+  // Concatenated outputs (convenience for text-producing storlets).
+  Result<std::string> CollectConcatenated();
+
+ private:
+  SwiftClient* client_;
+  TaskScheduler* scheduler_;
+  std::string container_;
+  std::string prefix_;
+  std::string storlet_;
+  StorletParams params_;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_COMPUTE_STORLET_RDD_H_

@@ -1,0 +1,148 @@
+#include "csv/agg_storlet.h"
+
+#include <map>
+
+#include "common/strings.h"
+#include "csv/record_reader.h"
+#include "sql/aggregates.h"
+#include "sql/source_filter.h"
+
+namespace scoop {
+
+Status GroupAggStorlet::Invoke(StorletInputStream& input,
+                               StorletOutputStream& output,
+                               const StorletParams& params,
+                               StorletLogger& logger) {
+  auto schema_it = params.find("schema");
+  if (schema_it == params.end()) {
+    return Status::InvalidArgument("aggstorlet requires a 'schema' parameter");
+  }
+  SCOOP_ASSIGN_OR_RETURN(Schema schema, Schema::FromSpec(schema_it->second));
+
+  std::vector<int> group_indices;
+  auto group_it = params.find("group");
+  if (group_it != params.end() && !Trim(group_it->second).empty()) {
+    for (std::string_view name : Split(group_it->second, ',')) {
+      int idx = schema.IndexOf(Trim(name));
+      if (idx < 0) {
+        return Status::NotFound("group column not in schema: " +
+                                std::string(Trim(name)));
+      }
+      group_indices.push_back(idx);
+    }
+  }
+
+  struct AggSpec {
+    AggKind kind;
+    int column_index;  // -1 for count(*)
+    ColumnType type;
+  };
+  std::vector<AggSpec> specs;
+  auto aggs_it = params.find("aggs");
+  if (aggs_it == params.end() || Trim(aggs_it->second).empty()) {
+    return Status::InvalidArgument("aggstorlet requires an 'aggs' parameter");
+  }
+  for (std::string_view part : Split(aggs_it->second, ',')) {
+    part = Trim(part);
+    size_t colon = part.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument("bad agg spec: " + std::string(part));
+    }
+    AggSpec spec;
+    SCOOP_ASSIGN_OR_RETURN(spec.kind, AggKindFromName(part.substr(0, colon)));
+    if (spec.kind == AggKind::kAvg || spec.kind == AggKind::kFirstValue) {
+      return Status::InvalidArgument(
+          "aggstorlet supports sum/min/max/count (avg/first_value do not "
+          "merge as single partials)");
+    }
+    std::string_view column = Trim(part.substr(colon + 1));
+    if (column == "*") {
+      if (spec.kind != AggKind::kCount) {
+        return Status::InvalidArgument("'*' is only valid with count");
+      }
+      spec.column_index = -1;
+      spec.type = ColumnType::kInt64;
+    } else {
+      spec.column_index = schema.IndexOf(column);
+      if (spec.column_index < 0) {
+        return Status::NotFound("agg column not in schema: " +
+                                std::string(column));
+      }
+      spec.type = schema.column(static_cast<size_t>(spec.column_index)).type;
+    }
+    specs.push_back(spec);
+  }
+
+  SourceFilter selection = SourceFilter::True();
+  auto selection_it = params.find("selection");
+  if (selection_it != params.end() && !Trim(selection_it->second).empty()) {
+    SCOOP_ASSIGN_OR_RETURN(selection,
+                           SourceFilter::Parse(selection_it->second));
+  }
+
+  // Group map keyed by the rendered group fields (std::map: sorted output).
+  struct Entry {
+    std::vector<std::string> key_fields;
+    std::vector<AggState> states;
+  };
+  std::map<std::string, Entry> groups;
+
+  CsvRecordParser parser;
+  int64_t rows_in = 0;
+  while (auto line = input.ReadLine()) {
+    std::string_view record = *line;
+    if (!record.empty() && record.back() == '\r') record.remove_suffix(1);
+    if (record.empty()) continue;
+    const std::vector<std::string_view>& fields = parser.Parse(record);
+    if (fields.size() != schema.size()) continue;
+    if (!selection.Matches(fields, schema)) continue;
+    ++rows_in;
+
+    std::string key;
+    for (int idx : group_indices) {
+      key.append(fields[static_cast<size_t>(idx)]);
+      key.push_back('\x1f');
+    }
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    Entry& entry = it->second;
+    if (inserted) {
+      for (int idx : group_indices) {
+        entry.key_fields.emplace_back(fields[static_cast<size_t>(idx)]);
+      }
+      entry.states.resize(specs.size());
+    }
+    for (size_t i = 0; i < specs.size(); ++i) {
+      const AggSpec& spec = specs[i];
+      if (spec.column_index < 0) {
+        entry.states[i].Update(AggKind::kCount, Value(static_cast<int64_t>(1)));
+      } else {
+        entry.states[i].Update(
+            spec.kind,
+            Value::FromField(fields[static_cast<size_t>(spec.column_index)],
+                             spec.type));
+      }
+    }
+  }
+
+  std::string scratch;
+  std::vector<std::string> rendered;
+  std::vector<std::string_view> views;
+  for (const auto& [key, entry] : groups) {
+    rendered.clear();
+    views.clear();
+    for (const std::string& field : entry.key_fields) rendered.push_back(field);
+    for (size_t i = 0; i < specs.size(); ++i) {
+      rendered.push_back(entry.states[i].Final(specs[i].kind).ToString());
+    }
+    for (const std::string& s : rendered) views.push_back(s);
+    scratch.clear();
+    WriteCsvRecord(views, &scratch);
+    output.Write(scratch);
+  }
+  logger.Emit(StrFormat("aggstorlet: %lld rows -> %zu groups",
+                        static_cast<long long>(rows_in), groups.size()));
+  output.SetMetadata("groups", std::to_string(groups.size()));
+  return Status::OK();
+}
+
+}  // namespace scoop

@@ -1,0 +1,48 @@
+#ifndef SCOOP_CSV_AGG_STORLET_H_
+#define SCOOP_CSV_AGG_STORLET_H_
+
+#include <memory>
+#include <string>
+
+#include "storlets/storlet.h"
+
+namespace scoop {
+
+// Partial-aggregation pushdown — the paper's §IV example of the object
+// store "perform[ing] aggregations on individual object requests to
+// facilitate the construction of graphs from a large dataset", and the
+// general §VII observation that any computation running independently
+// over disjoint parts of the dataset can be pushed down.
+//
+// Parameters:
+//   schema    — "name:type,..." of the object's columns (required)
+//   group     — comma-separated grouping column names (optional; absent
+//               means one global group)
+//   aggs      — comma-separated "<fn>:<column>" specs, fn in
+//               {sum, min, max, count, avg is NOT offered — avg does not
+//               partial-merge as a single value; push sum and count
+//               instead}; count accepts "*" as column (required)
+//   selection — serialized SourceFilter applied before aggregating
+//
+// Output: CSV rows "<group values...>,<agg values...>", one per group, in
+// sorted group-key order; sum/count over integer columns stay integral.
+// These are *partial* results for one object/range; the compute side
+// merges partials across requests (sum+=, min/max fold, count+=) — which
+// is exactly what the AggState machinery in sql/aggregates.h does.
+class GroupAggStorlet : public Storlet {
+ public:
+  static constexpr char kName[] = "aggstorlet";
+
+  std::string name() const override { return kName; }
+
+  Status Invoke(StorletInputStream& input, StorletOutputStream& output,
+                const StorletParams& params, StorletLogger& logger) override;
+
+  static std::unique_ptr<Storlet> Make() {
+    return std::make_unique<GroupAggStorlet>();
+  }
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_CSV_AGG_STORLET_H_

@@ -1,0 +1,84 @@
+#include "csv/csv_storlet.h"
+
+#include "common/strings.h"
+#include "csv/record_reader.h"
+#include "sql/source_filter.h"
+
+namespace scoop {
+
+Status CsvStorlet::Invoke(StorletInputStream& input,
+                          StorletOutputStream& output,
+                          const StorletParams& params, StorletLogger& logger) {
+  auto schema_it = params.find("schema");
+  if (schema_it == params.end()) {
+    return Status::InvalidArgument("csvstorlet requires a 'schema' parameter");
+  }
+  SCOOP_ASSIGN_OR_RETURN(Schema schema, Schema::FromSpec(schema_it->second));
+
+  // Projection: resolve names to source indices once.
+  std::vector<int> projection;
+  bool project_all = true;
+  auto projection_it = params.find("projection");
+  if (projection_it != params.end() &&
+      !Trim(projection_it->second).empty()) {
+    project_all = false;
+    for (std::string_view name : Split(projection_it->second, ',')) {
+      int idx = schema.IndexOf(Trim(name));
+      if (idx < 0) {
+        return Status::NotFound("projection column not in schema: " +
+                                std::string(Trim(name)));
+      }
+      projection.push_back(idx);
+    }
+  }
+
+  SourceFilter selection = SourceFilter::True();
+  auto selection_it = params.find("selection");
+  if (selection_it != params.end() && !Trim(selection_it->second).empty()) {
+    SCOOP_ASSIGN_OR_RETURN(selection,
+                           SourceFilter::Parse(selection_it->second));
+  }
+  bool has_selection = !selection.IsTrue();
+
+  CsvRecordParser parser;
+  std::vector<std::string_view> projected;
+  std::string scratch;
+  int64_t rows_in = 0;
+  int64_t rows_out = 0;
+  while (auto line = input.ReadLine()) {
+    std::string_view record = *line;
+    if (!record.empty() && record.back() == '\r') record.remove_suffix(1);
+    if (record.empty()) continue;
+    ++rows_in;
+    if (!has_selection && project_all) {
+      // Trivial invocation: identity copy.
+      output.WriteLine(record);
+      ++rows_out;
+      continue;
+    }
+    const std::vector<std::string_view>& fields = parser.Parse(record);
+    if (fields.size() != schema.size()) continue;  // malformed record
+    if (has_selection && !selection.Matches(fields, schema)) continue;
+    ++rows_out;
+    if (project_all) {
+      // Row-selectivity fast path: pass the record through untouched.
+      output.WriteLine(record);
+    } else {
+      projected.clear();
+      for (int idx : projection) {
+        projected.push_back(fields[static_cast<size_t>(idx)]);
+      }
+      scratch.clear();
+      WriteCsvRecord(projected, &scratch);
+      output.Write(scratch);
+    }
+  }
+  logger.Emit(StrFormat("csvstorlet: %lld rows in, %lld rows out",
+                        static_cast<long long>(rows_in),
+                        static_cast<long long>(rows_out)));
+  output.SetMetadata("rows-in", std::to_string(rows_in));
+  output.SetMetadata("rows-out", std::to_string(rows_out));
+  return Status::OK();
+}
+
+}  // namespace scoop

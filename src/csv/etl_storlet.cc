@@ -1,0 +1,129 @@
+#include "csv/etl_storlet.h"
+
+#include "common/strings.h"
+#include "csv/record_reader.h"
+#include "sql/schema.h"
+
+namespace scoop {
+
+Status EtlStorlet::Invoke(StorletInputStream& input,
+                          StorletOutputStream& output,
+                          const StorletParams& params, StorletLogger& logger) {
+  auto schema_it = params.find("schema");
+  if (schema_it == params.end()) {
+    return Status::InvalidArgument("etlstorlet requires a 'schema' parameter");
+  }
+  SCOOP_ASSIGN_OR_RETURN(Schema schema, Schema::FromSpec(schema_it->second));
+
+  auto get = [&params](const std::string& key, std::string fallback) {
+    auto it = params.find(key);
+    return it == params.end() ? fallback : it->second;
+  };
+  bool trim = ToLower(get("trim", "true")) == "true";
+  bool drop_malformed = ToLower(get("drop_malformed", "true")) == "true";
+
+  int split_index = -1;
+  char split_separator = ';';
+  std::vector<std::string> split_names;
+  std::string split_column = get("split_column", "");
+  if (!split_column.empty()) {
+    split_index = schema.IndexOf(split_column);
+    if (split_index < 0) {
+      return Status::NotFound("split_column not in schema: " + split_column);
+    }
+    std::string sep = get("split_separator", ";");
+    if (sep.size() != 1) {
+      return Status::InvalidArgument("split_separator must be one character");
+    }
+    split_separator = sep[0];
+    split_names = SplitCopy(get("split_names", ""), ',');
+    if (split_names.empty() || split_names[0].empty()) {
+      return Status::InvalidArgument("split_names required with split_column");
+    }
+  }
+
+  // Output schema: original columns with the split column replaced by the
+  // new ones (typed as strings; downstream schemas refine them).
+  std::vector<Column> out_columns;
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (static_cast<int>(i) == split_index) {
+      for (const std::string& name : split_names) {
+        out_columns.push_back(Column{name, ColumnType::kString});
+      }
+    } else {
+      out_columns.push_back(schema.column(i));
+    }
+  }
+  Schema out_schema((std::vector<Column>(out_columns)));
+
+  CsvRecordParser parser;
+  std::string scratch;
+  std::vector<std::string_view> out_fields;
+  std::vector<std::string> trimmed;
+  int64_t rows_in = 0;
+  int64_t rows_dropped = 0;
+  while (auto line = input.ReadLine()) {
+    std::string_view record = *line;
+    if (!record.empty() && record.back() == '\r') record.remove_suffix(1);
+    if (Trim(record).empty()) continue;
+    ++rows_in;
+    const std::vector<std::string_view>& fields = parser.Parse(record);
+    if (fields.size() != schema.size()) {
+      ++rows_dropped;
+      if (drop_malformed) continue;
+    }
+    // Validate numeric fields when dropping malformed rows.
+    bool malformed = fields.size() != schema.size();
+    if (!malformed && drop_malformed) {
+      for (size_t i = 0; i < fields.size(); ++i) {
+        std::string_view field = trim ? Trim(fields[i]) : fields[i];
+        if (field.empty()) continue;  // nulls are fine
+        if (schema.column(i).type == ColumnType::kInt64 &&
+            !ParseInt64(field).ok()) {
+          malformed = true;
+          break;
+        }
+        if (schema.column(i).type == ColumnType::kDouble &&
+            !ParseDouble(field).ok()) {
+          malformed = true;
+          break;
+        }
+      }
+    }
+    if (malformed) {
+      ++rows_dropped;
+      continue;
+    }
+    trimmed.clear();
+    out_fields.clear();
+    // Two passes: first materialize owned strings (trim/split), then build
+    // views — a vector<string> never invalidates its elements' buffers on
+    // push_back of new elements only if reserved; reserve generously.
+    trimmed.reserve(fields.size() + split_names.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      std::string_view field = trim ? Trim(fields[i]) : fields[i];
+      if (static_cast<int>(i) == split_index) {
+        std::vector<std::string_view> pieces = Split(field, split_separator);
+        for (size_t p = 0; p < split_names.size(); ++p) {
+          trimmed.emplace_back(p < pieces.size()
+                                   ? (trim ? Trim(pieces[p]) : pieces[p])
+                                   : std::string_view());
+        }
+      } else {
+        trimmed.emplace_back(field);
+      }
+    }
+    for (const std::string& s : trimmed) out_fields.push_back(s);
+    scratch.clear();
+    WriteCsvRecord(out_fields, &scratch);
+    output.Write(scratch);
+  }
+  logger.Emit(StrFormat("etlstorlet: %lld rows in, %lld dropped",
+                        static_cast<long long>(rows_in),
+                        static_cast<long long>(rows_dropped)));
+  output.SetMetadata("schema", out_schema.ToSpec());
+  output.SetMetadata("rows-dropped", std::to_string(rows_dropped));
+  return Status::OK();
+}
+
+}  // namespace scoop

@@ -1,0 +1,99 @@
+#include "datasource/csv_source.h"
+
+#include "csv/record_reader.h"
+
+namespace scoop {
+
+Result<std::vector<Partition>> CsvDataSource::Partitions() {
+  if (options_.object_aware_partitioning) {
+    return DiscoverPartitionsObjectAware(
+        stocator_->client(), container_, prefix_, options_.target_parallelism,
+        options_.min_partition_bytes);
+  }
+  return DiscoverPartitions(stocator_->client(), container_, prefix_,
+                            options_.chunk_size);
+}
+
+Result<PartitionScanResult> CsvDataSource::ScanPartition(
+    const Partition& partition,
+    const std::vector<std::string>& required_columns,
+    const SourceFilter& filter) {
+  PartitionScanResult result;
+  result.raw_bytes = partition.length();
+
+  const PushdownTask* task_ptr = nullptr;
+  PushdownTask task;
+  if (options_.pushdown_enabled) {
+    task.schema = schema_;
+    task.projection = required_columns;
+    task.selection = filter;
+    task.compress_transfer = options_.compress_transfer;
+    task_ptr = &task;
+  }
+  SCOOP_ASSIGN_OR_RETURN(Stocator::ReadResult read,
+                         stocator_->ReadPartition(partition, task_ptr));
+  result.bytes_transferred = read.bytes_transferred;
+  result.requests = read.requests;
+  result.filter_applied = read.pushdown_executed;
+
+  // With pushdown the storlet already projected the record to
+  // required-column order; otherwise we parse full records and project.
+  SCOOP_ASSIGN_OR_RETURN(Schema pruned, schema_.Select(required_columns));
+  if (read.pushdown_executed) {
+    CsvRowReader reader(read.data, &pruned);
+    Row row;
+    while (reader.Next(&row)) result.rows.push_back(row);
+    return result;
+  }
+
+  std::vector<int> indices;
+  indices.reserve(required_columns.size());
+  for (const std::string& name : required_columns) {
+    indices.push_back(schema_.IndexOf(name));
+  }
+  CsvRowReader reader(read.data, &schema_);
+  Row row;
+  while (reader.Next(&row)) {
+    Row projected;
+    projected.reserve(indices.size());
+    for (int idx : indices) {
+      projected.push_back(idx >= 0 ? row[static_cast<size_t>(idx)]
+                                   : Value::Null());
+    }
+    result.rows.push_back(std::move(projected));
+  }
+  return result;
+}
+
+Result<std::vector<Row>> CsvDataSource::ScanPrunedFiltered(
+    const std::vector<std::string>& required_columns,
+    const SourceFilter& filter, bool* filter_applied) {
+  SCOOP_ASSIGN_OR_RETURN(std::vector<Partition> partitions, Partitions());
+  std::vector<Row> rows;
+  bool all_filtered = true;
+  for (const Partition& partition : partitions) {
+    SCOOP_ASSIGN_OR_RETURN(
+        PartitionScanResult scan,
+        ScanPartition(partition, required_columns, filter));
+    all_filtered = all_filtered && scan.filter_applied;
+    for (Row& row : scan.rows) rows.push_back(std::move(row));
+  }
+  if (filter_applied != nullptr) {
+    *filter_applied = all_filtered && !partitions.empty();
+  }
+  return rows;
+}
+
+Result<std::vector<Row>> CsvDataSource::ScanPruned(
+    const std::vector<std::string>& required_columns) {
+  bool applied = false;
+  return ScanPrunedFiltered(required_columns, SourceFilter::True(), &applied);
+}
+
+Result<std::vector<Row>> CsvDataSource::Scan() {
+  std::vector<std::string> all;
+  for (const Column& column : schema_.columns()) all.push_back(column.name);
+  return ScanPruned(all);
+}
+
+}  // namespace scoop

@@ -1,0 +1,86 @@
+#ifndef SCOOP_DATASOURCE_DATASOURCE_H_
+#define SCOOP_DATASOURCE_DATASOURCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "datasource/partitioner.h"
+#include "sql/schema.h"
+#include "sql/source_filter.h"
+#include "sql/value.h"
+
+namespace scoop {
+
+// The Data Sources API (paper §III-A / §V-A), mirrored from Spark SQL.
+// A relation exposes its schema and one or more scan flavours; the engine
+// picks the richest one the relation implements:
+//
+//   TableScan          — return everything.
+//   PrunedScan         — return only the required columns.
+//   PrunedFilteredScan — additionally receive the selection filters, and
+//                        *may* evaluate them (sources are allowed to
+//                        return unfiltered rows; the engine re-applies
+//                        filters compute-side unless the scan reports
+//                        them as handled).
+//
+// Partition-level access (PartitionedRelation) is what the distributed
+// executor drives; the whole-relation Scan methods are convenience
+// wrappers over it.
+
+struct PartitionScanResult {
+  // Typed rows in required-column order.
+  std::vector<Row> rows;
+  // True when the source already applied the selection filter exactly.
+  bool filter_applied = false;
+  // Bytes that crossed the store->compute link for this partition.
+  uint64_t bytes_transferred = 0;
+  // Bytes of raw data the partition covers at rest.
+  uint64_t raw_bytes = 0;
+  // GET requests issued.
+  int requests = 0;
+};
+
+class BaseRelation {
+ public:
+  virtual ~BaseRelation() = default;
+  virtual const Schema& schema() const = 0;
+};
+
+class TableScan : public virtual BaseRelation {
+ public:
+  // All rows, full schema.
+  virtual Result<std::vector<Row>> Scan() = 0;
+};
+
+class PrunedScan : public virtual BaseRelation {
+ public:
+  // All rows, pruned to `required_columns` (in that order).
+  virtual Result<std::vector<Row>> ScanPruned(
+      const std::vector<std::string>& required_columns) = 0;
+};
+
+class PrunedFilteredScan : public virtual BaseRelation {
+ public:
+  // Pruned and (best-effort) filtered rows. `filter_applied` reports
+  // whether `filter` was evaluated exactly by the source.
+  virtual Result<std::vector<Row>> ScanPrunedFiltered(
+      const std::vector<std::string>& required_columns,
+      const SourceFilter& filter, bool* filter_applied) = 0;
+};
+
+class PartitionedRelation : public virtual BaseRelation {
+ public:
+  // Partition discovery (runs before the query is known, §V-B).
+  virtual Result<std::vector<Partition>> Partitions() = 0;
+
+  // Scans one partition with projection+selection hints.
+  virtual Result<PartitionScanResult> ScanPartition(
+      const Partition& partition,
+      const std::vector<std::string>& required_columns,
+      const SourceFilter& filter) = 0;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_DATASOURCE_DATASOURCE_H_

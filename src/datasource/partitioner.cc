@@ -1,0 +1,65 @@
+#include "datasource/partitioner.h"
+
+#include <algorithm>
+
+namespace scoop {
+
+namespace {
+
+// Cuts the listed objects into partitions of at most `chunk_size` bytes.
+std::vector<Partition> CutObjects(const std::vector<ObjectInfo>& objects,
+                                  const std::string& container,
+                                  uint64_t chunk_size) {
+  std::vector<Partition> partitions;
+  int index = 0;
+  for (const ObjectInfo& object : objects) {
+    if (object.size == 0) continue;
+    for (uint64_t offset = 0; offset < object.size; offset += chunk_size) {
+      Partition p;
+      p.index = index++;
+      p.container = container;
+      p.object = object.name;
+      p.first = offset;
+      p.last = std::min(offset + chunk_size, object.size) - 1;
+      p.object_size = object.size;
+      partitions.push_back(std::move(p));
+    }
+  }
+  return partitions;
+}
+
+}  // namespace
+
+Result<std::vector<Partition>> DiscoverPartitions(SwiftClient* client,
+                                                  const std::string& container,
+                                                  const std::string& prefix,
+                                                  uint64_t chunk_size) {
+  if (chunk_size == 0) {
+    return Status::InvalidArgument("chunk_size must be positive");
+  }
+  SCOOP_ASSIGN_OR_RETURN(std::vector<ObjectInfo> objects,
+                         client->ListObjects(container, prefix));
+  return CutObjects(objects, container, chunk_size);
+}
+
+Result<std::vector<Partition>> DiscoverPartitionsObjectAware(
+    SwiftClient* client, const std::string& container,
+    const std::string& prefix, int target_parallelism,
+    uint64_t min_partition_bytes) {
+  if (target_parallelism < 1) {
+    return Status::InvalidArgument("target_parallelism must be >= 1");
+  }
+  if (min_partition_bytes == 0) min_partition_bytes = 1;
+  SCOOP_ASSIGN_OR_RETURN(std::vector<ObjectInfo> objects,
+                         client->ListObjects(container, prefix));
+  uint64_t total = 0;
+  for (const ObjectInfo& object : objects) total += object.size;
+  if (total == 0) return std::vector<Partition>();
+  uint64_t chunk = std::max<uint64_t>(
+      min_partition_bytes,
+      (total + static_cast<uint64_t>(target_parallelism) - 1) /
+          static_cast<uint64_t>(target_parallelism));
+  return CutObjects(objects, container, chunk);
+}
+
+}  // namespace scoop

@@ -1,0 +1,46 @@
+#ifndef SCOOP_DATASOURCE_PARTITIONER_H_
+#define SCOOP_DATASOURCE_PARTITIONER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "objectstore/cluster.h"
+
+namespace scoop {
+
+// One unit of parallel work: a byte range of one object, assigned to one
+// task (the Hadoop RDD partition of the paper's §V-B flow).
+struct Partition {
+  int index = 0;  // global partition index, drives merge order
+  std::string container;
+  std::string object;
+  uint64_t first = 0;       // inclusive
+  uint64_t last = 0;        // inclusive
+  uint64_t object_size = 0;
+
+  uint64_t length() const { return last - first + 1; }
+};
+
+// The Hadoop-style partition discovery the paper describes (§V-B): every
+// object with `prefix` in `container` is cut into chunks of `chunk_size`
+// bytes (the "HDFS chunk size"), one partition per chunk. Runs before any
+// query is known.
+Result<std::vector<Partition>> DiscoverPartitions(SwiftClient* client,
+                                                  const std::string& container,
+                                                  const std::string& prefix,
+                                                  uint64_t chunk_size);
+
+// The object-aware alternative of §VII: instead of inheriting the HDFS
+// chunk size, cut the dataset into roughly `target_parallelism` equal
+// partitions, never splitting finer than `min_partition_bytes` and always
+// respecting object boundaries.
+Result<std::vector<Partition>> DiscoverPartitionsObjectAware(
+    SwiftClient* client, const std::string& container,
+    const std::string& prefix, int target_parallelism,
+    uint64_t min_partition_bytes);
+
+}  // namespace scoop
+
+#endif  // SCOOP_DATASOURCE_PARTITIONER_H_

@@ -1,0 +1,132 @@
+#include "datasource/stocator.h"
+
+#include "common/strings.h"
+#include "objectstore/object_server.h"
+#include "storlets/compress_storlet.h"
+#include "storlets/headers.h"
+
+namespace scoop {
+
+namespace {
+constexpr uint64_t kAlignmentChunk = 64 * 1024;
+}  // namespace
+
+Result<Stocator::ReadResult> Stocator::ReadPartition(
+    const Partition& partition, const PushdownTask* task) {
+  if (task == nullptr) return ReadAligned(partition);
+
+  Headers headers;
+  headers.Set(kRunStorletHeader,
+              task->compress_transfer ? "csvstorlet,compress" : "csvstorlet");
+  headers.Set(kStorletRangeRecordsHeader, "true");
+  headers.Set(std::string(kStorletParamPrefix) + "Schema",
+              task->schema.ToSpec());
+  if (!task->projection.empty()) {
+    headers.Set(std::string(kStorletParamPrefix) + "Projection",
+                Join(task->projection, ","));
+  }
+  if (!task->selection.IsTrue()) {
+    headers.Set(std::string(kStorletParamPrefix) + "Selection",
+                task->selection.Serialize());
+  }
+
+  Request request = Request::Get("/" + client_->account() + "/" +
+                                 partition.container + "/" + partition.object);
+  bool whole_object =
+      partition.first == 0 && partition.last + 1 >= partition.object_size;
+  if (!whole_object) {
+    headers.Set(kRangeHeader,
+                StrFormat("bytes=%llu-%llu",
+                          static_cast<unsigned long long>(partition.first),
+                          static_cast<unsigned long long>(partition.last)));
+  }
+  for (const auto& [name, value] : headers) request.headers.Set(name, value);
+
+  HttpResponse response = client_->Send(std::move(request));
+  if (response.status == 404) {
+    return Status::NotFound("no object " + partition.object);
+  }
+  if (!response.ok()) {
+    return Status::Internal("pushdown GET -> " +
+                            std::to_string(response.status) + " " +
+                            response.body);
+  }
+  ReadResult result;
+  result.pushdown_executed =
+      response.headers.Has(kStorletExecutedHeader);
+  result.bytes_transferred = response.body.size();
+  if (result.pushdown_executed) {
+    if (task->compress_transfer) {
+      SCOOP_ASSIGN_OR_RETURN(result.data,
+                             DecodeCompressedFrame(response.body));
+    } else {
+      result.data = std::move(response.body);
+    }
+    return result;
+  }
+  // The store declined (policy): what we received is the raw byte range,
+  // not record-aligned. Redo the read the traditional way.
+  return ReadAligned(partition);
+}
+
+Result<Stocator::ReadResult> Stocator::ReadAligned(
+    const Partition& partition) {
+  ReadResult result;
+  result.requests = 0;
+  // Hadoop text-input contract, executed client-side: start at first-1
+  // (when first > 0), discard through the first newline, then extend past
+  // `last` until the final record completes.
+  uint64_t start = partition.first > 0 ? partition.first - 1 : 0;
+  SCOOP_ASSIGN_OR_RETURN(
+      std::string body,
+      client_->GetObjectRange(partition.container, partition.object, start,
+                              partition.last));
+  ++result.requests;
+  result.bytes_transferred += body.size();
+
+  uint64_t cursor = partition.last + 1;
+  while ((body.empty() || body.back() != '\n') &&
+         cursor < partition.object_size) {
+    uint64_t chunk_last =
+        std::min(cursor + kAlignmentChunk - 1, partition.object_size - 1);
+    SCOOP_ASSIGN_OR_RETURN(
+        std::string extension,
+        client_->GetObjectRange(partition.container, partition.object, cursor,
+                                chunk_last));
+    ++result.requests;
+    result.bytes_transferred += extension.size();
+    size_t nl = extension.find('\n');
+    if (nl != std::string::npos) {
+      body.append(extension, 0, nl + 1);
+      break;
+    }
+    body.append(extension);
+    cursor = chunk_last + 1;
+  }
+  if (partition.first > 0) {
+    size_t nl = body.find('\n');
+    if (nl == std::string::npos) {
+      body.clear();
+    } else {
+      body.erase(0, nl + 1);
+    }
+  }
+  result.data = std::move(body);
+  result.pushdown_executed = false;
+  return result;
+}
+
+Status Stocator::PutObject(const std::string& container,
+                           const std::string& object, std::string data,
+                           const StorletParams* etl_params) {
+  Headers headers;
+  if (etl_params != nullptr) {
+    headers.Set(kRunStorletHeader, "etlstorlet");
+    for (const auto& [key, value] : *etl_params) {
+      headers.Set(std::string(kStorletParamPrefix) + key, value);
+    }
+  }
+  return client_->PutObject(container, object, std::move(data), headers);
+}
+
+}  // namespace scoop

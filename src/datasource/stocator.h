@@ -1,0 +1,67 @@
+#ifndef SCOOP_DATASOURCE_STOCATOR_H_
+#define SCOOP_DATASOURCE_STOCATOR_H_
+
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "datasource/partitioner.h"
+#include "objectstore/cluster.h"
+#include "sql/schema.h"
+#include "sql/source_filter.h"
+#include "storlets/storlet.h"
+
+namespace scoop {
+
+// A pushdown task as carried on an object request: the schema of the
+// object plus the projection/selection Catalyst extracted (paper §IV-A's
+// "piece of metadata attached to an object request").
+struct PushdownTask {
+  Schema schema;
+  std::vector<std::string> projection;  // empty: keep all columns
+  SourceFilter selection;               // True(): keep all rows
+  // §VI-C extension: pipeline the CompressStorlet after the CSV filter so
+  // the (already filtered) stream crosses the network compressed; the
+  // connector decompresses transparently on receipt.
+  bool compress_transfer = false;
+};
+
+// The high-speed object-store connector (paper §V-A): reads partition
+// byte ranges from Swift and — in Scoop's extension — injects the
+// pushdown task into each GET so the CSVStorlet executes at the store.
+// This is the analytics-delegator end of the protocol.
+class Stocator {
+ public:
+  explicit Stocator(SwiftClient* client) : client_(client) {}
+
+  struct ReadResult {
+    std::string data;              // record-aligned CSV for the partition
+    bool pushdown_executed = false;  // X-Storlet-Executed was present
+    uint64_t bytes_transferred = 0;  // body size over the inter-cluster link
+    int requests = 1;              // GETs issued (alignment may add extras)
+  };
+
+  // Reads `partition`. When `task` is provided the GET is tagged with the
+  // CSVStorlet invocation; the store may decline (policy off), in which
+  // case the caller receives raw data with pushdown_executed = false and
+  // must filter compute-side. Without `task` the connector performs
+  // client-side Hadoop record alignment itself (extra ranged GETs).
+  Result<ReadResult> ReadPartition(const Partition& partition,
+                                   const PushdownTask* task);
+
+  // Uploads `data`, running the ETL storlet on the PUT path when
+  // `etl_params` is provided (paper §V-A data cleansing at ingestion).
+  Status PutObject(const std::string& container, const std::string& object,
+                   std::string data, const StorletParams* etl_params);
+
+  SwiftClient* client() { return client_; }
+
+ private:
+  Result<ReadResult> ReadAligned(const Partition& partition);
+
+  SwiftClient* client_;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_DATASOURCE_STOCATOR_H_

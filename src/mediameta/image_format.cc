@@ -1,0 +1,88 @@
+#include "mediameta/image_format.h"
+
+#include <cstring>
+
+namespace scoop {
+
+namespace {
+constexpr char kMagic[4] = {'S', 'I', 'M', 'G'};
+
+void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>(v >> 8));
+}
+
+Result<uint16_t> GetU16(std::string_view data, size_t* pos) {
+  if (*pos + 2 > data.size()) {
+    return Status::InvalidArgument("truncated SIMG data");
+  }
+  uint16_t v = static_cast<uint8_t>(data[*pos]) |
+               (static_cast<uint16_t>(static_cast<uint8_t>(data[*pos + 1]))
+                << 8);
+  *pos += 2;
+  return v;
+}
+
+Result<std::string> GetString(std::string_view data, size_t* pos) {
+  SCOOP_ASSIGN_OR_RETURN(uint16_t len, GetU16(data, pos));
+  if (*pos + len > data.size()) {
+    return Status::InvalidArgument("truncated SIMG string");
+  }
+  std::string out(data.substr(*pos, len));
+  *pos += len;
+  return out;
+}
+
+Result<SimpleImage> DecodeInternal(std::string_view data, bool with_pixels) {
+  if (data.size() < 4 || std::memcmp(data.data(), kMagic, 4) != 0) {
+    return Status::InvalidArgument("not a SIMG object");
+  }
+  size_t pos = 4;
+  SimpleImage image;
+  SCOOP_ASSIGN_OR_RETURN(image.width, GetU16(data, &pos));
+  SCOOP_ASSIGN_OR_RETURN(image.height, GetU16(data, &pos));
+  if (pos >= data.size()) return Status::InvalidArgument("truncated SIMG");
+  image.channels = static_cast<uint8_t>(data[pos++]);
+  SCOOP_ASSIGN_OR_RETURN(uint16_t tags, GetU16(data, &pos));
+  for (uint16_t t = 0; t < tags; ++t) {
+    SCOOP_ASSIGN_OR_RETURN(std::string key, GetString(data, &pos));
+    SCOOP_ASSIGN_OR_RETURN(std::string value, GetString(data, &pos));
+    image.exif[std::move(key)] = std::move(value);
+  }
+  if (!with_pixels) return image;
+  if (pos + image.PixelBytes() > data.size()) {
+    return Status::InvalidArgument("SIMG pixel payload truncated");
+  }
+  image.pixels = std::string(data.substr(pos, image.PixelBytes()));
+  return image;
+}
+
+}  // namespace
+
+std::string EncodeImage(const SimpleImage& image) {
+  std::string out(kMagic, sizeof(kMagic));
+  PutU16(&out, image.width);
+  PutU16(&out, image.height);
+  out.push_back(static_cast<char>(image.channels));
+  PutU16(&out, static_cast<uint16_t>(image.exif.size()));
+  for (const auto& [key, value] : image.exif) {
+    PutU16(&out, static_cast<uint16_t>(key.size()));
+    out += key;
+    PutU16(&out, static_cast<uint16_t>(value.size()));
+    out += value;
+  }
+  std::string pixels = image.pixels;
+  pixels.resize(image.PixelBytes(), '\0');
+  out += pixels;
+  return out;
+}
+
+Result<SimpleImage> DecodeImage(std::string_view data) {
+  return DecodeInternal(data, /*with_pixels=*/true);
+}
+
+Result<SimpleImage> DecodeImageHeader(std::string_view data) {
+  return DecodeInternal(data, /*with_pixels=*/false);
+}
+
+}  // namespace scoop

@@ -1,0 +1,46 @@
+#ifndef SCOOP_MEDIAMETA_IMAGE_FORMAT_H_
+#define SCOOP_MEDIAMETA_IMAGE_FORMAT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace scoop {
+
+// A toy binary image container standing in for JPEG in the paper's §VII
+// vision ("bringing EXIF metadata from JPEGs"): an object store holds
+// arbitrary binary objects, and a pushdown filter can extract the tiny
+// structured head of a large binary body so only metadata crosses the
+// network.
+//
+// Layout: magic "SIMG", u16 width, u16 height, u8 channels, u16 tag
+// count, then per tag (u16 key len, key, u16 value len, value), then
+// width*height*channels pixel bytes.
+struct SimpleImage {
+  uint16_t width = 0;
+  uint16_t height = 0;
+  uint8_t channels = 1;
+  std::map<std::string, std::string> exif;  // e.g. camera, taken, gps
+  std::string pixels;                       // sized width*height*channels
+
+  size_t PixelBytes() const {
+    return static_cast<size_t>(width) * height * channels;
+  }
+};
+
+// Serializes `image` (pads/truncates pixels to the declared size).
+std::string EncodeImage(const SimpleImage& image);
+
+// Parses a SIMG object; validates sizes and magic.
+Result<SimpleImage> DecodeImage(std::string_view data);
+
+// Parses only the header + EXIF block without touching the pixel payload
+// (what the metadata storlet does: O(header), not O(object)).
+Result<SimpleImage> DecodeImageHeader(std::string_view data);
+
+}  // namespace scoop
+
+#endif  // SCOOP_MEDIAMETA_IMAGE_FORMAT_H_

@@ -1,0 +1,37 @@
+#include "mediameta/image_meta_storlet.h"
+
+#include "common/strings.h"
+#include "csv/record_reader.h"
+#include "mediameta/image_format.h"
+
+namespace scoop {
+
+Status ImageMetaStorlet::Invoke(StorletInputStream& input,
+                                StorletOutputStream& output,
+                                const StorletParams& params,
+                                StorletLogger& logger) {
+  SCOOP_ASSIGN_OR_RETURN(SimpleImage image,
+                         DecodeImageHeader(input.Remaining()));
+  std::vector<std::string> fields = {
+      std::to_string(image.width), std::to_string(image.height),
+      std::to_string(image.channels)};
+  auto tags_it = params.find("tags");
+  if (tags_it != params.end() && !Trim(tags_it->second).empty()) {
+    for (std::string_view tag : Split(tags_it->second, ',')) {
+      auto it = image.exif.find(std::string(Trim(tag)));
+      fields.push_back(it == image.exif.end() ? "" : it->second);
+    }
+  }
+  std::vector<std::string_view> views(fields.begin(), fields.end());
+  std::string record;
+  WriteCsvRecord(views, &record);
+  output.Write(record);
+  logger.Emit(StrFormat("imagemeta: %zu-byte object -> %zu-byte record",
+                        input.Remaining().size() + input.bytes_consumed(),
+                        record.size()));
+  output.SetMetadata("width", std::to_string(image.width));
+  output.SetMetadata("height", std::to_string(image.height));
+  return Status::OK();
+}
+
+}  // namespace scoop

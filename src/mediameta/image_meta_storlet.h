@@ -1,0 +1,39 @@
+#ifndef SCOOP_MEDIAMETA_IMAGE_META_STORLET_H_
+#define SCOOP_MEDIAMETA_IMAGE_META_STORLET_H_
+
+#include <memory>
+#include <string>
+
+#include "storlets/storlet.h"
+
+namespace scoop {
+
+// Non-textual pushdown (paper §VII: "bringing EXIF metadata from JPEGs or
+// text from PDF documents"): extracts the structured header of a binary
+// image object and emits one CSV record — dimensions plus requested EXIF
+// tags — while the (large) pixel payload never leaves the storage node.
+// Paired with a StorletRdd, a whole bucket of images becomes a queryable
+// metadata table.
+//
+// Parameters:
+//   tags — comma-separated EXIF tag names to emit, in order (optional;
+//          missing tags yield empty fields)
+//
+// Output record: width,height,channels[,<tag values...>]
+class ImageMetaStorlet : public Storlet {
+ public:
+  static constexpr char kName[] = "imagemeta";
+
+  std::string name() const override { return kName; }
+
+  Status Invoke(StorletInputStream& input, StorletOutputStream& output,
+                const StorletParams& params, StorletLogger& logger) override;
+
+  static std::unique_ptr<Storlet> Make() {
+    return std::make_unique<ImageMetaStorlet>();
+  }
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_MEDIAMETA_IMAGE_META_STORLET_H_

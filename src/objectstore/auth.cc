@@ -1,0 +1,75 @@
+#include "objectstore/auth.h"
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace scoop {
+
+Status AuthService::RegisterTenant(const std::string& tenant,
+                                   const std::string& key,
+                                   const std::string& account,
+                                   TenantTier tier) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tenants_.count(tenant)) {
+    return Status::AlreadyExists("tenant exists: " + tenant);
+  }
+  tenants_[tenant] = TenantInfo{key, account, tier};
+  account_tier_[account] = tier;
+  return Status::OK();
+}
+
+Result<std::string> AuthService::IssueToken(const std::string& tenant,
+                                            const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return Status::NotFound("unknown tenant: " + tenant);
+  if (it->second.key != key) return Status::Unauthorized("bad credentials");
+  std::string token = StrFormat(
+      "tk%016llx", static_cast<unsigned long long>(
+                       Mix64(Fnv1a64(tenant) + ++token_seq_)));
+  tokens_[token] = it->second.account;
+  return token;
+}
+
+Result<std::string> AuthService::ValidateToken(const std::string& token) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tokens_.find(token);
+  if (it == tokens_.end()) return Status::Unauthorized("invalid token");
+  return it->second;
+}
+
+Result<TenantTier> AuthService::GetTier(const std::string& account) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = account_tier_.find(account);
+  if (it == account_tier_.end()) {
+    return Status::NotFound("unknown account: " + account);
+  }
+  return it->second;
+}
+
+Status AuthService::SetTier(const std::string& account, TenantTier tier) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = account_tier_.find(account);
+  if (it == account_tier_.end()) {
+    return Status::NotFound("unknown account: " + account);
+  }
+  it->second = tier;
+  return Status::OK();
+}
+
+HttpResponse AuthMiddleware::Process(Request& request,
+                                     const HttpHandler& next) {
+  auto token = request.headers.Get(kAuthTokenHeader);
+  if (!token) return HttpResponse::Make(401, "missing X-Auth-Token");
+  auto account = auth_->ValidateToken(*token);
+  if (!account.ok()) return HttpResponse::Make(401, account.status().ToString());
+  auto path = ObjectPath::Parse(request.path);
+  if (!path.ok()) return HttpResponse::Make(400, path.status().ToString());
+  if (path->account != *account) {
+    return HttpResponse::Make(403, "token not valid for account " +
+                                       path->account);
+  }
+  return next(request);
+}
+
+}  // namespace scoop

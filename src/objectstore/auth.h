@@ -1,0 +1,69 @@
+#ifndef SCOOP_OBJECTSTORE_AUTH_H_
+#define SCOOP_OBJECTSTORE_AUTH_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "objectstore/middleware.h"
+
+namespace scoop {
+
+inline constexpr char kAuthTokenHeader[] = "X-Auth-Token";
+
+// Service tier of a tenant; §VII's adaptive-pushdown discussion lets
+// administrators reserve pushdown for "gold" tenants under load.
+enum class TenantTier { kGold, kBronze };
+
+// Keystone-lite identity service: tenants authenticate with a secret key
+// and receive a bearer token scoped to their account.
+class AuthService {
+ public:
+  // Registers `tenant` with secret `key`, owning account `account`.
+  Status RegisterTenant(const std::string& tenant, const std::string& key,
+                        const std::string& account,
+                        TenantTier tier = TenantTier::kGold);
+
+  // Returns a token when `key` matches the registered secret.
+  Result<std::string> IssueToken(const std::string& tenant,
+                                 const std::string& key);
+
+  // Maps a token back to the account it is scoped to.
+  Result<std::string> ValidateToken(const std::string& token) const;
+
+  Result<TenantTier> GetTier(const std::string& account) const;
+  Status SetTier(const std::string& account, TenantTier tier);
+
+ private:
+  struct TenantInfo {
+    std::string key;
+    std::string account;
+    TenantTier tier;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, TenantInfo> tenants_;       // by tenant name
+  std::map<std::string, std::string> tokens_;       // token -> account
+  std::map<std::string, TenantTier> account_tier_;  // account -> tier
+  uint64_t token_seq_ = 0;
+};
+
+// Proxy middleware enforcing that every request carries a valid token for
+// the account named in its path (Swift's authorization step, §III-B).
+class AuthMiddleware : public Middleware {
+ public:
+  explicit AuthMiddleware(std::shared_ptr<AuthService> auth)
+      : auth_(std::move(auth)) {}
+
+  std::string name() const override { return "auth"; }
+  HttpResponse Process(Request& request, const HttpHandler& next) override;
+
+ private:
+  std::shared_ptr<AuthService> auth_;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_OBJECTSTORE_AUTH_H_

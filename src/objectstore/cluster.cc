@@ -1,0 +1,242 @@
+#include "objectstore/cluster.h"
+
+#include "common/strings.h"
+
+namespace scoop {
+
+Result<std::unique_ptr<SwiftCluster>> SwiftCluster::Create(
+    const SwiftConfig& config) {
+  if (config.num_proxies < 1 || config.num_storage_nodes < 1 ||
+      config.disks_per_node < 1 || config.num_zones < 1) {
+    return Status::InvalidArgument("cluster sizes must be positive");
+  }
+  auto cluster = std::unique_ptr<SwiftCluster>(new SwiftCluster(config));
+
+  // Build the object ring: one device per disk, nodes spread over zones.
+  std::vector<RingDevice> devices;
+  for (int node = 0; node < config.num_storage_nodes; ++node) {
+    for (int disk = 0; disk < config.disks_per_node; ++disk) {
+      RingDevice d;
+      d.node = node;
+      d.zone = node % config.num_zones;
+      d.weight = 1.0;
+      devices.push_back(d);
+    }
+  }
+  SCOOP_ASSIGN_OR_RETURN(
+      cluster->ring_,
+      Ring::Build(std::move(devices), config.part_power, config.replica_count));
+
+  // Object servers, each owning the devices the ring placed on its node.
+  for (int node = 0; node < config.num_storage_nodes; ++node) {
+    std::vector<int> node_devices;
+    for (const RingDevice& d : cluster->ring_.devices()) {
+      if (d.node == node) node_devices.push_back(d.id);
+    }
+    cluster->object_servers_.push_back(std::make_unique<ObjectServer>(
+        node, node_devices, &cluster->metrics_));
+  }
+  cluster->device_to_node_.resize(cluster->ring_.devices().size());
+  for (const RingDevice& d : cluster->ring_.devices()) {
+    cluster->device_to_node_[d.id] = d.node;
+  }
+
+  // Proxies forward backend requests by looking up the device's node.
+  SwiftCluster* raw = cluster.get();
+  BackendFn backend = [raw](int device_id, Request& request) -> HttpResponse {
+    if (device_id < 0 ||
+        device_id >= static_cast<int>(raw->device_to_node_.size())) {
+      return HttpResponse::Make(500, "no such device");
+    }
+    int node = raw->device_to_node_[device_id];
+    return raw->object_servers_[node]->Handle(request);
+  };
+  for (int p = 0; p < config.num_proxies; ++p) {
+    auto proxy = std::make_unique<ProxyServer>(
+        p, &cluster->ring_, cluster->registry_, backend, &cluster->metrics_);
+    proxy->pipeline().Use(std::make_shared<AuthMiddleware>(cluster->auth_));
+    cluster->proxies_.push_back(std::move(proxy));
+  }
+  return cluster;
+}
+
+HttpResponse SwiftCluster::Handle(Request request) {
+  uint64_t idx = next_proxy_.fetch_add(1) % proxies_.size();
+  metrics_.GetCounter("lb.requests")->Increment();
+  metrics_.GetCounter("lb.bytes_in")
+      ->Add(static_cast<int64_t>(request.body.size()));
+  HttpResponse response = proxies_[idx]->Handle(request);
+  metrics_.GetCounter("lb.bytes_out")
+      ->Add(static_cast<int64_t>(response.body.size()));
+  return response;
+}
+
+Replicator::Report SwiftCluster::RunReplication(bool remove_handoffs) {
+  Replicator replicator(&ring_, DevicesById());
+  return replicator.RunOnce(remove_handoffs);
+}
+
+Result<ObjectServer*> SwiftCluster::AddStorageNode(int disks) {
+  if (disks < 1) return Status::InvalidArgument("disks must be >= 1");
+  int node = static_cast<int>(object_servers_.size());
+  std::vector<RingDevice> added(static_cast<size_t>(disks));
+  for (RingDevice& d : added) {
+    d.node = node;
+    d.zone = node % config_.num_zones;
+    d.weight = 1.0;
+  }
+  SCOOP_ASSIGN_OR_RETURN(Ring rebalanced, ring_.AddDevices(std::move(added)));
+  ring_ = std::move(rebalanced);
+
+  std::vector<int> node_devices;
+  for (const RingDevice& d : ring_.devices()) {
+    if (d.node == node) node_devices.push_back(d.id);
+  }
+  object_servers_.push_back(
+      std::make_unique<ObjectServer>(node, node_devices, &metrics_));
+  device_to_node_.resize(ring_.devices().size());
+  for (const RingDevice& d : ring_.devices()) {
+    device_to_node_[d.id] = d.node;
+  }
+  config_.num_storage_nodes = node + 1;
+  return object_servers_.back().get();
+}
+
+std::vector<Device*> SwiftCluster::DevicesById() {
+  std::vector<Device*> devices(ring_.devices().size(), nullptr);
+  for (auto& server : object_servers_) {
+    for (auto& device : server->devices()) {
+      devices[device->id()] = device.get();
+    }
+  }
+  return devices;
+}
+
+Result<SwiftClient> SwiftClient::Connect(SwiftCluster* cluster,
+                                         const std::string& tenant,
+                                         const std::string& key,
+                                         const std::string& account) {
+  Status s = cluster->auth().RegisterTenant(tenant, key, account);
+  if (!s.ok() && s.code() != StatusCode::kAlreadyExists) return s;
+  SCOOP_ASSIGN_OR_RETURN(std::string token,
+                         cluster->auth().IssueToken(tenant, key));
+  SwiftClient client(cluster, account, token);
+  Request create_account = Request::Put("/" + account, "");
+  HttpResponse r = client.Send(std::move(create_account));
+  if (!r.ok()) {
+    return Status::Internal("account creation failed: " +
+                            std::to_string(r.status));
+  }
+  return client;
+}
+
+HttpResponse SwiftClient::Send(Request request) {
+  request.headers.Set(kAuthTokenHeader, token_);
+  return cluster_->Handle(std::move(request));
+}
+
+Status SwiftClient::CreateContainer(const std::string& container) {
+  HttpResponse r = Send(Request::Put("/" + account_ + "/" + container, ""));
+  if (!r.ok()) return Status::Internal("container PUT -> " +
+                                       std::to_string(r.status));
+  return Status::OK();
+}
+
+Status SwiftClient::PutObject(const std::string& container,
+                              const std::string& object, std::string data,
+                              const Headers& extra) {
+  Request request = Request::Put(
+      "/" + account_ + "/" + container + "/" + object, std::move(data));
+  for (const auto& [name, value] : extra) request.headers.Set(name, value);
+  HttpResponse r = Send(std::move(request));
+  if (r.status == 404) return Status::NotFound("no container " + container);
+  if (!r.ok()) {
+    return Status::Internal("object PUT -> " + std::to_string(r.status) +
+                            " " + r.body);
+  }
+  return Status::OK();
+}
+
+Result<std::string> SwiftClient::GetObject(const std::string& container,
+                                           const std::string& object,
+                                           const Headers& extra) {
+  Request request =
+      Request::Get("/" + account_ + "/" + container + "/" + object);
+  for (const auto& [name, value] : extra) request.headers.Set(name, value);
+  HttpResponse r = Send(std::move(request));
+  if (r.status == 404) return Status::NotFound("no object " + object);
+  if (!r.ok()) {
+    return Status::Internal("object GET -> " + std::to_string(r.status) +
+                            " " + r.body);
+  }
+  return std::move(r.body);
+}
+
+Result<std::string> SwiftClient::GetObjectRange(const std::string& container,
+                                                const std::string& object,
+                                                uint64_t first, uint64_t last,
+                                                const Headers& extra) {
+  Request request =
+      Request::Get("/" + account_ + "/" + container + "/" + object);
+  request.headers.Set(kRangeHeader,
+                      StrFormat("bytes=%llu-%llu",
+                                static_cast<unsigned long long>(first),
+                                static_cast<unsigned long long>(last)));
+  for (const auto& [name, value] : extra) request.headers.Set(name, value);
+  HttpResponse r = Send(std::move(request));
+  if (r.status == 404) return Status::NotFound("no object " + object);
+  if (r.status == 416) return Status::OutOfRange(r.body);
+  if (!r.ok()) {
+    return Status::Internal("object GET -> " + std::to_string(r.status) +
+                            " " + r.body);
+  }
+  return std::move(r.body);
+}
+
+Status SwiftClient::DeleteObject(const std::string& container,
+                                 const std::string& object) {
+  HttpResponse r =
+      Send(Request::Delete("/" + account_ + "/" + container + "/" + object));
+  if (r.status == 404) return Status::NotFound("no object " + object);
+  if (!r.ok()) return Status::Internal("object DELETE -> " +
+                                       std::to_string(r.status));
+  return Status::OK();
+}
+
+Result<std::vector<ObjectInfo>> SwiftClient::ListObjects(
+    const std::string& container, const std::string& prefix) {
+  Request request = Request::Get("/" + account_ + "/" + container);
+  if (!prefix.empty()) request.headers.Set("X-Prefix", prefix);
+  HttpResponse r = Send(std::move(request));
+  if (r.status == 404) return Status::NotFound("no container " + container);
+  if (!r.ok()) return Status::Internal("container GET -> " +
+                                       std::to_string(r.status));
+  std::vector<ObjectInfo> out;
+  for (std::string_view line : Split(r.body, '\n')) {
+    if (line.empty()) continue;
+    std::vector<std::string_view> fields = Split(line, ' ');
+    if (fields.size() != 3) continue;
+    ObjectInfo info;
+    info.name = std::string(fields[0]);
+    auto size = ParseInt64(fields[1]);
+    info.size = size.ok() ? static_cast<uint64_t>(*size) : 0;
+    info.etag = std::string(fields[2]);
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+Result<uint64_t> SwiftClient::ObjectSize(const std::string& container,
+                                         const std::string& object) {
+  HttpResponse r =
+      Send(Request::Head("/" + account_ + "/" + container + "/" + object));
+  if (r.status == 404) return Status::NotFound("no object " + object);
+  if (!r.ok()) return Status::Internal("object HEAD -> " +
+                                       std::to_string(r.status));
+  auto len = r.headers.Get(kContentLengthHeader);
+  if (!len) return Status::Internal("missing Content-Length");
+  SCOOP_ASSIGN_OR_RETURN(int64_t size, ParseInt64(*len));
+  return static_cast<uint64_t>(size);
+}
+
+}  // namespace scoop

@@ -1,0 +1,136 @@
+#ifndef SCOOP_OBJECTSTORE_CLUSTER_H_
+#define SCOOP_OBJECTSTORE_CLUSTER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "objectstore/auth.h"
+#include "objectstore/container_registry.h"
+#include "objectstore/http.h"
+#include "objectstore/object_server.h"
+#include "objectstore/proxy_server.h"
+#include "objectstore/replicator.h"
+#include "objectstore/ring.h"
+
+namespace scoop {
+
+// Shape of a Swift deployment. Defaults are a laptop-scale version of the
+// paper's OSIC testbed (6 proxies, 29 object nodes with 10 disks each).
+struct SwiftConfig {
+  int num_proxies = 2;
+  int num_storage_nodes = 4;
+  int disks_per_node = 2;
+  int num_zones = 2;       // nodes are assigned to zones round-robin
+  int part_power = 8;      // 2^part_power ring partitions
+  int replica_count = 3;
+};
+
+// An in-process OpenStack-Swift-like cluster: a load-balanced pool of
+// proxy servers in front of object servers placed by a consistent-hash
+// ring, plus the identity service and container metadata layer. All
+// requests flow through proxy and object-server middleware pipelines, so
+// the Storlet engine can be installed exactly where the paper installs it.
+class SwiftCluster {
+ public:
+  static Result<std::unique_ptr<SwiftCluster>> Create(
+      const SwiftConfig& config);
+
+  SwiftCluster(const SwiftCluster&) = delete;
+  SwiftCluster& operator=(const SwiftCluster&) = delete;
+
+  const SwiftConfig& config() const { return config_; }
+  const Ring& ring() const { return ring_; }
+  AuthService& auth() { return *auth_; }
+  std::shared_ptr<AuthService> auth_ptr() { return auth_; }
+  ContainerRegistry& registry() { return *registry_; }
+  MetricRegistry& metrics() { return metrics_; }
+
+  std::vector<std::unique_ptr<ProxyServer>>& proxies() { return proxies_; }
+  std::vector<std::unique_ptr<ObjectServer>>& object_servers() {
+    return object_servers_;
+  }
+
+  // Client entry point: the load balancer hands the request to a proxy
+  // (round-robin, like the paper's HAProxy + VRRP front end).
+  HttpResponse Handle(Request request);
+
+  // Runs one replica-repair pass over the whole cluster. With
+  // `remove_handoffs`, copies outside an object's replica set are removed
+  // once the set is fully populated (post-rebalance cleanup).
+  Replicator::Report RunReplication(bool remove_handoffs = false);
+
+  // Scale-out: adds a storage node with `disks` devices, incrementally
+  // rebalances the ring onto it, and returns the new node's ObjectServer
+  // (so callers can extend its middleware pipeline). Data migrates on the
+  // next RunReplication pass — exactly Swift's add-device + rebalance +
+  // replicate workflow.
+  Result<ObjectServer*> AddStorageNode(int disks);
+
+  // All devices indexed by ring device id.
+  std::vector<Device*> DevicesById();
+
+ private:
+  explicit SwiftCluster(const SwiftConfig& config) : config_(config) {}
+
+  SwiftConfig config_;
+  Ring ring_;
+  MetricRegistry metrics_;
+  std::shared_ptr<AuthService> auth_ = std::make_shared<AuthService>();
+  std::shared_ptr<ContainerRegistry> registry_ =
+      std::make_shared<ContainerRegistry>();
+  std::vector<std::unique_ptr<ObjectServer>> object_servers_;
+  std::vector<std::unique_ptr<ProxyServer>> proxies_;
+  std::vector<int> device_to_node_;  // ring device id -> storage node index
+  std::atomic<uint64_t> next_proxy_{0};
+};
+
+// Convenience client bound to one tenant's token. This is the HTTP-level
+// API that Stocator, the examples, and the tests drive the store with.
+class SwiftClient {
+ public:
+  SwiftClient(SwiftCluster* cluster, std::string account, std::string token)
+      : cluster_(cluster),
+        account_(std::move(account)),
+        token_(std::move(token)) {}
+
+  // Registers a tenant on `cluster`, issues a token, creates the account.
+  static Result<SwiftClient> Connect(SwiftCluster* cluster,
+                                     const std::string& tenant,
+                                     const std::string& key,
+                                     const std::string& account);
+
+  const std::string& account() const { return account_; }
+
+  Status CreateContainer(const std::string& container);
+  Status PutObject(const std::string& container, const std::string& object,
+                   std::string data, const Headers& extra = Headers());
+  Result<std::string> GetObject(const std::string& container,
+                                const std::string& object,
+                                const Headers& extra = Headers());
+  // Byte-range GET ("Range: bytes=first-last", inclusive).
+  Result<std::string> GetObjectRange(const std::string& container,
+                                     const std::string& object,
+                                     uint64_t first, uint64_t last,
+                                     const Headers& extra = Headers());
+  Status DeleteObject(const std::string& container, const std::string& object);
+  Result<std::vector<ObjectInfo>> ListObjects(const std::string& container,
+                                              const std::string& prefix = "");
+  Result<uint64_t> ObjectSize(const std::string& container,
+                              const std::string& object);
+
+  // Raw request with the auth token attached.
+  HttpResponse Send(Request request);
+
+ private:
+  SwiftCluster* cluster_;
+  std::string account_;
+  std::string token_;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_OBJECTSTORE_CLUSTER_H_

@@ -1,0 +1,108 @@
+#include "objectstore/container_registry.h"
+
+#include "common/strings.h"
+
+namespace scoop {
+
+Status ContainerRegistry::CreateAccount(const std::string& account) {
+  std::lock_guard<std::mutex> lock(mu_);
+  accounts_[account];  // idempotent
+  return Status::OK();
+}
+
+bool ContainerRegistry::AccountExists(const std::string& account) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return accounts_.count(account) > 0;
+}
+
+Status ContainerRegistry::CreateContainer(const std::string& account,
+                                          const std::string& container) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = accounts_.find(account);
+  if (it == accounts_.end()) return Status::NotFound("no account " + account);
+  it->second[container];  // idempotent, like Swift container PUT
+  return Status::OK();
+}
+
+Status ContainerRegistry::DeleteContainer(const std::string& account,
+                                          const std::string& container) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = accounts_.find(account);
+  if (it == accounts_.end()) return Status::NotFound("no account " + account);
+  auto cit = it->second.find(container);
+  if (cit == it->second.end()) {
+    return Status::NotFound("no container " + container);
+  }
+  if (!cit->second.empty()) {
+    return Status::FailedPrecondition("container not empty: " + container);
+  }
+  it->second.erase(cit);
+  return Status::OK();
+}
+
+bool ContainerRegistry::ContainerExists(const std::string& account,
+                                        const std::string& container) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = accounts_.find(account);
+  if (it == accounts_.end()) return false;
+  return it->second.count(container) > 0;
+}
+
+Result<std::vector<std::string>> ContainerRegistry::ListContainers(
+    const std::string& account) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = accounts_.find(account);
+  if (it == accounts_.end()) return Status::NotFound("no account " + account);
+  std::vector<std::string> out;
+  out.reserve(it->second.size());
+  for (const auto& [name, objects] : it->second) out.push_back(name);
+  return out;
+}
+
+Status ContainerRegistry::RecordObject(const std::string& account,
+                                       const std::string& container,
+                                       const ObjectInfo& info) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = accounts_.find(account);
+  if (it == accounts_.end()) return Status::NotFound("no account " + account);
+  auto cit = it->second.find(container);
+  if (cit == it->second.end()) {
+    return Status::NotFound("no container " + container);
+  }
+  cit->second[info.name] = info;
+  return Status::OK();
+}
+
+Status ContainerRegistry::RemoveObject(const std::string& account,
+                                       const std::string& container,
+                                       const std::string& object) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = accounts_.find(account);
+  if (it == accounts_.end()) return Status::NotFound("no account " + account);
+  auto cit = it->second.find(container);
+  if (cit == it->second.end()) {
+    return Status::NotFound("no container " + container);
+  }
+  cit->second.erase(object);
+  return Status::OK();
+}
+
+Result<std::vector<ObjectInfo>> ContainerRegistry::ListObjects(
+    const std::string& account, const std::string& container,
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = accounts_.find(account);
+  if (it == accounts_.end()) return Status::NotFound("no account " + account);
+  auto cit = it->second.find(container);
+  if (cit == it->second.end()) {
+    return Status::NotFound("no container " + container);
+  }
+  std::vector<ObjectInfo> out;
+  for (const auto& [name, info] : cit->second) {
+    if (!prefix.empty() && !StartsWith(name, prefix)) continue;
+    out.push_back(info);
+  }
+  return out;
+}
+
+}  // namespace scoop

@@ -1,0 +1,57 @@
+#ifndef SCOOP_OBJECTSTORE_CONTAINER_REGISTRY_H_
+#define SCOOP_OBJECTSTORE_CONTAINER_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace scoop {
+
+// Listing entry for one object in a container.
+struct ObjectInfo {
+  std::string name;
+  uint64_t size = 0;
+  std::string etag;
+};
+
+// Account/container metadata service — the role Swift's account and
+// container rings play. Tracks which containers exist and what objects
+// they hold so proxies can serve listings and validate writes.
+class ContainerRegistry {
+ public:
+  Status CreateAccount(const std::string& account);
+  bool AccountExists(const std::string& account) const;
+
+  Status CreateContainer(const std::string& account,
+                         const std::string& container);
+  Status DeleteContainer(const std::string& account,
+                         const std::string& container);
+  bool ContainerExists(const std::string& account,
+                       const std::string& container) const;
+  // Containers of `account`, sorted.
+  Result<std::vector<std::string>> ListContainers(
+      const std::string& account) const;
+
+  Status RecordObject(const std::string& account, const std::string& container,
+                      const ObjectInfo& info);
+  Status RemoveObject(const std::string& account, const std::string& container,
+                      const std::string& object);
+  // Objects in a container, sorted by name, optionally filtered by prefix.
+  Result<std::vector<ObjectInfo>> ListObjects(
+      const std::string& account, const std::string& container,
+      const std::string& prefix = "") const;
+
+ private:
+  mutable std::mutex mu_;
+  // account -> container -> object name -> info
+  std::map<std::string, std::map<std::string, std::map<std::string, ObjectInfo>>>
+      accounts_;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_OBJECTSTORE_CONTAINER_REGISTRY_H_

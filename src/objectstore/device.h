@@ -1,0 +1,63 @@
+#ifndef SCOOP_OBJECTSTORE_DEVICE_H_
+#define SCOOP_OBJECTSTORE_DEVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "objectstore/http.h"
+
+namespace scoop {
+
+// An object replica at rest on a device: payload plus user/system metadata.
+struct StoredObject {
+  std::string data;
+  Headers metadata;   // user metadata (X-Object-Meta-*) and content type
+  std::string etag;   // content hash, Swift's ETag
+  uint64_t timestamp = 0;  // last-write-wins ordering
+};
+
+// One disk of a storage node. Thread-safe in-memory object map with the
+// small mutation surface the object server needs. A device can be "failed"
+// to exercise replica-repair paths.
+class Device {
+ public:
+  explicit Device(int id) : id_(id) {}
+
+  int id() const { return id_; }
+
+  Status Put(const std::string& path, StoredObject object);
+  Result<StoredObject> Get(const std::string& path) const;
+  Status Delete(const std::string& path);
+  bool Exists(const std::string& path) const;
+
+  // All object paths currently stored, sorted. Used by the replicator.
+  std::vector<std::string> ListPaths() const;
+
+  uint64_t TotalBytes() const;
+  size_t ObjectCount() const;
+
+  // Simulated device failure: all operations return IOError until repaired.
+  void Fail() { SetFailed(true); }
+  void Repair() { SetFailed(false); }
+  bool failed() const;
+
+  // Drops every object (used with Fail/Repair to model disk replacement).
+  void Wipe();
+
+ private:
+  void SetFailed(bool failed);
+
+  const int id_;
+  mutable std::mutex mu_;
+  bool failed_ = false;
+  std::map<std::string, StoredObject> objects_;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_OBJECTSTORE_DEVICE_H_

@@ -1,0 +1,138 @@
+#include "objectstore/http.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace scoop {
+
+std::string_view HttpMethodName(HttpMethod method) {
+  switch (method) {
+    case HttpMethod::kGet:
+      return "GET";
+    case HttpMethod::kPut:
+      return "PUT";
+    case HttpMethod::kPost:
+      return "POST";
+    case HttpMethod::kDelete:
+      return "DELETE";
+    case HttpMethod::kHead:
+      return "HEAD";
+  }
+  return "?";
+}
+
+bool Headers::CaseInsensitiveLess::operator()(const std::string& a,
+                                              const std::string& b) const {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int ca = std::tolower(static_cast<unsigned char>(a[i]));
+    int cb = std::tolower(static_cast<unsigned char>(b[i]));
+    if (ca != cb) return ca < cb;
+  }
+  return a.size() < b.size();
+}
+
+void Headers::Set(std::string_view name, std::string value) {
+  map_[std::string(name)] = std::move(value);
+}
+
+std::optional<std::string> Headers::Get(std::string_view name) const {
+  auto it = map_.find(std::string(name));
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Headers::GetOr(std::string_view name, std::string fallback) const {
+  auto v = Get(name);
+  return v ? *v : std::move(fallback);
+}
+
+bool Headers::Has(std::string_view name) const {
+  return map_.find(std::string(name)) != map_.end();
+}
+
+void Headers::Remove(std::string_view name) { map_.erase(std::string(name)); }
+
+std::string ObjectPath::ToString() const {
+  std::string out = "/" + account;
+  if (!container.empty()) out += "/" + container;
+  if (!object.empty()) out += "/" + object;
+  return out;
+}
+
+Result<ObjectPath> ObjectPath::Parse(std::string_view path) {
+  if (path.empty() || path[0] != '/') {
+    return Status::InvalidArgument("path must start with '/': " +
+                                   std::string(path));
+  }
+  path.remove_prefix(1);
+  ObjectPath out;
+  size_t slash = path.find('/');
+  if (slash == std::string_view::npos) {
+    out.account = std::string(path);
+  } else {
+    out.account = std::string(path.substr(0, slash));
+    path.remove_prefix(slash + 1);
+    slash = path.find('/');
+    if (slash == std::string_view::npos) {
+      out.container = std::string(path);
+    } else {
+      out.container = std::string(path.substr(0, slash));
+      out.object = std::string(path.substr(slash + 1));
+    }
+  }
+  if (out.account.empty()) {
+    return Status::InvalidArgument("empty account in path");
+  }
+  if (!out.object.empty() && out.container.empty()) {
+    return Status::InvalidArgument("object without container");
+  }
+  return out;
+}
+
+Result<ByteRange> ByteRange::Parse(std::string_view header_value,
+                                   uint64_t object_size) {
+  if (!StartsWith(header_value, "bytes=")) {
+    return Status::InvalidArgument("unsupported range unit: " +
+                                   std::string(header_value));
+  }
+  std::string_view spec = header_value.substr(6);
+  if (spec.find(',') != std::string_view::npos) {
+    return Status::Unimplemented("multi-range requests are not supported");
+  }
+  size_t dash = spec.find('-');
+  if (dash == std::string_view::npos) {
+    return Status::InvalidArgument("malformed range: " + std::string(spec));
+  }
+  std::string_view first_str = spec.substr(0, dash);
+  std::string_view last_str = spec.substr(dash + 1);
+  ByteRange range;
+  if (first_str.empty()) {
+    // Suffix range: last `n` bytes.
+    SCOOP_ASSIGN_OR_RETURN(int64_t suffix, ParseInt64(last_str));
+    if (suffix <= 0) return Status::InvalidArgument("empty suffix range");
+    uint64_t n = std::min<uint64_t>(static_cast<uint64_t>(suffix), object_size);
+    if (object_size == 0) return Status::OutOfRange("range on empty object");
+    range.first = object_size - n;
+    range.last = object_size - 1;
+    return range;
+  }
+  SCOOP_ASSIGN_OR_RETURN(int64_t first, ParseInt64(first_str));
+  if (first < 0) return Status::InvalidArgument("negative range start");
+  if (static_cast<uint64_t>(first) >= object_size) {
+    return Status::OutOfRange("range start beyond object size");
+  }
+  range.first = static_cast<uint64_t>(first);
+  if (last_str.empty()) {
+    range.last = object_size - 1;
+  } else {
+    SCOOP_ASSIGN_OR_RETURN(int64_t last, ParseInt64(last_str));
+    if (last < first) return Status::InvalidArgument("range end before start");
+    range.last = std::min<uint64_t>(static_cast<uint64_t>(last),
+                                    object_size - 1);
+  }
+  return range;
+}
+
+}  // namespace scoop

@@ -1,0 +1,132 @@
+#ifndef SCOOP_OBJECTSTORE_HTTP_H_
+#define SCOOP_OBJECTSTORE_HTTP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace scoop {
+
+// The object store speaks an HTTP-like request/response protocol, exactly
+// rich enough for the Swift data path Scoop depends on: verbs, a
+// /account/container/object path, headers (the carrier of pushdown-task
+// metadata), byte ranges, and a body.
+
+enum class HttpMethod { kGet, kPut, kPost, kDelete, kHead };
+
+std::string_view HttpMethodName(HttpMethod method);
+
+// Case-insensitive header map, per RFC 7230 field-name semantics.
+class Headers {
+ public:
+  void Set(std::string_view name, std::string value);
+  // Returns the header value or nullopt.
+  std::optional<std::string> Get(std::string_view name) const;
+  // Returns the header value or `fallback`.
+  std::string GetOr(std::string_view name, std::string fallback) const;
+  bool Has(std::string_view name) const;
+  void Remove(std::string_view name);
+  size_t size() const { return map_.size(); }
+
+  auto begin() const { return map_.begin(); }
+  auto end() const { return map_.end(); }
+
+ private:
+  struct CaseInsensitiveLess {
+    bool operator()(const std::string& a, const std::string& b) const;
+  };
+  std::map<std::string, std::string, CaseInsensitiveLess> map_;
+};
+
+// Parsed /account/container/object path. `object` may contain slashes
+// (Swift pseudo-directories).
+struct ObjectPath {
+  std::string account;
+  std::string container;
+  std::string object;
+
+  bool IsAccount() const { return container.empty(); }
+  bool IsContainer() const { return !container.empty() && object.empty(); }
+  bool IsObject() const { return !object.empty(); }
+
+  // Canonical string form "/account[/container[/object]]".
+  std::string ToString() const;
+
+  // Parses "/account/container/object"; container and object are optional.
+  static Result<ObjectPath> Parse(std::string_view path);
+};
+
+// A half-open byte range [first, last] inclusive, after resolution against
+// an object size. Mirrors the subset of RFC 7233 Swift supports.
+struct ByteRange {
+  uint64_t first = 0;
+  uint64_t last = 0;  // inclusive
+
+  uint64_t length() const { return last - first + 1; }
+
+  // Parses "bytes=first-last" | "bytes=first-" | "bytes=-suffix" and
+  // resolves it against `object_size`. Errors on unsatisfiable ranges.
+  static Result<ByteRange> Parse(std::string_view header_value,
+                                 uint64_t object_size);
+};
+
+struct Request {
+  HttpMethod method = HttpMethod::kGet;
+  std::string path;
+  Headers headers;
+  std::string body;
+
+  static Request Get(std::string path) {
+    Request r;
+    r.method = HttpMethod::kGet;
+    r.path = std::move(path);
+    return r;
+  }
+  static Request Put(std::string path, std::string body) {
+    Request r;
+    r.method = HttpMethod::kPut;
+    r.path = std::move(path);
+    r.body = std::move(body);
+    return r;
+  }
+  static Request Delete(std::string path) {
+    Request r;
+    r.method = HttpMethod::kDelete;
+    r.path = std::move(path);
+    return r;
+  }
+  static Request Head(std::string path) {
+    Request r;
+    r.method = HttpMethod::kHead;
+    r.path = std::move(path);
+    return r;
+  }
+};
+
+struct HttpResponse {
+  int status = 200;
+  Headers headers;
+  std::string body;
+
+  bool ok() const { return status >= 200 && status < 300; }
+
+  static HttpResponse Make(int status, std::string body = "") {
+    HttpResponse r;
+    r.status = status;
+    r.body = std::move(body);
+    return r;
+  }
+};
+
+// A request handler; middlewares wrap handlers into new handlers, forming
+// the WSGI-like pipelines Swift runs on proxies and object servers.
+using HttpHandler = std::function<HttpResponse(Request&)>;
+
+}  // namespace scoop
+
+#endif  // SCOOP_OBJECTSTORE_HTTP_H_

@@ -1,0 +1,27 @@
+#include "objectstore/middleware.h"
+
+namespace scoop {
+
+void Pipeline::Use(std::shared_ptr<Middleware> middleware) {
+  chain_.push_back(std::move(middleware));
+}
+
+std::vector<std::string> Pipeline::MiddlewareNames() const {
+  std::vector<std::string> names;
+  names.reserve(chain_.size());
+  for (const auto& m : chain_) names.push_back(m->name());
+  return names;
+}
+
+HttpResponse Pipeline::Handle(Request& request) const {
+  // Build the nested handler on the fly: chain_[i] wraps chain_[i+1..] + app.
+  HttpHandler next = app_;
+  for (auto it = chain_.rbegin(); it != chain_.rend(); ++it) {
+    std::shared_ptr<Middleware> m = *it;
+    HttpHandler inner = std::move(next);
+    next = [m, inner](Request& req) { return m->Process(req, inner); };
+  }
+  return next(request);
+}
+
+}  // namespace scoop

@@ -1,0 +1,46 @@
+#ifndef SCOOP_OBJECTSTORE_MIDDLEWARE_H_
+#define SCOOP_OBJECTSTORE_MIDDLEWARE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "objectstore/http.h"
+
+namespace scoop {
+
+// A WSGI-style middleware: sees the request on the way in, delegates to
+// `next`, and may rewrite the response on the way out. Both Swift proxies
+// and object servers run configurable pipelines of these; the Storlet
+// engine plugs into the data path as one of them (paper §III-B, §V-A).
+class Middleware {
+ public:
+  virtual ~Middleware() = default;
+
+  virtual std::string name() const = 0;
+  virtual HttpResponse Process(Request& request, const HttpHandler& next) = 0;
+};
+
+// An ordered middleware chain terminated by an application handler.
+// Middlewares are invoked first-to-last around the application.
+class Pipeline {
+ public:
+  // `app` handles requests that reach the end of the chain.
+  explicit Pipeline(HttpHandler app) : app_(std::move(app)) {}
+
+  // Appends `middleware` to the chain (outermost first).
+  void Use(std::shared_ptr<Middleware> middleware);
+
+  // Names of installed middlewares in invocation order.
+  std::vector<std::string> MiddlewareNames() const;
+
+  HttpResponse Handle(Request& request) const;
+
+ private:
+  HttpHandler app_;
+  std::vector<std::shared_ptr<Middleware>> chain_;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_OBJECTSTORE_MIDDLEWARE_H_

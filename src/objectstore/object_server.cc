@@ -1,0 +1,156 @@
+#include "objectstore/object_server.h"
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace scoop {
+
+ObjectServer::ObjectServer(int node_id, const std::vector<int>& device_ids,
+                           MetricRegistry* metrics)
+    : node_id_(node_id), metrics_(metrics) {
+  for (int id : device_ids) {
+    auto device = std::make_shared<Device>(id);
+    devices_by_id_[id] = device.get();
+    devices_.push_back(std::move(device));
+  }
+  pipeline_ = std::make_unique<Pipeline>(
+      [this](Request& request) { return App(request); });
+}
+
+HttpResponse ObjectServer::Handle(Request& request) {
+  return pipeline_->Handle(request);
+}
+
+Device* ObjectServer::GetDevice(int device_id) {
+  auto it = devices_by_id_.find(device_id);
+  return it == devices_by_id_.end() ? nullptr : it->second;
+}
+
+std::string ObjectServer::ComputeEtag(const std::string& data) {
+  return StrFormat("%016llx",
+                   static_cast<unsigned long long>(Fnv1a64(data)));
+}
+
+HttpResponse ObjectServer::App(Request& request) {
+  auto path_result = ObjectPath::Parse(request.path);
+  if (!path_result.ok() || !path_result->IsObject()) {
+    return HttpResponse::Make(400, "object server requires an object path");
+  }
+  auto device_header = request.headers.Get(kBackendDeviceHeader);
+  if (!device_header) {
+    return HttpResponse::Make(400, "missing X-Backend-Device");
+  }
+  auto device_id = ParseInt64(*device_header);
+  if (!device_id.ok()) {
+    return HttpResponse::Make(400, "bad X-Backend-Device");
+  }
+  Device* device = GetDevice(static_cast<int>(*device_id));
+  if (device == nullptr) {
+    return HttpResponse::Make(400, "device not on this node");
+  }
+  switch (request.method) {
+    case HttpMethod::kGet:
+      return DoGet(request, *device, *path_result);
+    case HttpMethod::kPut:
+      return DoPut(request, *device, *path_result);
+    case HttpMethod::kDelete:
+      return DoDelete(*device, *path_result);
+    case HttpMethod::kHead:
+      return DoHead(*device, *path_result);
+    case HttpMethod::kPost:
+      return HttpResponse::Make(405, "POST not supported on object servers");
+  }
+  return HttpResponse::Make(500, "unreachable");
+}
+
+HttpResponse ObjectServer::DoGet(Request& request, Device& device,
+                                 const ObjectPath& path) {
+  auto stored = device.Get(path.ToString());
+  if (!stored.ok()) {
+    if (stored.status().IsNotFound()) return HttpResponse::Make(404);
+    return HttpResponse::Make(503, stored.status().ToString());
+  }
+  HttpResponse response;
+  response.headers = stored->metadata;
+  response.headers.Set(kEtagHeader, stored->etag);
+  auto range_header = request.headers.Get(kRangeHeader);
+  if (range_header) {
+    auto range = ByteRange::Parse(*range_header, stored->data.size());
+    if (!range.ok()) {
+      return HttpResponse::Make(416, range.status().ToString());
+    }
+    response.status = 206;
+    response.body = stored->data.substr(range->first, range->length());
+    response.headers.Set(
+        "Content-Range",
+        StrFormat("bytes %llu-%llu/%llu",
+                  static_cast<unsigned long long>(range->first),
+                  static_cast<unsigned long long>(range->last),
+                  static_cast<unsigned long long>(stored->data.size())));
+  } else {
+    response.status = 200;
+    response.body = stored->data;
+  }
+  response.headers.Set(kContentLengthHeader,
+                       std::to_string(response.body.size()));
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter(StrFormat("node_%d.bytes_read", node_id_))
+        ->Add(static_cast<int64_t>(response.body.size()));
+    metrics_->GetCounter(StrFormat("node_%d.get_requests", node_id_))
+        ->Increment();
+  }
+  return response;
+}
+
+HttpResponse ObjectServer::DoPut(Request& request, Device& device,
+                                 const ObjectPath& path) {
+  StoredObject object;
+  object.data = request.body;
+  object.etag = ComputeEtag(object.data);
+  auto ts = request.headers.Get(kTimestampHeader);
+  if (ts) {
+    auto parsed = ParseInt64(*ts);
+    if (parsed.ok()) object.timestamp = static_cast<uint64_t>(*parsed);
+  }
+  // Preserve user metadata (X-Object-Meta-*) and content type.
+  for (const auto& [name, value] : request.headers) {
+    if (StartsWith(ToLower(name), "x-object-meta-") ||
+        ToLower(name) == "content-type") {
+      object.metadata.Set(name, value);
+    }
+  }
+  size_t bytes = object.data.size();
+  std::string etag = object.etag;
+  Status s = device.Put(path.ToString(), std::move(object));
+  if (!s.ok()) return HttpResponse::Make(503, s.ToString());
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter(StrFormat("node_%d.bytes_written", node_id_))
+        ->Add(static_cast<int64_t>(bytes));
+  }
+  HttpResponse response = HttpResponse::Make(201);
+  response.headers.Set(kEtagHeader, etag);
+  return response;
+}
+
+HttpResponse ObjectServer::DoDelete(Device& device, const ObjectPath& path) {
+  Status s = device.Delete(path.ToString());
+  if (s.IsNotFound()) return HttpResponse::Make(404);
+  if (!s.ok()) return HttpResponse::Make(503, s.ToString());
+  return HttpResponse::Make(204);
+}
+
+HttpResponse ObjectServer::DoHead(Device& device, const ObjectPath& path) {
+  auto stored = device.Get(path.ToString());
+  if (!stored.ok()) {
+    if (stored.status().IsNotFound()) return HttpResponse::Make(404);
+    return HttpResponse::Make(503, stored.status().ToString());
+  }
+  HttpResponse response = HttpResponse::Make(200);
+  response.headers = stored->metadata;
+  response.headers.Set(kEtagHeader, stored->etag);
+  response.headers.Set(kContentLengthHeader,
+                       std::to_string(stored->data.size()));
+  return response;
+}
+
+}  // namespace scoop

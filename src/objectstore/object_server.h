@@ -1,0 +1,68 @@
+#ifndef SCOOP_OBJECTSTORE_OBJECT_SERVER_H_
+#define SCOOP_OBJECTSTORE_OBJECT_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "objectstore/device.h"
+#include "objectstore/http.h"
+#include "objectstore/middleware.h"
+
+namespace scoop {
+
+// Backend headers used on the proxy -> object-server hop.
+inline constexpr char kBackendDeviceHeader[] = "X-Backend-Device";
+inline constexpr char kTimestampHeader[] = "X-Timestamp";
+inline constexpr char kEtagHeader[] = "ETag";
+inline constexpr char kContentLengthHeader[] = "Content-Length";
+inline constexpr char kRangeHeader[] = "Range";
+
+// A Swift object server: owns the devices of one storage node and serves
+// replica-level GET/PUT/DELETE/HEAD. Requests arrive through this node's
+// middleware pipeline, which is where the Storlet object-node stage hooks
+// in — computations run here, next to the disk, exactly as §V-A argues
+// they should (no full-object transfer to a proxy, higher parallelism).
+class ObjectServer {
+ public:
+  // `node_id` identifies this node; `device_ids` are ring device ids local
+  // to this node. `metrics` (optional) receives per-node traffic counters.
+  ObjectServer(int node_id, const std::vector<int>& device_ids,
+               MetricRegistry* metrics);
+
+  int node_id() const { return node_id_; }
+
+  // The middleware pipeline in front of the storage application.
+  Pipeline& pipeline() { return *pipeline_; }
+
+  // Entry point for proxy-to-object-server requests. The request must
+  // carry X-Backend-Device naming one of this node's devices.
+  HttpResponse Handle(Request& request);
+
+  Device* GetDevice(int device_id);
+  const std::vector<std::shared_ptr<Device>>& devices() const {
+    return devices_;
+  }
+
+  // Computes the ETag Swift would store for `data`.
+  static std::string ComputeEtag(const std::string& data);
+
+ private:
+  HttpResponse App(Request& request);
+  HttpResponse DoGet(Request& request, Device& device, const ObjectPath& path);
+  HttpResponse DoPut(Request& request, Device& device, const ObjectPath& path);
+  HttpResponse DoDelete(Device& device, const ObjectPath& path);
+  HttpResponse DoHead(Device& device, const ObjectPath& path);
+
+  const int node_id_;
+  std::vector<std::shared_ptr<Device>> devices_;
+  std::map<int, Device*> devices_by_id_;
+  MetricRegistry* metrics_;
+  std::unique_ptr<Pipeline> pipeline_;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_OBJECTSTORE_OBJECT_SERVER_H_

@@ -1,0 +1,163 @@
+#include "objectstore/proxy_server.h"
+
+#include "common/strings.h"
+#include "objectstore/object_server.h"
+
+namespace scoop {
+
+ProxyServer::ProxyServer(int proxy_id, const Ring* ring,
+                         std::shared_ptr<ContainerRegistry> registry,
+                         BackendFn backend, MetricRegistry* metrics)
+    : proxy_id_(proxy_id),
+      ring_(ring),
+      registry_(std::move(registry)),
+      backend_(std::move(backend)),
+      metrics_(metrics) {
+  pipeline_ = std::make_unique<Pipeline>(
+      [this](Request& request) { return App(request); });
+}
+
+HttpResponse ProxyServer::Handle(Request& request) {
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter(StrFormat("proxy_%d.requests", proxy_id_))
+        ->Increment();
+  }
+  HttpResponse response = pipeline_->Handle(request);
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter(StrFormat("proxy_%d.bytes_out", proxy_id_))
+        ->Add(static_cast<int64_t>(response.body.size()));
+  }
+  return response;
+}
+
+HttpResponse ProxyServer::App(Request& request) {
+  auto path = ObjectPath::Parse(request.path);
+  if (!path.ok()) return HttpResponse::Make(400, path.status().ToString());
+  if (path->IsObject()) return HandleObject(request, *path);
+  if (path->IsContainer()) return HandleContainer(request, *path);
+  return HandleAccount(request, *path);
+}
+
+HttpResponse ProxyServer::HandleAccount(Request& request,
+                                        const ObjectPath& path) {
+  switch (request.method) {
+    case HttpMethod::kPut:
+      registry_->CreateAccount(path.account);
+      return HttpResponse::Make(201);
+    case HttpMethod::kGet: {
+      auto containers = registry_->ListContainers(path.account);
+      if (!containers.ok()) return HttpResponse::Make(404);
+      HttpResponse response = HttpResponse::Make(200);
+      response.body = Join(*containers, "\n");
+      return response;
+    }
+    case HttpMethod::kHead:
+      return registry_->AccountExists(path.account) ? HttpResponse::Make(204)
+                                                    : HttpResponse::Make(404);
+    default:
+      return HttpResponse::Make(405);
+  }
+}
+
+HttpResponse ProxyServer::HandleContainer(Request& request,
+                                          const ObjectPath& path) {
+  switch (request.method) {
+    case HttpMethod::kPut: {
+      Status s = registry_->CreateContainer(path.account, path.container);
+      if (s.IsNotFound()) return HttpResponse::Make(404, s.ToString());
+      return HttpResponse::Make(201);
+    }
+    case HttpMethod::kDelete: {
+      Status s = registry_->DeleteContainer(path.account, path.container);
+      if (s.IsNotFound()) return HttpResponse::Make(404, s.ToString());
+      if (!s.ok()) return HttpResponse::Make(409, s.ToString());
+      return HttpResponse::Make(204);
+    }
+    case HttpMethod::kGet: {
+      std::string prefix = request.headers.GetOr("X-Prefix", "");
+      auto objects = registry_->ListObjects(path.account, path.container,
+                                            prefix);
+      if (!objects.ok()) return HttpResponse::Make(404);
+      HttpResponse response = HttpResponse::Make(200);
+      // Listing format: "name size etag", one object per line.
+      for (const ObjectInfo& info : *objects) {
+        response.body += StrFormat("%s %llu %s\n", info.name.c_str(),
+                                   static_cast<unsigned long long>(info.size),
+                                   info.etag.c_str());
+      }
+      return response;
+    }
+    case HttpMethod::kHead:
+      return registry_->ContainerExists(path.account, path.container)
+                 ? HttpResponse::Make(204)
+                 : HttpResponse::Make(404);
+    default:
+      return HttpResponse::Make(405);
+  }
+}
+
+HttpResponse ProxyServer::SendToDevice(int device_id, Request& request) {
+  request.headers.Set(kBackendDeviceHeader, std::to_string(device_id));
+  return backend_(device_id, request);
+}
+
+HttpResponse ProxyServer::HandleObject(Request& request,
+                                       const ObjectPath& path) {
+  if (!registry_->ContainerExists(path.account, path.container)) {
+    return HttpResponse::Make(404, "container does not exist");
+  }
+  const std::vector<int>& replicas = ring_->GetNodes(request.path);
+  switch (request.method) {
+    case HttpMethod::kPut: {
+      // One timestamp for all replicas: last-write-wins convergence.
+      request.headers.Set(kTimestampHeader,
+                          std::to_string(timestamp_seq_.fetch_add(1)));
+      int successes = 0;
+      std::string etag;
+      for (int device : replicas) {
+        Request replica_request = request;
+        HttpResponse r = SendToDevice(device, replica_request);
+        if (r.ok()) {
+          ++successes;
+          etag = r.headers.GetOr(kEtagHeader, etag);
+        }
+      }
+      // Swift writes succeed on a majority quorum.
+      if (successes * 2 <= static_cast<int>(replicas.size())) {
+        return HttpResponse::Make(503, "write quorum not met");
+      }
+      registry_->RecordObject(
+          path.account, path.container,
+          ObjectInfo{path.object, request.body.size(), etag});
+      HttpResponse response = HttpResponse::Make(201);
+      response.headers.Set(kEtagHeader, etag);
+      return response;
+    }
+    case HttpMethod::kGet:
+    case HttpMethod::kHead: {
+      HttpResponse last = HttpResponse::Make(404);
+      for (int device : replicas) {
+        Request replica_request = request;
+        HttpResponse r = SendToDevice(device, replica_request);
+        if (r.ok()) return r;
+        last = std::move(r);
+      }
+      return last;
+    }
+    case HttpMethod::kDelete: {
+      int successes = 0;
+      for (int device : replicas) {
+        Request replica_request = request;
+        HttpResponse r = SendToDevice(device, replica_request);
+        if (r.ok() || r.status == 404) ++successes;
+      }
+      if (successes == 0) return HttpResponse::Make(503, "delete failed");
+      registry_->RemoveObject(path.account, path.container, path.object);
+      return HttpResponse::Make(204);
+    }
+    default:
+      return HttpResponse::Make(405);
+  }
+}
+
+}  // namespace scoop

@@ -1,0 +1,59 @@
+#ifndef SCOOP_OBJECTSTORE_PROXY_SERVER_H_
+#define SCOOP_OBJECTSTORE_PROXY_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "objectstore/container_registry.h"
+#include "objectstore/http.h"
+#include "objectstore/middleware.h"
+#include "objectstore/ring.h"
+
+namespace scoop {
+
+// Routes a backend request to the object server hosting `device_id`; wired
+// up by the cluster so proxies don't hold direct server references.
+using BackendFn =
+    std::function<HttpResponse(int device_id, Request& request)>;
+
+// A Swift proxy server: authenticates (via its middleware pipeline),
+// resolves the ring, and fans object operations out to the replica
+// object servers. Writes require a majority quorum; reads fall through
+// replicas in primary order so a single failed device is invisible.
+class ProxyServer {
+ public:
+  ProxyServer(int proxy_id, const Ring* ring,
+              std::shared_ptr<ContainerRegistry> registry, BackendFn backend,
+              MetricRegistry* metrics);
+
+  int proxy_id() const { return proxy_id_; }
+  Pipeline& pipeline() { return *pipeline_; }
+
+  // Full request entry (runs the middleware pipeline, then the app).
+  HttpResponse Handle(Request& request);
+
+ private:
+  HttpResponse App(Request& request);
+  HttpResponse HandleAccount(Request& request, const ObjectPath& path);
+  HttpResponse HandleContainer(Request& request, const ObjectPath& path);
+  HttpResponse HandleObject(Request& request, const ObjectPath& path);
+
+  // Sends `request` to the replica device, tagging backend headers.
+  HttpResponse SendToDevice(int device_id, Request& request);
+
+  const int proxy_id_;
+  const Ring* ring_;
+  std::shared_ptr<ContainerRegistry> registry_;
+  BackendFn backend_;
+  MetricRegistry* metrics_;
+  std::unique_ptr<Pipeline> pipeline_;
+  std::atomic<uint64_t> timestamp_seq_{1};
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_OBJECTSTORE_PROXY_SERVER_H_

@@ -1,0 +1,88 @@
+#include "objectstore/replicator.h"
+
+#include <set>
+#include <string>
+
+namespace scoop {
+
+Replicator::Replicator(const Ring* ring, std::vector<Device*> devices_by_id)
+    : ring_(ring), devices_(std::move(devices_by_id)) {}
+
+Replicator::Report Replicator::RunOnce(bool remove_handoffs) {
+  Report report;
+  // Collect the union of object paths across all reachable devices.
+  std::set<std::string> all_paths;
+  for (Device* device : devices_) {
+    if (device == nullptr || device->failed()) continue;
+    for (std::string& path : device->ListPaths()) {
+      all_paths.insert(std::move(path));
+    }
+  }
+  for (const std::string& path : all_paths) {
+    ++report.objects_scanned;
+    const std::vector<int>& replicas = ring_->GetNodes(path);
+    // Find the newest available copy.
+    StoredObject newest;
+    bool found = false;
+    for (int device_id : replicas) {
+      Device* device = devices_[device_id];
+      if (device == nullptr) continue;
+      auto copy = device->Get(path);
+      if (copy.ok() && (!found || copy->timestamp > newest.timestamp)) {
+        newest = std::move(copy).value();
+        found = true;
+      }
+    }
+    if (!found) {
+      // An object may exist only on devices outside its replica set after a
+      // ring change; look everywhere as handoff recovery.
+      for (Device* device : devices_) {
+        if (device == nullptr || device->failed()) continue;
+        auto copy = device->Get(path);
+        if (copy.ok() && (!found || copy->timestamp > newest.timestamp)) {
+          newest = std::move(copy).value();
+          found = true;
+        }
+      }
+    }
+    if (!found) {
+      report.replicas_unreachable +=
+          static_cast<int>(replicas.size());
+      continue;
+    }
+    int replicas_in_place = 0;
+    for (int device_id : replicas) {
+      Device* device = devices_[device_id];
+      if (device == nullptr || device->failed()) {
+        ++report.replicas_unreachable;
+        continue;
+      }
+      auto existing = device->Get(path);
+      if (existing.ok() && existing->timestamp >= newest.timestamp) {
+        ++replicas_in_place;
+        continue;
+      }
+      if (device->Put(path, newest).ok()) {
+        ++report.replicas_repaired;
+        ++replicas_in_place;
+      }
+    }
+    // Handoff cleanup: only once the object is fully replicated on its
+    // assigned devices may stray copies be dropped.
+    if (remove_handoffs &&
+        replicas_in_place == static_cast<int>(replicas.size())) {
+      for (Device* device : devices_) {
+        if (device == nullptr || device->failed()) continue;
+        bool assigned = false;
+        for (int id : replicas) {
+          if (device->id() == id) assigned = true;
+        }
+        if (assigned || !device->Exists(path)) continue;
+        if (device->Delete(path).ok()) ++report.handoffs_removed;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace scoop

@@ -1,0 +1,42 @@
+#ifndef SCOOP_OBJECTSTORE_REPLICATOR_H_
+#define SCOOP_OBJECTSTORE_REPLICATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "objectstore/device.h"
+#include "objectstore/ring.h"
+
+namespace scoop {
+
+// Background replica repair, the role of Swift's object-replicator daemon.
+// Scans every device, recomputes each object's replica set from the ring,
+// and copies the newest replica onto any assigned device that is missing
+// it or holds a stale copy.
+class Replicator {
+ public:
+  // `devices_by_id[i]` must be the device with ring id `i`.
+  Replicator(const Ring* ring, std::vector<Device*> devices_by_id);
+
+  struct Report {
+    int objects_scanned = 0;
+    int replicas_repaired = 0;
+    int replicas_unreachable = 0;
+    int handoffs_removed = 0;
+  };
+
+  // One full replication pass. Safe to run repeatedly; idempotent once
+  // all replicas converge. With `remove_handoffs`, copies living on
+  // devices outside an object's current replica set are deleted once all
+  // assigned replicas are in place — the cleanup step after a ring
+  // rebalance moved assignments.
+  Report RunOnce(bool remove_handoffs = false);
+
+ private:
+  const Ring* ring_;
+  std::vector<Device*> devices_;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_OBJECTSTORE_REPLICATOR_H_

@@ -1,0 +1,192 @@
+#include "objectstore/ring.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "common/hash.h"
+
+namespace scoop {
+
+Result<Ring> Ring::Build(std::vector<RingDevice> devices, int part_power,
+                         int replica_count) {
+  if (devices.empty()) return Status::InvalidArgument("ring needs devices");
+  if (part_power < 0 || part_power > 20) {
+    return Status::InvalidArgument("part_power out of [0, 20]");
+  }
+  if (replica_count < 1) {
+    return Status::InvalidArgument("replica_count must be >= 1");
+  }
+  double total_weight = 0.0;
+  for (size_t i = 0; i < devices.size(); ++i) {
+    if (devices[i].weight <= 0.0) {
+      return Status::InvalidArgument("device weight must be positive");
+    }
+    devices[i].id = static_cast<int>(i);
+    total_weight += devices[i].weight;
+  }
+
+  Ring ring;
+  ring.part_power_ = part_power;
+  ring.replica_count_ = replica_count;
+  ring.devices_ = std::move(devices);
+
+  const int parts = ring.partition_count();
+  const auto& devs = ring.devices_;
+  // Greedy weighted assignment: every replica slot goes to the eligible
+  // device that is currently furthest below its weight-proportional share.
+  // Eligibility prefers (in order) devices not already holding a replica of
+  // the partition, in an unused zone, then on an unused node.
+  std::vector<double> assigned(devs.size(), 0.0);
+  ring.assignment_.assign(parts, {});
+  const double total_slots = static_cast<double>(parts) * replica_count;
+
+  for (int p = 0; p < parts; ++p) {
+    std::set<int> used_devices;
+    std::set<int> used_zones;
+    std::set<int> used_nodes;
+    for (int r = 0; r < replica_count; ++r) {
+      int best = -1;
+      double best_score = std::numeric_limits<double>::infinity();
+      for (const RingDevice& d : devs) {
+        if (used_devices.count(d.id)) continue;
+        double share = d.weight / total_weight * total_slots;
+        double fill = assigned[d.id] / share;
+        // Dispersion penalties dominate fill level so replicas land in
+        // distinct zones/nodes whenever the topology allows it.
+        double penalty = 0.0;
+        if (used_zones.count(d.zone)) penalty += 10.0;
+        if (used_nodes.count(d.node)) penalty += 5.0;
+        // Deterministic jitter breaks ties without biasing any device.
+        double jitter =
+            static_cast<double>(Mix64(HashCombine(
+                static_cast<uint64_t>(p) * 131 + static_cast<uint64_t>(r),
+                static_cast<uint64_t>(d.id))) &
+                                0xffff) *
+            1e-9;
+        double score = fill + penalty + jitter;
+        if (score < best_score) {
+          best_score = score;
+          best = d.id;
+        }
+      }
+      // `best` is always found: used_devices has fewer entries than devs
+      // or we allow reuse as a last resort.
+      if (best < 0) {
+        best = devs[static_cast<size_t>(p + r) % devs.size()].id;
+      }
+      ring.assignment_[p].push_back(best);
+      assigned[best] += 1.0;
+      used_devices.insert(best);
+      used_zones.insert(devs[best].zone);
+      used_nodes.insert(devs[best].node);
+    }
+  }
+  return ring;
+}
+
+Result<Ring> Ring::AddDevices(std::vector<RingDevice> added) const {
+  if (added.empty()) return Status::InvalidArgument("no devices to add");
+  Ring ring = *this;
+  for (RingDevice& d : added) {
+    if (d.weight <= 0.0) {
+      return Status::InvalidArgument("device weight must be positive");
+    }
+    d.id = static_cast<int>(ring.devices_.size());
+    ring.devices_.push_back(d);
+  }
+  const auto& devs = ring.devices_;
+  double total_weight = 0.0;
+  for (const RingDevice& d : devs) total_weight += d.weight;
+  const double total_slots =
+      static_cast<double>(ring.partition_count()) * replica_count_;
+
+  std::vector<int> load(devs.size(), 0);
+  for (const auto& replicas : ring.assignment_) {
+    for (int d : replicas) ++load[d];
+  }
+  auto share = [&](int id) {
+    return devs[id].weight / total_weight * total_slots;
+  };
+
+  // Fill each new device up to its share by stealing one replica at a time
+  // from the most-overloaded donor whose partition the target may legally
+  // hold (no duplicate device; keep node disjointness when possible).
+  for (size_t t = devices_.size(); t < devs.size(); ++t) {
+    int target = devs[t].id;
+    int guard = ring.partition_count() * replica_count_;
+    while (load[target] + 1 <= static_cast<int>(share(target)) &&
+           guard-- > 0) {
+      // Most-overloaded donor relative to its share.
+      int donor = -1;
+      double worst = 0.0;
+      for (const RingDevice& d : devs) {
+        if (d.id == target) continue;
+        double over = load[d.id] - share(d.id);
+        if (over > worst) {
+          worst = over;
+          donor = d.id;
+        }
+      }
+      if (donor < 0) break;
+      // Find a partition of the donor the target can take.
+      bool moved = false;
+      for (int p = 0; p < ring.partition_count() && !moved; ++p) {
+        auto& replicas = ring.assignment_[static_cast<size_t>(p)];
+        for (size_t r = 0; r < replicas.size(); ++r) {
+          if (replicas[r] != donor) continue;
+          bool legal = true;
+          for (size_t other = 0; other < replicas.size(); ++other) {
+            if (other == r) continue;
+            if (replicas[other] == target ||
+                devs[replicas[other]].node == devs[target].node) {
+              legal = false;
+              break;
+            }
+          }
+          if (!legal) break;
+          replicas[r] = target;
+          --load[donor];
+          ++load[target];
+          moved = true;
+          break;
+        }
+      }
+      if (!moved) break;  // nothing legal left to take from this donor
+    }
+  }
+  return ring;
+}
+
+uint32_t Ring::GetPartition(std::string_view key) const {
+  if (part_power_ == 0) return 0;
+  uint64_t h = Mix64(Fnv1a64(key));
+  return static_cast<uint32_t>(h >> (64 - part_power_)) &
+         static_cast<uint32_t>(partition_count() - 1);
+}
+
+const std::vector<int>& Ring::GetPartitionDevices(uint32_t partition) const {
+  return assignment_[partition];
+}
+
+const std::vector<int>& Ring::GetNodes(std::string_view key) const {
+  return assignment_[GetPartition(key)];
+}
+
+int Ring::PrimaryPartitionCount(int device_id) const {
+  int count = 0;
+  for (const auto& replicas : assignment_) {
+    if (!replicas.empty() && replicas[0] == device_id) ++count;
+  }
+  return count;
+}
+
+std::vector<int> Ring::ReplicaCountsPerDevice() const {
+  std::vector<int> counts(devices_.size(), 0);
+  for (const auto& replicas : assignment_) {
+    for (int d : replicas) ++counts[d];
+  }
+  return counts;
+}
+
+}  // namespace scoop

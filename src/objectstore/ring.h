@@ -1,0 +1,74 @@
+#ifndef SCOOP_OBJECTSTORE_RING_H_
+#define SCOOP_OBJECTSTORE_RING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace scoop {
+
+// A storage device participating in a ring: one disk on one storage node.
+struct RingDevice {
+  int id = 0;          // dense device id, index into the device table
+  int node = 0;        // storage node hosting the device
+  int zone = 0;        // failure domain
+  double weight = 1.0; // relative capacity
+};
+
+// Swift-style consistent-hashing ring. The hash space is divided into
+// 2^part_power partitions; each partition is assigned `replica_count`
+// devices, balanced by weight and spread across zones and nodes where
+// possible. Object names map to partitions via a uniform hash, so load
+// spreads evenly as nodes are added — the property the paper's §III-B
+// attributes Swift's scalability to.
+class Ring {
+ public:
+  // Builds and balances a ring. Requires at least one device and
+  // replica_count >= 1. Assignment is deterministic for a given input.
+  static Result<Ring> Build(std::vector<RingDevice> devices, int part_power,
+                            int replica_count);
+
+  int partition_count() const { return 1 << part_power_; }
+  int replica_count() const { return replica_count_; }
+  const std::vector<RingDevice>& devices() const { return devices_; }
+
+  // Maps an object path (or any key) to its partition.
+  uint32_t GetPartition(std::string_view key) const;
+
+  // Devices holding the replicas of `partition`, primary first.
+  const std::vector<int>& GetPartitionDevices(uint32_t partition) const;
+
+  // Incremental rebalance (Swift's ring-builder "add device + rebalance"):
+  // returns a new ring containing the old devices plus `added`, migrating
+  // only as many replica assignments as needed to bring the new devices to
+  // their weight-proportional share. Existing assignments are otherwise
+  // preserved, so the data movement a rebalance triggers is minimal.
+  Result<Ring> AddDevices(std::vector<RingDevice> added) const;
+
+  // Devices holding the replicas of `key` (convenience).
+  const std::vector<int>& GetNodes(std::string_view key) const;
+
+  // Number of partitions whose primary replica lives on `device_id`;
+  // used by balance tests.
+  int PrimaryPartitionCount(int device_id) const;
+
+  // Total replica assignments per device; used by balance tests.
+  std::vector<int> ReplicaCountsPerDevice() const;
+
+  // Constructs an empty ring; use Build() to obtain a usable one.
+  Ring() = default;
+
+ private:
+  int part_power_ = 0;
+  int replica_count_ = 0;
+  std::vector<RingDevice> devices_;
+  // assignment_[partition] = device ids, one per replica.
+  std::vector<std::vector<int>> assignment_;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_OBJECTSTORE_RING_H_

@@ -1,0 +1,59 @@
+#include "scoop/controller.h"
+
+#include "sql/parser.h"
+
+namespace scoop {
+
+void AdaptivePushdownController::SetTier(const std::string& account,
+                                         TenantTier tier) {
+  tiers_[account] = tier;
+}
+
+double AdaptivePushdownController::TotalCpuSeconds() const {
+  return static_cast<double>(
+             cluster_->metrics().GetCounter("storlet.exec_ns")->value()) /
+         1e9;
+}
+
+double AdaptivePushdownController::WindowCpuSeconds() const {
+  return TotalCpuSeconds() - window_start_cpu_s_;
+}
+
+bool AdaptivePushdownController::Tick() {
+  double used = WindowCpuSeconds();
+  bool hot = used > options_.cpu_budget_seconds_per_window;
+  if (hot != bronze_demoted_) {
+    for (const auto& [account, tier] : tiers_) {
+      if (tier != TenantTier::kBronze) continue;
+      StorletPolicy policy;
+      policy.pushdown_enabled = !hot;
+      cluster_->policies().SetAccountPolicy(account, policy);
+    }
+    bronze_demoted_ = hot;
+  }
+  // A new control window starts each tick.
+  window_start_cpu_s_ = TotalCpuSeconds();
+  return bronze_demoted_;
+}
+
+Result<bool> AdaptivePushdownController::AdvisePushdown(
+    const SelectStatement& stmt, const Schema& table_schema) const {
+  SCOOP_ASSIGN_OR_RETURN(PushdownExtraction extraction,
+                         ExtractPushdown(stmt, table_schema));
+  if (extraction.pushed_filter.IsTrue()) {
+    // Nothing pushable beyond projection: projection alone is cheap at the
+    // store and always shrinks transfers, so still advise pushdown when
+    // the query prunes columns.
+    return extraction.required_columns.size() < table_schema.size();
+  }
+  double discard = 1.0 - extraction.estimated_row_pass_rate;
+  return discard >= options_.min_estimated_discard;
+}
+
+Result<bool> AdaptivePushdownController::AdvisePushdownSql(
+    const std::string& sql, const Schema& table_schema) const {
+  SCOOP_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSql(sql));
+  return AdvisePushdown(stmt, table_schema);
+}
+
+}  // namespace scoop

@@ -1,0 +1,73 @@
+#ifndef SCOOP_SCOOP_CONTROLLER_H_
+#define SCOOP_SCOOP_CONTROLLER_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "scoop/scoop.h"
+#include "sql/ast.h"
+#include "sql/catalyst.h"
+
+namespace scoop {
+
+// The Crystal-style control loop of the paper's §VII ("towards adaptive
+// pushdown execution"): instead of a static per-tenant policy, pushdown
+// eligibility is decided at runtime from
+//   * storage-cluster load — the metered storlet CPU consumption — and a
+//     configured budget; when the budget is exhausted, bronze tenants are
+//     demoted to traditional ingest while gold tenants keep the
+//     accelerated path;
+//   * the filter's modeled effectiveness — the optimizer's selectivity
+//     estimate; a filter expected to keep most rows is not worth the
+//     storage CPU it would burn, so such queries are advised to ingest
+//     traditionally even for gold tenants.
+class AdaptivePushdownController {
+ public:
+  struct Options {
+    // Storlet CPU-seconds the storage cluster donates per control window.
+    double cpu_budget_seconds_per_window = 1.0;
+    // Pushdown is advised only when the pushed filter is expected to
+    // discard at least this fraction of rows.
+    double min_estimated_discard = 0.2;
+  };
+
+  AdaptivePushdownController(ScoopCluster* cluster, Options options)
+      : cluster_(cluster), options_(options) {}
+
+  // Registers a tenant account with its service tier.
+  void SetTier(const std::string& account, TenantTier tier);
+
+  // One control iteration: reads the storlet CPU meter accumulated since
+  // the last tick and updates account policies. Returns true when bronze
+  // accounts are currently demoted.
+  bool Tick();
+
+  // Per-query advice (§VII: "the effectiveness of the filter could be
+  // modeled ... and contribute to the decision"): true when the statement
+  // is worth pushing down under the current estimate threshold.
+  Result<bool> AdvisePushdown(const SelectStatement& stmt,
+                              const Schema& table_schema) const;
+  Result<bool> AdvisePushdownSql(const std::string& sql,
+                                 const Schema& table_schema) const;
+
+  // Storlet CPU seconds consumed in the current window so far.
+  double WindowCpuSeconds() const;
+
+  bool bronze_demoted() const { return bronze_demoted_; }
+
+ private:
+  double TotalCpuSeconds() const;
+
+  ScoopCluster* cluster_;
+  Options options_;
+  std::map<std::string, TenantTier> tiers_;
+  double window_start_cpu_s_ = 0.0;
+  bool bronze_demoted_ = false;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_SCOOP_CONTROLLER_H_

@@ -1,0 +1,88 @@
+#include "scoop/scoop.h"
+
+#include "csv/agg_storlet.h"
+#include "csv/csv_storlet.h"
+#include "csv/etl_storlet.h"
+#include "mediameta/image_meta_storlet.h"
+#include "storlets/compress_storlet.h"
+
+namespace scoop {
+
+Result<std::unique_ptr<ScoopCluster>> ScoopCluster::Create(
+    const SwiftConfig& config) {
+  auto cluster = std::unique_ptr<ScoopCluster>(new ScoopCluster());
+  SCOOP_ASSIGN_OR_RETURN(cluster->swift_, SwiftCluster::Create(config));
+
+  auto registry = std::make_shared<StorletRegistry>();
+  auto policies = std::make_shared<PolicyStore>();
+  cluster->engine_ = std::make_shared<StorletEngine>(
+      registry, policies, &cluster->swift_->metrics());
+
+  // Ship the paper's filters pre-deployed: the CSVStorlet and ETL storlet
+  // of §V plus the §IV/§VI-C/§VII extensions (partial aggregation,
+  // compression).
+  const std::pair<const char*, StorletFactory> kBuiltins[] = {
+      {CsvStorlet::kName, &CsvStorlet::Make},
+      {EtlStorlet::kName, &EtlStorlet::Make},
+      {GroupAggStorlet::kName, &GroupAggStorlet::Make},
+      {CompressStorlet::kName, &CompressStorlet::Make},
+      {DecompressStorlet::kName, &DecompressStorlet::Make},
+      {ImageMetaStorlet::kName, &ImageMetaStorlet::Make},
+  };
+  for (const auto& [name, factory] : kBuiltins) {
+    SCOOP_RETURN_IF_ERROR(registry->RegisterFactory(name, factory));
+    SCOOP_RETURN_IF_ERROR(registry->Deploy(name));
+  }
+
+  // Install the storlet middleware at both stages: object servers (the
+  // default execution site) and proxies (PUT-path ETL and the staging
+  // override).
+  for (auto& server : cluster->swift_->object_servers()) {
+    server->pipeline().Use(std::make_shared<StorletMiddleware>(
+        ExecutionStage::kObjectNode, cluster->engine_));
+  }
+  for (auto& proxy : cluster->swift_->proxies()) {
+    proxy->pipeline().Use(std::make_shared<StorletMiddleware>(
+        ExecutionStage::kProxy, cluster->engine_));
+  }
+  return cluster;
+}
+
+Status ScoopCluster::AddStorageNode(int disks) {
+  SCOOP_ASSIGN_OR_RETURN(ObjectServer * server,
+                         swift_->AddStorageNode(disks));
+  server->pipeline().Use(std::make_shared<StorletMiddleware>(
+      ExecutionStage::kObjectNode, engine_));
+  // Populate the node and drop the now-stray handoff copies.
+  swift_->RunReplication(/*remove_handoffs=*/true);
+  return Status::OK();
+}
+
+Result<SwiftClient> ScoopCluster::Connect(const std::string& tenant,
+                                          const std::string& key,
+                                          const std::string& account) {
+  return SwiftClient::Connect(swift_.get(), tenant, key, account);
+}
+
+void ScoopSession::RegisterCsvTable(const std::string& name,
+                                    const std::string& container,
+                                    const std::string& prefix,
+                                    const Schema& schema, bool pushdown,
+                                    CsvSourceOptions options) {
+  options.pushdown_enabled = pushdown;
+  spark_.RegisterTable(name,
+                       std::make_shared<CsvDataSource>(
+                           &stocator_, container, prefix, schema, options));
+}
+
+void ScoopSession::RegisterParquetTable(const std::string& name,
+                                        const std::string& container,
+                                        const std::string& prefix,
+                                        const Schema& schema,
+                                        bool stats_skipping) {
+  spark_.RegisterTable(name, std::make_shared<ParquetDataSource>(
+                                 &client_, container, prefix, schema,
+                                 stats_skipping));
+}
+
+}  // namespace scoop

@@ -1,0 +1,32 @@
+#ifndef SCOOP_SIMNET_CALIBRATION_H_
+#define SCOOP_SIMNET_CALIBRATION_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+
+namespace scoop {
+
+// Measured single-core throughputs of the real C++ code paths, obtained by
+// timing them over synthetic GridPocket data. The testbed model's
+// aggregate rates are calibrated against the paper's published times; this
+// report shows the per-core rates our own implementation achieves, so the
+// model's aggregate assumptions can be sanity-checked (storlet_Bps /
+// (nodes x usable cores) should be of the same order as
+// storlet_filter_MBps).
+struct CalibrationReport {
+  double storlet_filter_MBps = 0.0;   // CSVStorlet, selection + projection
+  double storlet_rowdrop_MBps = 0.0;  // CSVStorlet, selection only
+  double spark_parse_MBps = 0.0;      // typed CSV parse (compute side)
+  double parquet_decode_MBps = 0.0;   // decompress + decode, all columns
+  double lz_compress_MBps = 0.0;
+  double lz_decompress_MBps = 0.0;
+  double parquet_compression_ratio = 0.0;  // encoded size / raw CSV size
+};
+
+// Runs the calibration over roughly `sample_rows` generated meter rows.
+Result<CalibrationReport> RunCalibration(size_t sample_rows = 50000);
+
+}  // namespace scoop
+
+#endif  // SCOOP_SIMNET_CALIBRATION_H_

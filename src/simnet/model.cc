@@ -1,0 +1,43 @@
+#include "simnet/model.h"
+
+#include <string_view>
+
+namespace scoop {
+
+std::string_view SimModeName(SimMode mode) {
+  switch (mode) {
+    case SimMode::kPlain:
+      return "plain";
+    case SimMode::kScoop:
+      return "scoop";
+    case SimMode::kParquet:
+      return "parquet";
+  }
+  return "?";
+}
+
+std::string_view SelectivityTypeName(SelectivityType type) {
+  switch (type) {
+    case SelectivityType::kRow:
+      return "row";
+    case SelectivityType::kColumn:
+      return "column";
+    case SelectivityType::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+double FilterRateMultiplier(SelectivityType type) {
+  switch (type) {
+    case SelectivityType::kRow:
+      return 1.15;  // whole-row discard: no output re-assembly
+    case SelectivityType::kColumn:
+      return 0.90;  // column concatenation on every row
+    case SelectivityType::kMixed:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+}  // namespace scoop

@@ -1,0 +1,51 @@
+#ifndef SCOOP_SIMNET_SIMULATOR_H_
+#define SCOOP_SIMNET_SIMULATOR_H_
+
+#include "common/metrics.h"
+#include "simnet/model.h"
+
+namespace scoop {
+
+// Outcome of one simulated query execution on the testbed model.
+struct SimResult {
+  double total_seconds = 0.0;
+  double ingest_seconds = 0.0;   // data-movement (+storage filter) phase
+  double compute_seconds = 0.0;  // compute-cluster processing phase
+  double filter_seconds = 0.0;   // storage-side filter component (Scoop)
+  double bytes_transferred = 0.0;  // over the inter-cluster link
+
+  // Per-second utilisation traces for the Fig. 9 / Fig. 10 plots.
+  TimeSeries lb_tx_Bps;        // load-balancer transmit bandwidth
+  TimeSeries spark_cpu_pct;    // mean CPU of Spark nodes
+  TimeSeries spark_mem_pct;    // mean memory of Spark nodes
+  TimeSeries storage_cpu_pct;  // mean CPU of Swift storage nodes
+};
+
+// Closed-form phase simulator over the testbed model. Execution is two
+// pipelined phases:
+//   ingest  — bytes flow disk -> (storlet filter) -> LB -> workers; the
+//             phase rate is the bottleneck stage's rate, expressed in
+//             *raw dataset* bytes;
+//   compute — the compute cluster processes the received bytes.
+// plus fixed startup and per-task overheads amortised over task slots.
+class ClusterSimulator {
+ public:
+  explicit ClusterSimulator(TestbedSpec spec = TestbedSpec())
+      : spec_(spec) {}
+
+  const TestbedSpec& spec() const { return spec_; }
+
+  SimResult Simulate(const SimQuery& query) const;
+
+  // Convenience: speedup of Scoop over plain ingest for one query shape.
+  double Speedup(double dataset_bytes, double data_selectivity) const;
+
+ private:
+  void EmitTraces(const SimQuery& query, SimResult* result) const;
+
+  TestbedSpec spec_;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_SIMNET_SIMULATOR_H_

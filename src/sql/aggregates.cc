@@ -1,0 +1,134 @@
+#include "sql/aggregates.h"
+
+namespace scoop {
+
+Result<AggKind> AggKindFromName(std::string_view name) {
+  if (name == "sum") return AggKind::kSum;
+  if (name == "min") return AggKind::kMin;
+  if (name == "max") return AggKind::kMax;
+  if (name == "count") return AggKind::kCount;
+  if (name == "avg") return AggKind::kAvg;
+  if (name == "first_value") return AggKind::kFirstValue;
+  return Status::InvalidArgument("unknown aggregate: " + std::string(name));
+}
+
+std::string_view AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kAvg:
+      return "avg";
+    case AggKind::kFirstValue:
+      return "first_value";
+  }
+  return "?";
+}
+
+void AggState::Update(AggKind kind, const Value& v) {
+  if (kind == AggKind::kFirstValue) {
+    if (!has_first_) {
+      first_ = v;
+      has_first_ = true;
+    }
+    return;
+  }
+  if (v.is_null()) return;
+  switch (kind) {
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      if (sum_is_integral_ && v.type() == ValueType::kInt64) {
+        int_sum_ += v.AsInt64();
+      } else {
+        if (sum_is_integral_) {
+          double_sum_ = static_cast<double>(int_sum_);
+          sum_is_integral_ = false;
+        }
+        double_sum_ += v.ToDouble();
+      }
+      ++count_;
+      break;
+    case AggKind::kCount:
+      ++count_;
+      break;
+    case AggKind::kMin:
+      if (!has_extreme_ || v.Compare(extreme_) < 0) {
+        extreme_ = v;
+        has_extreme_ = true;
+      }
+      break;
+    case AggKind::kMax:
+      if (!has_extreme_ || v.Compare(extreme_) > 0) {
+        extreme_ = v;
+        has_extreme_ = true;
+      }
+      break;
+    case AggKind::kFirstValue:
+      break;  // handled above
+  }
+}
+
+void AggState::Merge(AggKind kind, const AggState& other) {
+  switch (kind) {
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      if (sum_is_integral_ && other.sum_is_integral_) {
+        int_sum_ += other.int_sum_;
+      } else {
+        if (sum_is_integral_) {
+          double_sum_ = static_cast<double>(int_sum_);
+          sum_is_integral_ = false;
+        }
+        double_sum_ += other.sum_is_integral_
+                           ? static_cast<double>(other.int_sum_)
+                           : other.double_sum_;
+      }
+      count_ += other.count_;
+      break;
+    case AggKind::kCount:
+      count_ += other.count_;
+      break;
+    case AggKind::kMin:
+      if (other.has_extreme_) Update(kind, other.extreme_);
+      break;
+    case AggKind::kMax:
+      if (other.has_extreme_) Update(kind, other.extreme_);
+      break;
+    case AggKind::kFirstValue:
+      if (!has_first_ && other.has_first_) {
+        first_ = other.first_;
+        has_first_ = true;
+      }
+      break;
+  }
+}
+
+Value AggState::Final(AggKind kind) const {
+  switch (kind) {
+    case AggKind::kSum:
+      if (count_ == 0) return Value::Null();
+      if (sum_is_integral_) return Value(int_sum_);
+      return Value(double_sum_);
+    case AggKind::kAvg: {
+      if (count_ == 0) return Value::Null();
+      double total = sum_is_integral_ ? static_cast<double>(int_sum_)
+                                      : double_sum_;
+      return Value(total / static_cast<double>(count_));
+    }
+    case AggKind::kCount:
+      return Value(count_);
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return has_extreme_ ? extreme_ : Value::Null();
+    case AggKind::kFirstValue:
+      return has_first_ ? first_ : Value::Null();
+  }
+  return Value::Null();
+}
+
+}  // namespace scoop

@@ -1,0 +1,186 @@
+#include "sql/ast.h"
+
+#include "common/strings.h"
+
+namespace scoop {
+
+namespace {
+const char* kAggregateNames[] = {"sum", "min", "max",
+                                 "count", "avg", "first_value"};
+}  // namespace
+
+std::unique_ptr<Expr> Expr::Lit(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Col(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kColumn;
+  e->name = std::move(name);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Star() {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kStar;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Unary(UnaryOp op, std::unique_ptr<Expr> arg) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kUnary;
+  e->uop = op;
+  e->args.push_back(std::move(arg));
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Binary(BinaryOp op, std::unique_ptr<Expr> lhs,
+                                   std::unique_ptr<Expr> rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBinary;
+  e->bop = op;
+  e->args.push_back(std::move(lhs));
+  e->args.push_back(std::move(rhs));
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Func(std::string name,
+                                 std::vector<std::unique_ptr<Expr>> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kFunc;
+  e->name = ToLower(name);
+  e->args = std::move(args);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->literal = literal;
+  e->name = name;
+  e->bop = bop;
+  e->uop = uop;
+  e->col_index = col_index;
+  e->args.reserve(args.size());
+  for (const auto& arg : args) e->args.push_back(arg->Clone());
+  return e;
+}
+
+std::string_view BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "!=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "and";
+    case BinaryOp::kOr:
+      return "or";
+    case BinaryOp::kLike:
+      return "like";
+  }
+  return "?";
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      if (literal.type() == ValueType::kString) {
+        return "'" + literal.AsString() + "'";
+      }
+      return literal.is_null() ? "null" : literal.ToString();
+    case Kind::kColumn:
+      return ToLower(name);
+    case Kind::kStar:
+      return "*";
+    case Kind::kUnary:
+      return std::string(uop == UnaryOp::kNeg ? "-" : "not ") +
+             args[0]->ToString();
+    case Kind::kBinary:
+      return "(" + args[0]->ToString() + " " +
+             std::string(BinaryOpName(bop)) + " " + args[1]->ToString() + ")";
+    case Kind::kFunc: {
+      std::string out = name + "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args[i]->ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+bool Expr::IsAggregateCall() const {
+  if (kind != Kind::kFunc) return false;
+  for (const char* agg : kAggregateNames) {
+    if (name == agg) return true;
+  }
+  return false;
+}
+
+bool Expr::ContainsAggregate() const {
+  if (IsAggregateCall()) return true;
+  for (const auto& arg : args) {
+    if (arg->ContainsAggregate()) return true;
+  }
+  return false;
+}
+
+bool SelectStatement::HasAggregates() const {
+  if (!group_by.empty() || having != nullptr) return true;
+  for (const SelectItem& item : items) {
+    if (item.expr->ContainsAggregate()) return true;
+  }
+  return false;
+}
+
+std::string SelectStatement::ToString() const {
+  std::string out = "select ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += items[i].expr->ToString();
+    if (!items[i].alias.empty()) out += " as " + items[i].alias;
+  }
+  out += " from " + table;
+  if (where != nullptr) out += " where " + where->ToString();
+  if (!group_by.empty()) {
+    out += " group by ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i]->ToString();
+    }
+  }
+  if (having != nullptr) out += " having " + having->ToString();
+  if (!order_by.empty()) {
+    out += " order by ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].expr->ToString();
+      if (order_by[i].descending) out += " desc";
+    }
+  }
+  if (limit >= 0) out += " limit " + std::to_string(limit);
+  return out;
+}
+
+}  // namespace scoop

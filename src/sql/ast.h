@@ -1,0 +1,102 @@
+#ifndef SCOOP_SQL_AST_H_
+#define SCOOP_SQL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/value.h"
+
+namespace scoop {
+
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kLike,
+};
+
+enum class UnaryOp { kNeg, kNot };
+
+// SQL expression tree. Function names are stored lowercased; aggregate
+// functions (sum/min/max/count/avg/first_value) appear as kFunc nodes and
+// are handled by the executor rather than the scalar evaluator.
+struct Expr {
+  enum class Kind { kLiteral, kColumn, kStar, kUnary, kBinary, kFunc };
+
+  Kind kind = Kind::kLiteral;
+  Value literal;
+  std::string name;  // column name (as written) or function name (lower)
+  BinaryOp bop = BinaryOp::kAdd;
+  UnaryOp uop = UnaryOp::kNeg;
+  std::vector<std::unique_ptr<Expr>> args;
+
+  // Set by BindExpr: index of a kColumn node in the bound schema.
+  int col_index = -1;
+
+  static std::unique_ptr<Expr> Lit(Value v);
+  static std::unique_ptr<Expr> Col(std::string name);
+  static std::unique_ptr<Expr> Star();
+  static std::unique_ptr<Expr> Unary(UnaryOp op, std::unique_ptr<Expr> arg);
+  static std::unique_ptr<Expr> Binary(BinaryOp op, std::unique_ptr<Expr> lhs,
+                                      std::unique_ptr<Expr> rhs);
+  static std::unique_ptr<Expr> Func(std::string name,
+                                    std::vector<std::unique_ptr<Expr>> args);
+
+  std::unique_ptr<Expr> Clone() const;
+
+  // Canonical form used for display and for matching ORDER BY / SELECT
+  // expressions against GROUP BY keys (identifiers lowercased).
+  std::string ToString() const;
+
+  // True when this node is a call to an aggregate function.
+  bool IsAggregateCall() const;
+
+  // True when any descendant is an aggregate call.
+  bool ContainsAggregate() const;
+};
+
+std::string_view BinaryOpName(BinaryOp op);
+
+struct SelectItem {
+  std::unique_ptr<Expr> expr;
+  std::string alias;  // empty when none given
+
+  // Output column name: the alias, or the canonical expression text.
+  std::string OutputName() const {
+    return alias.empty() ? expr->ToString() : alias;
+  }
+};
+
+struct OrderItem {
+  std::unique_ptr<Expr> expr;
+  bool descending = false;
+};
+
+// A parsed SELECT statement over a single table.
+struct SelectStatement {
+  std::vector<SelectItem> items;
+  std::string table;
+  std::unique_ptr<Expr> where;   // nullptr when absent
+  std::vector<std::unique_ptr<Expr>> group_by;
+  std::unique_ptr<Expr> having;  // nullptr when absent; needs aggregates
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  // -1: no limit
+
+  bool HasAggregates() const;
+  std::string ToString() const;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_SQL_AST_H_

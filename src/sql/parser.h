@@ -1,0 +1,32 @@
+#ifndef SCOOP_SQL_PARSER_H_
+#define SCOOP_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace scoop {
+
+// Parses the Spark SQL dialect subset exercised by the paper's workload
+// (Table I) and the synthetic benchmark queries:
+//
+//   SELECT expr [AS alias] [, ...]
+//   FROM table
+//   [WHERE expr]
+//   [GROUP BY expr [, ...]]
+//   [ORDER BY expr [ASC|DESC] [, ...]]
+//   [LIMIT n]
+//
+// Expressions support AND/OR/NOT, comparisons (= != <> < <= > >=), LIKE,
+// arithmetic (+ - * /), unary minus, string/number literals, column
+// references, * and function calls (SUM, MIN, MAX, COUNT, AVG,
+// FIRST_VALUE, SUBSTRING, ...). Keywords are case-insensitive.
+Result<SelectStatement> ParseSql(std::string_view sql);
+
+// Parses a standalone expression (used by tests and the predicate tools).
+Result<std::unique_ptr<Expr>> ParseExpression(std::string_view text);
+
+}  // namespace scoop
+
+#endif  // SCOOP_SQL_PARSER_H_

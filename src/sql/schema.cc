@@ -1,0 +1,79 @@
+#include "sql/schema.h"
+
+#include "common/strings.h"
+
+namespace scoop {
+
+std::string_view ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kString:
+      return "string";
+    case ColumnType::kInt64:
+      return "int64";
+    case ColumnType::kDouble:
+      return "double";
+  }
+  return "?";
+}
+
+Result<ColumnType> ColumnTypeFromName(std::string_view name) {
+  std::string lower = ToLower(name);
+  if (lower == "string") return ColumnType::kString;
+  if (lower == "int64" || lower == "int" || lower == "long") {
+    return ColumnType::kInt64;
+  }
+  if (lower == "double" || lower == "float") return ColumnType::kDouble;
+  return Status::InvalidArgument("unknown column type: " + lower);
+}
+
+int Schema::IndexOf(std::string_view name) const {
+  std::string lower = ToLower(name);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (ToLower(columns_[i].name) == lower) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<Schema> Schema::Select(const std::vector<std::string>& names) const {
+  std::vector<Column> out;
+  out.reserve(names.size());
+  for (const std::string& name : names) {
+    int idx = IndexOf(name);
+    if (idx < 0) return Status::NotFound("no column named " + name);
+    out.push_back(columns_[static_cast<size_t>(idx)]);
+  }
+  return Schema(std::move(out));
+}
+
+std::string Schema::ToSpec() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += columns_[i].name;
+    out += ":";
+    out += ColumnTypeName(columns_[i].type);
+  }
+  return out;
+}
+
+Result<Schema> Schema::FromSpec(std::string_view spec) {
+  std::vector<Column> columns;
+  if (Trim(spec).empty()) return Schema();
+  for (std::string_view part : Split(spec, ',')) {
+    size_t colon = part.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument("bad column spec: " + std::string(part));
+    }
+    Column column;
+    column.name = std::string(Trim(part.substr(0, colon)));
+    if (column.name.empty()) {
+      return Status::InvalidArgument("empty column name in schema spec");
+    }
+    SCOOP_ASSIGN_OR_RETURN(column.type,
+                           ColumnTypeFromName(Trim(part.substr(colon + 1))));
+    columns.push_back(std::move(column));
+  }
+  return Schema(std::move(columns));
+}
+
+}  // namespace scoop

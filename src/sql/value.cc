@@ -1,0 +1,111 @@
+#include "sql/value.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace scoop {
+
+double Value::ToDouble() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return static_cast<double>(AsInt64());
+    case ValueType::kDouble:
+      return AsDoubleExact();
+    case ValueType::kString: {
+      auto parsed = ParseDouble(AsString());
+      return parsed.ok() ? *parsed : 0.0;
+    }
+    case ValueType::kNull:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kDouble:
+      // One fixed rendering for all doubles: values that round-trip
+      // through CSV text must display identically to values that never
+      // left memory, or distributed and reference results would diverge.
+      return StrFormat("%.6g", AsDoubleExact());
+    case ValueType::kString:
+      return AsString();
+  }
+  return "";
+}
+
+Value Value::FromField(std::string_view field, ColumnType type) {
+  if (field.empty()) return Value::Null();
+  switch (type) {
+    case ColumnType::kString:
+      return Value(field);
+    case ColumnType::kInt64: {
+      auto parsed = ParseInt64(field);
+      if (parsed.ok()) return Value(*parsed);
+      return Value::Null();
+    }
+    case ColumnType::kDouble: {
+      auto parsed = ParseDouble(field);
+      if (parsed.ok()) return Value(*parsed);
+      return Value::Null();
+    }
+  }
+  return Value::Null();
+}
+
+int Value::Compare(const Value& other) const {
+  bool a_null = is_null();
+  bool b_null = other.is_null();
+  if (a_null && b_null) return 0;
+  if (a_null) return -1;
+  if (b_null) return 1;
+  bool a_num = type() == ValueType::kInt64 || type() == ValueType::kDouble;
+  bool b_num =
+      other.type() == ValueType::kInt64 || other.type() == ValueType::kDouble;
+  if (a_num && b_num) {
+    if (type() == ValueType::kInt64 && other.type() == ValueType::kInt64) {
+      int64_t a = AsInt64();
+      int64_t b = other.AsInt64();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = ToDouble();
+    double b = other.ToDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  // Mixed or string comparison: compare display forms.
+  std::string a = ToString();
+  std::string b = other.ToString();
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kInt64:
+      return Mix64(static_cast<uint64_t>(AsInt64()));
+    case ValueType::kDouble: {
+      double v = AsDoubleExact();
+      // Hash integral doubles like the equal int64 so 1 and 1.0 group
+      // together, matching Compare().
+      if (std::floor(v) == v && std::abs(v) < 9e18) {
+        return Mix64(static_cast<uint64_t>(static_cast<int64_t>(v)));
+      }
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(v));
+      __builtin_memcpy(&bits, &v, sizeof(bits));
+      return Mix64(bits);
+    }
+    case ValueType::kString:
+      return Fnv1a64(AsString());
+  }
+  return 0;
+}
+
+}  // namespace scoop

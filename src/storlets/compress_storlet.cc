@@ -1,0 +1,75 @@
+#include "storlets/compress_storlet.h"
+
+#include "common/lz.h"
+#include "common/strings.h"
+
+namespace scoop {
+
+namespace {
+constexpr char kFrameMagic[4] = {'S', 'L', 'Z', '1'};
+
+void PutU64Le(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint64_t GetU64Le(std::string_view data) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data[i])) << (8 * i);
+  }
+  return v;
+}
+}  // namespace
+
+bool IsCompressedFrame(std::string_view data) {
+  return data.size() >= 12 &&
+         std::string_view(data.data(), 4) ==
+             std::string_view(kFrameMagic, 4);
+}
+
+Status CompressStorlet::Invoke(StorletInputStream& input,
+                               StorletOutputStream& output,
+                               const StorletParams& /*params*/,
+                               StorletLogger& logger) {
+  std::string_view raw = input.Remaining();
+  std::string compressed = LzCompress(raw);
+  std::string frame(kFrameMagic, sizeof(kFrameMagic));
+  PutU64Le(&frame, raw.size());
+  frame += compressed;
+  logger.Emit(StrFormat("compress: %zu -> %zu bytes (%.1f%%)", raw.size(),
+                        frame.size(),
+                        raw.empty() ? 100.0
+                                    : 100.0 * static_cast<double>(frame.size()) /
+                                          static_cast<double>(raw.size())));
+  output.SetMetadata("content-encoding", "scoop-lz");
+  output.Write(frame);
+  return Status::OK();
+}
+
+Result<std::string> DecodeCompressedFrame(std::string_view data) {
+  if (!IsCompressedFrame(data)) {
+    return Status::InvalidArgument("not a scoop-lz frame");
+  }
+  uint64_t raw_size = GetU64Le(data.substr(4));
+  SCOOP_ASSIGN_OR_RETURN(std::string raw,
+                         LzDecompress(data.substr(12), raw_size + 1));
+  if (raw.size() != raw_size) {
+    return Status::InvalidArgument("scoop-lz frame size mismatch");
+  }
+  return raw;
+}
+
+Status DecompressStorlet::Invoke(StorletInputStream& input,
+                                 StorletOutputStream& output,
+                                 const StorletParams& /*params*/,
+                                 StorletLogger& logger) {
+  auto raw = DecodeCompressedFrame(input.Remaining());
+  if (!raw.ok()) return raw.status();
+  logger.Emit(StrFormat("decompress: -> %zu bytes", raw->size()));
+  output.Write(*raw);
+  return Status::OK();
+}
+
+}  // namespace scoop

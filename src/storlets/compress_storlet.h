@@ -1,0 +1,57 @@
+#ifndef SCOOP_STORLETS_COMPRESS_STORLET_H_
+#define SCOOP_STORLETS_COMPRESS_STORLET_H_
+
+#include <memory>
+#include <string>
+
+#include "storlets/storlet.h"
+
+namespace scoop {
+
+// Compression filters — the "intelligent combination of data filtering
+// and compression" the paper's §VI-C leaves as future work. Pipelined
+// after the CSVStorlet (X-Run-Storlet: csvstorlet,compress), the store
+// ships compressed filtered data, reclaiming Parquet's advantage in the
+// low-selectivity regime without giving up exact row/mixed filtering.
+//
+// Frame format: "SLZ1" magic, 8-byte little-endian raw size, LZ payload.
+class CompressStorlet : public Storlet {
+ public:
+  static constexpr char kName[] = "compress";
+
+  std::string name() const override { return kName; }
+
+  Status Invoke(StorletInputStream& input, StorletOutputStream& output,
+                const StorletParams& params, StorletLogger& logger) override;
+
+  static std::unique_ptr<Storlet> Make() {
+    return std::make_unique<CompressStorlet>();
+  }
+};
+
+// Inverse filter; also usable on the PUT path to store decompressed data,
+// or invoked by clients that received a compressed response.
+class DecompressStorlet : public Storlet {
+ public:
+  static constexpr char kName[] = "decompress";
+
+  std::string name() const override { return kName; }
+
+  Status Invoke(StorletInputStream& input, StorletOutputStream& output,
+                const StorletParams& params, StorletLogger& logger) override;
+
+  static std::unique_ptr<Storlet> Make() {
+    return std::make_unique<DecompressStorlet>();
+  }
+};
+
+// Client-side helper: decodes a CompressStorlet frame. Returns
+// InvalidArgument when `data` is not a compression frame.
+Result<std::string> DecodeCompressedFrame(std::string_view data);
+
+// True when `data` starts with the compression-frame magic.
+bool IsCompressedFrame(std::string_view data);
+
+}  // namespace scoop
+
+#endif  // SCOOP_STORLETS_COMPRESS_STORLET_H_

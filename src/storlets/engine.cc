@@ -1,0 +1,93 @@
+#include "storlets/engine.h"
+
+#include "common/strings.h"
+#include "storlets/headers.h"
+
+namespace scoop {
+
+StorletEngine::StorletEngine(std::shared_ptr<StorletRegistry> registry,
+                             std::shared_ptr<PolicyStore> policies,
+                             MetricRegistry* metrics, SandboxLimits limits)
+    : registry_(std::move(registry)),
+      policies_(std::move(policies)),
+      metrics_(metrics),
+      sandbox_(limits, metrics) {}
+
+Result<std::vector<StorletInvocation>> StorletEngine::ParseInvocations(
+    const Headers& headers) {
+  std::vector<StorletInvocation> out;
+  auto run = headers.Get(kRunStorletHeader);
+  if (!run) return out;
+  for (std::string_view name : Split(*run, ',')) {
+    name = Trim(name);
+    if (name.empty()) {
+      return Status::InvalidArgument("empty storlet name in X-Run-Storlet");
+    }
+    out.push_back(StorletInvocation{std::string(name), {}});
+  }
+  // Decode parameters. Un-indexed X-Storlet-Parameter-<key> headers apply
+  // to the first stage; X-Storlet-<i>-Parameter-<key> to stage i.
+  for (const auto& [header_name, value] : headers) {
+    std::string lower = ToLower(header_name);
+    const std::string plain_prefix = ToLower(kStorletParamPrefix);
+    if (StartsWith(lower, plain_prefix)) {
+      std::string key = lower.substr(plain_prefix.size());
+      if (key.empty()) continue;
+      out[0].params[key] = value;
+      continue;
+    }
+    // Indexed form: x-storlet-<i>-parameter-<key>.
+    const std::string stage_prefix = "x-storlet-";
+    const std::string param_marker = "-parameter-";
+    if (StartsWith(lower, stage_prefix)) {
+      size_t marker = lower.find(param_marker, stage_prefix.size());
+      if (marker == std::string::npos) continue;
+      std::string index_str =
+          lower.substr(stage_prefix.size(), marker - stage_prefix.size());
+      auto index = ParseInt64(index_str);
+      if (!index.ok()) continue;  // not an indexed parameter header
+      if (*index < 0 || *index >= static_cast<int64_t>(out.size())) {
+        return Status::InvalidArgument(
+            "storlet parameter stage index out of range: " + index_str);
+      }
+      std::string key = lower.substr(marker + param_marker.size());
+      if (key.empty()) continue;
+      out[static_cast<size_t>(*index)].params[key] = value;
+    }
+  }
+  return out;
+}
+
+Result<SandboxResult> StorletEngine::RunPipeline(
+    const std::string& account, const std::string& container,
+    const std::vector<StorletInvocation>& invocations,
+    std::string_view data) const {
+  StorletPolicy policy = policies_->Resolve(account, container);
+  SandboxResult accumulated;
+  accumulated.output.assign(data.data(), data.size());
+  for (const StorletInvocation& invocation : invocations) {
+    if (!PolicyStore::Allows(policy, invocation.name)) {
+      return Status::Unauthorized("policy denies storlet '" +
+                                  invocation.name + "' on " + account + "/" +
+                                  container);
+    }
+    SCOOP_ASSIGN_OR_RETURN(std::unique_ptr<Storlet> storlet,
+                           registry_->Create(invocation.name));
+    SCOOP_ASSIGN_OR_RETURN(
+        SandboxResult stage,
+        sandbox_.Execute(*storlet, accumulated.output, invocation.params));
+    accumulated.output = std::move(stage.output);
+    for (auto& [key, value] : stage.metadata) {
+      accumulated.metadata[key] = std::move(value);
+    }
+    accumulated.usage.bytes_in += stage.usage.bytes_in;
+    accumulated.usage.bytes_out += stage.usage.bytes_out;
+    accumulated.usage.exec_ns += stage.usage.exec_ns;
+    for (auto& line : stage.log_lines) {
+      accumulated.log_lines.push_back(std::move(line));
+    }
+  }
+  return accumulated;
+}
+
+}  // namespace scoop

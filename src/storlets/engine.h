@@ -1,0 +1,57 @@
+#ifndef SCOOP_STORLETS_ENGINE_H_
+#define SCOOP_STORLETS_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "objectstore/http.h"
+#include "storlets/policy.h"
+#include "storlets/registry.h"
+#include "storlets/sandbox.h"
+#include "storlets/storlet.h"
+
+namespace scoop {
+
+// One storlet of a request's pipeline, with its decoded parameters.
+struct StorletInvocation {
+  std::string name;
+  StorletParams params;
+};
+
+// Executes pushdown filters for the cluster: resolves policies, pulls
+// implementations from the registry, runs them in the sandbox, and chains
+// pipelined filters (output of stage i feeds stage i+1, paper §IV-B).
+class StorletEngine {
+ public:
+  StorletEngine(std::shared_ptr<StorletRegistry> registry,
+                std::shared_ptr<PolicyStore> policies, MetricRegistry* metrics,
+                SandboxLimits limits = SandboxLimits());
+
+  StorletRegistry& registry() { return *registry_; }
+  PolicyStore& policies() { return *policies_; }
+
+  // Decodes X-Run-Storlet and its parameter headers into the invocation
+  // pipeline. Returns an empty vector when the header is absent.
+  static Result<std::vector<StorletInvocation>> ParseInvocations(
+      const Headers& headers);
+
+  // Runs the pipeline over `data` for the given scope; enforces policy.
+  // On success the final stage's output replaces the data.
+  Result<SandboxResult> RunPipeline(
+      const std::string& account, const std::string& container,
+      const std::vector<StorletInvocation>& invocations,
+      std::string_view data) const;
+
+ private:
+  std::shared_ptr<StorletRegistry> registry_;
+  std::shared_ptr<PolicyStore> policies_;
+  MetricRegistry* metrics_;
+  Sandbox sandbox_;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_STORLETS_ENGINE_H_

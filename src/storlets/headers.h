@@ -1,0 +1,37 @@
+#ifndef SCOOP_STORLETS_HEADERS_H_
+#define SCOOP_STORLETS_HEADERS_H_
+
+namespace scoop {
+
+// HTTP header names making up the pushdown-task protocol between the
+// analytics delegator (Stocator) and the Storlet engine.
+
+// Comma-separated list of storlet names to run, in pipeline order.
+inline constexpr char kRunStorletHeader[] = "X-Run-Storlet";
+
+// Parameter for the (single or first) storlet: X-Storlet-Parameter-<Key>.
+inline constexpr char kStorletParamPrefix[] = "X-Storlet-Parameter-";
+
+// Parameter for pipeline stage i: X-Storlet-<i>-Parameter-<Key>.
+inline constexpr char kStorletStageParamPrefix[] = "X-Storlet-";
+
+// Where to execute: "object" (default; close to the data) or "proxy".
+inline constexpr char kStorletRunOnHeader[] = "X-Storlet-Run-On";
+
+// Set by the engine once filters ran, so the proxy stage does not re-run
+// them when the object stage already did.
+inline constexpr char kStorletExecutedHeader[] = "X-Storlet-Executed";
+
+// When "true", a ranged GET is record-aligned before filtering: the engine
+// drops the partial record at the front of the range (unless the range
+// starts at byte 0) and extends past the end of the range to complete the
+// final record — the Hadoop text-input contract, executed at the object
+// node (paper §V-A byte-range support).
+inline constexpr char kStorletRangeRecordsHeader[] = "X-Storlet-Range-Records";
+
+// Container that deployed storlet code objects live in.
+inline constexpr char kStorletContainer[] = ".storlets";
+
+}  // namespace scoop
+
+#endif  // SCOOP_STORLETS_HEADERS_H_

@@ -1,0 +1,63 @@
+#include "storlets/registry.h"
+
+namespace scoop {
+
+Status StorletRegistry::RegisterFactory(const std::string& name,
+                                        StorletFactory factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (factories_.count(name)) {
+    return Status::AlreadyExists("storlet factory exists: " + name);
+  }
+  factories_[name] = std::move(factory);
+  return Status::OK();
+}
+
+Status StorletRegistry::Deploy(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!factories_.count(name)) {
+    return Status::NotFound("no storlet implementation named " + name);
+  }
+  deployed_[name] = true;
+  return Status::OK();
+}
+
+Status StorletRegistry::Undeploy(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = deployed_.find(name);
+  if (it == deployed_.end() || !it->second) {
+    return Status::NotFound("storlet not deployed: " + name);
+  }
+  it->second = false;
+  return Status::OK();
+}
+
+bool StorletRegistry::IsDeployed(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = deployed_.find(name);
+  return it != deployed_.end() && it->second;
+}
+
+Result<std::unique_ptr<Storlet>> StorletRegistry::Create(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto dit = deployed_.find(name);
+  if (dit == deployed_.end() || !dit->second) {
+    return Status::NotFound("storlet not deployed: " + name);
+  }
+  auto fit = factories_.find(name);
+  if (fit == factories_.end()) {
+    return Status::Internal("deployed storlet has no factory: " + name);
+  }
+  return fit->second();
+}
+
+std::vector<std::string> StorletRegistry::DeployedNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, is_deployed] : deployed_) {
+    if (is_deployed) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace scoop

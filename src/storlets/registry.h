@@ -1,0 +1,48 @@
+#ifndef SCOOP_STORLETS_REGISTRY_H_
+#define SCOOP_STORLETS_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storlets/storlet.h"
+
+namespace scoop {
+
+// Holds the deployable storlet implementations. In OpenStack, storlet code
+// is packaged and uploaded "as a regular object" into a special container;
+// here the binary logic is a registered factory, and Deploy() marks a name
+// as installed for use. The split mirrors the paper's model: a third party
+// contributes only the logic, the system manages deployment and execution
+// (§IV-B), and the store can be extended with new filters "on-the-fly".
+class StorletRegistry {
+ public:
+  // Makes the implementation `factory` available under `name`.
+  // Fails with AlreadyExists when the name is taken.
+  Status RegisterFactory(const std::string& name, StorletFactory factory);
+
+  // Marks `name` as deployed (installable only if a factory exists).
+  Status Deploy(const std::string& name);
+
+  // Removes a deployment; the factory stays registered.
+  Status Undeploy(const std::string& name);
+
+  bool IsDeployed(const std::string& name) const;
+
+  // Instantiates a fresh storlet for one invocation.
+  Result<std::unique_ptr<Storlet>> Create(const std::string& name) const;
+
+  std::vector<std::string> DeployedNames() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, StorletFactory> factories_;
+  std::map<std::string, bool> deployed_;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_STORLETS_REGISTRY_H_

@@ -1,0 +1,52 @@
+#include "storlets/sandbox.h"
+
+namespace scoop {
+
+Result<SandboxResult> Sandbox::Execute(Storlet& storlet,
+                                       std::string_view input,
+                                       const StorletParams& params) const {
+  StorletInputStream in(input);
+  StorletOutputStream out;
+  StorletLogger logger;
+
+  Stopwatch watch;
+  Status status = storlet.Invoke(in, out, params, logger);
+  double elapsed = watch.ElapsedSeconds();
+  uint64_t exec_ns = static_cast<uint64_t>(elapsed * 1e9);
+
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("storlet.invocations")->Increment();
+    metrics_->GetCounter("storlet.bytes_in")
+        ->Add(static_cast<int64_t>(input.size()));
+    metrics_->GetCounter("storlet.bytes_out")
+        ->Add(static_cast<int64_t>(out.bytes_written()));
+    metrics_->GetCounter("storlet.exec_ns")
+        ->Add(static_cast<int64_t>(exec_ns));
+  }
+  if (!status.ok()) {
+    if (metrics_ != nullptr) metrics_->GetCounter("storlet.failures")->Increment();
+    return status;
+  }
+  if (limits_.max_output_bytes > 0 &&
+      out.bytes_written() > limits_.max_output_bytes) {
+    if (metrics_ != nullptr) metrics_->GetCounter("storlet.failures")->Increment();
+    return Status::ResourceExhausted(
+        "storlet '" + storlet.name() + "' exceeded output cap");
+  }
+  if (limits_.max_exec_ns > 0 && exec_ns > limits_.max_exec_ns) {
+    if (metrics_ != nullptr) metrics_->GetCounter("storlet.failures")->Increment();
+    return Status::ResourceExhausted(
+        "storlet '" + storlet.name() + "' exceeded time budget");
+  }
+
+  SandboxResult result;
+  result.output = out.TakeBuffer();
+  result.metadata = out.metadata();
+  result.usage.bytes_in = input.size();
+  result.usage.bytes_out = result.output.size();
+  result.usage.exec_ns = exec_ns;
+  result.log_lines = logger.lines();
+  return result;
+}
+
+}  // namespace scoop

@@ -1,0 +1,28 @@
+#include "storlets/storlet.h"
+
+#include <cstring>
+
+namespace scoop {
+
+size_t StorletInputStream::Read(char* buf, size_t n) {
+  size_t available = data_.size() - pos_;
+  size_t count = std::min(n, available);
+  std::memcpy(buf, data_.data() + pos_, count);
+  pos_ += count;
+  return count;
+}
+
+std::optional<std::string_view> StorletInputStream::ReadLine() {
+  if (pos_ >= data_.size()) return std::nullopt;
+  size_t nl = data_.find('\n', pos_);
+  if (nl == std::string_view::npos) {
+    std::string_view line = data_.substr(pos_);
+    pos_ = data_.size();
+    return line;
+  }
+  std::string_view line = data_.substr(pos_, nl - pos_);
+  pos_ = nl + 1;
+  return line;
+}
+
+}  // namespace scoop

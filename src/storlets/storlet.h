@@ -1,0 +1,102 @@
+#ifndef SCOOP_STORLETS_STORLET_H_
+#define SCOOP_STORLETS_STORLET_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace scoop {
+
+// Parameters passed to a storlet invocation (the pushdown-task metadata
+// decoded from the request headers).
+using StorletParams = std::map<std::string, std::string>;
+
+// Collects log lines emitted by a storlet run; surfaced to the caller for
+// debugging, mirroring the StorletLogger of the OpenStack framework.
+class StorletLogger {
+ public:
+  void Emit(std::string line) { lines_.push_back(std::move(line)); }
+  const std::vector<std::string>& lines() const { return lines_; }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+// Pull-based input stream over the (possibly range-sliced) object data.
+// Storlets consume it once, front to back — the single inbound stream of
+// an object request (paper §IV-A).
+class StorletInputStream {
+ public:
+  explicit StorletInputStream(std::string_view data) : data_(data) {}
+
+  // Copies up to `n` bytes into `buf`; returns the count (0 at EOF).
+  size_t Read(char* buf, size_t n);
+
+  // Returns the next line without its trailing '\n' (handles a final
+  // unterminated line); nullopt at EOF.
+  std::optional<std::string_view> ReadLine();
+
+  // Remaining unread bytes.
+  std::string_view Remaining() const { return data_.substr(pos_); }
+  size_t bytes_consumed() const { return pos_; }
+  bool AtEof() const { return pos_ >= data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// Push-based output stream; whatever the storlet writes becomes the
+// response body the requesting task receives.
+class StorletOutputStream {
+ public:
+  void Write(std::string_view data) { buffer_.append(data); }
+  void WriteLine(std::string_view line) {
+    buffer_.append(line);
+    buffer_.push_back('\n');
+  }
+  // Response metadata the storlet wants to attach (X-Object-Meta-*).
+  void SetMetadata(const std::string& key, std::string value) {
+    metadata_[key] = std::move(value);
+  }
+
+  const std::string& buffer() const { return buffer_; }
+  std::string TakeBuffer() { return std::move(buffer_); }
+  const std::map<std::string, std::string>& metadata() const {
+    return metadata_;
+  }
+  size_t bytes_written() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  std::map<std::string, std::string> metadata_;
+};
+
+// The pushdown-filter interface — the C++ rendering of the paper's
+// IStorlet. Implementations must be stateless across invocations (a fresh
+// instance is created per request) and must not coordinate with other
+// running filters (§IV-A: filters run within the context of a single
+// inbound/outbound stream).
+class Storlet {
+ public:
+  virtual ~Storlet() = default;
+
+  virtual std::string name() const = 0;
+
+  // Transforms `input` into `output`. `params` carries the pushdown task.
+  virtual Status Invoke(StorletInputStream& input, StorletOutputStream& output,
+                        const StorletParams& params, StorletLogger& logger) = 0;
+};
+
+using StorletFactory = std::function<std::unique_ptr<Storlet>()>;
+
+}  // namespace scoop
+
+#endif  // SCOOP_STORLETS_STORLET_H_

@@ -1,0 +1,239 @@
+#include "storlets/storlet_middleware.h"
+
+#include "common/strings.h"
+#include "objectstore/object_server.h"
+#include "storlets/headers.h"
+
+namespace scoop {
+
+namespace {
+
+// Parses "bytes first-last/total" from a Content-Range header.
+struct ContentRange {
+  uint64_t first = 0;
+  uint64_t last = 0;
+  uint64_t total = 0;
+};
+
+Result<ContentRange> ParseContentRange(const std::string& value) {
+  if (!StartsWith(value, "bytes ")) {
+    return Status::InvalidArgument("bad Content-Range: " + value);
+  }
+  std::string_view rest = std::string_view(value).substr(6);
+  size_t dash = rest.find('-');
+  size_t slash = rest.find('/');
+  if (dash == std::string_view::npos || slash == std::string_view::npos ||
+      dash > slash) {
+    return Status::InvalidArgument("bad Content-Range: " + value);
+  }
+  ContentRange out;
+  SCOOP_ASSIGN_OR_RETURN(int64_t first, ParseInt64(rest.substr(0, dash)));
+  SCOOP_ASSIGN_OR_RETURN(int64_t last,
+                         ParseInt64(rest.substr(dash + 1, slash - dash - 1)));
+  SCOOP_ASSIGN_OR_RETURN(int64_t total, ParseInt64(rest.substr(slash + 1)));
+  out.first = static_cast<uint64_t>(first);
+  out.last = static_cast<uint64_t>(last);
+  out.total = static_cast<uint64_t>(total);
+  return out;
+}
+
+// Parses an explicit "bytes=first-last" request range; other forms return
+// an error and disable the start-1 adjustment.
+Result<std::pair<uint64_t, uint64_t>> ParseExplicitRange(
+    const std::string& value) {
+  if (!StartsWith(value, "bytes=")) {
+    return Status::InvalidArgument("bad Range: " + value);
+  }
+  std::string_view spec = std::string_view(value).substr(6);
+  size_t dash = spec.find('-');
+  if (dash == std::string_view::npos || dash == 0 ||
+      dash + 1 >= spec.size()) {
+    return Status::InvalidArgument("not an explicit range: " + value);
+  }
+  SCOOP_ASSIGN_OR_RETURN(int64_t first, ParseInt64(spec.substr(0, dash)));
+  SCOOP_ASSIGN_OR_RETURN(int64_t last, ParseInt64(spec.substr(dash + 1)));
+  if (first < 0 || last < first) {
+    return Status::InvalidArgument("bad explicit range: " + value);
+  }
+  return std::make_pair(static_cast<uint64_t>(first),
+                        static_cast<uint64_t>(last));
+}
+
+// Bytes fetched per extension read while completing the trailing record.
+constexpr uint64_t kExtensionChunk = 64 * 1024;
+
+}  // namespace
+
+HttpResponse StorletMiddleware::Process(Request& request,
+                                        const HttpHandler& next) {
+  if (!request.headers.Has(kRunStorletHeader)) return next(request);
+  auto path = ObjectPath::Parse(request.path);
+  if (!path.ok() || !path->IsObject()) return next(request);
+
+  auto invocations = StorletEngine::ParseInvocations(request.headers);
+  if (!invocations.ok()) {
+    return HttpResponse::Make(400, invocations.status().ToString());
+  }
+  if (invocations->empty()) return next(request);
+
+  StorletPolicy policy =
+      engine_->policies().Resolve(path->account, path->container);
+  if (!policy.pushdown_enabled) {
+    // Pushdown disabled for this scope: serve the raw data; the client
+    // detects the missing X-Storlet-Executed header and filters locally.
+    return next(request);
+  }
+
+  switch (request.method) {
+    case HttpMethod::kGet: {
+      // GET filters run at the stage the policy selects; a request-level
+      // override (X-Storlet-Run-On) may force the proxy stage.
+      ExecutionStage effective = policy.stage;
+      auto run_on = request.headers.Get(kStorletRunOnHeader);
+      if (run_on) {
+        effective = (ToLower(*run_on) == "proxy") ? ExecutionStage::kProxy
+                                                  : ExecutionStage::kObjectNode;
+      }
+      if (effective != stage_) return next(request);
+      return ProcessGet(request, next, *path, *invocations);
+    }
+    case HttpMethod::kPut:
+      // ETL transforms run once, before replication — the proxy stage.
+      if (stage_ != ExecutionStage::kProxy) return next(request);
+      return ProcessPut(request, next, *path, *invocations);
+    default:
+      return next(request);
+  }
+}
+
+HttpResponse StorletMiddleware::ProcessGet(
+    Request& request, const HttpHandler& next, const ObjectPath& path,
+    const std::vector<StorletInvocation>& invocations) {
+  bool align = ToLower(request.headers.GetOr(kStorletRangeRecordsHeader,
+                                             "")) == "true";
+  bool skip_first_record = false;
+  if (align) {
+    // Hadoop text-input contract: a split with first > 0 starts reading at
+    // first-1 and discards everything through the first newline, so a
+    // record beginning exactly at `first` is kept, while a record begun in
+    // the previous split is dropped (it is read there via tail extension).
+    auto range_header = request.headers.Get(kRangeHeader);
+    if (range_header) {
+      auto range = ParseExplicitRange(*range_header);
+      if (range.ok() && range->first > 0) {
+        skip_first_record = true;
+        request.headers.Set(
+            kRangeHeader,
+            StrFormat("bytes=%llu-%llu",
+                      static_cast<unsigned long long>(range->first - 1),
+                      static_cast<unsigned long long>(range->second)));
+      }
+    }
+  }
+
+  HttpResponse response = next(request);
+  if (!response.ok()) return response;
+  if (response.headers.Has(kStorletExecutedHeader)) return response;
+
+  if (align) {
+    Status aligned = AlignRecords(request, next, response);
+    if (!aligned.ok()) return HttpResponse::Make(500, aligned.ToString());
+    if (skip_first_record) {
+      size_t nl = response.body.find('\n');
+      if (nl == std::string::npos) {
+        response.body.clear();
+      } else {
+        response.body.erase(0, nl + 1);
+      }
+      response.headers.Set(kContentLengthHeader,
+                           std::to_string(response.body.size()));
+    }
+  }
+
+  auto result = engine_->RunPipeline(path.account, path.container, invocations,
+                                     response.body);
+  if (!result.ok()) {
+    if (result.status().IsUnauthorized()) {
+      // Policy denies these filters: fall back to serving raw data.
+      return response;
+    }
+    return HttpResponse::Make(500, result.status().ToString());
+  }
+  response.body = std::move(result->output);
+  response.headers.Set(kContentLengthHeader,
+                       std::to_string(response.body.size()));
+  for (const auto& [key, value] : result->metadata) {
+    response.headers.Set("X-Object-Meta-" + key, value);
+  }
+  std::string executed;
+  for (const auto& invocation : invocations) {
+    if (!executed.empty()) executed += ",";
+    executed += invocation.name;
+  }
+  executed += stage_ == ExecutionStage::kObjectNode ? "@object" : "@proxy";
+  response.headers.Set(kStorletExecutedHeader, executed);
+  return response;
+}
+
+HttpResponse StorletMiddleware::ProcessPut(
+    Request& request, const HttpHandler& next, const ObjectPath& path,
+    const std::vector<StorletInvocation>& invocations) {
+  auto result = engine_->RunPipeline(path.account, path.container, invocations,
+                                     request.body);
+  if (!result.ok()) {
+    if (result.status().IsUnauthorized()) return next(request);
+    return HttpResponse::Make(500, result.status().ToString());
+  }
+  request.body = std::move(result->output);
+  request.headers.Set(kContentLengthHeader,
+                      std::to_string(request.body.size()));
+  // Strip the invocation headers so downstream stages don't re-run them.
+  request.headers.Remove(kRunStorletHeader);
+  HttpResponse response = next(request);
+  if (response.ok()) {
+    response.headers.Set(kStorletExecutedHeader, "put@proxy");
+  }
+  return response;
+}
+
+Status StorletMiddleware::AlignRecords(Request& request,
+                                       const HttpHandler& next,
+                                       HttpResponse& response) {
+  if (response.status != 206) return Status::OK();  // whole-object GET
+  auto header = response.headers.Get("Content-Range");
+  if (!header) return Status::OK();
+  SCOOP_ASSIGN_OR_RETURN(ContentRange range, ParseContentRange(*header));
+
+  std::string& body = response.body;
+  // Tail alignment: complete the final record with local extension reads.
+  uint64_t cursor = range.last + 1;
+  bool ends_with_newline = !body.empty() && body.back() == '\n';
+  while (!ends_with_newline && cursor < range.total) {
+    uint64_t chunk_last =
+        std::min(cursor + kExtensionChunk - 1, range.total - 1);
+    Request extension = request;
+    extension.headers.Remove(kRunStorletHeader);
+    extension.headers.Remove(kStorletRangeRecordsHeader);
+    extension.headers.Set(
+        kRangeHeader,
+        StrFormat("bytes=%llu-%llu", static_cast<unsigned long long>(cursor),
+                  static_cast<unsigned long long>(chunk_last)));
+    HttpResponse ext = next(extension);
+    if (!ext.ok()) {
+      return Status::Internal("record-alignment extension read failed: " +
+                              std::to_string(ext.status));
+    }
+    size_t nl = ext.body.find('\n');
+    if (nl != std::string::npos) {
+      body.append(ext.body, 0, nl + 1);
+      ends_with_newline = true;
+    } else {
+      body.append(ext.body);
+      cursor = chunk_last + 1;
+    }
+  }
+  response.headers.Set(kContentLengthHeader, std::to_string(body.size()));
+  return Status::OK();
+}
+
+}  // namespace scoop

@@ -1,0 +1,61 @@
+#ifndef SCOOP_STORLETS_STORLET_MIDDLEWARE_H_
+#define SCOOP_STORLETS_STORLET_MIDDLEWARE_H_
+
+#include <memory>
+#include <string>
+
+#include "objectstore/middleware.h"
+#include "storlets/engine.h"
+
+namespace scoop {
+
+// The Storlet WSGI middleware. Installed on both proxy and object-server
+// pipelines; the instance whose stage matches the resolved policy executes
+// the request's pushdown filters on the data stream:
+//
+//  * GET — runs the filter pipeline over the response body, so each job
+//    receives its own filtered version while the stored object remains
+//    unaltered (paper §IV-B). Ranged GETs are first record-aligned
+//    (Hadoop text-input contract) using local extension reads, which is
+//    the byte-range capability §V-A added to Storlets.
+//  * PUT — runs the pipeline over the request body before storage: the
+//    ETL-on-upload path. Executed at the proxy stage, ahead of
+//    replication, so every replica stores the transformed data.
+//
+// When the policy disables pushdown (e.g., a bronze tenant under §VII's
+// adaptive control), the middleware serves the request un-filtered and the
+// client falls back to compute-side filtering; it can tell by the absence
+// of the X-Storlet-Executed response header.
+class StorletMiddleware : public Middleware {
+ public:
+  StorletMiddleware(ExecutionStage stage, std::shared_ptr<StorletEngine> engine)
+      : stage_(stage), engine_(std::move(engine)) {}
+
+  std::string name() const override {
+    return stage_ == ExecutionStage::kObjectNode ? "storlet@object"
+                                                 : "storlet@proxy";
+  }
+
+  HttpResponse Process(Request& request, const HttpHandler& next) override;
+
+ private:
+  HttpResponse ProcessGet(Request& request, const HttpHandler& next,
+                          const ObjectPath& path,
+                          const std::vector<StorletInvocation>& invocations);
+  HttpResponse ProcessPut(Request& request, const HttpHandler& next,
+                          const ObjectPath& path,
+                          const std::vector<StorletInvocation>& invocations);
+
+  // Record-aligns a ranged GET body in place: drops the partial first
+  // record (unless the range starts at byte 0) and extends through the end
+  // of the final record via follow-up ranged reads issued to `next`.
+  Status AlignRecords(Request& request, const HttpHandler& next,
+                      HttpResponse& response);
+
+  ExecutionStage stage_;
+  std::shared_ptr<StorletEngine> engine_;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_STORLETS_STORLET_MIDDLEWARE_H_

@@ -1,0 +1,162 @@
+#include "workload/generator.h"
+
+#include "common/hash.h"
+#include "common/strings.h"
+#include "csv/record_reader.h"
+#include "storlets/headers.h"
+
+namespace scoop {
+
+namespace {
+
+struct CityInfo {
+  const char* city;
+  const char* state;
+  const char* region;
+  double lat;
+  double lon;
+};
+
+// European deployment mirroring the paper's description, plus two 'U*'
+// states so ShowPiemonth's `state LIKE 'U%'` predicate selects a small
+// population as it does in the original data.
+constexpr CityInfo kCities[] = {
+    {"Rotterdam", "NLD", "west", 51.9225, 4.47917},
+    {"Amsterdam", "NLD", "west", 52.3676, 4.90414},
+    {"Paris", "FRA", "west", 48.8566, 2.35222},
+    {"Nice", "FRA", "south", 43.7102, 7.26195},
+    {"Lyon", "FRA", "south", 45.7640, 4.83566},
+    {"Barcelona", "ESP", "south", 41.3874, 2.16864},
+    {"Madrid", "ESP", "south", 40.4168, -3.70379},
+    {"Berlin", "DEU", "east", 52.5200, 13.40495},
+    {"Munich", "DEU", "east", 48.1351, 11.58198},
+    {"Warsaw", "POL", "east", 52.2297, 21.01222},
+    {"Kyiv", "UKR", "east", 50.4501, 30.52340},
+    {"Liverpool", "UK", "west", 53.4084, -2.99160},
+};
+constexpr int kNumCities = static_cast<int>(sizeof(kCities) / sizeof(kCities[0]));
+
+constexpr int kDaysPerMonth[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+
+}  // namespace
+
+std::string FormatMeterDate(int64_t minutes_since_jan1) {
+  int64_t minute = minutes_since_jan1 % 60;
+  int64_t hours = minutes_since_jan1 / 60;
+  int64_t hour = hours % 24;
+  int64_t days = hours / 24;
+  int month = 0;
+  while (month < 11 && days >= kDaysPerMonth[month]) {
+    days -= kDaysPerMonth[month];
+    ++month;
+  }
+  // Days beyond 2015 clamp into December (configs should stay within a year).
+  if (days > 30) days = 30;
+  return StrFormat("2015-%02d-%02d %02d:%02d:00", month + 1,
+                   static_cast<int>(days) + 1, static_cast<int>(hour),
+                   static_cast<int>(minute));
+}
+
+GridPocketGenerator::GridPocketGenerator(GeneratorConfig config)
+    : config_(config) {
+  if (config_.num_meters < 1) config_.num_meters = 1;
+  if (config_.readings_per_meter < 1) config_.readings_per_meter = 1;
+}
+
+Schema GridPocketGenerator::MeterSchema() {
+  return Schema({
+      {"vid", ColumnType::kInt64},
+      {"date", ColumnType::kString},
+      {"index", ColumnType::kInt64},
+      {"sumHC", ColumnType::kDouble},
+      {"sumHP", ColumnType::kDouble},
+      {"lat", ColumnType::kDouble},
+      {"long", ColumnType::kDouble},
+      {"city", ColumnType::kString},
+      {"state", ColumnType::kString},
+      {"region", ColumnType::kString},
+  });
+}
+
+Row GridPocketGenerator::MakeRow(int64_t row_index) const {
+  int64_t meter = row_index % config_.num_meters;
+  int64_t step = row_index / config_.num_meters;
+
+  uint64_t meter_hash = Mix64(config_.seed ^ static_cast<uint64_t>(meter));
+  const CityInfo& city = kCities[meter_hash % kNumCities];
+
+  // Per-meter consumption rate (Wh per 10 minutes) plus per-reading jitter.
+  double rate = 40.0 + static_cast<double>(meter_hash % 1000) / 10.0;
+  uint64_t step_hash =
+      Mix64(meter_hash ^ (static_cast<uint64_t>(step) * 0x9e3779b97f4a7c15ULL));
+  double jitter = static_cast<double>(step_hash % 200) / 10.0;
+
+  int64_t minutes = step * 10;
+  int64_t hour = (minutes / 60) % 24;
+  bool peak = hour >= 7 && hour < 22;
+
+  double index = rate * static_cast<double>(step) + jitter;
+  // Peak hours accumulate faster: ~15/24 of the day is peak.
+  double sum_hp = index * (peak ? 0.68 : 0.62);
+  double sum_hc = index - sum_hp;
+
+  double lat = city.lat + static_cast<double>(meter_hash % 97) / 1000.0;
+  double lon = city.lon + static_cast<double>((meter_hash >> 8) % 97) / 1000.0;
+
+  Row row;
+  row.reserve(10);
+  row.push_back(Value(static_cast<int64_t>(meter + 1000)));
+  row.push_back(Value(FormatMeterDate(minutes)));
+  row.push_back(Value(static_cast<int64_t>(index)));
+  row.push_back(Value(sum_hc));
+  row.push_back(Value(sum_hp));
+  row.push_back(Value(lat));
+  row.push_back(Value(lon));
+  row.push_back(Value(std::string(city.city)));
+  row.push_back(Value(std::string(city.state)));
+  row.push_back(Value(std::string(city.region)));
+  return row;
+}
+
+void GridPocketGenerator::AppendCsv(int64_t first_row, int64_t count,
+                                    std::string* out) const {
+  int64_t end = std::min(first_row + count, TotalRows());
+  for (int64_t r = first_row; r < end; ++r) {
+    WriteCsvRow(MakeRow(r), out);
+  }
+}
+
+std::vector<Row> GridPocketGenerator::MakeAllRows() const {
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(TotalRows()));
+  for (int64_t r = 0; r < TotalRows(); ++r) rows.push_back(MakeRow(r));
+  return rows;
+}
+
+Status GridPocketGenerator::Upload(SwiftClient* client,
+                                   const std::string& container,
+                                   const std::string& prefix, int num_objects,
+                                   bool etl_on_upload) const {
+  if (num_objects < 1) num_objects = 1;
+  SCOOP_RETURN_IF_ERROR(client->CreateContainer(container));
+  int64_t total = TotalRows();
+  int64_t per_object = (total + num_objects - 1) / num_objects;
+  for (int k = 0; k < num_objects; ++k) {
+    int64_t first = static_cast<int64_t>(k) * per_object;
+    if (first >= total) break;
+    std::string data;
+    AppendCsv(first, per_object, &data);
+    Headers headers;
+    if (etl_on_upload) {
+      headers.Set(kRunStorletHeader, "etlstorlet");
+      headers.Set(std::string(kStorletParamPrefix) + "Schema",
+                  MeterSchema().ToSpec());
+    }
+    SCOOP_RETURN_IF_ERROR(client->PutObject(
+        container, StrFormat("%s%04d.csv", prefix.c_str(), k),
+        std::move(data), headers));
+  }
+  return Status::OK();
+}
+
+}  // namespace scoop

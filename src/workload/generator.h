@@ -1,0 +1,77 @@
+#ifndef SCOOP_WORKLOAD_GENERATOR_H_
+#define SCOOP_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "objectstore/cluster.h"
+#include "sql/schema.h"
+#include "sql/value.h"
+
+namespace scoop {
+
+// Configuration of the synthetic GridPocket dataset. The paper's datasets
+// are energy readings from 10K smart meters, 10 columns, one row per meter
+// per 10 minutes; the authors published a generator mimicking them, and
+// this is the C++ equivalent. Rows are a pure function of (seed, row
+// index), so any slice of the dataset can be produced independently and
+// reproducibly.
+struct GeneratorConfig {
+  int num_meters = 200;
+  int readings_per_meter = 432;  // 3 days at 10-minute cadence
+  uint64_t seed = 42;
+};
+
+// The ten-column meter reading schema:
+//   vid:int64      meter id
+//   date:string    "2015-MM-DD HH:MM:SS" (readings start 2015-01-01)
+//   index:int64    cumulative consumption (Wh)
+//   sumHC:double   cumulative off-peak ("heures creuses") consumption
+//   sumHP:double   cumulative peak ("heures pleines") consumption
+//   lat:double     meter latitude
+//   long:double    meter longitude
+//   city:string    e.g. Rotterdam, Paris, ...
+//   state:string   country code (FRA, NLD, UKR, ...)
+//   region:string  coarse region label
+class GridPocketGenerator {
+ public:
+  explicit GridPocketGenerator(GeneratorConfig config);
+
+  static Schema MeterSchema();
+
+  const GeneratorConfig& config() const { return config_; }
+  int64_t TotalRows() const {
+    return static_cast<int64_t>(config_.num_meters) *
+           config_.readings_per_meter;
+  }
+
+  // The typed row at `row_index` (readings are interleaved: row r is meter
+  // r % num_meters at time step r / num_meters).
+  Row MakeRow(int64_t row_index) const;
+
+  // Appends rows [first_row, first_row + count) as headerless CSV.
+  void AppendCsv(int64_t first_row, int64_t count, std::string* out) const;
+
+  // Materializes the whole dataset as typed rows (small configs only).
+  std::vector<Row> MakeAllRows() const;
+
+  // Uploads the dataset as `num_objects` roughly equal CSV objects named
+  // "<prefix><k>" into `container` (creating it), optionally running the
+  // ETL storlet on the upload path.
+  Status Upload(SwiftClient* client, const std::string& container,
+                const std::string& prefix, int num_objects,
+                bool etl_on_upload = false) const;
+
+ private:
+  GeneratorConfig config_;
+};
+
+// Renders minutes-since-2015-01-01T00:00 as "2015-MM-DD HH:MM:SS"
+// (the generator covers 2015 only).
+std::string FormatMeterDate(int64_t minutes_since_jan1);
+
+}  // namespace scoop
+
+#endif  // SCOOP_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,71 @@
+#include "workload/queries.h"
+
+namespace scoop {
+
+const std::vector<GridPocketQuery>& GridPocketQueries() {
+  static const std::vector<GridPocketQuery>& queries =
+      *new std::vector<GridPocketQuery>{
+          {"ShowMapCons",
+           "Per-meter aggregated consumption for a heatmap / per-state "
+           "aggregated display",
+           "SELECT vid, sum(index) as max, first_value(lat) as lat, "
+           "first_value(long) as long, first_value(state) as state "
+           "FROM largeMeter WHERE date LIKE '2015-01%' "
+           "GROUP BY SUBSTRING(date, 0, 7), vid "
+           "ORDER BY SUBSTRING(date, 0, 7), vid",
+           0.9200, 0.9962, 0.9997},
+          {"ShowMapMeter",
+           "Each meter with its info (city, id, ...) for a cluster map",
+           "SELECT vid, sum(index) as max, first_value(city) as city, "
+           "first_value(lat) as lat, first_value(long) as long, "
+           "first_value(state) as state "
+           "FROM largeMeter WHERE date LIKE '2015-01%' "
+           "GROUP BY SUBSTRING(date, 0, 7), vid "
+           "ORDER BY SUBSTRING(date, 0, 7), vid",
+           0.9200, 0.9954, 0.9997},
+          {"ShowMapHeatmonth",
+           "Daily data for a given month for a per-day slider display",
+           "SELECT SUBSTRING(date, 0, 10) as sDate, sum(index) as max, "
+           "first_value(lat) as lat, first_value(long) as long "
+           "FROM largeMeter WHERE date LIKE '2015-01%' "
+           "GROUP BY SUBSTRING(date, 0, 10), vid "
+           "ORDER BY SUBSTRING(date, 0, 10), vid",
+           0.9200, 0.9954, 0.9996},
+          {"Showgraphcons",
+           "Consumption of meters in Rotterdam for Jan. 2015",
+           "SELECT SUBSTRING(date, 0, 10) as sDate, sum(index) as max, vid "
+           "FROM largeMeter WHERE city LIKE 'Rotterdam' AND date LIKE "
+           "'2015-01-%' "
+           "GROUP BY SUBSTRING(date, 0, 10), vid "
+           "ORDER BY SUBSTRING(date, 0, 10), vid",
+           0.9999, 0.9955, 0.9999},
+          {"ShowPiemonth",
+           "Consumption for a specific subset of state consumption",
+           "SELECT SUBSTRING(date, 0, 10) as sDate, state as vid, "
+           "sum(index) as max "
+           "FROM largeMeter WHERE state LIKE 'U%' AND date LIKE '2015-01-%' "
+           "GROUP BY SUBSTRING(date, 0, 10), state "
+           "ORDER BY SUBSTRING(date, 0, 10), state",
+           0.9999, 0.9999, 0.9999},
+          {"ShowGraphHCHP",
+           "Peak versus shallow hour consumption",
+           "SELECT SUBSTRING(date, 0, 10) as sDate, vid, "
+           "min(sumHC) as minHC, max(sumHC) as maxHC, "
+           "min(sumHP) as minHP, max(sumHP) as maxHP "
+           "FROM largeMeter WHERE state LIKE 'FRA' AND date LIKE '2015-01-%' "
+           "GROUP BY SUBSTRING(date, 0, 10), vid "
+           "ORDER BY SUBSTRING(date, 0, 10), vid",
+           0.9999, 0.9994, 0.9999},
+          {"Showday",
+           "Consumption of any specified hour of a given month",
+           "SELECT SUBSTRING(date, 0, 13) as sDate, sum(index) as max, vid "
+           "FROM largeMeter WHERE city LIKE 'Rotterdam' AND date LIKE "
+           "'2015-01-%' "
+           "GROUP BY SUBSTRING(date, 0, 13), vid "
+           "ORDER BY SUBSTRING(date, 0, 13), vid",
+           0.9999, 0.9999, 0.9999},
+      };
+  return queries;
+}
+
+}  // namespace scoop

@@ -1,0 +1,27 @@
+#ifndef SCOOP_WORKLOAD_QUERIES_H_
+#define SCOOP_WORKLOAD_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+namespace scoop {
+
+// One of the data-intensive queries GridPocket data scientists run
+// (paper Table I), with the selectivity percentages the paper reports.
+struct GridPocketQuery {
+  std::string name;
+  std::string description;
+  std::string sql;
+  // Paper-reported selectivities (fractions, not percents).
+  double paper_column_selectivity;
+  double paper_row_selectivity;
+  double paper_data_selectivity;
+};
+
+// The seven Table I queries, verbatim except for the table name, which is
+// always `largeMeter` (as in the paper).
+const std::vector<GridPocketQuery>& GridPocketQueries();
+
+}  // namespace scoop
+
+#endif  // SCOOP_WORKLOAD_QUERIES_H_

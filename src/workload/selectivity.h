@@ -1,0 +1,36 @@
+#ifndef SCOOP_WORKLOAD_SELECTIVITY_H_
+#define SCOOP_WORKLOAD_SELECTIVITY_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/schema.h"
+
+namespace scoop {
+
+// Measured selectivities of a query against a concrete CSV dataset —
+// the paper's Table I metrics:
+//   column selectivity — fraction of the byte volume belonging to columns
+//     the query does not need;
+//   row selectivity    — fraction of rows the WHERE discards;
+//   data selectivity   — fraction of bytes that need not be ingested
+//     (rows discarded entirely + unneeded columns of surviving rows).
+struct SelectivityReport {
+  double column_selectivity = 0.0;
+  double row_selectivity = 0.0;
+  double data_selectivity = 0.0;
+  int64_t rows_total = 0;
+  int64_t rows_kept = 0;
+  uint64_t bytes_total = 0;
+  uint64_t bytes_kept = 0;
+};
+
+// Evaluates `sql` row-by-row over headerless CSV `data` with `schema`,
+// using the real Catalyst extraction and filter evaluation paths.
+Result<SelectivityReport> MeasureSelectivity(const std::string& sql,
+                                             const Schema& schema,
+                                             std::string_view data);
+
+}  // namespace scoop
+
+#endif  // SCOOP_WORKLOAD_SELECTIVITY_H_

@@ -1,0 +1,118 @@
+#include "workload/weblog.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/strings.h"
+#include "csv/record_reader.h"
+#include "workload/generator.h"
+
+namespace scoop {
+
+namespace {
+
+constexpr const char* kMethods[] = {"GET", "GET", "GET", "GET", "POST",
+                                    "PUT", "HEAD", "DELETE"};
+constexpr const char* kAgents[] = {
+    "curl/7.64", "python-requests/2.25", "Mozilla/5.0", "Go-http-client/1.1",
+    "collectd/5.4"};
+
+// Zipf-ish rank from a hash: rank r is chosen with weight ~ 1/(r+1).
+int SkewedIndex(uint64_t h, int n) {
+  // Map a uniform hash to an approximately Zipf(1) rank without tables:
+  // r = n^(u) - 1 concentrates small ranks.
+  double u = static_cast<double>(h % 100000) / 100000.0;
+  double r = std::pow(static_cast<double>(n), u) - 1.0;
+  int idx = static_cast<int>(r);
+  return idx >= n ? n - 1 : idx;
+}
+
+}  // namespace
+
+WeblogGenerator::WeblogGenerator(WeblogConfig config) : config_(config) {
+  if (config_.num_requests < 1) config_.num_requests = 1;
+  if (config_.num_hosts < 1) config_.num_hosts = 1;
+  if (config_.num_paths < 1) config_.num_paths = 1;
+}
+
+Schema WeblogGenerator::LogSchema() {
+  return Schema({
+      {"ts", ColumnType::kString},
+      {"host", ColumnType::kString},
+      {"method", ColumnType::kString},
+      {"path", ColumnType::kString},
+      {"status", ColumnType::kInt64},
+      {"bytes", ColumnType::kInt64},
+      {"latency_ms", ColumnType::kDouble},
+      {"agent", ColumnType::kString},
+  });
+}
+
+Row WeblogGenerator::MakeRow(int64_t index) const {
+  uint64_t h = Mix64(config_.seed ^ static_cast<uint64_t>(index));
+  uint64_t h2 = Mix64(h + 1);
+  uint64_t h3 = Mix64(h + 2);
+
+  // One request per second starting 2015-01-01.
+  std::string ts = FormatMeterDate(index / 60);
+
+  int host = SkewedIndex(h, config_.num_hosts);
+  int path = SkewedIndex(h2, config_.num_paths);
+  const char* method = kMethods[h3 % 8];
+
+  // ~1% server errors, ~4% client errors, rest 200/304.
+  int64_t status;
+  uint64_t roll = h3 % 1000;
+  if (roll < 10) {
+    status = 500 + static_cast<int64_t>(roll % 4);
+  } else if (roll < 50) {
+    status = roll % 2 ? 404 : 403;
+  } else if (roll < 200) {
+    status = 304;
+  } else {
+    status = 200;
+  }
+  int64_t bytes = status == 304 ? 0
+                                : static_cast<int64_t>(200 + (h2 % 40000));
+  double latency = 1.0 + static_cast<double>(h % 500) / 10.0 +
+                   (status >= 500 ? 250.0 : 0.0);
+
+  Row row;
+  row.reserve(8);
+  row.push_back(Value(std::move(ts)));
+  row.push_back(Value(StrFormat("10.0.%d.%d", host / 250, host % 250)));
+  row.push_back(Value(std::string(method)));
+  row.push_back(Value(StrFormat("/api/v1/resource/%d", path)));
+  row.push_back(Value(status));
+  row.push_back(Value(bytes));
+  row.push_back(Value(latency));
+  row.push_back(Value(std::string(kAgents[h % 5])));
+  return row;
+}
+
+void WeblogGenerator::AppendCsv(int64_t first_row, int64_t count,
+                                std::string* out) const {
+  int64_t end = std::min(first_row + count, TotalRows());
+  for (int64_t r = first_row; r < end; ++r) WriteCsvRow(MakeRow(r), out);
+}
+
+Status WeblogGenerator::Upload(SwiftClient* client,
+                               const std::string& container,
+                               const std::string& prefix,
+                               int num_objects) const {
+  if (num_objects < 1) num_objects = 1;
+  SCOOP_RETURN_IF_ERROR(client->CreateContainer(container));
+  int64_t per_object = (TotalRows() + num_objects - 1) / num_objects;
+  for (int k = 0; k < num_objects; ++k) {
+    int64_t first = static_cast<int64_t>(k) * per_object;
+    if (first >= TotalRows()) break;
+    std::string data;
+    AppendCsv(first, per_object, &data);
+    SCOOP_RETURN_IF_ERROR(client->PutObject(
+        container, StrFormat("%s%04d.log", prefix.c_str(), k),
+        std::move(data)));
+  }
+  return Status::OK();
+}
+
+}  // namespace scoop

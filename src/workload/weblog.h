@@ -1,0 +1,52 @@
+#ifndef SCOOP_WORKLOAD_WEBLOG_H_
+#define SCOOP_WORKLOAD_WEBLOG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "objectstore/cluster.h"
+#include "sql/schema.h"
+#include "sql/value.h"
+
+namespace scoop {
+
+// The paper's second motivating workload (§I: "servers and sensors
+// autonomously store data 'as is' in object stores ... server logs
+// amounting to a few terabytes"): a synthetic web-server access log.
+// Like the meter generator, rows are a pure function of (seed, index) so
+// any slice is reproducible. Status codes and paths are Zipf-skewed, so
+// error-hunting queries ("status >= 500") are highly selective — the
+// pushdown sweet spot.
+struct WeblogConfig {
+  int64_t num_requests = 100000;
+  int num_hosts = 50;
+  int num_paths = 200;
+  uint64_t seed = 7;
+};
+
+class WeblogGenerator {
+ public:
+  explicit WeblogGenerator(WeblogConfig config);
+
+  // Columns: ts:string, host:string, method:string, path:string,
+  // status:int64, bytes:int64, latency_ms:double, agent:string.
+  static Schema LogSchema();
+
+  const WeblogConfig& config() const { return config_; }
+  int64_t TotalRows() const { return config_.num_requests; }
+
+  Row MakeRow(int64_t index) const;
+  void AppendCsv(int64_t first_row, int64_t count, std::string* out) const;
+
+  // Uploads the log as `num_objects` CSV objects "<prefix><k>.log".
+  Status Upload(SwiftClient* client, const std::string& container,
+                const std::string& prefix, int num_objects) const;
+
+ private:
+  WeblogConfig config_;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_WORKLOAD_WEBLOG_H_

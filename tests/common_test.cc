@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/hash.h"
+#include "common/metrics.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+
+namespace scoop {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "not_found: missing thing");
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  auto fails = [] { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    SCOOP_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto producer = [](bool ok) -> Result<std::string> {
+    if (!ok) return Status::NotFound("nope");
+    return std::string("yes");
+  };
+  auto consumer = [&](bool ok) -> Result<size_t> {
+    SCOOP_ASSIGN_OR_RETURN(std::string v, producer(ok));
+    return v.size();
+  };
+  EXPECT_EQ(*consumer(true), 3u);
+  EXPECT_TRUE(consumer(false).status().IsNotFound());
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitSingleField) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringsTest, JoinRoundtrip) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ","), "x,y,z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  a b \t\n"), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringsTest, ParseInt64) {
+  EXPECT_EQ(*ParseInt64("123"), 123);
+  EXPECT_EQ(*ParseInt64("-5"), -5);
+  EXPECT_EQ(*ParseInt64(" 42 "), 42);
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("99999999999999999999999").ok());
+}
+
+TEST(StringsTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-2e3"), -2000.0);
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+}
+
+struct LikeCase {
+  const char* text;
+  const char* pattern;
+  bool expected;
+};
+
+class LikeMatchTest : public ::testing::TestWithParam<LikeCase> {};
+
+TEST_P(LikeMatchTest, Matches) {
+  const LikeCase& c = GetParam();
+  EXPECT_EQ(LikeMatch(c.text, c.pattern), c.expected)
+      << c.text << " LIKE " << c.pattern;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, LikeMatchTest,
+    ::testing::Values(
+        LikeCase{"2015-01-15", "2015-01%", true},
+        LikeCase{"2015-02-15", "2015-01%", false},
+        LikeCase{"Rotterdam", "Rotterdam", true},
+        LikeCase{"Rotterdam", "rotterdam", false},  // case-sensitive
+        LikeCase{"UKR", "U%", true},
+        LikeCase{"FRA", "U%", false},
+        LikeCase{"abc", "a_c", true},
+        LikeCase{"abbc", "a_c", false},
+        LikeCase{"", "%", true},
+        LikeCase{"", "_", false},
+        LikeCase{"anything", "%", true},
+        LikeCase{"ab", "%b", true},
+        LikeCase{"ab", "%a", false},
+        LikeCase{"aXbXc", "a%b%c", true},
+        LikeCase{"abc", "a%b%c%d", false},
+        LikeCase{"aaa", "a%a", true}));
+
+TEST(StringsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512.00 B");
+  EXPECT_EQ(FormatBytes(1024.0 * 1024.0 * 1.5), "1.50 MiB");
+}
+
+TEST(HashTest, Deterministic) {
+  EXPECT_EQ(Fnv1a64("hello"), Fnv1a64("hello"));
+  EXPECT_NE(Fnv1a64("hello"), Fnv1a64("hellp"));
+  EXPECT_NE(Mix64(1), Mix64(2));
+}
+
+TEST(RandomTest, DeterministicForSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, BoundsRespected) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, ZipfSkewsTowardsLowRanks) {
+  ZipfSampler zipf(100, 0.99, 3);
+  int low = 0;
+  const int kDraws = 5000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.Next() < 10) ++low;
+  }
+  // The head must receive far more than its uniform 10% share.
+  EXPECT_GT(low, kDraws / 4);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.Submit([&] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  ParallelFor(pool, 50, [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(MetricsTest, CountersAccumulate) {
+  MetricRegistry registry;
+  registry.GetCounter("a")->Add(5);
+  registry.GetCounter("a")->Increment();
+  registry.GetCounter("b")->Increment();
+  auto snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].first, "a");
+  EXPECT_EQ(snapshot[0].second, 6);
+  registry.ResetAll();
+  EXPECT_EQ(registry.GetCounter("a")->value(), 0);
+}
+
+TEST(MetricsTest, TimeSeriesMath) {
+  TimeSeries series;
+  series.Add(0, 0.0);
+  series.Add(1, 10.0);
+  series.Add(2, 10.0);
+  EXPECT_DOUBLE_EQ(series.Max(), 10.0);
+  EXPECT_DOUBLE_EQ(series.Integral(), 15.0);
+  EXPECT_DOUBLE_EQ(series.Mean(), 7.5);
+  EXPECT_DOUBLE_EQ(series.Duration(), 2.0);
+}
+
+}  // namespace
+}  // namespace scoop

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "csv/csv_storlet.h"
+#include "csv/etl_storlet.h"
+#include "csv/record_reader.h"
+#include "sql/schema.h"
+
+namespace scoop {
+namespace {
+
+TEST(CsvRecordParserTest, PlainFields) {
+  CsvRecordParser parser;
+  auto fields = parser.Parse("a,b,,d");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "");
+  EXPECT_EQ(fields[3], "d");
+}
+
+TEST(CsvRecordParserTest, QuotedFields) {
+  CsvRecordParser parser;
+  auto fields = parser.Parse("\"a,b\",plain,\"say \"\"hi\"\"\"");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a,b");
+  EXPECT_EQ(fields[1], "plain");
+  EXPECT_EQ(fields[2], "say \"hi\"");
+}
+
+TEST(CsvRecordParserTest, TrailingComma) {
+  CsvRecordParser parser;
+  auto fields = parser.Parse("a,\"b\",");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[2], "");
+}
+
+TEST(CsvWriterTest, RoundTripsThroughParser) {
+  std::vector<std::string_view> fields = {"plain", "with,comma",
+                                          "with\"quote", ""};
+  std::string out;
+  WriteCsvRecord(fields, &out);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.back(), '\n');
+  CsvRecordParser parser;
+  auto parsed = parser.Parse(std::string_view(out).substr(0, out.size() - 1));
+  ASSERT_EQ(parsed.size(), fields.size());
+  for (size_t i = 0; i < fields.size(); ++i) EXPECT_EQ(parsed[i], fields[i]);
+}
+
+TEST(CsvRowReaderTest, TypedRowsAndMalformed) {
+  Schema schema({{"id", ColumnType::kInt64},
+                 {"name", ColumnType::kString},
+                 {"score", ColumnType::kDouble}});
+  std::string data =
+      "1,alice,3.5\n"
+      "2,bob,\n"         // null score
+      "oops,short\n"     // malformed: 2 fields
+      "3,carol,notnum\n" // unparseable double -> null
+      "\n"               // blank line skipped
+      "4,dave,1.25";     // unterminated final record
+  CsvRowReader reader(data, &schema);
+  std::vector<Row> rows;
+  Row row;
+  while (reader.Next(&row)) rows.push_back(row);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(reader.malformed_rows(), 1);
+  EXPECT_EQ(rows[0][0].AsInt64(), 1);
+  EXPECT_EQ(rows[0][1].AsString(), "alice");
+  EXPECT_DOUBLE_EQ(rows[0][2].AsDoubleExact(), 3.5);
+  EXPECT_TRUE(rows[1][2].is_null());
+  EXPECT_TRUE(rows[2][2].is_null());
+  EXPECT_EQ(rows[3][0].AsInt64(), 4);
+}
+
+TEST(CsvRowReaderTest, HandlesCrLf) {
+  Schema schema({{"a", ColumnType::kString}});
+  CsvRowReader reader("x\r\ny\r\n", &schema);
+  Row row;
+  ASSERT_TRUE(reader.Next(&row));
+  EXPECT_EQ(row[0].AsString(), "x");
+  ASSERT_TRUE(reader.Next(&row));
+  EXPECT_EQ(row[0].AsString(), "y");
+  EXPECT_FALSE(reader.Next(&row));
+}
+
+class CsvStorletTest : public ::testing::Test {
+ protected:
+  Result<std::string> Run(const std::string& data, StorletParams params) {
+    CsvStorlet storlet;
+    StorletInputStream in(data);
+    StorletOutputStream out;
+    StorletLogger logger;
+    Status status = storlet.Invoke(in, out, params, logger);
+    if (!status.ok()) return status;
+    return out.TakeBuffer();
+  }
+
+  const std::string schema_spec_ = "vid:int64,city:string,load:double";
+  const std::string data_ =
+      "1,Paris,10.5\n"
+      "2,Rotterdam,20.0\n"
+      "3,Rotterdam,30.25\n"
+      "4,Nice,40.0\n";
+};
+
+TEST_F(CsvStorletTest, RequiresSchema) {
+  EXPECT_FALSE(Run(data_, {}).ok());
+}
+
+TEST_F(CsvStorletTest, IdentityWhenNoFilters) {
+  auto out = Run(data_, {{"schema", schema_spec_}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, data_);
+}
+
+TEST_F(CsvStorletTest, SelectionOnly) {
+  auto out = Run(data_, {{"schema", schema_spec_},
+                         {"selection", "(like city \"Rotterdam\")"}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "2,Rotterdam,20.0\n3,Rotterdam,30.25\n");
+}
+
+TEST_F(CsvStorletTest, ProjectionOnly) {
+  auto out = Run(data_, {{"schema", schema_spec_}, {"projection", "city,vid"}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "Paris,1\nRotterdam,2\nRotterdam,3\nNice,4\n");
+}
+
+TEST_F(CsvStorletTest, SelectionAndProjection) {
+  auto out = Run(data_, {{"schema", schema_spec_},
+                         {"projection", "load"},
+                         {"selection", "(gt load 15)"}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "20.0\n30.25\n40.0\n");
+}
+
+TEST_F(CsvStorletTest, NumericSelectionOnIntColumn) {
+  auto out = Run(data_, {{"schema", schema_spec_},
+                         {"selection", "(le vid 2)"}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "1,Paris,10.5\n2,Rotterdam,20.0\n");
+}
+
+TEST_F(CsvStorletTest, UnknownProjectionColumnFails) {
+  EXPECT_FALSE(
+      Run(data_, {{"schema", schema_spec_}, {"projection", "ghost"}}).ok());
+}
+
+TEST_F(CsvStorletTest, BadSelectionFails) {
+  EXPECT_FALSE(
+      Run(data_, {{"schema", schema_spec_}, {"selection", "(bogus"}}).ok());
+}
+
+TEST_F(CsvStorletTest, MalformedRowsDroppedWhenFiltering) {
+  std::string data = "1,Paris,1.0\nbroken\n2,Nice,2.0\n";
+  auto out = Run(data, {{"schema", schema_spec_}, {"projection", "vid"}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "1\n2\n");
+}
+
+class EtlStorletTest : public ::testing::Test {
+ protected:
+  Result<std::string> Run(const std::string& data, StorletParams params,
+                          std::map<std::string, std::string>* metadata =
+                              nullptr) {
+    EtlStorlet storlet;
+    StorletInputStream in(data);
+    StorletOutputStream out;
+    StorletLogger logger;
+    Status status = storlet.Invoke(in, out, params, logger);
+    if (!status.ok()) return status;
+    if (metadata != nullptr) *metadata = out.metadata();
+    return out.TakeBuffer();
+  }
+};
+
+TEST_F(EtlStorletTest, TrimsAndNormalizes) {
+  auto out = Run(" 1 , Paris \r\n2,Nice\r\n",
+                 {{"schema", "vid:int64,city:string"}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "1,Paris\n2,Nice\n");
+}
+
+TEST_F(EtlStorletTest, DropsMalformedRows) {
+  auto out = Run("1,Paris\nnot-a-number,Nice\n2\n3,Lyon\n",
+                 {{"schema", "vid:int64,city:string"}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "1,Paris\n3,Lyon\n");
+}
+
+TEST_F(EtlStorletTest, KeepsMalformedWhenAskedTo) {
+  auto out = Run("x,Paris\n",
+                 {{"schema", "vid:int64,city:string"},
+                  {"drop_malformed", "false"}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "x,Paris\n");
+}
+
+TEST_F(EtlStorletTest, SplitsColumn) {
+  std::map<std::string, std::string> metadata;
+  auto out = Run("1,2015-01-01;12:30\n2,2015-01-02;08:00\n",
+                 {{"schema", "vid:int64,stamp:string"},
+                  {"split_column", "stamp"},
+                  {"split_names", "day,time"}},
+                 &metadata);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "1,2015-01-01,12:30\n2,2015-01-02,08:00\n");
+  EXPECT_EQ(metadata.at("schema"), "vid:int64,day:string,time:string");
+}
+
+TEST_F(EtlStorletTest, SplitPadsMissingPieces) {
+  auto out = Run("1,only-day\n",
+                 {{"schema", "vid:int64,stamp:string"},
+                  {"split_column", "stamp"},
+                  {"split_names", "day,time"}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "1,only-day,\n");
+}
+
+TEST_F(EtlStorletTest, SplitValidatesParameters) {
+  EXPECT_FALSE(Run("1,x\n", {{"schema", "vid:int64,stamp:string"},
+                             {"split_column", "ghost"},
+                             {"split_names", "a,b"}})
+                   .ok());
+  EXPECT_FALSE(Run("1,x\n", {{"schema", "vid:int64,stamp:string"},
+                             {"split_column", "stamp"}})
+                   .ok());
+  EXPECT_FALSE(Run("1,x\n", {{"schema", "vid:int64,stamp:string"},
+                             {"split_column", "stamp"},
+                             {"split_names", "a,b"},
+                             {"split_separator", "--"}})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace scoop

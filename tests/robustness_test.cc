@@ -1,0 +1,347 @@
+// Failure-injection, concurrency and randomized end-to-end equivalence
+// tests for the whole stack.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "scoop/scoop.h"
+#include "sql/executor.h"
+#include "storlets/headers.h"
+#include "workload/generator.h"
+
+namespace scoop {
+namespace {
+
+// A storlet that always fails; used to verify error propagation.
+class FailingStorlet : public Storlet {
+ public:
+  std::string name() const override { return "failing"; }
+  Status Invoke(StorletInputStream&, StorletOutputStream&,
+                const StorletParams&, StorletLogger&) override {
+    return Status::Internal("filter exploded");
+  }
+};
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SwiftConfig config;
+    config.num_proxies = 2;
+    config.num_storage_nodes = 4;
+    config.disks_per_node = 2;
+    config.part_power = 6;
+    auto cluster = ScoopCluster::Create(config);
+    ASSERT_TRUE(cluster.ok()) << cluster.status();
+    cluster_ = std::move(cluster).value();
+    auto client = cluster_->Connect("tenant", "key", "acct");
+    ASSERT_TRUE(client.ok());
+    session_ = std::make_unique<ScoopSession>(cluster_.get(),
+                                              std::move(client).value(), 3);
+    GeneratorConfig gen{.num_meters = 20, .readings_per_meter = 600,
+                        .seed = 31};
+    generator_ = std::make_unique<GridPocketGenerator>(gen);
+    ASSERT_TRUE(
+        generator_->Upload(&session_->client(), "meters", "m", 3).ok());
+    schema_ = GridPocketGenerator::MeterSchema();
+    CsvSourceOptions options;
+    options.chunk_size = 32 * 1024;
+    session_->RegisterCsvTable("meters", "meters", "m", schema_, true,
+                               options);
+  }
+
+  std::unique_ptr<ScoopCluster> cluster_;
+  std::unique_ptr<ScoopSession> session_;
+  std::unique_ptr<GridPocketGenerator> generator_;
+  Schema schema_;
+};
+
+TEST_F(RobustnessTest, QueriesSurviveSingleDeviceFailure) {
+  const char* kSql =
+      "SELECT city, count(*) AS n FROM meters GROUP BY city ORDER BY city";
+  auto healthy = session_->Sql(kSql);
+  ASSERT_TRUE(healthy.ok());
+
+  // Fail one device: every object still has two live replicas.
+  auto devices = cluster_->swift().DevicesById();
+  devices[0]->Fail();
+  auto degraded = session_->Sql(kSql);
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  EXPECT_EQ(degraded->table.ToCsv(), healthy->table.ToCsv());
+  devices[0]->Repair();
+}
+
+TEST_F(RobustnessTest, QueriesSurviveWholeNodeFailure) {
+  const char* kSql =
+      "SELECT vid, sum(index) AS s FROM meters WHERE city LIKE 'Paris' "
+      "GROUP BY vid ORDER BY vid";
+  auto healthy = session_->Sql(kSql);
+  ASSERT_TRUE(healthy.ok());
+  // Take a whole storage node down (replicas are node-disjoint).
+  for (auto& device : cluster_->swift().object_servers()[1]->devices()) {
+    device->Fail();
+  }
+  auto degraded = session_->Sql(kSql);
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  EXPECT_EQ(degraded->table.ToCsv(), healthy->table.ToCsv());
+  for (auto& device : cluster_->swift().object_servers()[1]->devices()) {
+    device->Repair();
+  }
+}
+
+TEST_F(RobustnessTest, WriteFailsWithoutQuorum) {
+  // Fail every device: no replica can be written.
+  auto devices = cluster_->swift().DevicesById();
+  for (Device* device : devices) device->Fail();
+  Status s = session_->client().PutObject("meters", "new-object", "data");
+  EXPECT_FALSE(s.ok());
+  for (Device* device : devices) device->Repair();
+  EXPECT_TRUE(
+      session_->client().PutObject("meters", "new-object", "data").ok());
+  ASSERT_TRUE(session_->client().DeleteObject("meters", "new-object").ok());
+}
+
+TEST_F(RobustnessTest, FailingStorletSurfacesAsError) {
+  ASSERT_TRUE(cluster_->engine()
+                  .registry()
+                  .RegisterFactory("failing",
+                                   [] {
+                                     return std::make_unique<FailingStorlet>();
+                                   })
+                  .ok());
+  ASSERT_TRUE(cluster_->engine().registry().Deploy("failing").ok());
+  Request request = Request::Get("/acct/meters/m0000.csv");
+  request.headers.Set(kRunStorletHeader, "failing");
+  HttpResponse response = session_->client().Send(std::move(request));
+  EXPECT_EQ(response.status, 500);
+  // The stored object is untouched and still readable.
+  EXPECT_TRUE(session_->client().GetObject("meters", "m0000.csv").ok());
+}
+
+TEST_F(RobustnessTest, MalformedPushdownHeadersRejectedCleanly) {
+  Request bad_selection = Request::Get("/acct/meters/m0000.csv");
+  bad_selection.headers.Set(kRunStorletHeader, "csvstorlet");
+  bad_selection.headers.Set("X-Storlet-Parameter-Schema",
+                            schema_.ToSpec());
+  bad_selection.headers.Set("X-Storlet-Parameter-Selection", "((((");
+  HttpResponse response = session_->client().Send(std::move(bad_selection));
+  EXPECT_EQ(response.status, 500);
+
+  Request bad_schema = Request::Get("/acct/meters/m0000.csv");
+  bad_schema.headers.Set(kRunStorletHeader, "csvstorlet");
+  bad_schema.headers.Set("X-Storlet-Parameter-Schema", "no-colon-here");
+  response = session_->client().Send(std::move(bad_schema));
+  EXPECT_EQ(response.status, 500);
+
+  // Random binary garbage as parameters must not crash anything.
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    Request fuzz = Request::Get("/acct/meters/m0000.csv");
+    fuzz.headers.Set(kRunStorletHeader, "csvstorlet");
+    std::string garbage;
+    for (int b = 0; b < 40; ++b) {
+      char c = static_cast<char>(rng.NextBounded(94) + 33);  // printable
+      garbage.push_back(c);
+    }
+    fuzz.headers.Set("X-Storlet-Parameter-Selection", garbage);
+    fuzz.headers.Set("X-Storlet-Parameter-Schema", schema_.ToSpec());
+    HttpResponse r = session_->client().Send(std::move(fuzz));
+    EXPECT_TRUE(r.status == 200 || r.status == 500) << r.status;
+  }
+}
+
+TEST_F(RobustnessTest, ConcurrentQueriesFromManyThreads) {
+  const char* kQueries[] = {
+      "SELECT city, count(*) AS n FROM meters GROUP BY city ORDER BY city",
+      "SELECT vid, sum(index) AS s FROM meters WHERE city LIKE 'R%' "
+      "GROUP BY vid ORDER BY vid",
+      "SELECT count(*) AS n FROM meters WHERE state LIKE 'FRA'",
+      "SELECT vid FROM meters WHERE date LIKE '2015-01-01 00:0%' "
+      "ORDER BY vid LIMIT 20",
+  };
+  // Reference answers, sequential.
+  std::vector<std::string> expected;
+  for (const char* sql : kQueries) {
+    auto outcome = session_->Sql(sql);
+    ASSERT_TRUE(outcome.ok()) << sql;
+    expected.push_back(outcome->table.ToCsv());
+  }
+  // Hammer the same cluster from several sessions in parallel.
+  std::vector<std::thread> threads;
+  std::vector<Status> statuses(8, Status::OK());
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = cluster_->Connect("tenant-" + std::to_string(t), "key",
+                                      "acct");
+      if (!client.ok()) {
+        statuses[t] = client.status();
+        return;
+      }
+      ScoopSession local(cluster_.get(), std::move(client).value(), 2);
+      CsvSourceOptions options;
+      options.chunk_size = 16 * 1024 + static_cast<uint64_t>(t) * 4096;
+      local.RegisterCsvTable("meters", "meters", "m", schema_, t % 2 == 0,
+                             options);
+      for (int round = 0; round < 3; ++round) {
+        for (size_t q = 0; q < 4; ++q) {
+          auto outcome = local.Sql(kQueries[q]);
+          if (!outcome.ok()) {
+            statuses[t] = outcome.status();
+            return;
+          }
+          if (outcome->table.ToCsv() != expected[q]) {
+            statuses[t] = Status::Internal("result mismatch in thread");
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const Status& s : statuses) EXPECT_TRUE(s.ok()) << s;
+}
+
+
+TEST_F(RobustnessTest, ScaleOutMigratesDataAndKeepsResults) {
+  const char* kSql =
+      "SELECT city, sum(index) AS s FROM meters WHERE date LIKE "
+      "'2015-01-0%' GROUP BY city ORDER BY city";
+  auto before = session_->Sql(kSql);
+  ASSERT_TRUE(before.ok());
+  size_t old_devices = cluster_->swift().ring().devices().size();
+
+  ASSERT_TRUE(cluster_->AddStorageNode(2).ok());
+  const Ring& ring = cluster_->swift().ring();
+  ASSERT_EQ(ring.devices().size(), old_devices + 2);
+
+  // The new devices took on a meaningful share of replica assignments.
+  std::vector<int> counts = ring.ReplicaCountsPerDevice();
+  double fair = 3.0 * ring.partition_count() /
+                static_cast<double>(counts.size());
+  for (size_t d = old_devices; d < counts.size(); ++d) {
+    EXPECT_GT(counts[d], static_cast<int>(fair * 0.5)) << "device " << d;
+  }
+
+  // Data migrated: the new node physically holds objects.
+  auto& new_server = cluster_->swift().object_servers().back();
+  size_t stored = 0;
+  for (auto& device : new_server->devices()) stored += device->ObjectCount();
+  EXPECT_GT(stored, 0u);
+
+  // Every object is exactly replica_count-replicated (handoffs removed).
+  auto devices = cluster_->swift().DevicesById();
+  auto list = session_->client().ListObjects("meters");
+  ASSERT_TRUE(list.ok());
+  for (const ObjectInfo& info : *list) {
+    std::string path = "/acct/meters/" + info.name;
+    int copies = 0;
+    for (Device* device : devices) {
+      if (device->Exists(path)) ++copies;
+    }
+    EXPECT_EQ(copies, 3) << path;
+  }
+
+  // Queries (with pushdown on the new node too) still agree.
+  auto after = session_->Sql(kSql);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(after->table.ToCsv(), before->table.ToCsv());
+  EXPECT_GT(after->stats.partitions_pushdown, 0);
+}
+
+TEST_F(RobustnessTest, RebalanceMovesMinimalAssignments) {
+  const Ring& before = cluster_->swift().ring();
+  std::vector<std::vector<int>> old_assignment;
+  for (int p = 0; p < before.partition_count(); ++p) {
+    old_assignment.push_back(before.GetPartitionDevices(
+        static_cast<uint32_t>(p)));
+  }
+  size_t old_devices = before.devices().size();
+  ASSERT_TRUE(cluster_->swift().AddStorageNode(2).ok());
+  const Ring& after = cluster_->swift().ring();
+  int moved = 0;
+  int total = 0;
+  for (int p = 0; p < after.partition_count(); ++p) {
+    const auto& now = after.GetPartitionDevices(static_cast<uint32_t>(p));
+    for (size_t r = 0; r < now.size(); ++r) {
+      ++total;
+      if (now[r] != old_assignment[static_cast<size_t>(p)][r]) ++moved;
+    }
+  }
+  // Only roughly the new devices' fair share may move, not a full reshuffle.
+  double new_share = 2.0 / static_cast<double>(old_devices + 2);
+  EXPECT_LT(moved, static_cast<int>(total * new_share * 1.5) + 2);
+  EXPECT_GT(moved, 0);
+}
+
+// Cross-account access cannot be bootstrapped through storlet headers.
+TEST_F(RobustnessTest, StorletHeadersDontBypassAuth) {
+  auto other = cluster_->Connect("intruder", "key", "intruder");
+  ASSERT_TRUE(other.ok());
+  Request request = Request::Get("/acct/meters/m0000.csv");
+  request.headers.Set(kRunStorletHeader, "csvstorlet");
+  request.headers.Set("X-Storlet-Parameter-Schema", schema_.ToSpec());
+  HttpResponse response = other->Send(std::move(request));
+  EXPECT_EQ(response.status, 403);
+}
+
+// Randomized end-to-end equivalence: random queries over the generated
+// dataset must produce identical results via (a) pushdown, (b) plain
+// ingest, and (c) the single-process reference evaluator.
+class RandomQueryEquivalence : public RobustnessTest,
+                               public ::testing::WithParamInterface<int> {};
+
+TEST_P(RandomQueryEquivalence, PushdownPlainReferenceAgree) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919);
+  const char* kAggs[] = {"sum(index)", "count(*)", "min(sumHC)",
+                         "max(sumHP)", "avg(index)"};
+  const char* kGroups[] = {"city", "state", "vid",
+                           "SUBSTRING(date, 0, 10)", "region"};
+  const char* kPredicates[] = {
+      "date LIKE '2015-01-0%'",
+      "city LIKE 'R%'",
+      "state IN ('FRA', 'NLD')",
+      "index BETWEEN 1000 AND 100000",
+      "vid >= 1005",
+      "sumHP > sumHC",  // residual-only (column vs column)
+      "region IS NOT NULL",
+  };
+  // Build a random aggregate query.
+  std::string group = kGroups[rng.NextIndex(5)];
+  std::string agg = kAggs[rng.NextIndex(5)];
+  std::string sql = "SELECT " + group + " AS k, " + agg + " AS v FROM __TABLE__";
+  size_t preds = rng.NextBounded(3);
+  for (size_t i = 0; i < preds; ++i) {
+    sql += (i == 0 ? " WHERE " : " AND ");
+    sql += kPredicates[rng.NextIndex(7)];
+  }
+  sql += " GROUP BY " + group + " ORDER BY k";
+  if (rng.NextBool(0.3)) sql += " LIMIT " + std::to_string(rng.NextInt(1, 8));
+
+  CsvSourceOptions plain_options;
+  plain_options.chunk_size = 8 * 1024 + rng.NextBounded(64 * 1024);
+  session_->RegisterCsvTable("plainMeters", "meters", "m", schema_, false,
+                             plain_options);
+
+  auto with_table = [&sql](const std::string& table) {
+    std::string out = sql;
+    out.replace(out.find("__TABLE__"), 9, table);
+    return out;
+  };
+  auto pushdown = session_->Sql(with_table("meters"));
+  ASSERT_TRUE(pushdown.ok()) << sql << ": " << pushdown.status();
+  auto plain = session_->Sql(with_table("plainMeters"));
+  ASSERT_TRUE(plain.ok()) << sql;
+  EXPECT_EQ(pushdown->table.ToCsv(), plain->table.ToCsv()) << sql;
+
+  auto reference = ExecuteSqlOverRows(with_table("meters"), schema_,
+                                      generator_->MakeAllRows());
+  ASSERT_TRUE(reference.ok()) << sql;
+  EXPECT_EQ(pushdown->table.ToCsv(), reference->ToCsv()) << sql;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomQueryEquivalence,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace scoop

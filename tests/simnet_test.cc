@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "simnet/calibration.h"
+#include "simnet/simulator.h"
+
+namespace scoop {
+namespace {
+
+constexpr double kGB = 1e9;
+
+TEST(SimulatorTest, ZeroSelectivityPenaltyIsSmall) {
+  // Paper §VI-A: worst-case mean penalty of 3.4% at zero selectivity.
+  ClusterSimulator sim;
+  for (double dataset : {50 * kGB, 500 * kGB, 3000 * kGB}) {
+    double speedup = sim.Speedup(dataset, 0.0);
+    EXPECT_LT(speedup, 1.0) << dataset;
+    EXPECT_GT(speedup, 0.95) << dataset;  // penalty under 5%
+  }
+}
+
+TEST(SimulatorTest, SpeedupSuperlinearInSelectivity) {
+  // Fig. 5: S(0.9) must exceed 2*S(0.8), i.e. grow faster than linear.
+  ClusterSimulator sim;
+  double s50 = sim.Speedup(500 * kGB, 0.5);
+  double s80 = sim.Speedup(500 * kGB, 0.8);
+  double s90 = sim.Speedup(500 * kGB, 0.9);
+  EXPECT_GT(s80, s50);
+  EXPECT_GT(s90, s80);
+  EXPECT_GT(s90 / s80, 1.5);  // superlinear region
+  // Paper anchors: ~5x at 80%, >10x at 90%.
+  EXPECT_NEAR(s80, 5.0, 2.0);
+  EXPECT_GT(s90, 7.0);
+}
+
+TEST(SimulatorTest, SpeedupCeilingMatchesPaper) {
+  // Fig. 6: up to ~31x on the larger datasets, ~19x on 50 GB.
+  ClusterSimulator sim;
+  double small = sim.Speedup(50 * kGB, 0.9999);
+  double medium = sim.Speedup(500 * kGB, 0.9999);
+  double large = sim.Speedup(3000 * kGB, 0.9999);
+  EXPECT_NEAR(small, 18.7, 4.0);
+  EXPECT_NEAR(medium, 31.0, 6.0);
+  EXPECT_GT(large, medium * 0.9);  // larger datasets at least as fast
+  EXPECT_LT(large, 45.0);
+}
+
+TEST(SimulatorTest, SixtyPercentAnchors) {
+  // §VI-A: S = 2.25 (50 GB) and S = 2.35 (3 TB) at 60% mixed selectivity.
+  ClusterSimulator sim;
+  EXPECT_NEAR(sim.Speedup(50 * kGB, 0.6), 2.25, 0.5);
+  EXPECT_NEAR(sim.Speedup(3000 * kGB, 0.6), 2.35, 0.5);
+}
+
+TEST(SimulatorTest, LargerDatasetsSpeedUpMore) {
+  ClusterSimulator sim;
+  for (double sel : {0.7, 0.9, 0.99}) {
+    double small = sim.Speedup(50 * kGB, sel);
+    double large = sim.Speedup(3000 * kGB, sel);
+    EXPECT_GE(large, small * 0.95) << "sel=" << sel;
+  }
+}
+
+TEST(SimulatorTest, RowBeatsColumnSelectivity) {
+  // Fig. 5: row selectivity outperforms column selectivity.
+  ClusterSimulator sim;
+  SimQuery query;
+  query.mode = SimMode::kScoop;
+  query.dataset_bytes = 500 * kGB;
+  query.data_selectivity = 0.95;
+  query.selectivity_type = SelectivityType::kRow;
+  double row_time = sim.Simulate(query).total_seconds;
+  query.selectivity_type = SelectivityType::kColumn;
+  double column_time = sim.Simulate(query).total_seconds;
+  query.selectivity_type = SelectivityType::kMixed;
+  double mixed_time = sim.Simulate(query).total_seconds;
+  EXPECT_LT(row_time, mixed_time);
+  EXPECT_LT(mixed_time, column_time);
+}
+
+TEST(SimulatorTest, ParquetCrossover) {
+  // Fig. 8 on 50 GB: Parquet wins at low column selectivity, Scoop from
+  // roughly 60%, and is ~2.16x faster at 90%.
+  ClusterSimulator sim;
+  auto time_of = [&](SimMode mode, double sel) {
+    SimQuery query;
+    query.mode = mode;
+    query.dataset_bytes = 50 * kGB;
+    query.data_selectivity = sel;
+    query.selectivity_type = SelectivityType::kColumn;
+    return sim.Simulate(query).total_seconds;
+  };
+  EXPECT_LT(time_of(SimMode::kParquet, 0.0), time_of(SimMode::kScoop, 0.0));
+  EXPECT_LT(time_of(SimMode::kParquet, 0.3), time_of(SimMode::kScoop, 0.3));
+  EXPECT_LT(time_of(SimMode::kScoop, 0.8), time_of(SimMode::kParquet, 0.8));
+  double ratio =
+      time_of(SimMode::kParquet, 0.9) / time_of(SimMode::kScoop, 0.9);
+  EXPECT_NEAR(ratio, 2.16, 0.8);
+  // Parquet beats plain ingest at zero selectivity (compression).
+  SimQuery plain;
+  plain.mode = SimMode::kPlain;
+  plain.dataset_bytes = 50 * kGB;
+  EXPECT_LT(time_of(SimMode::kParquet, 0.0),
+            sim.Simulate(plain).total_seconds);
+}
+
+TEST(SimulatorTest, ProxyStagingSlowerThanObjectStaging) {
+  // §V-A: running filters at the object nodes beats the proxy stage.
+  ClusterSimulator sim;
+  SimQuery query;
+  query.mode = SimMode::kScoop;
+  query.dataset_bytes = 500 * kGB;
+  query.data_selectivity = 0.99;
+  double object_stage = sim.Simulate(query).total_seconds;
+  query.filter_at_proxy = true;
+  double proxy_stage = sim.Simulate(query).total_seconds;
+  EXPECT_GT(proxy_stage, object_stage * 1.5);
+}
+
+TEST(SimulatorTest, TracesMatchFig9Shapes) {
+  ClusterSimulator sim;
+  SimQuery plain;
+  plain.mode = SimMode::kPlain;
+  plain.dataset_bytes = 3000 * kGB;
+  plain.data_selectivity = 0.99;  // ShowGraphHCHP-like
+  SimResult plain_result = sim.Simulate(plain);
+
+  SimQuery scoop = plain;
+  scoop.mode = SimMode::kScoop;
+  SimResult scoop_result = sim.Simulate(scoop);
+
+  // Fig. 9(c): plain saturates the 10 Gbps link; Scoop's peak is a small
+  // fraction of it and the transfer window is much shorter.
+  EXPECT_GT(plain_result.lb_tx_Bps.Max(), 1.2e9);
+  EXPECT_LT(scoop_result.lb_tx_Bps.Max(), 0.5e9);
+  EXPECT_LT(scoop_result.total_seconds, plain_result.total_seconds / 10);
+
+  // Link integrals recover the transferred byte volumes.
+  EXPECT_NEAR(plain_result.lb_tx_Bps.Integral(), plain.dataset_bytes,
+              plain.dataset_bytes * 0.05);
+  EXPECT_NEAR(scoop_result.lb_tx_Bps.Integral(),
+              scoop_result.bytes_transferred,
+              scoop_result.bytes_transferred * 0.10);
+
+  // Fig. 9(a): mean Spark CPU lower with Scoop (paper: 3.1% vs 1.2%).
+  EXPECT_GT(plain_result.spark_cpu_pct.Mean(),
+            scoop_result.spark_cpu_pct.Mean());
+
+  // Fig. 9(b): Scoop's memory peak is ~13% lower and held far shorter.
+  EXPECT_NEAR(scoop_result.spark_mem_pct.Max(),
+              plain_result.spark_mem_pct.Max() * 0.868, 1.0);
+  EXPECT_LT(scoop_result.spark_mem_pct.Duration(),
+            plain_result.spark_mem_pct.Duration() / 8);
+}
+
+TEST(SimulatorTest, StorageCpuMatchesFig10) {
+  ClusterSimulator sim;
+  SimQuery scoop;
+  scoop.mode = SimMode::kScoop;
+  scoop.dataset_bytes = 3000 * kGB;
+  scoop.data_selectivity = 0.99;
+  SimResult with_scoop = sim.Simulate(scoop);
+  // Paper: ~23.5% busy with Scoop vs ~1.25% idle without.
+  EXPECT_NEAR(with_scoop.storage_cpu_pct.Max(), 23.5 + 1.25, 3.0);
+
+  SimQuery plain = scoop;
+  plain.mode = SimMode::kPlain;
+  SimResult without = sim.Simulate(plain);
+  EXPECT_NEAR(without.storage_cpu_pct.Max(), 1.25, 0.3);
+}
+
+TEST(CalibrationTest, RealEngineRatesAreSane) {
+  auto report = RunCalibration(20000);
+  ASSERT_TRUE(report.ok()) << report.status();
+  // Single-core rates on any machine should land in these broad windows.
+  EXPECT_GT(report->storlet_filter_MBps, 5.0);
+  EXPECT_GT(report->storlet_rowdrop_MBps, 5.0);
+  EXPECT_GT(report->spark_parse_MBps, 5.0);
+  EXPECT_GT(report->parquet_decode_MBps, 1.0);
+  EXPECT_GT(report->lz_compress_MBps, 5.0);
+  EXPECT_GT(report->lz_decompress_MBps, 20.0);
+  EXPECT_GT(report->parquet_compression_ratio, 0.05);
+  EXPECT_LT(report->parquet_compression_ratio, 0.9);
+}
+
+}  // namespace
+}  // namespace scoop

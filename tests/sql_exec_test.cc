@@ -1,0 +1,435 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sql/executor.h"
+#include "sql/expr_eval.h"
+#include "sql/parser.h"
+
+namespace scoop {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", ColumnType::kInt64},
+                 {"city", ColumnType::kString},
+                 {"load", ColumnType::kDouble},
+                 {"date", ColumnType::kString}});
+}
+
+std::vector<Row> TestRows() {
+  std::vector<Row> rows;
+  auto add = [&](int64_t id, const char* city, double load,
+                 const char* date) {
+    Row row;
+    row.push_back(Value(id));
+    row.push_back(Value(std::string(city)));
+    row.push_back(Value(load));
+    row.push_back(Value(std::string(date)));
+    rows.push_back(std::move(row));
+  };
+  add(1, "Paris", 10.0, "2015-01-01");
+  add(2, "Rotterdam", 20.0, "2015-01-02");
+  add(3, "Rotterdam", 30.0, "2015-02-01");
+  add(4, "Nice", 40.0, "2015-01-03");
+  add(5, "Paris", 50.0, "2015-02-02");
+  return rows;
+}
+
+Result<ResultTable> ExecSql(const std::string& sql) {
+  return ExecuteSqlOverRows(sql, TestSchema(), TestRows());
+}
+
+TEST(ExprEvalTest, BindRejectsUnknownColumn) {
+  auto expr = ParseExpression("ghost + 1");
+  ASSERT_TRUE(expr.ok());
+  Schema schema = TestSchema();
+  EXPECT_FALSE(BindExpr(expr->get(), schema).ok());
+}
+
+TEST(ExprEvalTest, ArithmeticSemantics) {
+  Schema schema = TestSchema();
+  Row row = TestRows()[0];
+  auto eval = [&](const std::string& text) {
+    auto expr = ParseExpression(text);
+    EXPECT_TRUE(expr.ok()) << text;
+    EXPECT_TRUE(BindExpr(expr->get(), schema).ok()) << text;
+    return EvalExpr(**expr, row);
+  };
+  EXPECT_EQ(eval("1 + 2").AsInt64(), 3);
+  EXPECT_DOUBLE_EQ(eval("load * 2").AsDoubleExact(), 20.0);
+  EXPECT_DOUBLE_EQ(eval("7 / 2").AsDoubleExact(), 3.5);
+  EXPECT_TRUE(eval("1 / 0").is_null());
+  EXPECT_EQ(eval("-id").AsInt64(), -1);
+  EXPECT_TRUE(eval("null + 1").is_null());
+}
+
+TEST(ExprEvalTest, ComparisonAndLogic) {
+  Schema schema = TestSchema();
+  Row row = TestRows()[1];  // Rotterdam, 20.0
+  auto truthy = [&](const std::string& text) {
+    auto expr = ParseExpression(text);
+    EXPECT_TRUE(expr.ok()) << text;
+    EXPECT_TRUE(BindExpr(expr->get(), schema).ok()) << text;
+    return EvalPredicate(**expr, row);
+  };
+  EXPECT_TRUE(truthy("city = 'Rotterdam'"));
+  EXPECT_FALSE(truthy("city = 'Paris'"));
+  EXPECT_TRUE(truthy("load >= 20"));
+  EXPECT_TRUE(truthy("load > 10 AND city LIKE 'R%'"));
+  EXPECT_TRUE(truthy("load > 100 OR id = 2"));
+  EXPECT_FALSE(truthy("NOT id = 2"));
+  // Null comparison is false; NOT of it is true (documented semantics).
+  EXPECT_FALSE(truthy("city = null"));
+  EXPECT_TRUE(truthy("NOT city = null"));
+}
+
+TEST(ExprEvalTest, SubstringSemantics) {
+  EXPECT_EQ(SqlSubstring("2015-01-15", 0, 7), "2015-01");
+  EXPECT_EQ(SqlSubstring("2015-01-15", 1, 7), "2015-01");
+  EXPECT_EQ(SqlSubstring("2015-01-15", 6, 2), "01");
+  EXPECT_EQ(SqlSubstring("abc", 10, 2), "");
+  EXPECT_EQ(SqlSubstring("abc", 1, 100), "abc");
+  EXPECT_EQ(SqlSubstring("abcdef", -3, 2), "de");
+  EXPECT_EQ(SqlSubstring("abc", 1, 0), "");
+}
+
+TEST(ExecutorTest, SimpleProjection) {
+  auto result = ExecSql("SELECT city, load FROM t WHERE load > 15");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 4u);
+  EXPECT_EQ(result->schema.column(0).name, "city");
+  EXPECT_EQ(result->rows[0][0].AsString(), "Rotterdam");
+}
+
+TEST(ExecutorTest, SelectStarPreservesSchema) {
+  auto result = ExecSql("SELECT * FROM t");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->schema.size(), 4u);
+  EXPECT_EQ(result->rows.size(), 5u);
+  EXPECT_EQ(result->schema.column(1).name, "city");
+}
+
+TEST(ExecutorTest, OrderByAndLimit) {
+  auto result = ExecSql("SELECT id FROM t ORDER BY load DESC LIMIT 2");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 2u);
+  EXPECT_EQ(result->rows[0][0].AsInt64(), 5);
+  EXPECT_EQ(result->rows[1][0].AsInt64(), 4);
+}
+
+TEST(ExecutorTest, OrderByColumnNotSelected) {
+  auto result = ExecSql("SELECT city FROM t ORDER BY id DESC LIMIT 1");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0].AsString(), "Paris");  // id 5
+  EXPECT_EQ(result->schema.size(), 1u);  // hidden sort key not exposed
+}
+
+TEST(ExecutorTest, OrderByAlias) {
+  auto result = ExecSql("SELECT load * 2 AS dbl FROM t ORDER BY dbl DESC LIMIT 1");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_DOUBLE_EQ(result->rows[0][0].AsDoubleExact(), 100.0);
+}
+
+TEST(ExecutorTest, GroupByWithAggregates) {
+  auto result = ExecSql(
+      "SELECT city, sum(load) AS total, count(*) AS n FROM t "
+      "GROUP BY city ORDER BY city");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 3u);
+  EXPECT_EQ(result->rows[0][0].AsString(), "Nice");
+  EXPECT_DOUBLE_EQ(result->rows[0][1].ToDouble(), 40.0);
+  EXPECT_EQ(result->rows[0][2].AsInt64(), 1);
+  EXPECT_EQ(result->rows[2][0].AsString(), "Rotterdam");
+  EXPECT_DOUBLE_EQ(result->rows[2][1].ToDouble(), 50.0);
+  EXPECT_EQ(result->rows[2][2].AsInt64(), 2);
+}
+
+TEST(ExecutorTest, GroupByExpression) {
+  auto result = ExecSql(
+      "SELECT SUBSTRING(date, 0, 7) AS month, sum(load) AS total FROM t "
+      "GROUP BY SUBSTRING(date, 0, 7) ORDER BY SUBSTRING(date, 0, 7)");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 2u);
+  EXPECT_EQ(result->rows[0][0].AsString(), "2015-01");
+  EXPECT_DOUBLE_EQ(result->rows[0][1].ToDouble(), 70.0);
+  EXPECT_EQ(result->rows[1][0].AsString(), "2015-02");
+  EXPECT_DOUBLE_EQ(result->rows[1][1].ToDouble(), 80.0);
+}
+
+TEST(ExecutorTest, OrderByHiddenGroupKey) {
+  // ORDER BY on a group key that is not selected (ShowMapHeatmonth shape).
+  auto result = ExecSql(
+      "SELECT sum(load) AS total FROM t "
+      "GROUP BY city ORDER BY city DESC");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(result->rows[0][0].ToDouble(), 50.0);  // Rotterdam
+  EXPECT_DOUBLE_EQ(result->rows[2][0].ToDouble(), 40.0);  // Nice
+}
+
+TEST(ExecutorTest, MinMaxAvgFirstValue) {
+  auto result = ExecSql(
+      "SELECT city, min(load) AS lo, max(load) AS hi, avg(load) AS mean, "
+      "first_value(id) AS first FROM t GROUP BY city ORDER BY city");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 3u);
+  // Paris: loads 10, 50; first row id 1.
+  EXPECT_DOUBLE_EQ(result->rows[1][1].ToDouble(), 10.0);
+  EXPECT_DOUBLE_EQ(result->rows[1][2].ToDouble(), 50.0);
+  EXPECT_DOUBLE_EQ(result->rows[1][3].AsDoubleExact(), 30.0);
+  EXPECT_EQ(result->rows[1][4].AsInt64(), 1);
+}
+
+TEST(ExecutorTest, GlobalAggregateWithoutGroupBy) {
+  auto result = ExecSql("SELECT count(*) AS n, sum(load) AS total FROM t");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0].AsInt64(), 5);
+  EXPECT_DOUBLE_EQ(result->rows[0][1].ToDouble(), 150.0);
+}
+
+TEST(ExecutorTest, GlobalAggregateOverZeroRows) {
+  auto result = ExecSql("SELECT count(*) AS n, sum(load) AS s FROM t WHERE id > 99");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0].AsInt64(), 0);
+  EXPECT_TRUE(result->rows[0][1].is_null());
+}
+
+TEST(ExecutorTest, ExpressionOverAggregates) {
+  auto result = ExecSql(
+      "SELECT city, sum(load) / count(*) AS mean FROM t GROUP BY city "
+      "ORDER BY city");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_DOUBLE_EQ(result->rows[1][1].AsDoubleExact(), 30.0);  // Paris
+}
+
+TEST(ExecutorTest, NonGroupedColumnRejected) {
+  auto result = ExecSql("SELECT city, sum(load) FROM t GROUP BY id");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ExecutorTest, UnknownColumnRejected) {
+  EXPECT_FALSE(ExecSql("SELECT ghost FROM t").ok());
+  EXPECT_FALSE(ExecSql("SELECT id FROM t WHERE ghost = 1").ok());
+}
+
+TEST(ExecutorTest, IntegerSumStaysExact) {
+  auto result = ExecSql("SELECT sum(id) AS s FROM t");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][0].type(), ValueType::kInt64);
+  EXPECT_EQ(result->rows[0][0].AsInt64(), 15);
+}
+
+TEST(ExecutorTest, ResultRenderings) {
+  auto result = ExecSql("SELECT id, city FROM t ORDER BY id LIMIT 2");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToCsv(), "1,Paris\n2,Rotterdam\n");
+  std::string display = result->ToDisplayString();
+  EXPECT_NE(display.find("city"), std::string::npos);
+  EXPECT_NE(display.find("Rotterdam"), std::string::npos);
+}
+
+
+TEST(ExecutorTest, InAndBetweenPredicates) {
+  auto result = ExecSql(
+      "SELECT id FROM t WHERE city IN ('Paris', 'Nice') "
+      "AND load BETWEEN 10 AND 40 ORDER BY id");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 2u);
+  EXPECT_EQ(result->rows[0][0].AsInt64(), 1);
+  EXPECT_EQ(result->rows[1][0].AsInt64(), 4);
+}
+
+TEST(ExecutorTest, IsNullPredicates) {
+  Schema schema({{"id", ColumnType::kInt64}, {"tag", ColumnType::kString}});
+  std::vector<Row> rows;
+  rows.push_back({Value(static_cast<int64_t>(1)), Value(std::string("x"))});
+  rows.push_back({Value(static_cast<int64_t>(2)), Value::Null()});
+  rows.push_back({Value(static_cast<int64_t>(3)), Value(std::string("y"))});
+  auto null_rows = ExecuteSqlOverRows(
+      "SELECT id FROM t WHERE tag IS NULL", schema, rows);
+  ASSERT_TRUE(null_rows.ok()) << null_rows.status();
+  ASSERT_EQ(null_rows->rows.size(), 1u);
+  EXPECT_EQ(null_rows->rows[0][0].AsInt64(), 2);
+  auto not_null = ExecuteSqlOverRows(
+      "SELECT id FROM t WHERE tag IS NOT NULL ORDER BY id", schema, rows);
+  ASSERT_TRUE(not_null.ok());
+  EXPECT_EQ(not_null->rows.size(), 2u);
+}
+
+TEST(ExecutorTest, HavingFiltersGroups) {
+  auto result = ExecSql(
+      "SELECT city, count(*) AS n FROM t GROUP BY city "
+      "HAVING count(*) > 1 ORDER BY city");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 2u);  // Paris and Rotterdam, not Nice
+  EXPECT_EQ(result->rows[0][0].AsString(), "Paris");
+  EXPECT_EQ(result->rows[1][0].AsString(), "Rotterdam");
+}
+
+TEST(ExecutorTest, HavingOnAggregateNotInSelect) {
+  auto result = ExecSql(
+      "SELECT city FROM t GROUP BY city HAVING sum(load) >= 50 "
+      "ORDER BY city");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 2u);
+  EXPECT_EQ(result->rows[0][0].AsString(), "Paris");      // 60
+  EXPECT_EQ(result->rows[1][0].AsString(), "Rotterdam");  // 50
+  EXPECT_EQ(result->schema.size(), 1u);
+}
+
+TEST(ExecutorTest, HavingReferencingNonGroupedColumnFails) {
+  EXPECT_FALSE(
+      ExecSql("SELECT city FROM t GROUP BY city HAVING id > 1").ok());
+}
+
+
+TEST(ExecutorTest, ExplainDescribesThePlan) {
+  auto stmt = ParseSql(
+      "SELECT city, sum(load) AS total FROM t "
+      "WHERE city LIKE 'R%' AND load / 2 > 1 GROUP BY city "
+      "HAVING sum(load) > 10 ORDER BY city DESC LIMIT 3");
+  ASSERT_TRUE(stmt.ok());
+  auto plan = PhysicalPlan::Create(*stmt, TestSchema());
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  std::string text = (*plan)->Explain();
+  EXPECT_NE(text.find("Scan [city, load]"), std::string::npos) << text;
+  EXPECT_NE(text.find("pushed filter:   (like city \"R%\")"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("residual filter: ((load / 2) > 1)"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("group by [city]"), std::string::npos) << text;
+  EXPECT_NE(text.find("having: (#agg0 > 10)"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("Sort [#key0 desc]"), std::string::npos) << text;
+  EXPECT_NE(text.find("Limit 3"), std::string::npos) << text;
+}
+
+// Distributed-equivalence property: splitting the input arbitrarily into
+// partitions, processing each separately, and merging partials in order
+// must equal single-pass execution.
+class PartitionEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PartitionEquivalenceTest, MergeMatchesLocal) {
+  auto [num_partitions, query_index] = GetParam();
+  static const char* kQueries[] = {
+      "SELECT city, sum(load) AS total, count(*) AS n, first_value(id) AS f "
+      "FROM t GROUP BY city ORDER BY city",
+      "SELECT id, load FROM t WHERE load > 5 ORDER BY load DESC LIMIT 3",
+      "SELECT SUBSTRING(date, 0, 7) AS m, min(load) AS lo, max(load) AS hi "
+      "FROM t GROUP BY SUBSTRING(date, 0, 7) ORDER BY m",
+      "SELECT count(*) AS n FROM t WHERE city LIKE 'R%'",
+  };
+  const std::string sql = kQueries[query_index];
+
+  auto stmt = ParseSql(sql);
+  ASSERT_TRUE(stmt.ok());
+  Schema schema = TestSchema();
+  auto plan = PhysicalPlan::Create(*stmt, schema);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  // Project the table rows to the scan schema.
+  std::vector<int> indices;
+  for (const std::string& name : (*plan)->required_columns()) {
+    indices.push_back(schema.IndexOf(name));
+  }
+  std::vector<Row> scan_rows;
+  for (const Row& row : TestRows()) {
+    Row projected;
+    for (int idx : indices) projected.push_back(row[static_cast<size_t>(idx)]);
+    scan_rows.push_back(std::move(projected));
+  }
+
+  auto reference = (*plan)->ExecuteLocal(scan_rows, false);
+  ASSERT_TRUE(reference.ok());
+
+  // Split round-robin-by-block into partitions, process, merge in order.
+  std::vector<PartialResult> partials(static_cast<size_t>(num_partitions));
+  for (size_t i = 0; i < scan_rows.size(); ++i) {
+    size_t p = i * static_cast<size_t>(num_partitions) / scan_rows.size();
+    (*plan)->ProcessRow(scan_rows[i], false, &partials[p]);
+  }
+  PartialResult merged;
+  for (auto& partial : partials) {
+    (*plan)->MergePartial(&merged, std::move(partial));
+  }
+  auto distributed = (*plan)->Finalize(std::move(merged));
+  ASSERT_TRUE(distributed.ok());
+
+  EXPECT_EQ(distributed->ToCsv(), reference->ToCsv())
+      << "partitions=" << num_partitions << " sql=" << sql;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionEquivalenceTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5),
+                       ::testing::Values(0, 1, 2, 3)));
+
+// Randomized property: pushdown split must be lossless — evaluating the
+// pushed filter plus residual conjuncts equals evaluating the full WHERE.
+TEST(ExecutorPropertyTest, PushedPlusResidualEqualsFullWhere) {
+  Rng rng(2024);
+  Schema schema = TestSchema();
+  const char* cities[] = {"Paris", "Rotterdam", "Nice"};
+  for (int iter = 0; iter < 30; ++iter) {
+    // Random conjunctive WHERE over the columns.
+    std::string where;
+    int conjuncts = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int c = 0; c < conjuncts; ++c) {
+      if (c > 0) where += " AND ";
+      switch (rng.NextBounded(4)) {
+        case 0:
+          where += "load > " + std::to_string(rng.NextInt(0, 60));
+          break;
+        case 1:
+          where += std::string("city LIKE '") +
+                   cities[rng.NextIndex(3)] + "'";
+          break;
+        case 2:
+          where += "id <= " + std::to_string(rng.NextInt(0, 6));
+          break;
+        default:
+          // Not pushable: expression on both sides.
+          where += "load / 2 > " + std::to_string(rng.NextInt(0, 30));
+          break;
+      }
+    }
+    std::string sql = "SELECT id FROM t WHERE " + where + " ORDER BY id";
+    auto stmt = ParseSql(sql);
+    ASSERT_TRUE(stmt.ok()) << sql;
+    auto plan = PhysicalPlan::Create(*stmt, schema);
+    ASSERT_TRUE(plan.ok()) << sql;
+
+    std::vector<int> indices;
+    for (const std::string& name : (*plan)->required_columns()) {
+      indices.push_back(schema.IndexOf(name));
+    }
+    PartialResult full, split;
+    for (const Row& row : TestRows()) {
+      Row projected;
+      for (int idx : indices) {
+        projected.push_back(row[static_cast<size_t>(idx)]);
+      }
+      // Full path: all conjuncts compute-side.
+      (*plan)->ProcessRow(projected, false, &full);
+      // Split path: pushed filter evaluated on raw fields, then residual.
+      std::vector<std::string> rendered;
+      std::vector<std::string_view> views;
+      for (const Value& v : projected) rendered.push_back(v.ToString());
+      for (const std::string& s : rendered) views.push_back(s);
+      Schema scan = (*plan)->scan_schema();
+      if ((*plan)->pushed_filter().Matches(views, scan)) {
+        (*plan)->ProcessRow(projected, true, &split);
+      }
+    }
+    auto a = (*plan)->Finalize(std::move(full));
+    auto b = (*plan)->Finalize(std::move(split));
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a->ToCsv(), b->ToCsv()) << sql;
+  }
+}
+
+}  // namespace
+}  // namespace scoop

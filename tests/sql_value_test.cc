@@ -1,0 +1,196 @@
+// Unit coverage for the value system, schemas, aggregates and scalar
+// functions — the building blocks under the executor.
+#include <gtest/gtest.h>
+
+#include "sql/aggregates.h"
+#include "sql/expr_eval.h"
+#include "sql/parser.h"
+#include "sql/schema.h"
+#include "sql/value.h"
+
+namespace scoop {
+namespace {
+
+TEST(ValueTest, NullBehaviour) {
+  Value null;
+  EXPECT_TRUE(null.is_null());
+  EXPECT_EQ(null.ToString(), "");
+  EXPECT_EQ(null.Compare(Value::Null()), 0);
+  EXPECT_LT(null.Compare(Value(static_cast<int64_t>(-100))), 0);
+  EXPECT_LT(null.Compare(Value(std::string(""))), 0);  // null < empty string
+}
+
+TEST(ValueTest, NumericComparisonsPromote) {
+  EXPECT_EQ(Value(static_cast<int64_t>(2)).Compare(Value(2.0)), 0);
+  EXPECT_LT(Value(static_cast<int64_t>(2)).Compare(Value(2.5)), 0);
+  EXPECT_GT(Value(3.5).Compare(Value(static_cast<int64_t>(3))), 0);
+  // Large int64 comparisons stay exact when both are integral.
+  int64_t big = (1LL << 60) + 1;
+  EXPECT_GT(Value(big).Compare(Value(big - 1)), 0);
+}
+
+TEST(ValueTest, StringComparisons) {
+  EXPECT_LT(Value(std::string("Amsterdam")).Compare(
+                Value(std::string("Paris"))),
+            0);
+  EXPECT_EQ(Value(std::string("x")).Compare(Value(std::string("x"))), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  // Equal values (int 5 vs double 5.0) must hash equally for group-by.
+  EXPECT_EQ(Value(static_cast<int64_t>(5)).Hash(), Value(5.0).Hash());
+  EXPECT_EQ(Value(std::string("abc")).Hash(), Value(std::string("abc")).Hash());
+  EXPECT_NE(Value(std::string("abc")).Hash(), Value(std::string("abd")).Hash());
+}
+
+TEST(ValueTest, FromFieldTyping) {
+  EXPECT_EQ(Value::FromField("42", ColumnType::kInt64).AsInt64(), 42);
+  EXPECT_DOUBLE_EQ(Value::FromField("2.5", ColumnType::kDouble)
+                       .AsDoubleExact(),
+                   2.5);
+  EXPECT_EQ(Value::FromField("hi", ColumnType::kString).AsString(), "hi");
+  EXPECT_TRUE(Value::FromField("", ColumnType::kInt64).is_null());
+  EXPECT_TRUE(Value::FromField("oops", ColumnType::kInt64).is_null());
+  EXPECT_TRUE(Value::FromField("oops", ColumnType::kDouble).is_null());
+}
+
+TEST(ValueTest, DisplayRoundtripStable) {
+  // render(parse(render(x))) == render(x) for doubles: the invariant that
+  // keeps distributed results equal to in-memory reference results.
+  for (double v : {0.0, 1.5, -2.25, 1234.5678, 1e6, 123456789.0, 0.0001}) {
+    std::string once = Value(v).ToString();
+    Value reparsed = Value::FromField(once, ColumnType::kDouble);
+    EXPECT_EQ(reparsed.ToString(), once) << v;
+  }
+}
+
+TEST(SchemaTest, SpecRoundtrip) {
+  Schema schema({{"vid", ColumnType::kInt64},
+                 {"city", ColumnType::kString},
+                 {"load", ColumnType::kDouble}});
+  auto parsed = Schema::FromSpec(schema.ToSpec());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, schema);
+  EXPECT_FALSE(Schema::FromSpec("bad").ok());
+  EXPECT_FALSE(Schema::FromSpec("a:int,b:whatever").ok());
+  auto empty = Schema::FromSpec("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->size(), 0u);
+}
+
+TEST(SchemaTest, LookupAndSelect) {
+  Schema schema({{"Vid", ColumnType::kInt64}, {"City", ColumnType::kString}});
+  EXPECT_EQ(schema.IndexOf("vid"), 0);       // case-insensitive
+  EXPECT_EQ(schema.IndexOf("CITY"), 1);
+  EXPECT_EQ(schema.IndexOf("ghost"), -1);
+  auto pruned = schema.Select({"city"});
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(pruned->size(), 1u);
+  EXPECT_EQ(pruned->column(0).name, "City");
+  EXPECT_FALSE(schema.Select({"nope"}).ok());
+}
+
+TEST(AggStateTest, SumStaysIntegralUntilDoubleArrives) {
+  AggState state;
+  state.Update(AggKind::kSum, Value(static_cast<int64_t>(3)));
+  state.Update(AggKind::kSum, Value(static_cast<int64_t>(4)));
+  EXPECT_EQ(state.Final(AggKind::kSum).type(), ValueType::kInt64);
+  EXPECT_EQ(state.Final(AggKind::kSum).AsInt64(), 7);
+  state.Update(AggKind::kSum, Value(0.5));
+  EXPECT_EQ(state.Final(AggKind::kSum).type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(state.Final(AggKind::kSum).AsDoubleExact(), 7.5);
+}
+
+TEST(AggStateTest, NullsIgnoredExceptFirstValue) {
+  AggState sum;
+  sum.Update(AggKind::kSum, Value::Null());
+  EXPECT_TRUE(sum.Final(AggKind::kSum).is_null());  // no non-null input
+
+  AggState first;
+  first.Update(AggKind::kFirstValue, Value::Null());
+  first.Update(AggKind::kFirstValue, Value(static_cast<int64_t>(9)));
+  EXPECT_TRUE(first.Final(AggKind::kFirstValue).is_null());  // first row wins
+
+  AggState count;
+  count.Update(AggKind::kCount, Value::Null());
+  count.Update(AggKind::kCount, Value(static_cast<int64_t>(1)));
+  EXPECT_EQ(count.Final(AggKind::kCount).AsInt64(), 1);
+}
+
+TEST(AggStateTest, MergeOrderMattersOnlyForFirstValue) {
+  AggState a, b;
+  a.Update(AggKind::kMin, Value(static_cast<int64_t>(5)));
+  b.Update(AggKind::kMin, Value(static_cast<int64_t>(3)));
+  AggState ab = a;
+  ab.Merge(AggKind::kMin, b);
+  AggState ba = b;
+  ba.Merge(AggKind::kMin, a);
+  EXPECT_EQ(ab.Final(AggKind::kMin).AsInt64(), 3);
+  EXPECT_EQ(ba.Final(AggKind::kMin).AsInt64(), 3);
+
+  AggState f1, f2;
+  f1.Update(AggKind::kFirstValue, Value(std::string("early")));
+  f2.Update(AggKind::kFirstValue, Value(std::string("late")));
+  AggState merged = f1;
+  merged.Merge(AggKind::kFirstValue, f2);
+  EXPECT_EQ(merged.Final(AggKind::kFirstValue).AsString(), "early");
+}
+
+TEST(AggStateTest, AvgFromSumAndCount) {
+  AggState state;
+  for (int i = 1; i <= 4; ++i) {
+    state.Update(AggKind::kAvg, Value(static_cast<int64_t>(i)));
+  }
+  EXPECT_DOUBLE_EQ(state.Final(AggKind::kAvg).AsDoubleExact(), 2.5);
+  AggState empty;
+  EXPECT_TRUE(empty.Final(AggKind::kAvg).is_null());
+}
+
+TEST(AggKindTest, NameRoundtrip) {
+  for (AggKind kind : {AggKind::kSum, AggKind::kMin, AggKind::kMax,
+                       AggKind::kCount, AggKind::kAvg,
+                       AggKind::kFirstValue}) {
+    auto parsed = AggKindFromName(AggKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(AggKindFromName("median").ok());
+}
+
+// Scalar function coverage through the evaluator.
+class ScalarFunctionTest : public ::testing::Test {
+ protected:
+  Value Eval(const std::string& text) {
+    auto expr = ParseExpression(text);
+    EXPECT_TRUE(expr.ok()) << text;
+    Schema empty;
+    EXPECT_TRUE(BindExpr(expr->get(), empty).ok()) << text;
+    Row row;
+    return EvalExpr(**expr, row);
+  }
+};
+
+TEST_F(ScalarFunctionTest, StringFunctions) {
+  EXPECT_EQ(Eval("upper('abc')").AsString(), "ABC");
+  EXPECT_EQ(Eval("lower('AbC')").AsString(), "abc");
+  EXPECT_EQ(Eval("length('hello')").AsInt64(), 5);
+  EXPECT_EQ(Eval("concat('a', 'b', 'c')").AsString(), "abc");
+  EXPECT_EQ(Eval("substring('hello', 2, 3)").AsString(), "ell");
+  EXPECT_TRUE(Eval("upper(null)").is_null());
+}
+
+TEST_F(ScalarFunctionTest, NumericAndNullFunctions) {
+  EXPECT_EQ(Eval("abs(-4)").AsInt64(), 4);
+  EXPECT_DOUBLE_EQ(Eval("abs(-2.5)").AsDoubleExact(), 2.5);
+  EXPECT_EQ(Eval("coalesce(null, null, 7)").AsInt64(), 7);
+  EXPECT_TRUE(Eval("coalesce(null, null)").is_null());
+  EXPECT_EQ(Eval("is_null(null)").AsInt64(), 1);
+  EXPECT_EQ(Eval("is_not_null(3)").AsInt64(), 1);
+}
+
+TEST_F(ScalarFunctionTest, UnknownFunctionYieldsNull) {
+  EXPECT_TRUE(Eval("frobnicate(1, 2)").is_null());
+}
+
+}  // namespace
+}  // namespace scoop
