@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pushdown.dir/ablation_pushdown.cc.o"
+  "CMakeFiles/ablation_pushdown.dir/ablation_pushdown.cc.o.d"
+  "ablation_pushdown"
+  "ablation_pushdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pushdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

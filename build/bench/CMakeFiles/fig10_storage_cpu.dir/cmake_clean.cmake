@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_storage_cpu.dir/fig10_storage_cpu.cc.o"
+  "CMakeFiles/fig10_storage_cpu.dir/fig10_storage_cpu.cc.o.d"
+  "fig10_storage_cpu"
+  "fig10_storage_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_storage_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_ingest_scaling.dir/fig1_ingest_scaling.cc.o"
+  "CMakeFiles/fig1_ingest_scaling.dir/fig1_ingest_scaling.cc.o.d"
+  "fig1_ingest_scaling"
+  "fig1_ingest_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_ingest_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

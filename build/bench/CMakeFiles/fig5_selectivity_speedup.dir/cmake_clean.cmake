@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_selectivity_speedup.dir/fig5_selectivity_speedup.cc.o"
+  "CMakeFiles/fig5_selectivity_speedup.dir/fig5_selectivity_speedup.cc.o.d"
+  "fig5_selectivity_speedup"
+  "fig5_selectivity_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_selectivity_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

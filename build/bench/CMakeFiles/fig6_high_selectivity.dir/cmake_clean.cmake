@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_high_selectivity.dir/fig6_high_selectivity.cc.o"
+  "CMakeFiles/fig6_high_selectivity.dir/fig6_high_selectivity.cc.o.d"
+  "fig6_high_selectivity"
+  "fig6_high_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_high_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_gridpocket_queries.dir/fig7_gridpocket_queries.cc.o"
+  "CMakeFiles/fig7_gridpocket_queries.dir/fig7_gridpocket_queries.cc.o.d"
+  "fig7_gridpocket_queries"
+  "fig7_gridpocket_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_gridpocket_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_parquet_comparison.dir/fig8_parquet_comparison.cc.o"
+  "CMakeFiles/fig8_parquet_comparison.dir/fig8_parquet_comparison.cc.o.d"
+  "fig8_parquet_comparison"
+  "fig8_parquet_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_parquet_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_resource_usage.dir/fig9_resource_usage.cc.o"
+  "CMakeFiles/fig9_resource_usage.dir/fig9_resource_usage.cc.o.d"
+  "fig9_resource_usage"
+  "fig9_resource_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_resource_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

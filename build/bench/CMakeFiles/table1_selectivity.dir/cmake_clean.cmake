@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_selectivity.dir/table1_selectivity.cc.o"
+  "CMakeFiles/table1_selectivity.dir/table1_selectivity.cc.o.d"
+  "table1_selectivity"
+  "table1_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

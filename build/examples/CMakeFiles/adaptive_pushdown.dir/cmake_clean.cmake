@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_pushdown.dir/adaptive_pushdown.cpp.o"
+  "CMakeFiles/adaptive_pushdown.dir/adaptive_pushdown.cpp.o.d"
+  "adaptive_pushdown"
+  "adaptive_pushdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_pushdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_operations.dir/cluster_operations.cpp.o"
+  "CMakeFiles/cluster_operations.dir/cluster_operations.cpp.o.d"
+  "cluster_operations"
+  "cluster_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

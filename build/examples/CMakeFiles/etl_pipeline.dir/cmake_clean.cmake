@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etl_pipeline.dir/etl_pipeline.cpp.o"
+  "CMakeFiles/etl_pipeline.dir/etl_pipeline.cpp.o.d"
+  "etl_pipeline"
+  "etl_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etl_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

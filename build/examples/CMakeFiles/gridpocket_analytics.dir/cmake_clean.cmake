@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridpocket_analytics.dir/gridpocket_analytics.cpp.o"
+  "CMakeFiles/gridpocket_analytics.dir/gridpocket_analytics.cpp.o.d"
+  "gridpocket_analytics"
+  "gridpocket_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridpocket_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_logs.dir/server_logs.cpp.o"
+  "CMakeFiles/server_logs.dir/server_logs.cpp.o.d"
+  "server_logs"
+  "server_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

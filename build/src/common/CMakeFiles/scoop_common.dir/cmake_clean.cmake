@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoop_common.dir/hash.cc.o"
+  "CMakeFiles/scoop_common.dir/hash.cc.o.d"
+  "CMakeFiles/scoop_common.dir/logging.cc.o"
+  "CMakeFiles/scoop_common.dir/logging.cc.o.d"
+  "CMakeFiles/scoop_common.dir/lz.cc.o"
+  "CMakeFiles/scoop_common.dir/lz.cc.o.d"
+  "CMakeFiles/scoop_common.dir/metrics.cc.o"
+  "CMakeFiles/scoop_common.dir/metrics.cc.o.d"
+  "CMakeFiles/scoop_common.dir/random.cc.o"
+  "CMakeFiles/scoop_common.dir/random.cc.o.d"
+  "CMakeFiles/scoop_common.dir/status.cc.o"
+  "CMakeFiles/scoop_common.dir/status.cc.o.d"
+  "CMakeFiles/scoop_common.dir/strings.cc.o"
+  "CMakeFiles/scoop_common.dir/strings.cc.o.d"
+  "CMakeFiles/scoop_common.dir/thread_pool.cc.o"
+  "CMakeFiles/scoop_common.dir/thread_pool.cc.o.d"
+  "libscoop_common.a"
+  "libscoop_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoop_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compute/dataframe.cc" "src/compute/CMakeFiles/scoop_compute.dir/dataframe.cc.o" "gcc" "src/compute/CMakeFiles/scoop_compute.dir/dataframe.cc.o.d"
+  "/root/repo/src/compute/job.cc" "src/compute/CMakeFiles/scoop_compute.dir/job.cc.o" "gcc" "src/compute/CMakeFiles/scoop_compute.dir/job.cc.o.d"
+  "/root/repo/src/compute/scheduler.cc" "src/compute/CMakeFiles/scoop_compute.dir/scheduler.cc.o" "gcc" "src/compute/CMakeFiles/scoop_compute.dir/scheduler.cc.o.d"
+  "/root/repo/src/compute/session.cc" "src/compute/CMakeFiles/scoop_compute.dir/session.cc.o" "gcc" "src/compute/CMakeFiles/scoop_compute.dir/session.cc.o.d"
+  "/root/repo/src/compute/storlet_rdd.cc" "src/compute/CMakeFiles/scoop_compute.dir/storlet_rdd.cc.o" "gcc" "src/compute/CMakeFiles/scoop_compute.dir/storlet_rdd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datasource/CMakeFiles/scoop_datasource.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/scoop_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/objectstore/CMakeFiles/scoop_objectstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scoop_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/csv/CMakeFiles/scoop_csv.dir/DependInfo.cmake"
+  "/root/repo/build/src/storlets/CMakeFiles/scoop_storlets.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

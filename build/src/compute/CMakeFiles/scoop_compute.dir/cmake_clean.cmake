@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoop_compute.dir/dataframe.cc.o"
+  "CMakeFiles/scoop_compute.dir/dataframe.cc.o.d"
+  "CMakeFiles/scoop_compute.dir/job.cc.o"
+  "CMakeFiles/scoop_compute.dir/job.cc.o.d"
+  "CMakeFiles/scoop_compute.dir/scheduler.cc.o"
+  "CMakeFiles/scoop_compute.dir/scheduler.cc.o.d"
+  "CMakeFiles/scoop_compute.dir/session.cc.o"
+  "CMakeFiles/scoop_compute.dir/session.cc.o.d"
+  "CMakeFiles/scoop_compute.dir/storlet_rdd.cc.o"
+  "CMakeFiles/scoop_compute.dir/storlet_rdd.cc.o.d"
+  "libscoop_compute.a"
+  "libscoop_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoop_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/csv/agg_storlet.cc" "src/csv/CMakeFiles/scoop_csv.dir/agg_storlet.cc.o" "gcc" "src/csv/CMakeFiles/scoop_csv.dir/agg_storlet.cc.o.d"
+  "/root/repo/src/csv/csv_storlet.cc" "src/csv/CMakeFiles/scoop_csv.dir/csv_storlet.cc.o" "gcc" "src/csv/CMakeFiles/scoop_csv.dir/csv_storlet.cc.o.d"
+  "/root/repo/src/csv/etl_storlet.cc" "src/csv/CMakeFiles/scoop_csv.dir/etl_storlet.cc.o" "gcc" "src/csv/CMakeFiles/scoop_csv.dir/etl_storlet.cc.o.d"
+  "/root/repo/src/csv/record_reader.cc" "src/csv/CMakeFiles/scoop_csv.dir/record_reader.cc.o" "gcc" "src/csv/CMakeFiles/scoop_csv.dir/record_reader.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/scoop_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storlets/CMakeFiles/scoop_storlets.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scoop_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/objectstore/CMakeFiles/scoop_objectstore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoop_csv.dir/agg_storlet.cc.o"
+  "CMakeFiles/scoop_csv.dir/agg_storlet.cc.o.d"
+  "CMakeFiles/scoop_csv.dir/csv_storlet.cc.o"
+  "CMakeFiles/scoop_csv.dir/csv_storlet.cc.o.d"
+  "CMakeFiles/scoop_csv.dir/etl_storlet.cc.o"
+  "CMakeFiles/scoop_csv.dir/etl_storlet.cc.o.d"
+  "CMakeFiles/scoop_csv.dir/record_reader.cc.o"
+  "CMakeFiles/scoop_csv.dir/record_reader.cc.o.d"
+  "libscoop_csv.a"
+  "libscoop_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoop_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoop_datasource.dir/csv_source.cc.o"
+  "CMakeFiles/scoop_datasource.dir/csv_source.cc.o.d"
+  "CMakeFiles/scoop_datasource.dir/parquet_format.cc.o"
+  "CMakeFiles/scoop_datasource.dir/parquet_format.cc.o.d"
+  "CMakeFiles/scoop_datasource.dir/parquet_source.cc.o"
+  "CMakeFiles/scoop_datasource.dir/parquet_source.cc.o.d"
+  "CMakeFiles/scoop_datasource.dir/partitioner.cc.o"
+  "CMakeFiles/scoop_datasource.dir/partitioner.cc.o.d"
+  "CMakeFiles/scoop_datasource.dir/stocator.cc.o"
+  "CMakeFiles/scoop_datasource.dir/stocator.cc.o.d"
+  "libscoop_datasource.a"
+  "libscoop_datasource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoop_datasource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

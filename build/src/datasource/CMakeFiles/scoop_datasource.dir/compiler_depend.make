@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for scoop_datasource.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mediameta/image_format.cc" "src/mediameta/CMakeFiles/scoop_mediameta.dir/image_format.cc.o" "gcc" "src/mediameta/CMakeFiles/scoop_mediameta.dir/image_format.cc.o.d"
+  "/root/repo/src/mediameta/image_meta_storlet.cc" "src/mediameta/CMakeFiles/scoop_mediameta.dir/image_meta_storlet.cc.o" "gcc" "src/mediameta/CMakeFiles/scoop_mediameta.dir/image_meta_storlet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storlets/CMakeFiles/scoop_storlets.dir/DependInfo.cmake"
+  "/root/repo/build/src/csv/CMakeFiles/scoop_csv.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scoop_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/objectstore/CMakeFiles/scoop_objectstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/scoop_sql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoop_mediameta.dir/image_format.cc.o"
+  "CMakeFiles/scoop_mediameta.dir/image_format.cc.o.d"
+  "CMakeFiles/scoop_mediameta.dir/image_meta_storlet.cc.o"
+  "CMakeFiles/scoop_mediameta.dir/image_meta_storlet.cc.o.d"
+  "libscoop_mediameta.a"
+  "libscoop_mediameta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoop_mediameta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

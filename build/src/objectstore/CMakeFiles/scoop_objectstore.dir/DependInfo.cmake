@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objectstore/auth.cc" "src/objectstore/CMakeFiles/scoop_objectstore.dir/auth.cc.o" "gcc" "src/objectstore/CMakeFiles/scoop_objectstore.dir/auth.cc.o.d"
+  "/root/repo/src/objectstore/cluster.cc" "src/objectstore/CMakeFiles/scoop_objectstore.dir/cluster.cc.o" "gcc" "src/objectstore/CMakeFiles/scoop_objectstore.dir/cluster.cc.o.d"
+  "/root/repo/src/objectstore/container_registry.cc" "src/objectstore/CMakeFiles/scoop_objectstore.dir/container_registry.cc.o" "gcc" "src/objectstore/CMakeFiles/scoop_objectstore.dir/container_registry.cc.o.d"
+  "/root/repo/src/objectstore/device.cc" "src/objectstore/CMakeFiles/scoop_objectstore.dir/device.cc.o" "gcc" "src/objectstore/CMakeFiles/scoop_objectstore.dir/device.cc.o.d"
+  "/root/repo/src/objectstore/http.cc" "src/objectstore/CMakeFiles/scoop_objectstore.dir/http.cc.o" "gcc" "src/objectstore/CMakeFiles/scoop_objectstore.dir/http.cc.o.d"
+  "/root/repo/src/objectstore/middleware.cc" "src/objectstore/CMakeFiles/scoop_objectstore.dir/middleware.cc.o" "gcc" "src/objectstore/CMakeFiles/scoop_objectstore.dir/middleware.cc.o.d"
+  "/root/repo/src/objectstore/object_server.cc" "src/objectstore/CMakeFiles/scoop_objectstore.dir/object_server.cc.o" "gcc" "src/objectstore/CMakeFiles/scoop_objectstore.dir/object_server.cc.o.d"
+  "/root/repo/src/objectstore/proxy_server.cc" "src/objectstore/CMakeFiles/scoop_objectstore.dir/proxy_server.cc.o" "gcc" "src/objectstore/CMakeFiles/scoop_objectstore.dir/proxy_server.cc.o.d"
+  "/root/repo/src/objectstore/replicator.cc" "src/objectstore/CMakeFiles/scoop_objectstore.dir/replicator.cc.o" "gcc" "src/objectstore/CMakeFiles/scoop_objectstore.dir/replicator.cc.o.d"
+  "/root/repo/src/objectstore/ring.cc" "src/objectstore/CMakeFiles/scoop_objectstore.dir/ring.cc.o" "gcc" "src/objectstore/CMakeFiles/scoop_objectstore.dir/ring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scoop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

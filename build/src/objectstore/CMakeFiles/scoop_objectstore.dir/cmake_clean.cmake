@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoop_objectstore.dir/auth.cc.o"
+  "CMakeFiles/scoop_objectstore.dir/auth.cc.o.d"
+  "CMakeFiles/scoop_objectstore.dir/cluster.cc.o"
+  "CMakeFiles/scoop_objectstore.dir/cluster.cc.o.d"
+  "CMakeFiles/scoop_objectstore.dir/container_registry.cc.o"
+  "CMakeFiles/scoop_objectstore.dir/container_registry.cc.o.d"
+  "CMakeFiles/scoop_objectstore.dir/device.cc.o"
+  "CMakeFiles/scoop_objectstore.dir/device.cc.o.d"
+  "CMakeFiles/scoop_objectstore.dir/http.cc.o"
+  "CMakeFiles/scoop_objectstore.dir/http.cc.o.d"
+  "CMakeFiles/scoop_objectstore.dir/middleware.cc.o"
+  "CMakeFiles/scoop_objectstore.dir/middleware.cc.o.d"
+  "CMakeFiles/scoop_objectstore.dir/object_server.cc.o"
+  "CMakeFiles/scoop_objectstore.dir/object_server.cc.o.d"
+  "CMakeFiles/scoop_objectstore.dir/proxy_server.cc.o"
+  "CMakeFiles/scoop_objectstore.dir/proxy_server.cc.o.d"
+  "CMakeFiles/scoop_objectstore.dir/replicator.cc.o"
+  "CMakeFiles/scoop_objectstore.dir/replicator.cc.o.d"
+  "CMakeFiles/scoop_objectstore.dir/ring.cc.o"
+  "CMakeFiles/scoop_objectstore.dir/ring.cc.o.d"
+  "libscoop_objectstore.a"
+  "libscoop_objectstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoop_objectstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

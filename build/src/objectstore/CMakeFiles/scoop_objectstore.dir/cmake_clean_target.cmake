@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscoop_objectstore.a"
+)

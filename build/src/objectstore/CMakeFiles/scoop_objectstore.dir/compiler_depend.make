@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for scoop_objectstore.
+# This may be replaced when dependencies are built.

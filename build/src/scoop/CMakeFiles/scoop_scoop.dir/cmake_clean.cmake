@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoop_scoop.dir/controller.cc.o"
+  "CMakeFiles/scoop_scoop.dir/controller.cc.o.d"
+  "CMakeFiles/scoop_scoop.dir/scoop.cc.o"
+  "CMakeFiles/scoop_scoop.dir/scoop.cc.o.d"
+  "libscoop_scoop.a"
+  "libscoop_scoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoop_scoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

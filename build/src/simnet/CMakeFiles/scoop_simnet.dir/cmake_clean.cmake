@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoop_simnet.dir/calibration.cc.o"
+  "CMakeFiles/scoop_simnet.dir/calibration.cc.o.d"
+  "CMakeFiles/scoop_simnet.dir/model.cc.o"
+  "CMakeFiles/scoop_simnet.dir/model.cc.o.d"
+  "CMakeFiles/scoop_simnet.dir/simulator.cc.o"
+  "CMakeFiles/scoop_simnet.dir/simulator.cc.o.d"
+  "libscoop_simnet.a"
+  "libscoop_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoop_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

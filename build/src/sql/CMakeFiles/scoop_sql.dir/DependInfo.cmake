@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/aggregates.cc" "src/sql/CMakeFiles/scoop_sql.dir/aggregates.cc.o" "gcc" "src/sql/CMakeFiles/scoop_sql.dir/aggregates.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/sql/CMakeFiles/scoop_sql.dir/ast.cc.o" "gcc" "src/sql/CMakeFiles/scoop_sql.dir/ast.cc.o.d"
+  "/root/repo/src/sql/catalyst.cc" "src/sql/CMakeFiles/scoop_sql.dir/catalyst.cc.o" "gcc" "src/sql/CMakeFiles/scoop_sql.dir/catalyst.cc.o.d"
+  "/root/repo/src/sql/executor.cc" "src/sql/CMakeFiles/scoop_sql.dir/executor.cc.o" "gcc" "src/sql/CMakeFiles/scoop_sql.dir/executor.cc.o.d"
+  "/root/repo/src/sql/expr_eval.cc" "src/sql/CMakeFiles/scoop_sql.dir/expr_eval.cc.o" "gcc" "src/sql/CMakeFiles/scoop_sql.dir/expr_eval.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/sql/CMakeFiles/scoop_sql.dir/parser.cc.o" "gcc" "src/sql/CMakeFiles/scoop_sql.dir/parser.cc.o.d"
+  "/root/repo/src/sql/schema.cc" "src/sql/CMakeFiles/scoop_sql.dir/schema.cc.o" "gcc" "src/sql/CMakeFiles/scoop_sql.dir/schema.cc.o.d"
+  "/root/repo/src/sql/source_filter.cc" "src/sql/CMakeFiles/scoop_sql.dir/source_filter.cc.o" "gcc" "src/sql/CMakeFiles/scoop_sql.dir/source_filter.cc.o.d"
+  "/root/repo/src/sql/value.cc" "src/sql/CMakeFiles/scoop_sql.dir/value.cc.o" "gcc" "src/sql/CMakeFiles/scoop_sql.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scoop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

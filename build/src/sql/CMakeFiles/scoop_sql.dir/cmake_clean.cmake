@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoop_sql.dir/aggregates.cc.o"
+  "CMakeFiles/scoop_sql.dir/aggregates.cc.o.d"
+  "CMakeFiles/scoop_sql.dir/ast.cc.o"
+  "CMakeFiles/scoop_sql.dir/ast.cc.o.d"
+  "CMakeFiles/scoop_sql.dir/catalyst.cc.o"
+  "CMakeFiles/scoop_sql.dir/catalyst.cc.o.d"
+  "CMakeFiles/scoop_sql.dir/executor.cc.o"
+  "CMakeFiles/scoop_sql.dir/executor.cc.o.d"
+  "CMakeFiles/scoop_sql.dir/expr_eval.cc.o"
+  "CMakeFiles/scoop_sql.dir/expr_eval.cc.o.d"
+  "CMakeFiles/scoop_sql.dir/parser.cc.o"
+  "CMakeFiles/scoop_sql.dir/parser.cc.o.d"
+  "CMakeFiles/scoop_sql.dir/schema.cc.o"
+  "CMakeFiles/scoop_sql.dir/schema.cc.o.d"
+  "CMakeFiles/scoop_sql.dir/source_filter.cc.o"
+  "CMakeFiles/scoop_sql.dir/source_filter.cc.o.d"
+  "CMakeFiles/scoop_sql.dir/value.cc.o"
+  "CMakeFiles/scoop_sql.dir/value.cc.o.d"
+  "libscoop_sql.a"
+  "libscoop_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoop_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for scoop_sql.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storlets/compress_storlet.cc" "src/storlets/CMakeFiles/scoop_storlets.dir/compress_storlet.cc.o" "gcc" "src/storlets/CMakeFiles/scoop_storlets.dir/compress_storlet.cc.o.d"
+  "/root/repo/src/storlets/engine.cc" "src/storlets/CMakeFiles/scoop_storlets.dir/engine.cc.o" "gcc" "src/storlets/CMakeFiles/scoop_storlets.dir/engine.cc.o.d"
+  "/root/repo/src/storlets/policy.cc" "src/storlets/CMakeFiles/scoop_storlets.dir/policy.cc.o" "gcc" "src/storlets/CMakeFiles/scoop_storlets.dir/policy.cc.o.d"
+  "/root/repo/src/storlets/registry.cc" "src/storlets/CMakeFiles/scoop_storlets.dir/registry.cc.o" "gcc" "src/storlets/CMakeFiles/scoop_storlets.dir/registry.cc.o.d"
+  "/root/repo/src/storlets/sandbox.cc" "src/storlets/CMakeFiles/scoop_storlets.dir/sandbox.cc.o" "gcc" "src/storlets/CMakeFiles/scoop_storlets.dir/sandbox.cc.o.d"
+  "/root/repo/src/storlets/storlet.cc" "src/storlets/CMakeFiles/scoop_storlets.dir/storlet.cc.o" "gcc" "src/storlets/CMakeFiles/scoop_storlets.dir/storlet.cc.o.d"
+  "/root/repo/src/storlets/storlet_middleware.cc" "src/storlets/CMakeFiles/scoop_storlets.dir/storlet_middleware.cc.o" "gcc" "src/storlets/CMakeFiles/scoop_storlets.dir/storlet_middleware.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/objectstore/CMakeFiles/scoop_objectstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scoop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

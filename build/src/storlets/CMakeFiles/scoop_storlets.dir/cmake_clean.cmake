@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoop_storlets.dir/compress_storlet.cc.o"
+  "CMakeFiles/scoop_storlets.dir/compress_storlet.cc.o.d"
+  "CMakeFiles/scoop_storlets.dir/engine.cc.o"
+  "CMakeFiles/scoop_storlets.dir/engine.cc.o.d"
+  "CMakeFiles/scoop_storlets.dir/policy.cc.o"
+  "CMakeFiles/scoop_storlets.dir/policy.cc.o.d"
+  "CMakeFiles/scoop_storlets.dir/registry.cc.o"
+  "CMakeFiles/scoop_storlets.dir/registry.cc.o.d"
+  "CMakeFiles/scoop_storlets.dir/sandbox.cc.o"
+  "CMakeFiles/scoop_storlets.dir/sandbox.cc.o.d"
+  "CMakeFiles/scoop_storlets.dir/storlet.cc.o"
+  "CMakeFiles/scoop_storlets.dir/storlet.cc.o.d"
+  "CMakeFiles/scoop_storlets.dir/storlet_middleware.cc.o"
+  "CMakeFiles/scoop_storlets.dir/storlet_middleware.cc.o.d"
+  "libscoop_storlets.a"
+  "libscoop_storlets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoop_storlets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generator.cc" "src/workload/CMakeFiles/scoop_workload.dir/generator.cc.o" "gcc" "src/workload/CMakeFiles/scoop_workload.dir/generator.cc.o.d"
+  "/root/repo/src/workload/queries.cc" "src/workload/CMakeFiles/scoop_workload.dir/queries.cc.o" "gcc" "src/workload/CMakeFiles/scoop_workload.dir/queries.cc.o.d"
+  "/root/repo/src/workload/selectivity.cc" "src/workload/CMakeFiles/scoop_workload.dir/selectivity.cc.o" "gcc" "src/workload/CMakeFiles/scoop_workload.dir/selectivity.cc.o.d"
+  "/root/repo/src/workload/weblog.cc" "src/workload/CMakeFiles/scoop_workload.dir/weblog.cc.o" "gcc" "src/workload/CMakeFiles/scoop_workload.dir/weblog.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datasource/CMakeFiles/scoop_datasource.dir/DependInfo.cmake"
+  "/root/repo/build/src/csv/CMakeFiles/scoop_csv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/scoop_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/objectstore/CMakeFiles/scoop_objectstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scoop_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storlets/CMakeFiles/scoop_storlets.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoop_workload.dir/generator.cc.o"
+  "CMakeFiles/scoop_workload.dir/generator.cc.o.d"
+  "CMakeFiles/scoop_workload.dir/queries.cc.o"
+  "CMakeFiles/scoop_workload.dir/queries.cc.o.d"
+  "CMakeFiles/scoop_workload.dir/selectivity.cc.o"
+  "CMakeFiles/scoop_workload.dir/selectivity.cc.o.d"
+  "CMakeFiles/scoop_workload.dir/weblog.cc.o"
+  "CMakeFiles/scoop_workload.dir/weblog.cc.o.d"
+  "libscoop_workload.a"
+  "libscoop_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoop_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/csv_test.cc" "tests/CMakeFiles/csv_test.dir/csv_test.cc.o" "gcc" "tests/CMakeFiles/csv_test.dir/csv_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scoop/CMakeFiles/scoop_scoop.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/scoop_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/scoop_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/scoop_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasource/CMakeFiles/scoop_datasource.dir/DependInfo.cmake"
+  "/root/repo/build/src/csv/CMakeFiles/scoop_csv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/scoop_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storlets/CMakeFiles/scoop_storlets.dir/DependInfo.cmake"
+  "/root/repo/build/src/objectstore/CMakeFiles/scoop_objectstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scoop_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mediameta/CMakeFiles/scoop_mediameta.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

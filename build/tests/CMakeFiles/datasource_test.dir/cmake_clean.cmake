@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datasource_test.dir/datasource_test.cc.o"
+  "CMakeFiles/datasource_test.dir/datasource_test.cc.o.d"
+  "datasource_test"
+  "datasource_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datasource_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

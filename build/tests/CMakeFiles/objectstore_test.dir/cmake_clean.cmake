@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objectstore_test.dir/objectstore_test.cc.o"
+  "CMakeFiles/objectstore_test.dir/objectstore_test.cc.o.d"
+  "objectstore_test"
+  "objectstore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objectstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parquet_test.dir/parquet_test.cc.o"
+  "CMakeFiles/parquet_test.dir/parquet_test.cc.o.d"
+  "parquet_test"
+  "parquet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parquet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

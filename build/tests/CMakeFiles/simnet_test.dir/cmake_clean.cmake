@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simnet_test.dir/simnet_test.cc.o"
+  "CMakeFiles/simnet_test.dir/simnet_test.cc.o.d"
+  "simnet_test"
+  "simnet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/source_filter_test.dir/source_filter_test.cc.o"
+  "CMakeFiles/source_filter_test.dir/source_filter_test.cc.o.d"
+  "source_filter_test"
+  "source_filter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/source_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_exec_test.dir/sql_exec_test.cc.o"
+  "CMakeFiles/sql_exec_test.dir/sql_exec_test.cc.o.d"
+  "sql_exec_test"
+  "sql_exec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_parser_test.dir/sql_parser_test.cc.o"
+  "CMakeFiles/sql_parser_test.dir/sql_parser_test.cc.o.d"
+  "sql_parser_test"
+  "sql_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_value_test.dir/sql_value_test.cc.o"
+  "CMakeFiles/sql_value_test.dir/sql_value_test.cc.o.d"
+  "sql_value_test"
+  "sql_value_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

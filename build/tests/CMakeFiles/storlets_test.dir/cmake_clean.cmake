@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storlets_test.dir/storlets_test.cc.o"
+  "CMakeFiles/storlets_test.dir/storlets_test.cc.o.d"
+  "storlets_test"
+  "storlets_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storlets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
