@@ -6,6 +6,7 @@
 // end-to-end query path (§VII's partitioning discussion).
 #include <benchmark/benchmark.h>
 
+#include "common/bytestream.h"
 #include "common/strings.h"
 #include "csv/csv_storlet.h"
 #include "csv/record_reader.h"
@@ -184,6 +185,69 @@ void BM_SqlPlan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SqlPlan);
+
+// Buffered vs streaming engine pipeline on the Fig. 5 selectivity
+// workload (CSVStorlet with a row-discarding predicate). Both modes must
+// deliver the same throughput; the peak_buffered_bytes counter shows the
+// memory story — the buffered path holds whole stage copies
+// (O(object_size)), the streaming path only its bounded queues
+// (O(chunk_size x pipeline_depth)).
+void RunSelectivityPipeline(benchmark::State& state, bool streaming) {
+  static std::unique_ptr<ScoopCluster>* cluster = [] {
+    auto created = ScoopCluster::Create();
+    if (!created.ok()) std::abort();
+    return new std::unique_ptr<ScoopCluster>(std::move(created).value());
+  }();
+  std::string csv = SampleCsv(100000);
+  StorletParams params = {
+      {"schema", GridPocketGenerator::MeterSchema().ToSpec()},
+      {"selection", "(like date \"2015-01-01%\")"}};
+  std::vector<StorletInvocation> invocations = {{"csvstorlet", params}};
+  StorletEngine& engine = (*cluster)->engine();
+  Gauge* gauge = (*cluster)->metrics().GetGauge("storlet.buffered_bytes");
+  gauge->Reset();
+
+  for (auto _ : state) {
+    if (streaming) {
+      auto pipeline = engine.RunPipelineStreaming(
+          "acct", "data", invocations,
+          std::make_shared<StringByteStream>(csv, engine.chunk_size()));
+      if (!pipeline.ok()) {
+        state.SkipWithError(pipeline.status().ToString().c_str());
+        break;
+      }
+      auto output = pipeline->output->ReadAll();
+      if (!output.ok()) {
+        state.SkipWithError(output.status().ToString().c_str());
+        break;
+      }
+      benchmark::DoNotOptimize(output->size());
+    } else {
+      auto result = engine.RunPipeline("acct", "data", invocations, csv);
+      if (!result.ok()) {
+        state.SkipWithError(result.status().ToString().c_str());
+        break;
+      }
+      benchmark::DoNotOptimize(result->output.size());
+    }
+  }
+  state.counters["peak_buffered_bytes"] =
+      benchmark::Counter(static_cast<double>(gauge->peak()));
+  state.counters["object_bytes"] =
+      benchmark::Counter(static_cast<double>(csv.size()));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(csv.size()));
+}
+
+void BM_PushdownPipelineBuffered(benchmark::State& state) {
+  RunSelectivityPipeline(state, false);
+}
+BENCHMARK(BM_PushdownPipelineBuffered);
+
+void BM_PushdownPipelineStreaming(benchmark::State& state) {
+  RunSelectivityPipeline(state, true);
+}
+BENCHMARK(BM_PushdownPipelineStreaming);
 
 // Chunk-size ablation over the real end-to-end path: smaller chunks mean
 // more tasks, more GETs and more record-alignment overhead (§VII argues

@@ -1,0 +1,164 @@
+#include "common/bytestream.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace scoop {
+
+Result<std::string> ByteStream::ReadAll() {
+  std::string out;
+  char buf[kDefaultStreamChunk];
+  for (;;) {
+    SCOOP_ASSIGN_OR_RETURN(size_t n, Read(buf, sizeof buf));
+    if (n == 0) return out;
+    out.append(buf, n);
+  }
+}
+
+Status ByteStream::DrainTo(
+    const std::function<Status(std::string_view)>& consume,
+    size_t chunk_size) {
+  if (chunk_size == 0) chunk_size = 1;
+  std::string buf(chunk_size, '\0');
+  for (;;) {
+    SCOOP_ASSIGN_OR_RETURN(size_t n, Read(buf.data(), buf.size()));
+    if (n == 0) return Status::OK();
+    SCOOP_RETURN_IF_ERROR(consume(std::string_view(buf.data(), n)));
+  }
+}
+
+Result<size_t> StringByteStream::Read(char* buf, size_t n) {
+  size_t available = data_.size() - pos_;
+  size_t count = std::min({n, available, chunk_size_});
+  std::memcpy(buf, data_.data() + pos_, count);
+  pos_ += count;
+  return count;
+}
+
+Result<size_t> SharedBufferByteStream::Read(char* buf, size_t n) {
+  size_t available = window_.size() - pos_;
+  size_t count = std::min({n, available, chunk_size_});
+  std::memcpy(buf, window_.data() + pos_, count);
+  pos_ += count;
+  return count;
+}
+
+Result<size_t> CallbackByteStream::Read(char* buf, size_t n) {
+  if (!error_.ok()) return error_;
+  while (pending_pos_ >= pending_.size()) {
+    if (eof_) return static_cast<size_t>(0);
+    Result<std::string> next = producer_();
+    if (!next.ok()) {
+      error_ = next.status();
+      return error_;
+    }
+    pending_ = std::move(next).value();
+    pending_pos_ = 0;
+    if (pending_.empty()) eof_ = true;
+  }
+  size_t count = std::min(n, pending_.size() - pending_pos_);
+  std::memcpy(buf, pending_.data() + pending_pos_, count);
+  pending_pos_ += count;
+  return count;
+}
+
+Result<size_t> PrefixedByteStream::Read(char* buf, size_t n) {
+  if (pos_ < prefix_.size()) {
+    size_t count = std::min(n, prefix_.size() - pos_);
+    std::memcpy(buf, prefix_.data() + pos_, count);
+    pos_ += count;
+    return count;
+  }
+  if (rest_ == nullptr) return static_cast<size_t>(0);
+  return rest_->Read(buf, n);
+}
+
+Result<size_t> CountingByteStream::Read(char* buf, size_t n) {
+  Result<size_t> r = inner_->Read(buf, n);
+  if (r.ok() && counter_ != nullptr && *r > 0) {
+    counter_->Add(static_cast<int64_t>(*r));
+  }
+  return r;
+}
+
+Result<size_t> EofCallbackByteStream::Read(char* buf, size_t n) {
+  Result<size_t> r = inner_->Read(buf, n);
+  if (r.ok() && *r == 0 && !fired_) {
+    fired_ = true;
+    if (on_eof_) on_eof_();
+  }
+  return r;
+}
+
+BoundedByteQueue::BoundedByteQueue(size_t max_bytes, Gauge* buffered_bytes,
+                                   Counter* chunk_counter)
+    : max_bytes_(max_bytes == 0 ? 1 : max_bytes),
+      buffered_bytes_(buffered_bytes),
+      chunk_counter_(chunk_counter) {}
+
+BoundedByteQueue::~BoundedByteQueue() {
+  if (buffered_bytes_ != nullptr && queued_bytes_ > 0) {
+    buffered_bytes_->Add(-static_cast<int64_t>(queued_bytes_));
+  }
+}
+
+Status BoundedByteQueue::Write(std::string_view data) {
+  if (data.empty()) return Status::OK();
+  std::unique_lock<std::mutex> lock(mu_);
+  // Admit at least one chunk even when it exceeds max_bytes_, otherwise an
+  // oversized write could never complete.
+  can_write_.wait(lock, [&] {
+    return read_closed_ || queued_bytes_ == 0 ||
+           queued_bytes_ + data.size() <= max_bytes_;
+  });
+  if (read_closed_) {
+    return Status::Aborted("stream consumer closed before EOF");
+  }
+  chunks_.emplace_back(data);
+  queued_bytes_ += data.size();
+  if (buffered_bytes_ != nullptr) {
+    buffered_bytes_->Add(static_cast<int64_t>(data.size()));
+  }
+  if (chunk_counter_ != nullptr) chunk_counter_->Increment();
+  can_read_.notify_one();
+  return Status::OK();
+}
+
+void BoundedByteQueue::CloseWrite(Status final_status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (write_closed_) return;
+  write_closed_ = true;
+  final_status_ = std::move(final_status);
+  can_read_.notify_all();
+}
+
+Result<size_t> BoundedByteQueue::Read(char* buf, size_t n) {
+  std::unique_lock<std::mutex> lock(mu_);
+  can_read_.wait(lock, [&] { return !chunks_.empty() || write_closed_; });
+  if (chunks_.empty()) {
+    if (!final_status_.ok()) return final_status_;
+    return static_cast<size_t>(0);
+  }
+  const std::string& front = chunks_.front();
+  size_t count = std::min(n, front.size() - front_pos_);
+  std::memcpy(buf, front.data() + front_pos_, count);
+  front_pos_ += count;
+  queued_bytes_ -= count;
+  if (buffered_bytes_ != nullptr) {
+    buffered_bytes_->Add(-static_cast<int64_t>(count));
+  }
+  if (front_pos_ >= front.size()) {
+    chunks_.pop_front();
+    front_pos_ = 0;
+  }
+  can_write_.notify_one();
+  return count;
+}
+
+void BoundedByteQueue::CloseRead() {
+  std::lock_guard<std::mutex> lock(mu_);
+  read_closed_ = true;
+  can_write_.notify_all();
+}
+
+}  // namespace scoop

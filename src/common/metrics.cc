@@ -9,6 +9,11 @@ Counter* MetricRegistry::GetCounter(const std::string& name) {
   return &counters_[name];
 }
 
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &gauges_[name];
+}
+
 std::vector<std::pair<std::string, int64_t>> MetricRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::pair<std::string, int64_t>> out;
@@ -19,9 +24,21 @@ std::vector<std::pair<std::string, int64_t>> MetricRegistry::Snapshot() const {
   return out;
 }
 
+std::vector<MetricRegistry::GaugeSample> MetricRegistry::SnapshotGauges()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<GaugeSample> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.push_back(GaugeSample{name, gauge.value(), gauge.peak()});
+  }
+  return out;
+}
+
 void MetricRegistry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter.Reset();
+  for (auto& [name, gauge] : gauges_) gauge.Reset();
 }
 
 double TimeSeries::Max() const {

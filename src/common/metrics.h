@@ -23,20 +23,54 @@ class Counter {
   std::atomic<int64_t> value_{0};
 };
 
+// A level that moves both ways (e.g. currently buffered bytes), tracking
+// its high-water mark. Safe for concurrent updates.
+class Gauge {
+ public:
+  void Add(int64_t delta) {
+    int64_t now = value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    int64_t seen = peak_.load(std::memory_order_relaxed);
+    while (now > seen &&
+           !peak_.compare_exchange_weak(seen, now,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  void Reset() {
+    value_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
 // Named counters shared by a subsystem (e.g., one registry per cluster).
 // Counter pointers remain valid for the registry's lifetime.
 class MetricRegistry {
  public:
   Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
 
   // Snapshot of all counter values, sorted by name.
   std::vector<std::pair<std::string, int64_t>> Snapshot() const;
+
+  // Snapshot of all gauges as (name, current, peak), sorted by name.
+  struct GaugeSample {
+    std::string name;
+    int64_t value;
+    int64_t peak;
+  };
+  std::vector<GaugeSample> SnapshotGauges() const;
 
   void ResetAll();
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
 };
 
 // A sampled (time, value) series, e.g. "compute-cluster CPU%" over a

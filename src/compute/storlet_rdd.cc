@@ -23,14 +23,20 @@ Result<std::vector<StorletRdd::PartitionOutput>> StorletRdd::Collect() {
     if (!response.ok()) {
       statuses[index] = Status::Internal(
           "storlet GET -> " + std::to_string(response.status) + " " +
-          response.body);
+          response.body());
       return;
     }
     outputs[index].object = objects[index].name;
-    outputs[index].output = std::move(response.body);
     // When the store declined (policy off), the body is the raw object.
     outputs[index].executed_at_store =
         response.headers.Has(kStorletExecutedHeader);
+    // Drain the invocation's output incrementally; a filter failure
+    // after the first chunk surfaces here as the stream's error.
+    statuses[index] = response.TakeBodyStream()->DrainTo(
+        [&](std::string_view chunk) {
+          outputs[index].output.append(chunk);
+          return Status::OK();
+        });
   });
   for (const Status& status : statuses) SCOOP_RETURN_IF_ERROR(status);
   return outputs;
@@ -41,6 +47,40 @@ Result<std::string> StorletRdd::CollectConcatenated() {
   std::string out;
   for (PartitionOutput& output : outputs) out += output.output;
   return out;
+}
+
+Status StorletRdd::ForEachChunk(
+    const std::function<Status(const std::string& object,
+                               std::string_view chunk,
+                               bool executed_at_store)>& consume) {
+  SCOOP_ASSIGN_OR_RETURN(std::vector<ObjectInfo> objects,
+                         client_->ListObjects(container_, prefix_));
+  std::vector<Status> statuses(objects.size(), Status::OK());
+
+  scheduler_->RunTasks(objects.size(), [&](size_t index, int /*worker*/) {
+    Headers headers;
+    headers.Set(kRunStorletHeader, storlet_);
+    for (const auto& [key, value] : params_) {
+      headers.Set(std::string(kStorletParamPrefix) + key, value);
+    }
+    Request request = Request::Get("/" + client_->account() + "/" +
+                                   container_ + "/" + objects[index].name);
+    for (const auto& [name, value] : headers) request.headers.Set(name, value);
+    HttpResponse response = client_->Send(std::move(request));
+    if (!response.ok()) {
+      statuses[index] = Status::Internal(
+          "storlet GET -> " + std::to_string(response.status) + " " +
+          response.body());
+      return;
+    }
+    bool executed = response.headers.Has(kStorletExecutedHeader);
+    statuses[index] = response.TakeBodyStream()->DrainTo(
+        [&](std::string_view chunk) {
+          return consume(objects[index].name, chunk, executed);
+        });
+  });
+  for (const Status& status : statuses) SCOOP_RETURN_IF_ERROR(status);
+  return Status::OK();
 }
 
 }  // namespace scoop

@@ -35,11 +35,22 @@ class StorletRdd {
   };
 
   // Runs the storlet on every object (in parallel tasks) and collects the
-  // outputs, ordered by object name.
+  // outputs, ordered by object name. Each partition is drained off the
+  // store chunk by chunk; only the accumulated output is materialized.
   Result<std::vector<PartitionOutput>> Collect();
 
   // Concatenated outputs (convenience for text-producing storlets).
   Result<std::string> CollectConcatenated();
+
+  // Fully-streaming form: the storlet's output for each object is handed
+  // to `consume` chunk by chunk as it is produced, never materialized.
+  // Chunks of one object arrive in order; objects run as parallel tasks,
+  // so `consume` must tolerate interleaving across objects (it is called
+  // concurrently from scheduler workers).
+  Status ForEachChunk(
+      const std::function<Status(const std::string& object,
+                                 std::string_view chunk,
+                                 bool executed_at_store)>& consume);
 
  private:
   SwiftClient* client_;

@@ -9,11 +9,38 @@ namespace scoop {
 
 namespace {
 constexpr uint64_t kAlignmentChunk = 64 * 1024;
+
+Request RangedGet(const std::string& account, const std::string& container,
+                  const std::string& object, uint64_t first, uint64_t last) {
+  Request request = Request::Get("/" + account + "/" + container + "/" +
+                                 object);
+  request.headers.Set(kRangeHeader,
+                      StrFormat("bytes=%llu-%llu",
+                                static_cast<unsigned long long>(first),
+                                static_cast<unsigned long long>(last)));
+  return request;
+}
 }  // namespace
 
 Result<Stocator::ReadResult> Stocator::ReadPartition(
     const Partition& partition, const PushdownTask* task) {
-  if (task == nullptr) return ReadAligned(partition);
+  ReadResult result;
+  SCOOP_ASSIGN_OR_RETURN(
+      ReadStats stats,
+      ReadPartitionInto(partition, task, [&](std::string_view chunk) {
+        result.data.append(chunk);
+        return Status::OK();
+      }));
+  result.pushdown_executed = stats.pushdown_executed;
+  result.bytes_transferred = stats.bytes_transferred;
+  result.requests = stats.requests;
+  return result;
+}
+
+Result<Stocator::ReadStats> Stocator::ReadPartitionInto(
+    const Partition& partition, const PushdownTask* task,
+    const std::function<Status(std::string_view)>& consume) {
+  if (task == nullptr) return ReadAlignedInto(partition, consume);
 
   Headers headers;
   headers.Set(kRunStorletHeader,
@@ -49,71 +76,111 @@ Result<Stocator::ReadResult> Stocator::ReadPartition(
   if (!response.ok()) {
     return Status::Internal("pushdown GET -> " +
                             std::to_string(response.status) + " " +
-                            response.body);
+                            response.body());
   }
-  ReadResult result;
-  result.pushdown_executed =
-      response.headers.Has(kStorletExecutedHeader);
-  result.bytes_transferred = response.body.size();
-  if (result.pushdown_executed) {
-    if (task->compress_transfer) {
-      SCOOP_ASSIGN_OR_RETURN(result.data,
-                             DecodeCompressedFrame(response.body));
-    } else {
-      result.data = std::move(response.body);
-    }
-    return result;
+  if (!response.headers.Has(kStorletExecutedHeader)) {
+    // The store declined (policy): what we would receive is the raw byte
+    // range, not record-aligned. Redo the read the traditional way.
+    return ReadAlignedInto(partition, consume);
   }
-  // The store declined (policy): what we received is the raw byte range,
-  // not record-aligned. Redo the read the traditional way.
-  return ReadAligned(partition);
+
+  ReadStats stats;
+  stats.pushdown_executed = true;
+  if (task->compress_transfer) {
+    // A compressed frame decodes as a unit; this path trades the memory
+    // bound for link bytes by design.
+    SCOOP_ASSIGN_OR_RETURN(std::string frame,
+                           response.TakeBodyStream()->ReadAll());
+    stats.bytes_transferred = frame.size();
+    SCOOP_ASSIGN_OR_RETURN(std::string decoded, DecodeCompressedFrame(frame));
+    SCOOP_RETURN_IF_ERROR(consume(decoded));
+    return stats;
+  }
+  // Filtered rows flow straight from the storlet pipeline to the caller,
+  // one chunk at a time.
+  SCOOP_RETURN_IF_ERROR(response.TakeBodyStream()->DrainTo(
+      [&](std::string_view chunk) {
+        stats.bytes_transferred += chunk.size();
+        return consume(chunk);
+      }));
+  return stats;
 }
 
-Result<Stocator::ReadResult> Stocator::ReadAligned(
-    const Partition& partition) {
-  ReadResult result;
-  result.requests = 0;
+Result<Stocator::ReadStats> Stocator::ReadAlignedInto(
+    const Partition& partition,
+    const std::function<Status(std::string_view)>& consume) {
+  ReadStats stats;
+  stats.requests = 0;
+  stats.pushdown_executed = false;
   // Hadoop text-input contract, executed client-side: start at first-1
   // (when first > 0), discard through the first newline, then extend past
-  // `last` until the final record completes.
+  // `last` until the final record completes. The main range streams
+  // through chunk by chunk; only an alignment chunk is ever resident.
   uint64_t start = partition.first > 0 ? partition.first - 1 : 0;
-  SCOOP_ASSIGN_OR_RETURN(
-      std::string body,
-      client_->GetObjectRange(partition.container, partition.object, start,
-                              partition.last));
-  ++result.requests;
-  result.bytes_transferred += body.size();
+  HttpResponse response = client_->Send(
+      RangedGet(client_->account(), partition.container, partition.object,
+                start, partition.last));
+  if (response.status == 404) {
+    return Status::NotFound("no object " + partition.object);
+  }
+  if (response.status == 416) return Status::OutOfRange(response.body());
+  if (!response.ok()) {
+    return Status::Internal("object GET -> " +
+                            std::to_string(response.status) + " " +
+                            response.body());
+  }
+  ++stats.requests;
 
+  bool skipping = partition.first > 0;
+  char last_char = '\0';
+  std::shared_ptr<ByteStream> stream = response.TakeBodyStream();
+  std::string buf(kAlignmentChunk, '\0');
+  for (;;) {
+    SCOOP_ASSIGN_OR_RETURN(size_t n, stream->Read(buf.data(), buf.size()));
+    if (n == 0) break;
+    stats.bytes_transferred += n;
+    std::string_view chunk(buf.data(), n);
+    last_char = chunk.back();
+    if (skipping) {
+      size_t nl = chunk.find('\n');
+      if (nl == std::string_view::npos) continue;
+      skipping = false;
+      chunk.remove_prefix(nl + 1);
+      if (chunk.empty()) continue;
+    }
+    SCOOP_RETURN_IF_ERROR(consume(chunk));
+  }
+  stream.reset();
+
+  // Tail extension: complete the final record with bounded follow-up
+  // reads. (The skip, if still pending, scans across these too — the
+  // logical stream is range + extensions, as in the buffered form.)
   uint64_t cursor = partition.last + 1;
-  while ((body.empty() || body.back() != '\n') &&
-         cursor < partition.object_size) {
+  while (last_char != '\n' && cursor < partition.object_size) {
     uint64_t chunk_last =
         std::min(cursor + kAlignmentChunk - 1, partition.object_size - 1);
     SCOOP_ASSIGN_OR_RETURN(
         std::string extension,
         client_->GetObjectRange(partition.container, partition.object, cursor,
                                 chunk_last));
-    ++result.requests;
-    result.bytes_transferred += extension.size();
-    size_t nl = extension.find('\n');
-    if (nl != std::string::npos) {
-      body.append(extension, 0, nl + 1);
-      break;
-    }
-    body.append(extension);
+    ++stats.requests;
+    stats.bytes_transferred += extension.size();
     cursor = chunk_last + 1;
-  }
-  if (partition.first > 0) {
-    size_t nl = body.find('\n');
-    if (nl == std::string::npos) {
-      body.clear();
-    } else {
-      body.erase(0, nl + 1);
+    std::string_view piece = extension;
+    size_t nl = piece.find('\n');
+    if (nl != std::string_view::npos) {
+      piece = piece.substr(0, nl + 1);
+      last_char = '\n';
     }
+    if (skipping) {
+      size_t skip_nl = piece.find('\n');
+      if (skip_nl == std::string_view::npos) continue;
+      skipping = false;
+      piece.remove_prefix(skip_nl + 1);
+    }
+    if (!piece.empty()) SCOOP_RETURN_IF_ERROR(consume(piece));
   }
-  result.data = std::move(body);
-  result.pushdown_executed = false;
-  return result;
+  return stats;
 }
 
 Status Stocator::PutObject(const std::string& container,

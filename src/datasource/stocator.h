@@ -41,6 +41,14 @@ class Stocator {
     int requests = 1;              // GETs issued (alignment may add extras)
   };
 
+  // ReadResult without the materialized data — what the streaming form
+  // reports after the chunks have been delivered.
+  struct ReadStats {
+    bool pushdown_executed = false;
+    uint64_t bytes_transferred = 0;
+    int requests = 1;
+  };
+
   // Reads `partition`. When `task` is provided the GET is tagged with the
   // CSVStorlet invocation; the store may decline (policy off), in which
   // case the caller receives raw data with pushdown_executed = false and
@@ -48,6 +56,15 @@ class Stocator {
   // client-side Hadoop record alignment itself (extra ranged GETs).
   Result<ReadResult> ReadPartition(const Partition& partition,
                                    const PushdownTask* task);
+
+  // Streaming form of ReadPartition: delivers the partition's
+  // record-aligned (or pushdown-filtered) data to `consume` chunk by
+  // chunk as it arrives off the store, never materializing the whole
+  // partition. Compressed transfers are the exception — the frame must be
+  // buffered to decode. A non-OK status from `consume` aborts the read.
+  Result<ReadStats> ReadPartitionInto(
+      const Partition& partition, const PushdownTask* task,
+      const std::function<Status(std::string_view)>& consume);
 
   // Uploads `data`, running the ETL storlet on the PUT path when
   // `etl_params` is provided (paper §V-A data cleansing at ingestion).
@@ -57,7 +74,9 @@ class Stocator {
   SwiftClient* client() { return client_; }
 
  private:
-  Result<ReadResult> ReadAligned(const Partition& partition);
+  Result<ReadStats> ReadAlignedInto(
+      const Partition& partition,
+      const std::function<Status(std::string_view)>& consume);
 
   SwiftClient* client_;
 };

@@ -66,8 +66,15 @@ HttpResponse SwiftCluster::Handle(Request request) {
   metrics_.GetCounter("lb.bytes_in")
       ->Add(static_cast<int64_t>(request.body.size()));
   HttpResponse response = proxies_[idx]->Handle(request);
-  metrics_.GetCounter("lb.bytes_out")
-      ->Add(static_cast<int64_t>(response.body.size()));
+  Counter* bytes_out = metrics_.GetCounter("lb.bytes_out");
+  auto hint = response.BodySizeHint();
+  if (hint) {
+    bytes_out->Add(static_cast<int64_t>(*hint));
+  } else {
+    response.SetBodyStream(std::make_shared<CountingByteStream>(
+                               response.TakeBodyStream(), bytes_out),
+                           response.trailers());
+  }
   return response;
 }
 
@@ -152,7 +159,7 @@ Status SwiftClient::PutObject(const std::string& container,
   if (r.status == 404) return Status::NotFound("no container " + container);
   if (!r.ok()) {
     return Status::Internal("object PUT -> " + std::to_string(r.status) +
-                            " " + r.body);
+                            " " + r.body());
   }
   return Status::OK();
 }
@@ -167,9 +174,9 @@ Result<std::string> SwiftClient::GetObject(const std::string& container,
   if (r.status == 404) return Status::NotFound("no object " + object);
   if (!r.ok()) {
     return Status::Internal("object GET -> " + std::to_string(r.status) +
-                            " " + r.body);
+                            " " + r.body());
   }
-  return std::move(r.body);
+  return r.TakeBody();
 }
 
 Result<std::string> SwiftClient::GetObjectRange(const std::string& container,
@@ -185,12 +192,12 @@ Result<std::string> SwiftClient::GetObjectRange(const std::string& container,
   for (const auto& [name, value] : extra) request.headers.Set(name, value);
   HttpResponse r = Send(std::move(request));
   if (r.status == 404) return Status::NotFound("no object " + object);
-  if (r.status == 416) return Status::OutOfRange(r.body);
+  if (r.status == 416) return Status::OutOfRange(r.body());
   if (!r.ok()) {
     return Status::Internal("object GET -> " + std::to_string(r.status) +
-                            " " + r.body);
+                            " " + r.body());
   }
-  return std::move(r.body);
+  return r.TakeBody();
 }
 
 Status SwiftClient::DeleteObject(const std::string& container,
@@ -212,7 +219,7 @@ Result<std::vector<ObjectInfo>> SwiftClient::ListObjects(
   if (!r.ok()) return Status::Internal("container GET -> " +
                                        std::to_string(r.status));
   std::vector<ObjectInfo> out;
-  for (std::string_view line : Split(r.body, '\n')) {
+  for (std::string_view line : Split(r.body(), '\n')) {
     if (line.empty()) continue;
     std::vector<std::string_view> fields = Split(line, ' ');
     if (fields.size() != 3) continue;

@@ -6,15 +6,22 @@ Status Device::Put(const std::string& path, StoredObject object) {
   std::lock_guard<std::mutex> lock(mu_);
   if (failed_) return Status::IOError("device failed");
   auto it = objects_.find(path);
-  if (it != objects_.end() && it->second.timestamp > object.timestamp) {
+  if (it != objects_.end() && it->second->timestamp > object.timestamp) {
     // Last-write-wins: an older write never clobbers a newer object.
     return Status::OK();
   }
-  objects_[path] = std::move(object);
+  objects_[path] = std::make_shared<const StoredObject>(std::move(object));
   return Status::OK();
 }
 
 Result<StoredObject> Device::Get(const std::string& path) const {
+  SCOOP_ASSIGN_OR_RETURN(std::shared_ptr<const StoredObject> shared,
+                         GetShared(path));
+  return *shared;
+}
+
+Result<std::shared_ptr<const StoredObject>> Device::GetShared(
+    const std::string& path) const {
   std::lock_guard<std::mutex> lock(mu_);
   if (failed_) return Status::IOError("device failed");
   auto it = objects_.find(path);
@@ -46,7 +53,7 @@ std::vector<std::string> Device::ListPaths() const {
 uint64_t Device::TotalBytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;
-  for (const auto& [path, obj] : objects_) total += obj.data.size();
+  for (const auto& [path, obj] : objects_) total += obj->data.size();
   return total;
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -32,6 +33,12 @@ class Device {
 
   Status Put(const std::string& path, StoredObject object);
   Result<StoredObject> Get(const std::string& path) const;
+  // Zero-copy read: shares the immutable at-rest object so a GET can be
+  // served as a chunk stream without duplicating the payload. The object
+  // stays valid even if overwritten or deleted while a reader holds it
+  // (readers see the version that was current when they started).
+  Result<std::shared_ptr<const StoredObject>> GetShared(
+      const std::string& path) const;
   Status Delete(const std::string& path);
   bool Exists(const std::string& path) const;
 
@@ -55,7 +62,9 @@ class Device {
   const int id_;
   mutable std::mutex mu_;
   bool failed_ = false;
-  std::map<std::string, StoredObject> objects_;
+  // Objects are immutable once stored (PUT replaces the pointer), so GETs
+  // can share them out without holding the device lock while streaming.
+  std::map<std::string, std::shared_ptr<const StoredObject>> objects_;
 };
 
 }  // namespace scoop

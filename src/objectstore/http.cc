@@ -54,6 +54,52 @@ bool Headers::Has(std::string_view name) const {
 
 void Headers::Remove(std::string_view name) { map_.erase(std::string(name)); }
 
+void HttpResponse::Materialize() {
+  if (stream_ == nullptr) return;
+  std::shared_ptr<ByteStream> stream = std::move(stream_);
+  stream_.reset();
+  Result<std::string> drained = stream->ReadAll();
+  if (!drained.ok()) {
+    // The producer failed after headers were formed; in-process the status
+    // is not committed yet, so surface the failure the way the buffered
+    // path did.
+    status = 500;
+    body_ = drained.status().ToString();
+    headers.Remove("X-Storlet-Executed");
+    trailers_.reset();
+    headers.Set("Content-Length", std::to_string(body_.size()));
+    return;
+  }
+  body_ = std::move(drained).value();
+  if (trailers_ != nullptr) {
+    for (const auto& [name, value] : *trailers_) headers.Set(name, value);
+    trailers_.reset();
+  }
+  headers.Set("Content-Length", std::to_string(body_.size()));
+}
+
+std::shared_ptr<ByteStream> HttpResponse::TakeBodyStream() {
+  if (stream_ != nullptr) {
+    auto out = std::move(stream_);
+    stream_.reset();
+    return out;
+  }
+  auto out = std::make_shared<StringByteStream>(std::move(body_));
+  body_.clear();
+  return out;
+}
+
+std::optional<uint64_t> HttpResponse::BodySizeHint() const {
+  if (stream_ == nullptr) return body_.size();
+  if (auto hint = stream_->SizeHint()) return hint;
+  auto length = headers.Get("Content-Length");
+  if (length) {
+    auto parsed = ParseInt64(*length);
+    if (parsed.ok() && *parsed >= 0) return static_cast<uint64_t>(*parsed);
+  }
+  return std::nullopt;
+}
+
 std::string ObjectPath::ToString() const {
   std::string out = "/" + account;
   if (!container.empty()) out += "/" + container;

@@ -4,10 +4,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 
+#include "common/bytestream.h"
 #include "common/result.h"
 
 namespace scoop {
@@ -108,19 +110,85 @@ struct Request {
   }
 };
 
-struct HttpResponse {
+// A response whose body is either an eager string or a lazy ByteStream.
+// Handlers along the data path forward the stream untouched; edges that
+// need the whole payload call body(), which drains the stream once
+// (merging any trailers the producer published at EOF and fixing
+// Content-Length). A streamed response whose producer fails mid-stream
+// turns into a 500 at materialization — in-process, the status is not
+// committed until someone looks at it.
+class HttpResponse {
+ public:
   int status = 200;
   Headers headers;
-  std::string body;
 
   bool ok() const { return status >= 200 && status < 300; }
 
   static HttpResponse Make(int status, std::string body = "") {
     HttpResponse r;
     r.status = status;
-    r.body = std::move(body);
+    r.body_ = std::move(body);
     return r;
   }
+
+  // --- Buffered access -----------------------------------------------------
+
+  // The materialized body. Drains the stream on first use; may flip the
+  // response to a 500 if the stream fails, so check ok() afterwards when
+  // the body came from a pushdown pipeline.
+  const std::string& body() {
+    Materialize();
+    return body_;
+  }
+  // Const access never materializes: returns the eager body, empty for a
+  // still-streamed response. Data-path code uses the non-const overload.
+  const std::string& body() const { return body_; }
+
+  std::string& mutable_body() {
+    Materialize();
+    return body_;
+  }
+  std::string TakeBody() {
+    Materialize();
+    return std::move(body_);
+  }
+  void set_body(std::string data) {
+    stream_.reset();
+    trailers_.reset();
+    body_ = std::move(data);
+  }
+
+  // Drains a streamed body into body_ (no-op when already materialized).
+  void Materialize();
+
+  // --- Streaming access ----------------------------------------------------
+
+  bool streamed() const { return stream_ != nullptr; }
+
+  // Attaches a lazy body. `trailers`, when given, is filled by the
+  // producer at EOF and merged into `headers` on materialization;
+  // streaming consumers read it themselves after draining.
+  void SetBodyStream(std::shared_ptr<ByteStream> stream,
+                     std::shared_ptr<const Headers> trailers = nullptr) {
+    body_.clear();
+    stream_ = std::move(stream);
+    trailers_ = std::move(trailers);
+  }
+
+  // Hands the body over as a stream (wrapping an eager body in a
+  // StringByteStream). The response's own body becomes empty.
+  std::shared_ptr<ByteStream> TakeBodyStream();
+
+  std::shared_ptr<const Headers> trailers() const { return trailers_; }
+
+  // Bytes the body will contain, when knowable without draining: the
+  // materialized size, the stream's size hint, or Content-Length.
+  std::optional<uint64_t> BodySizeHint() const;
+
+ private:
+  std::string body_;
+  std::shared_ptr<ByteStream> stream_;
+  std::shared_ptr<const Headers> trailers_;
 };
 
 // A request handler; middlewares wrap handlers into new handlers, forming

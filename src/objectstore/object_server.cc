@@ -65,37 +65,42 @@ HttpResponse ObjectServer::App(Request& request) {
 
 HttpResponse ObjectServer::DoGet(Request& request, Device& device,
                                  const ObjectPath& path) {
-  auto stored = device.Get(path.ToString());
+  auto stored = device.GetShared(path.ToString());
   if (!stored.ok()) {
     if (stored.status().IsNotFound()) return HttpResponse::Make(404);
     return HttpResponse::Make(503, stored.status().ToString());
   }
+  const StoredObject& object = **stored;
   HttpResponse response;
-  response.headers = stored->metadata;
-  response.headers.Set(kEtagHeader, stored->etag);
+  response.headers = object.metadata;
+  response.headers.Set(kEtagHeader, object.etag);
+  std::string_view window = object.data;
   auto range_header = request.headers.Get(kRangeHeader);
   if (range_header) {
-    auto range = ByteRange::Parse(*range_header, stored->data.size());
+    auto range = ByteRange::Parse(*range_header, object.data.size());
     if (!range.ok()) {
       return HttpResponse::Make(416, range.status().ToString());
     }
     response.status = 206;
-    response.body = stored->data.substr(range->first, range->length());
+    window = window.substr(range->first, range->length());
     response.headers.Set(
         "Content-Range",
         StrFormat("bytes %llu-%llu/%llu",
                   static_cast<unsigned long long>(range->first),
                   static_cast<unsigned long long>(range->last),
-                  static_cast<unsigned long long>(stored->data.size())));
+                  static_cast<unsigned long long>(object.data.size())));
   } else {
     response.status = 200;
-    response.body = stored->data;
   }
-  response.headers.Set(kContentLengthHeader,
-                       std::to_string(response.body.size()));
+  response.headers.Set(kContentLengthHeader, std::to_string(window.size()));
+  // Serve the (possibly range-sliced) payload as a chunk producer over the
+  // shared at-rest object: no copy is made here, and consumers pull at
+  // most chunk_size_ bytes at a time.
+  response.SetBodyStream(std::make_shared<SharedBufferByteStream>(
+      std::move(stored).value(), window, chunk_size_));
   if (metrics_ != nullptr) {
     metrics_->GetCounter(StrFormat("node_%d.bytes_read", node_id_))
-        ->Add(static_cast<int64_t>(response.body.size()));
+        ->Add(static_cast<int64_t>(window.size()));
     metrics_->GetCounter(StrFormat("node_%d.get_requests", node_id_))
         ->Increment();
   }
@@ -140,16 +145,16 @@ HttpResponse ObjectServer::DoDelete(Device& device, const ObjectPath& path) {
 }
 
 HttpResponse ObjectServer::DoHead(Device& device, const ObjectPath& path) {
-  auto stored = device.Get(path.ToString());
+  auto stored = device.GetShared(path.ToString());
   if (!stored.ok()) {
     if (stored.status().IsNotFound()) return HttpResponse::Make(404);
     return HttpResponse::Make(503, stored.status().ToString());
   }
   HttpResponse response = HttpResponse::Make(200);
-  response.headers = stored->metadata;
-  response.headers.Set(kEtagHeader, stored->etag);
+  response.headers = (*stored)->metadata;
+  response.headers.Set(kEtagHeader, (*stored)->etag);
   response.headers.Set(kContentLengthHeader,
-                       std::to_string(stored->data.size()));
+                       std::to_string((*stored)->data.size()));
   return response;
 }
 

@@ -49,6 +49,13 @@ class ObjectServer {
   // Computes the ETag Swift would store for `data`.
   static std::string ComputeEtag(const std::string& data);
 
+  // Chunk granularity GET bodies are produced at (test hook; consumers
+  // pulling with larger buffers still receive at most this much per read).
+  void set_chunk_size(size_t chunk_size) {
+    chunk_size_ = chunk_size == 0 ? 1 : chunk_size;
+  }
+  size_t chunk_size() const { return chunk_size_; }
+
  private:
   HttpResponse App(Request& request);
   HttpResponse DoGet(Request& request, Device& device, const ObjectPath& path);
@@ -57,6 +64,7 @@ class ObjectServer {
   HttpResponse DoHead(Device& device, const ObjectPath& path);
 
   const int node_id_;
+  size_t chunk_size_ = kDefaultStreamChunk;
   std::vector<std::shared_ptr<Device>> devices_;
   std::map<int, Device*> devices_by_id_;
   MetricRegistry* metrics_;

@@ -24,8 +24,17 @@ HttpResponse ProxyServer::Handle(Request& request) {
   }
   HttpResponse response = pipeline_->Handle(request);
   if (metrics_ != nullptr) {
-    metrics_->GetCounter(StrFormat("proxy_%d.bytes_out", proxy_id_))
-        ->Add(static_cast<int64_t>(response.body.size()));
+    Counter* bytes_out =
+        metrics_->GetCounter(StrFormat("proxy_%d.bytes_out", proxy_id_));
+    auto hint = response.BodySizeHint();
+    if (hint) {
+      bytes_out->Add(static_cast<int64_t>(*hint));
+    } else {
+      // Unknown size (a running pushdown pipeline): count on the way out.
+      response.SetBodyStream(std::make_shared<CountingByteStream>(
+                                 response.TakeBodyStream(), bytes_out),
+                             response.trailers());
+    }
   }
   return response;
 }
@@ -48,7 +57,7 @@ HttpResponse ProxyServer::HandleAccount(Request& request,
       auto containers = registry_->ListContainers(path.account);
       if (!containers.ok()) return HttpResponse::Make(404);
       HttpResponse response = HttpResponse::Make(200);
-      response.body = Join(*containers, "\n");
+      response.set_body(Join(*containers, "\n"));
       return response;
     }
     case HttpMethod::kHead:
@@ -80,11 +89,13 @@ HttpResponse ProxyServer::HandleContainer(Request& request,
       if (!objects.ok()) return HttpResponse::Make(404);
       HttpResponse response = HttpResponse::Make(200);
       // Listing format: "name size etag", one object per line.
+      std::string listing;
       for (const ObjectInfo& info : *objects) {
-        response.body += StrFormat("%s %llu %s\n", info.name.c_str(),
-                                   static_cast<unsigned long long>(info.size),
-                                   info.etag.c_str());
+        listing += StrFormat("%s %llu %s\n", info.name.c_str(),
+                             static_cast<unsigned long long>(info.size),
+                             info.etag.c_str());
       }
+      response.set_body(std::move(listing));
       return response;
     }
     case HttpMethod::kHead:

@@ -1,9 +1,60 @@
 #include "storlets/engine.h"
 
+#include <thread>
+
 #include "common/strings.h"
 #include "storlets/headers.h"
 
 namespace scoop {
+
+namespace {
+
+// Tracks bytes the buffered pipeline holds resident, releasing them on
+// scope exit so early returns cannot leak gauge accounting.
+class GaugeHold {
+ public:
+  explicit GaugeHold(Gauge* gauge) : gauge_(gauge) {}
+  ~GaugeHold() {
+    if (gauge_ != nullptr && held_ != 0) gauge_->Add(-held_);
+  }
+  void Acquire(int64_t bytes) {
+    held_ += bytes;
+    if (gauge_ != nullptr) gauge_->Add(bytes);
+  }
+  void Release(int64_t bytes) { Acquire(-bytes); }
+
+ private:
+  Gauge* gauge_;
+  int64_t held_ = 0;
+};
+
+// Everything a running streaming pipeline owns: storlet instances, the
+// inter-stage queues, and the stage threads. The final output Reader
+// keeps this alive; when the consumer drops it, the destructor closes
+// every queue (unblocking any stage still waiting on either side) and
+// joins the threads — abandoning a pipeline mid-stream is clean teardown,
+// not a leak.
+struct PipelineRun {
+  std::shared_ptr<ByteStream> source;
+  std::vector<std::unique_ptr<Storlet>> storlets;
+  std::vector<StorletParams> params;
+  std::vector<std::unique_ptr<BoundedByteQueue>> queues;
+  std::vector<std::thread> threads;
+
+  std::mutex mu;
+  std::map<std::string, std::string> metadata;
+  std::shared_ptr<Headers> trailers = std::make_shared<Headers>();
+
+  ~PipelineRun() {
+    for (auto& queue : queues) {
+      queue->CloseRead();
+      queue->CloseWrite(Status::Aborted("pipeline torn down"));
+    }
+    for (auto& thread : threads) thread.join();
+  }
+};
+
+}  // namespace
 
 StorletEngine::StorletEngine(std::shared_ptr<StorletRegistry> registry,
                              std::shared_ptr<PolicyStore> policies,
@@ -63,8 +114,15 @@ Result<SandboxResult> StorletEngine::RunPipeline(
     const std::vector<StorletInvocation>& invocations,
     std::string_view data) const {
   StorletPolicy policy = policies_->Resolve(account, container);
+  // The buffered form holds each stage's full input plus its full output
+  // resident at once; the gauge makes that visible next to the streaming
+  // form's bounded footprint.
+  GaugeHold held(metrics_ != nullptr
+                     ? metrics_->GetGauge("storlet.buffered_bytes")
+                     : nullptr);
   SandboxResult accumulated;
   accumulated.output.assign(data.data(), data.size());
+  held.Acquire(static_cast<int64_t>(accumulated.output.size()));
   for (const StorletInvocation& invocation : invocations) {
     if (!PolicyStore::Allows(policy, invocation.name)) {
       return Status::Unauthorized("policy denies storlet '" +
@@ -76,6 +134,8 @@ Result<SandboxResult> StorletEngine::RunPipeline(
     SCOOP_ASSIGN_OR_RETURN(
         SandboxResult stage,
         sandbox_.Execute(*storlet, accumulated.output, invocation.params));
+    held.Acquire(static_cast<int64_t>(stage.output.size()));
+    held.Release(static_cast<int64_t>(accumulated.output.size()));
     accumulated.output = std::move(stage.output);
     for (auto& [key, value] : stage.metadata) {
       accumulated.metadata[key] = std::move(value);
@@ -88,6 +148,97 @@ Result<SandboxResult> StorletEngine::RunPipeline(
     }
   }
   return accumulated;
+}
+
+Result<StorletEngine::StreamingPipeline> StorletEngine::RunPipelineStreaming(
+    const std::string& account, const std::string& container,
+    const std::vector<StorletInvocation>& invocations,
+    std::shared_ptr<ByteStream> input) const {
+  StorletPolicy policy = policies_->Resolve(account, container);
+  auto run = std::make_shared<PipelineRun>();
+  run->source = std::move(input);
+  // Policy and registry failures surface here, synchronously, before any
+  // thread starts or any byte moves.
+  for (const StorletInvocation& invocation : invocations) {
+    if (!PolicyStore::Allows(policy, invocation.name)) {
+      return Status::Unauthorized("policy denies storlet '" +
+                                  invocation.name + "' on " + account + "/" +
+                                  container);
+    }
+    SCOOP_ASSIGN_OR_RETURN(std::unique_ptr<Storlet> storlet,
+                           registry_->Create(invocation.name));
+    run->storlets.push_back(std::move(storlet));
+    run->params.push_back(invocation.params);
+  }
+
+  StreamingPipeline out;
+  out.trailers = run->trailers;
+  if (run->storlets.empty()) {
+    out.output = run->source;
+    return out;
+  }
+
+  Gauge* buffered = metrics_ != nullptr
+                        ? metrics_->GetGauge("storlet.buffered_bytes")
+                        : nullptr;
+  const size_t stages = run->storlets.size();
+  for (size_t i = 0; i < stages; ++i) {
+    Counter* chunks =
+        metrics_ != nullptr
+            ? metrics_->GetCounter(StrFormat(
+                  "storlet.stage%d.chunks", static_cast<int>(i)))
+            : nullptr;
+    // Two chunks of slack per queue: enough to overlap stages, small
+    // enough to keep the whole pipeline at O(chunk_size x depth).
+    run->queues.push_back(
+        std::make_unique<BoundedByteQueue>(2 * chunk_size_, buffered, chunks));
+  }
+
+  for (size_t i = 0; i < stages; ++i) {
+    const bool final_stage = (i + 1 == stages);
+    PipelineRun* r = run.get();  // threads never outlive `run` (dtor joins)
+    run->threads.emplace_back([this, r, i, final_stage] {
+      // Stage i>0 owns a Reader over the previous queue; destroying it on
+      // exit aborts the upstream stage if this one stopped early.
+      std::unique_ptr<ByteStream> queue_reader;
+      ByteStream* in_stream = r->source.get();
+      if (i > 0) {
+        queue_reader = std::make_unique<BoundedByteQueue::Reader>(
+            r->queues[i - 1].get(), nullptr);
+        in_stream = queue_reader.get();
+      }
+      StorletInputStream in(in_stream);
+      BoundedByteQueue::Writer writer(r->queues[i].get());
+      StorletOutputStream out(&writer, chunk_size_);
+      Result<SandboxResult> result =
+          sandbox_.ExecuteStreaming(*r->storlets[i], in, out, r->params[i]);
+      Status final_status = result.ok() ? Status::OK() : result.status();
+      {
+        std::lock_guard<std::mutex> lock(r->mu);
+        if (result.ok()) {
+          for (auto& [key, value] : result->metadata) {
+            r->metadata[key] = std::move(value);
+          }
+        }
+        // The final stage publishes the accumulated metadata as trailers
+        // before closing its queue: EOF observed by the consumer
+        // happens-after this write, so the trailers are complete by the
+        // time anyone may read them.
+        if (final_stage && final_status.ok()) {
+          for (const auto& [key, value] : r->metadata) {
+            r->trailers->Set("X-Object-Meta-" + key, value);
+          }
+        }
+      }
+      r->queues[i]->CloseWrite(std::move(final_status));
+    });
+  }
+
+  // The run rides along inside the Reader; dropping the stream tears the
+  // whole pipeline down.
+  out.output = std::make_shared<BoundedByteQueue::Reader>(
+      run->queues.back().get(), run);
+  return out;
 }
 
 }  // namespace scoop

@@ -45,11 +45,41 @@ class StorletEngine {
       const std::vector<StorletInvocation>& invocations,
       std::string_view data) const;
 
+  // The pipelined (§IV-B) form: stage i+1 consumes stage i's chunks as
+  // they are produced, connected by bounded queues, so peak buffering is
+  // O(chunk_size x pipeline_depth) regardless of object size.
+  struct StreamingPipeline {
+    // The final stage's output; pulls drive the whole pipeline. Dropping
+    // it before EOF aborts every running stage. Must not outlive the
+    // engine. A mid-stream stage failure surfaces as a Read error after
+    // the chunks produced before the failure.
+    std::shared_ptr<ByteStream> output;
+    // Accumulated storlet metadata as X-Object-Meta-* trailer headers.
+    // Complete only once `output` has reported EOF.
+    std::shared_ptr<const Headers> trailers;
+  };
+
+  // Validates policy and instantiates every storlet up front (those
+  // errors return synchronously, before any byte moves), then launches
+  // one thread per stage. `input` feeds stage 0 and is owned by the run.
+  Result<StreamingPipeline> RunPipelineStreaming(
+      const std::string& account, const std::string& container,
+      const std::vector<StorletInvocation>& invocations,
+      std::shared_ptr<ByteStream> input) const;
+
+  // Chunk granularity and per-queue buffer bound of the streaming
+  // pipeline (test hook; queues admit 2 chunks of backpressure).
+  void set_chunk_size(size_t chunk_size) {
+    chunk_size_ = chunk_size == 0 ? 1 : chunk_size;
+  }
+  size_t chunk_size() const { return chunk_size_; }
+
  private:
   std::shared_ptr<StorletRegistry> registry_;
   std::shared_ptr<PolicyStore> policies_;
   MetricRegistry* metrics_;
   Sandbox sandbox_;
+  size_t chunk_size_ = kDefaultStreamChunk;
 };
 
 }  // namespace scoop

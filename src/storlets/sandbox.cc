@@ -2,6 +2,51 @@
 
 namespace scoop {
 
+Result<SandboxResult> Sandbox::FinishRun(Storlet& storlet,
+                                         Status invoke_status,
+                                         StorletInputStream& in,
+                                         StorletOutputStream& out,
+                                         StorletLogger& logger,
+                                         uint64_t exec_ns) const {
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("storlet.invocations")->Increment();
+    metrics_->GetCounter("storlet.bytes_in")
+        ->Add(static_cast<int64_t>(in.bytes_consumed()));
+    metrics_->GetCounter("storlet.bytes_out")
+        ->Add(static_cast<int64_t>(out.bytes_written()));
+    metrics_->GetCounter("storlet.exec_ns")
+        ->Add(static_cast<int64_t>(exec_ns));
+  }
+  auto fail = [&](Status status) -> Result<SandboxResult> {
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("storlet.failures")->Increment();
+    }
+    return status;
+  };
+  if (!invoke_status.ok()) return fail(invoke_status);
+  // A failed upstream read looked like EOF to the storlet; don't let a
+  // silently truncated input masquerade as a successful (partial) run.
+  if (!in.status().ok()) return fail(in.status());
+  if (!out.sink_status().ok()) return fail(out.sink_status());
+  if (limits_.max_output_bytes > 0 &&
+      out.bytes_written() > limits_.max_output_bytes) {
+    return fail(Status::ResourceExhausted(
+        "storlet '" + storlet.name() + "' exceeded output cap"));
+  }
+  if (limits_.max_exec_ns > 0 && exec_ns > limits_.max_exec_ns) {
+    return fail(Status::ResourceExhausted(
+        "storlet '" + storlet.name() + "' exceeded time budget"));
+  }
+
+  SandboxResult result;
+  result.metadata = out.metadata();
+  result.usage.bytes_in = in.bytes_consumed();
+  result.usage.bytes_out = out.bytes_written();
+  result.usage.exec_ns = exec_ns;
+  result.log_lines = logger.lines();
+  return result;
+}
+
 Result<SandboxResult> Sandbox::Execute(Storlet& storlet,
                                        std::string_view input,
                                        const StorletParams& params) const {
@@ -11,42 +56,32 @@ Result<SandboxResult> Sandbox::Execute(Storlet& storlet,
 
   Stopwatch watch;
   Status status = storlet.Invoke(in, out, params, logger);
-  double elapsed = watch.ElapsedSeconds();
-  uint64_t exec_ns = static_cast<uint64_t>(elapsed * 1e9);
+  uint64_t exec_ns = static_cast<uint64_t>(watch.ElapsedSeconds() * 1e9);
 
-  if (metrics_ != nullptr) {
-    metrics_->GetCounter("storlet.invocations")->Increment();
-    metrics_->GetCounter("storlet.bytes_in")
-        ->Add(static_cast<int64_t>(input.size()));
-    metrics_->GetCounter("storlet.bytes_out")
-        ->Add(static_cast<int64_t>(out.bytes_written()));
-    metrics_->GetCounter("storlet.exec_ns")
-        ->Add(static_cast<int64_t>(exec_ns));
+  // The buffered form charges the filter for all object bytes shipped to
+  // it, read or not; FinishRun meters only what was consumed.
+  size_t unread = input.size() - in.bytes_consumed();
+  if (metrics_ != nullptr && unread > 0) {
+    metrics_->GetCounter("storlet.bytes_in")->Add(static_cast<int64_t>(unread));
   }
-  if (!status.ok()) {
-    if (metrics_ != nullptr) metrics_->GetCounter("storlet.failures")->Increment();
-    return status;
-  }
-  if (limits_.max_output_bytes > 0 &&
-      out.bytes_written() > limits_.max_output_bytes) {
-    if (metrics_ != nullptr) metrics_->GetCounter("storlet.failures")->Increment();
-    return Status::ResourceExhausted(
-        "storlet '" + storlet.name() + "' exceeded output cap");
-  }
-  if (limits_.max_exec_ns > 0 && exec_ns > limits_.max_exec_ns) {
-    if (metrics_ != nullptr) metrics_->GetCounter("storlet.failures")->Increment();
-    return Status::ResourceExhausted(
-        "storlet '" + storlet.name() + "' exceeded time budget");
-  }
-
-  SandboxResult result;
-  result.output = out.TakeBuffer();
-  result.metadata = out.metadata();
+  SCOOP_ASSIGN_OR_RETURN(SandboxResult result,
+                         FinishRun(storlet, status, in, out, logger, exec_ns));
   result.usage.bytes_in = input.size();
-  result.usage.bytes_out = result.output.size();
-  result.usage.exec_ns = exec_ns;
-  result.log_lines = logger.lines();
+  result.output = out.TakeBuffer();
   return result;
+}
+
+Result<SandboxResult> Sandbox::ExecuteStreaming(
+    Storlet& storlet, StorletInputStream& in, StorletOutputStream& out,
+    const StorletParams& params) const {
+  StorletLogger logger;
+
+  Stopwatch watch;
+  Status status = storlet.Invoke(in, out, params, logger);
+  out.Flush();
+  uint64_t exec_ns = static_cast<uint64_t>(watch.ElapsedSeconds() * 1e9);
+
+  return FinishRun(storlet, status, in, out, logger, exec_ns);
 }
 
 }  // namespace scoop

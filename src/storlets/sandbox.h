@@ -50,7 +50,25 @@ class Sandbox {
   Result<SandboxResult> Execute(Storlet& storlet, std::string_view input,
                                 const StorletParams& params) const;
 
+  // Streaming variant: runs `storlet` over caller-provided streams (a
+  // pipelined stage reading a ByteStream and writing a queue sink). The
+  // result's `output` is empty — bytes went to the sink as produced.
+  // Metering and limits match Execute; additionally an upstream read
+  // error or a downstream sink error fails the stage. Note exec_ns is
+  // wall-clock and so includes time blocked on queue backpressure.
+  Result<SandboxResult> ExecuteStreaming(Storlet& storlet,
+                                         StorletInputStream& in,
+                                         StorletOutputStream& out,
+                                         const StorletParams& params) const;
+
  private:
+  // Shared metering + limit enforcement once a run has finished.
+  Result<SandboxResult> FinishRun(Storlet& storlet, Status invoke_status,
+                                  StorletInputStream& in,
+                                  StorletOutputStream& out,
+                                  StorletLogger& logger,
+                                  uint64_t exec_ns) const;
+
   SandboxLimits limits_;
   MetricRegistry* metrics_;
 };

@@ -1,5 +1,7 @@
 #include "storlets/storlet_middleware.h"
 
+#include <cstring>
+
 #include "common/strings.h"
 #include "objectstore/object_server.h"
 #include "storlets/headers.h"
@@ -61,6 +63,108 @@ Result<std::pair<uint64_t, uint64_t>> ParseExplicitRange(
 
 // Bytes fetched per extension read while completing the trailing record.
 constexpr uint64_t kExtensionChunk = 64 * 1024;
+
+// Lazily record-aligns a ranged GET (Hadoop text-input contract, paper
+// §V-A) as a stream wrapper over the raw range body:
+//  * drops everything through the first '\n' when the split starts
+//    mid-object (the previous split owns that record), and
+//  * once the underlying range is exhausted, completes the trailing
+//    record with bounded extension reads issued through `next` — at most
+//    kExtensionChunk bytes are resident at a time instead of the whole
+//    aligned body.
+// The skip scans the *aligned* logical stream (body then extensions),
+// matching the buffered implementation this replaces.
+class RecordAlignedStream : public ByteStream {
+ public:
+  RecordAlignedStream(std::shared_ptr<ByteStream> inner, bool skip_first,
+                      ContentRange range, Request base_request,
+                      HttpHandler next)
+      : inner_(std::move(inner)),
+        skipping_(skip_first),
+        range_(range),
+        cursor_(range.last + 1),
+        request_(std::move(base_request)),
+        next_(std::move(next)) {
+    request_.headers.Remove(kRunStorletHeader);
+    request_.headers.Remove(kStorletRangeRecordsHeader);
+  }
+
+  Result<size_t> Read(char* buf, size_t n) override {
+    while (ppos_ >= pending_.size()) {
+      if (done_) return static_cast<size_t>(0);
+      SCOOP_ASSIGN_OR_RETURN(std::string chunk, NextAlignedChunk());
+      if (chunk.empty()) {
+        done_ = true;
+        return static_cast<size_t>(0);
+      }
+      if (skipping_) {
+        size_t nl = chunk.find('\n');
+        if (nl == std::string::npos) continue;  // whole chunk discarded
+        skipping_ = false;
+        chunk.erase(0, nl + 1);
+        if (chunk.empty()) continue;
+      }
+      pending_ = std::move(chunk);
+      ppos_ = 0;
+    }
+    size_t count = std::min(n, pending_.size() - ppos_);
+    std::memcpy(buf, pending_.data() + ppos_, count);
+    ppos_ += count;
+    return count;
+  }
+
+ private:
+  // Next chunk of the aligned logical stream: the raw range body first,
+  // then extension reads until the trailing record is newline-terminated
+  // or the object ends. Empty means EOF.
+  Result<std::string> NextAlignedChunk() {
+    while (inner_ != nullptr) {
+      std::string buf(kDefaultStreamChunk, '\0');
+      SCOOP_ASSIGN_OR_RETURN(size_t n, inner_->Read(buf.data(), buf.size()));
+      if (n > 0) {
+        buf.resize(n);
+        last_char_ = buf.back();
+        return buf;
+      }
+      inner_.reset();  // range exhausted; release the object reference
+    }
+    while (last_char_ != '\n' && cursor_ < range_.total) {
+      uint64_t chunk_last =
+          std::min(cursor_ + kExtensionChunk - 1, range_.total - 1);
+      Request extension = request_;
+      extension.headers.Set(
+          kRangeHeader,
+          StrFormat("bytes=%llu-%llu",
+                    static_cast<unsigned long long>(cursor_),
+                    static_cast<unsigned long long>(chunk_last)));
+      HttpResponse ext = next_(extension);
+      if (!ext.ok()) {
+        return Status::Internal("record-alignment extension read failed: " +
+                                std::to_string(ext.status));
+      }
+      std::string data = ext.TakeBody();
+      cursor_ = chunk_last + 1;
+      size_t nl = data.find('\n');
+      if (nl != std::string::npos) {
+        data.resize(nl + 1);
+        last_char_ = '\n';
+      }
+      if (!data.empty()) return data;
+    }
+    return std::string();
+  }
+
+  std::shared_ptr<ByteStream> inner_;  // null once the raw range is drained
+  bool skipping_;
+  const ContentRange range_;
+  uint64_t cursor_;
+  Request request_;  // template for extension reads (storlet headers removed)
+  HttpHandler next_;
+  char last_char_ = '\0';  // '\n' terminates the extension phase
+  std::string pending_;
+  size_t ppos_ = 0;
+  bool done_ = false;
+};
 
 }  // namespace
 
@@ -135,36 +239,48 @@ HttpResponse StorletMiddleware::ProcessGet(
   if (!response.ok()) return response;
   if (response.headers.Has(kStorletExecutedHeader)) return response;
 
-  if (align) {
-    Status aligned = AlignRecords(request, next, response);
-    if (!aligned.ok()) return HttpResponse::Make(500, aligned.ToString());
-    if (skip_first_record) {
-      size_t nl = response.body.find('\n');
-      if (nl == std::string::npos) {
-        response.body.clear();
-      } else {
-        response.body.erase(0, nl + 1);
+  // From here on the body travels as a stream: the raw range, lazily
+  // record-aligned, feeding the pipelined storlet stages.
+  std::shared_ptr<ByteStream> source = response.TakeBodyStream();
+  if (align && response.status == 206) {
+    auto header = response.headers.Get("Content-Range");
+    if (header) {
+      auto range = ParseContentRange(*header);
+      if (!range.ok()) {
+        return HttpResponse::Make(500, range.status().ToString());
       }
-      response.headers.Set(kContentLengthHeader,
-                           std::to_string(response.body.size()));
+      source = std::make_shared<RecordAlignedStream>(
+          std::move(source), skip_first_record, *range, request, next);
+      // Alignment changes the length by an amount only known at EOF.
+      response.headers.Remove(kContentLengthHeader);
     }
   }
 
-  auto result = engine_->RunPipeline(path.account, path.container, invocations,
-                                     response.body);
-  if (!result.ok()) {
-    if (result.status().IsUnauthorized()) {
-      // Policy denies these filters: fall back to serving raw data.
+  auto pipeline = engine_->RunPipelineStreaming(path.account, path.container,
+                                                invocations, source);
+  if (!pipeline.ok()) {
+    if (pipeline.status().IsUnauthorized()) {
+      // Policy denies these filters: fall back to serving the raw
+      // (aligned) data. The engine has not consumed the stream — policy
+      // is validated before any byte moves.
+      response.SetBodyStream(std::move(source));
       return response;
     }
-    return HttpResponse::Make(500, result.status().ToString());
+    return HttpResponse::Make(500, pipeline.status().ToString());
   }
-  response.body = std::move(result->output);
-  response.headers.Set(kContentLengthHeader,
-                       std::to_string(response.body.size()));
-  for (const auto& [key, value] : result->metadata) {
-    response.headers.Set("X-Object-Meta-" + key, value);
+  source.reset();
+
+  // Prefetch the first chunk so a pipeline that fails before producing
+  // anything (bad parameters, a failing filter) surfaces as a 500 status
+  // rather than an error mid-stream.
+  std::string prefix(engine_->chunk_size(), '\0');
+  auto first = pipeline->output->Read(prefix.data(), prefix.size());
+  if (!first.ok()) {
+    return HttpResponse::Make(500, first.status().ToString());
   }
+  prefix.resize(*first);
+
+  response.headers.Remove(kContentLengthHeader);  // known only at EOF
   std::string executed;
   for (const auto& invocation : invocations) {
     if (!executed.empty()) executed += ",";
@@ -172,6 +288,10 @@ HttpResponse StorletMiddleware::ProcessGet(
   }
   executed += stage_ == ExecutionStage::kObjectNode ? "@object" : "@proxy";
   response.headers.Set(kStorletExecutedHeader, executed);
+  response.SetBodyStream(
+      std::make_shared<PrefixedByteStream>(std::move(prefix),
+                                           std::move(pipeline->output)),
+      std::move(pipeline->trailers));
   return response;
 }
 
@@ -194,46 +314,6 @@ HttpResponse StorletMiddleware::ProcessPut(
     response.headers.Set(kStorletExecutedHeader, "put@proxy");
   }
   return response;
-}
-
-Status StorletMiddleware::AlignRecords(Request& request,
-                                       const HttpHandler& next,
-                                       HttpResponse& response) {
-  if (response.status != 206) return Status::OK();  // whole-object GET
-  auto header = response.headers.Get("Content-Range");
-  if (!header) return Status::OK();
-  SCOOP_ASSIGN_OR_RETURN(ContentRange range, ParseContentRange(*header));
-
-  std::string& body = response.body;
-  // Tail alignment: complete the final record with local extension reads.
-  uint64_t cursor = range.last + 1;
-  bool ends_with_newline = !body.empty() && body.back() == '\n';
-  while (!ends_with_newline && cursor < range.total) {
-    uint64_t chunk_last =
-        std::min(cursor + kExtensionChunk - 1, range.total - 1);
-    Request extension = request;
-    extension.headers.Remove(kRunStorletHeader);
-    extension.headers.Remove(kStorletRangeRecordsHeader);
-    extension.headers.Set(
-        kRangeHeader,
-        StrFormat("bytes=%llu-%llu", static_cast<unsigned long long>(cursor),
-                  static_cast<unsigned long long>(chunk_last)));
-    HttpResponse ext = next(extension);
-    if (!ext.ok()) {
-      return Status::Internal("record-alignment extension read failed: " +
-                              std::to_string(ext.status));
-    }
-    size_t nl = ext.body.find('\n');
-    if (nl != std::string::npos) {
-      body.append(ext.body, 0, nl + 1);
-      ends_with_newline = true;
-    } else {
-      body.append(ext.body);
-      cursor = chunk_last + 1;
-    }
-  }
-  response.headers.Set(kContentLengthHeader, std::to_string(body.size()));
-  return Status::OK();
 }
 
 }  // namespace scoop

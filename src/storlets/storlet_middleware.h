@@ -46,12 +46,6 @@ class StorletMiddleware : public Middleware {
                           const ObjectPath& path,
                           const std::vector<StorletInvocation>& invocations);
 
-  // Record-aligns a ranged GET body in place: drops the partial first
-  // record (unless the range starts at byte 0) and extends through the end
-  // of the final record via follow-up ranged reads issued to `next`.
-  Status AlignRecords(Request& request, const HttpHandler& next,
-                      HttpResponse& response);
-
   ExecutionStage stage_;
   std::shared_ptr<StorletEngine> engine_;
 };

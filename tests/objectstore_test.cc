@@ -61,6 +61,38 @@ TEST(ByteRangeTest, ClampsAndRejects) {
   EXPECT_FALSE(ByteRange::Parse("bytes=1-2,5-6", 100).ok());
 }
 
+TEST(ByteRangeTest, SuffixLargerThanObjectIsWholeObject) {
+  // RFC 7233: a suffix longer than the representation selects it all.
+  auto r = ByteRange::Parse("bytes=-200", 100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->first, 0u);
+  EXPECT_EQ(r->last, 99u);
+  EXPECT_EQ(r->length(), 100u);
+}
+
+TEST(ByteRangeTest, SingleByteRange) {
+  auto r = ByteRange::Parse("bytes=5-5", 100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->first, 5u);
+  EXPECT_EQ(r->last, 5u);
+  EXPECT_EQ(r->length(), 1u);
+}
+
+TEST(ByteRangeTest, EmptyObjectIsUnsatisfiable) {
+  // No byte range can be satisfied against a zero-length object.
+  EXPECT_FALSE(ByteRange::Parse("bytes=-10", 0).ok());
+  EXPECT_FALSE(ByteRange::Parse("bytes=0-0", 0).ok());
+  EXPECT_FALSE(ByteRange::Parse("bytes=0-", 0).ok());
+}
+
+TEST(ByteRangeTest, FirstAtObjectSizeIsUnsatisfiable) {
+  EXPECT_FALSE(ByteRange::Parse("bytes=100-", 100).ok());
+  auto last_byte = ByteRange::Parse("bytes=99-", 100);
+  ASSERT_TRUE(last_byte.ok());
+  EXPECT_EQ(last_byte->first, 99u);
+  EXPECT_EQ(last_byte->last, 99u);
+}
+
 TEST(HeadersTest, CaseInsensitive) {
   Headers headers;
   headers.Set("X-Run-Storlet", "csv");

@@ -231,7 +231,7 @@ TEST_F(StorletClusterTest, GetRunsFilterAtObjectNode) {
   ASSERT_TRUE(client_->PutObject("data", "obj", "hello\nworld\n").ok());
   HttpResponse response = GetWithStorlet("obj", "upper");
   ASSERT_EQ(response.status, 200);
-  EXPECT_EQ(response.body, "HELLO\nWORLD\n");
+  EXPECT_EQ(response.body(), "HELLO\nWORLD\n");
   EXPECT_EQ(response.headers.GetOr(kStorletExecutedHeader, ""),
             "upper@object");
   // The stored object is unaltered.
@@ -246,7 +246,7 @@ TEST_F(StorletClusterTest, PipelineChainsFilters) {
   extra.Set("X-Storlet-0-Parameter-Needle", "a");
   HttpResponse response = GetWithStorlet("obj", "grep,upper", extra);
   ASSERT_EQ(response.status, 200);
-  EXPECT_EQ(response.body, "AX\nAZ\n");
+  EXPECT_EQ(response.body(), "AX\nAZ\n");
   EXPECT_EQ(response.headers.GetOr(kStorletExecutedHeader, ""),
             "grep,upper@object");
 }
@@ -257,7 +257,7 @@ TEST_F(StorletClusterTest, StageOverrideToProxy) {
   extra.Set(kStorletRunOnHeader, "proxy");
   HttpResponse response = GetWithStorlet("obj", "upper", extra);
   ASSERT_EQ(response.status, 200);
-  EXPECT_EQ(response.body, "ABC\n");
+  EXPECT_EQ(response.body(), "ABC\n");
   EXPECT_EQ(response.headers.GetOr(kStorletExecutedHeader, ""),
             "upper@proxy");
 }
@@ -269,7 +269,7 @@ TEST_F(StorletClusterTest, PolicyDisabledServesRawData) {
   ASSERT_TRUE(client_->PutObject("data", "obj", "abc\n").ok());
   HttpResponse response = GetWithStorlet("obj", "upper");
   ASSERT_EQ(response.status, 200);
-  EXPECT_EQ(response.body, "abc\n");
+  EXPECT_EQ(response.body(), "abc\n");
   EXPECT_FALSE(response.headers.Has(kStorletExecutedHeader));
 }
 
@@ -280,7 +280,7 @@ TEST_F(StorletClusterTest, PolicyAllowListBlocksOtherStorlets) {
   ASSERT_TRUE(client_->PutObject("data", "obj", "abc\n").ok());
   HttpResponse response = GetWithStorlet("obj", "upper");
   ASSERT_EQ(response.status, 200);
-  EXPECT_EQ(response.body, "abc\n");  // raw fallback
+  EXPECT_EQ(response.body(), "abc\n");  // raw fallback
   EXPECT_FALSE(response.headers.Has(kStorletExecutedHeader));
 }
 
@@ -321,7 +321,7 @@ TEST_F(StorletClusterTest, RangedGetAlignsRecords) {
   extra.Set(kRangeHeader, "bytes=5-9");  // exactly record 2
   HttpResponse response = GetWithStorlet("obj", "upper", extra);
   ASSERT_EQ(response.status, 206);
-  EXPECT_EQ(response.body, "BBBB\n");
+  EXPECT_EQ(response.body(), "BBBB\n");
 
   // A range starting mid-record owns only the record that starts in it.
   Headers mid;
@@ -329,7 +329,7 @@ TEST_F(StorletClusterTest, RangedGetAlignsRecords) {
   mid.Set(kRangeHeader, "bytes=6-11");
   response = GetWithStorlet("obj", "upper", mid);
   ASSERT_EQ(response.status, 206);
-  EXPECT_EQ(response.body, "CCCC\n");
+  EXPECT_EQ(response.body(), "CCCC\n");
 
   // A range fully inside one record owns nothing.
   Headers inside;
@@ -337,7 +337,7 @@ TEST_F(StorletClusterTest, RangedGetAlignsRecords) {
   inside.Set(kRangeHeader, "bytes=6-8");
   response = GetWithStorlet("obj", "upper", inside);
   ASSERT_EQ(response.status, 206);
-  EXPECT_EQ(response.body, "");
+  EXPECT_EQ(response.body(), "");
 }
 
 TEST_P(RangeAlignmentTest, PartitionUnionEqualsWholeObject) {
@@ -362,8 +362,8 @@ TEST_P(RangeAlignmentTest, PartitionUnionEqualsWholeObject) {
     extra.Set(kRangeHeader, "bytes=" + std::to_string(offset) + "-" +
                                 std::to_string(last));
     HttpResponse response = GetWithStorlet("big", "upper", extra);
-    ASSERT_TRUE(response.ok()) << response.status << " " << response.body;
-    reassembled += response.body;
+    ASSERT_TRUE(response.ok()) << response.status << " " << response.body();
+    reassembled += response.body();
   }
   std::string expected;
   for (const std::string& record : records) {
