@@ -97,6 +97,7 @@ BoundedByteQueue::BoundedByteQueue(size_t max_bytes, Gauge* buffered_bytes,
       chunk_counter_(chunk_counter) {}
 
 BoundedByteQueue::~BoundedByteQueue() {
+  MutexLock lock(mu_);
   if (buffered_bytes_ != nullptr && queued_bytes_ > 0) {
     buffered_bytes_->Add(-static_cast<int64_t>(queued_bytes_));
   }
@@ -104,13 +105,13 @@ BoundedByteQueue::~BoundedByteQueue() {
 
 Status BoundedByteQueue::Write(std::string_view data) {
   if (data.empty()) return Status::OK();
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Admit at least one chunk even when it exceeds max_bytes_, otherwise an
   // oversized write could never complete.
-  can_write_.wait(lock, [&] {
-    return read_closed_ || queued_bytes_ == 0 ||
-           queued_bytes_ + data.size() <= max_bytes_;
-  });
+  while (!read_closed_ && queued_bytes_ != 0 &&
+         queued_bytes_ + data.size() > max_bytes_) {
+    can_write_.Wait(mu_);
+  }
   if (read_closed_) {
     return Status::Aborted("stream consumer closed before EOF");
   }
@@ -120,21 +121,21 @@ Status BoundedByteQueue::Write(std::string_view data) {
     buffered_bytes_->Add(static_cast<int64_t>(data.size()));
   }
   if (chunk_counter_ != nullptr) chunk_counter_->Increment();
-  can_read_.notify_one();
+  can_read_.NotifyOne();
   return Status::OK();
 }
 
 void BoundedByteQueue::CloseWrite(Status final_status) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (write_closed_) return;
   write_closed_ = true;
   final_status_ = std::move(final_status);
-  can_read_.notify_all();
+  can_read_.NotifyAll();
 }
 
 Result<size_t> BoundedByteQueue::Read(char* buf, size_t n) {
-  std::unique_lock<std::mutex> lock(mu_);
-  can_read_.wait(lock, [&] { return !chunks_.empty() || write_closed_; });
+  MutexLock lock(mu_);
+  while (chunks_.empty() && !write_closed_) can_read_.Wait(mu_);
   if (chunks_.empty()) {
     if (!final_status_.ok()) return final_status_;
     return static_cast<size_t>(0);
@@ -151,14 +152,14 @@ Result<size_t> BoundedByteQueue::Read(char* buf, size_t n) {
     chunks_.pop_front();
     front_pos_ = 0;
   }
-  can_write_.notify_one();
+  can_write_.NotifyOne();
   return count;
 }
 
 void BoundedByteQueue::CloseRead() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   read_closed_ = true;
-  can_write_.notify_all();
+  can_write_.NotifyAll();
 }
 
 }  // namespace scoop

@@ -1,18 +1,17 @@
 #ifndef SCOOP_COMMON_BYTESTREAM_H_
 #define SCOOP_COMMON_BYTESTREAM_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/sync.h"
 
 namespace scoop {
 
@@ -196,6 +195,10 @@ class EofCallbackByteStream : public ByteStream {
 // The producer finishes with CloseWrite(status): OK propagates EOF, an
 // error propagates to the consumer's Read. Destroying the Reader (consumer
 // abandons mid-stream) unblocks the producer with an Aborted error.
+//
+// Locking contract: `mu_` (rank lockrank::kQueue) guards every queue field;
+// both sides block on it via CondVars. It is a leaf lock — no other Mutex
+// is ever acquired while it is held (metric updates are atomic).
 class BoundedByteQueue {
  public:
   // `max_bytes` caps buffered bytes (at least one chunk is always
@@ -210,12 +213,12 @@ class BoundedByteQueue {
   BoundedByteQueue& operator=(const BoundedByteQueue&) = delete;
 
   // Producer side.
-  Status Write(std::string_view data);
-  void CloseWrite(Status final_status);
+  Status Write(std::string_view data) EXCLUDES(mu_);
+  void CloseWrite(Status final_status) EXCLUDES(mu_);
 
   // Consumer side.
-  Result<size_t> Read(char* buf, size_t n);
-  void CloseRead();
+  Result<size_t> Read(char* buf, size_t n) EXCLUDES(mu_);
+  void CloseRead() EXCLUDES(mu_);
 
   // A ByteStream view over the consumer side; closes the read side when
   // destroyed so an abandoned stream releases the producer. Keeps `owner`
@@ -251,15 +254,16 @@ class BoundedByteQueue {
   Gauge* buffered_bytes_;
   Counter* chunk_counter_;
 
-  std::mutex mu_;
-  std::condition_variable can_write_;
-  std::condition_variable can_read_;
-  std::deque<std::string> chunks_;
-  size_t queued_bytes_ = 0;
-  size_t front_pos_ = 0;  // consumed prefix of chunks_.front()
-  bool write_closed_ = false;
-  bool read_closed_ = false;
-  Status final_status_ = Status::OK();
+  Mutex mu_{"bytequeue", lockrank::kQueue};
+  CondVar can_write_;
+  CondVar can_read_;
+  std::deque<std::string> chunks_ GUARDED_BY(mu_);
+  size_t queued_bytes_ GUARDED_BY(mu_) = 0;
+  // Consumed prefix of chunks_.front().
+  size_t front_pos_ GUARDED_BY(mu_) = 0;
+  bool write_closed_ GUARDED_BY(mu_) = false;
+  bool read_closed_ GUARDED_BY(mu_) = false;
+  Status final_status_ GUARDED_BY(mu_) = Status::OK();
 };
 
 // Appends everything written to a string (the compatibility edge).

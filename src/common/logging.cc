@@ -4,11 +4,15 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/sync.h"
+
 namespace scoop {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
-std::mutex g_log_mutex;
+// Serializes emission only; rank kLogging so a message may be logged while
+// holding any other lock, and nothing may be acquired while emitting.
+Mutex g_log_mutex("log", lockrank::kLogging);
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -37,7 +41,7 @@ LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& message) {
   if (level < GetLogLevel()) return;
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file),
                line, message.c_str());
 }

@@ -1,7 +1,6 @@
 #ifndef SCOOP_COMMON_LOGGING_H_
 #define SCOOP_COMMON_LOGGING_H_
 
-#include <mutex>
 #include <sstream>
 #include <string>
 

@@ -5,9 +5,10 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace scoop {
 
@@ -49,13 +50,20 @@ class Gauge {
 
 // Named counters shared by a subsystem (e.g., one registry per cluster).
 // Counter pointers remain valid for the registry's lifetime.
+//
+// Locking contract: `mu_` (rank lockrank::kMetrics) guards the map
+// *structure* only. The Counter/Gauge values themselves are atomics, so
+// handed-out pointers may be updated (e.g. from pipeline stage threads)
+// concurrently with a snapshot without any lock — std::map nodes are
+// pointer-stable. `mu_` is a leaf lock.
 class MetricRegistry {
  public:
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
+  Counter* GetCounter(const std::string& name) EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) EXCLUDES(mu_);
 
   // Snapshot of all counter values, sorted by name.
-  std::vector<std::pair<std::string, int64_t>> Snapshot() const;
+  std::vector<std::pair<std::string, int64_t>> Snapshot() const
+      EXCLUDES(mu_);
 
   // Snapshot of all gauges as (name, current, peak), sorted by name.
   struct GaugeSample {
@@ -63,14 +71,14 @@ class MetricRegistry {
     int64_t value;
     int64_t peak;
   };
-  std::vector<GaugeSample> SnapshotGauges() const;
+  std::vector<GaugeSample> SnapshotGauges() const EXCLUDES(mu_);
 
-  void ResetAll();
+  void ResetAll() EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Gauge> gauges_;
+  mutable Mutex mu_{"metric_registry", lockrank::kMetrics};
+  std::map<std::string, Counter> counters_ GUARDED_BY(mu_);
+  std::map<std::string, Gauge> gauges_ GUARDED_BY(mu_);
 };
 
 // A sampled (time, value) series, e.g. "compute-cluster CPU%" over a

@@ -1,0 +1,254 @@
+#include "common/sync.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+#if defined(__GLIBC__)
+#include <execinfo.h>
+#include <unistd.h>
+#define SCOOP_HAVE_BACKTRACE 1
+#endif
+
+// Runtime lock-order registry (debug builds). Every Lock() first validates
+// the acquisition against the locks the thread already holds:
+//
+//  * acquiring a mutex the thread holds          -> self-deadlock, abort;
+//  * acquiring rank <= a held lock's rank        -> rank inversion, abort;
+//  * acquiring m while holding h when the global
+//    graph already contains a path m -> ... -> h -> cycle (a potential
+//    deadlock even if this run never interleaves into it), abort.
+//
+// Each first-time edge h -> m records the call stack that established it,
+// so a violation prints both sides of the inversion: the stack that locked
+// in one order (recorded) and the stack locking in the other (current).
+//
+// This file is the one place in the repo allowed to use raw std::mutex
+// (the registry cannot be built on the primitive it instruments).
+
+namespace scoop {
+namespace {
+
+#if defined(SCOOP_LOCK_ORDER_CHECK) && SCOOP_LOCK_ORDER_CHECK
+constexpr bool kLockOrderCheck = true;
+#else
+constexpr bool kLockOrderCheck = false;
+#endif
+
+constexpr int kMaxFrames = 32;
+
+struct EdgeInfo {
+#if defined(SCOOP_HAVE_BACKTRACE)
+  void* frames[kMaxFrames];
+#endif
+  int frame_count = 0;
+};
+
+struct Node {
+  const char* name = nullptr;
+  int rank = kNoLockRank;
+  // out[m] exists when this lock has been held while m was acquired.
+  std::unordered_map<const Mutex*, EdgeInfo> out;
+};
+
+using Graph = std::unordered_map<const Mutex*, Node>;
+
+std::mutex g_graph_mu;
+
+// Leaked on purpose: mutexes with static storage duration may be destroyed
+// (and deregister themselves) after any graph destructor would have run.
+Graph& GetGraph() {
+  static Graph* graph = new Graph();
+  return *graph;
+}
+
+thread_local std::vector<const Mutex*> t_held;
+
+const char* NameOf(const Mutex* mu) {
+  return mu->name() != nullptr ? mu->name() : "<unnamed>";
+}
+
+void CaptureStack(EdgeInfo* edge) {
+#if defined(SCOOP_HAVE_BACKTRACE)
+  edge->frame_count = backtrace(edge->frames, kMaxFrames);
+#else
+  edge->frame_count = 0;
+#endif
+}
+
+void PrintStack(const EdgeInfo& edge) {
+#if defined(SCOOP_HAVE_BACKTRACE)
+  if (edge.frame_count > 0) {
+    backtrace_symbols_fd(edge.frames, edge.frame_count, STDERR_FILENO);
+    return;
+  }
+#endif
+  std::fprintf(stderr, "    <no stack captured>\n");
+}
+
+void PrintCurrentStack() {
+#if defined(SCOOP_HAVE_BACKTRACE)
+  void* frames[kMaxFrames];
+  int count = backtrace(frames, kMaxFrames);
+  backtrace_symbols_fd(frames, count, STDERR_FILENO);
+#else
+  std::fprintf(stderr, "    <no stack captured>\n");
+#endif
+}
+
+void PrintHeldStack() {
+  std::fprintf(stderr, "  locks held by this thread (oldest first):\n");
+  for (const Mutex* held : t_held) {
+    std::fprintf(stderr, "    \"%s\" (rank %d)\n", NameOf(held), held->rank());
+  }
+}
+
+[[noreturn]] void DieSelfDeadlock(const Mutex* mu) {
+  std::fprintf(stderr,
+               "scoop: lock-order violation: self-deadlock — thread "
+               "re-acquiring Mutex \"%s\" (rank %d) it already holds\n",
+               NameOf(mu), mu->rank());
+  PrintHeldStack();
+  std::fprintf(stderr, "  acquisition stack:\n");
+  PrintCurrentStack();
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] void DieRankInversion(const Mutex* held, const Mutex* acquiring) {
+  std::fprintf(stderr,
+               "scoop: lock-order violation: rank inversion — acquiring "
+               "Mutex \"%s\" (rank %d) while holding \"%s\" (rank %d); "
+               "ranks must be acquired in strictly ascending order "
+               "(DESIGN.md \"Locking model\")\n",
+               NameOf(acquiring), acquiring->rank(), NameOf(held),
+               held->rank());
+  PrintHeldStack();
+  std::fprintf(stderr, "  acquisition stack:\n");
+  PrintCurrentStack();
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Requires g_graph_mu. DFS for a path from `from` to `to` in the edge
+// graph; fills `path` with [from, ..., to] when found.
+bool FindPath(const Graph& graph, const Mutex* from, const Mutex* to,
+              std::vector<const Mutex*>* path) {
+  path->push_back(from);
+  if (from == to) return true;
+  auto it = graph.find(from);
+  if (it != graph.end()) {
+    for (const auto& [next, edge] : it->second.out) {
+      // The path search is acyclic by construction (edges are only added
+      // after this check passes), so no visited set is needed.
+      if (FindPath(graph, next, to, path)) return true;
+    }
+  }
+  path->pop_back();
+  return false;
+}
+
+// Requires g_graph_mu.
+[[noreturn]] void DieCycle(const Graph& graph, const Mutex* held,
+                           const Mutex* acquiring,
+                           const std::vector<const Mutex*>& path) {
+  std::fprintf(stderr,
+               "scoop: lock-order violation: cycle (potential deadlock) — "
+               "acquiring Mutex \"%s\" (rank %d) while holding \"%s\" "
+               "(rank %d), but the opposite ordering already exists:\n",
+               NameOf(acquiring), acquiring->rank(), NameOf(held),
+               held->rank());
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    std::fprintf(stderr, "  \"%s\" was held while acquiring \"%s\", at:\n",
+                 NameOf(path[i]), NameOf(path[i + 1]));
+    auto node = graph.find(path[i]);
+    if (node != graph.end()) {
+      auto edge = node->second.out.find(path[i + 1]);
+      if (edge != node->second.out.end()) PrintStack(edge->second);
+    }
+  }
+  PrintHeldStack();
+  std::fprintf(stderr, "  conflicting acquisition stack (current):\n");
+  PrintCurrentStack();
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Validates acquiring `mu` against this thread's held locks and records
+// any new ordering edges. Runs before the actual lock so a real deadlock
+// is reported instead of hung on.
+void OnAcquiring(const Mutex* mu) {
+  if (t_held.empty()) return;
+  for (const Mutex* held : t_held) {
+    if (held == mu) DieSelfDeadlock(mu);
+  }
+  std::lock_guard<std::mutex> graph_lock(g_graph_mu);
+  Graph& graph = GetGraph();
+  for (const Mutex* held : t_held) {
+    Node& held_node = graph[held];
+    held_node.name = held->name();
+    held_node.rank = held->rank();
+    if (held_node.out.count(mu) != 0) continue;  // edge already validated
+    if (held->rank() != kNoLockRank && mu->rank() != kNoLockRank &&
+        mu->rank() <= held->rank()) {
+      DieRankInversion(held, mu);
+    }
+    std::vector<const Mutex*> path;
+    if (FindPath(graph, mu, held, &path)) DieCycle(graph, held, mu, path);
+    EdgeInfo edge;
+    CaptureStack(&edge);
+    held_node.out.emplace(mu, edge);
+  }
+}
+
+void OnAcquired(const Mutex* mu) { t_held.push_back(mu); }
+
+void OnReleased(const Mutex* mu) {
+  // Locks are almost always released LIFO, but a CondVar wait may release
+  // from mid-stack; erase the most recent occurrence.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (*it == mu) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+  std::fprintf(stderr,
+               "scoop: lock-order violation: unlocking Mutex \"%s\" this "
+               "thread does not hold\n",
+               NameOf(mu));
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+bool LockOrderCheckingEnabled() { return kLockOrderCheck; }
+
+Mutex::~Mutex() {
+  if (!kLockOrderCheck) return;
+  // Deregister so a future Mutex reusing this address inherits no edges.
+  std::lock_guard<std::mutex> graph_lock(g_graph_mu);
+  Graph& graph = GetGraph();
+  graph.erase(this);
+  for (auto& [mu, node] : graph) node.out.erase(this);
+}
+
+void Mutex::Lock() {
+  if (kLockOrderCheck) OnAcquiring(this);
+  mu_.lock();
+  if (kLockOrderCheck) OnAcquired(this);
+}
+
+void Mutex::Unlock() {
+  if (kLockOrderCheck) OnReleased(this);
+  mu_.unlock();
+}
+
+bool Mutex::TryLock() {
+  if (!mu_.try_lock()) return false;
+  if (kLockOrderCheck) OnAcquired(this);
+  return true;
+}
+
+}  // namespace scoop

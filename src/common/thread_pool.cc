@@ -1,6 +1,6 @@
 #include "common/thread_pool.h"
 
-#include <atomic>
+#include <memory>
 
 namespace scoop {
 
@@ -14,32 +14,32 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(fn));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  while (!queue_.empty() || active_ != 0) idle_cv_.Wait(mu_);
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) work_cv_.Wait(mu_);
       if (shutdown_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -47,29 +47,43 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      if (queue_.empty() && active_ == 0) idle_cv_.NotifyAll();
     }
   }
 }
 
+namespace {
+
+// Completion state for one ParallelFor call. Heap-allocated and shared
+// with every task: the caller may return (and unwind its stack) the moment
+// the count hits zero, which can be while the last task is still inside
+// the critical section — a stack-local mutex/condvar would be destroyed
+// under it (the pre-sync.h implementation had exactly that race).
+struct ParallelForState {
+  Mutex mu{"parallel_for.done"};
+  CondVar done;
+  size_t remaining GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
 void ParallelFor(ThreadPool& pool, size_t n,
                  const std::function<void(size_t)>& fn) {
-  std::atomic<size_t> remaining{n};
-  std::mutex mu;
-  std::condition_variable cv;
+  auto state = std::make_shared<ParallelForState>();
+  state->remaining = n;
   for (size_t i = 0; i < n; ++i) {
-    pool.Submit([&, i] {
+    // `fn` is captured by reference: the caller cannot return before every
+    // task has finished running it.
+    pool.Submit([state, &fn, i] {
       fn(i);
-      if (remaining.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(mu);
-        cv.notify_all();
-      }
+      MutexLock lock(state->mu);
+      if (--state->remaining == 0) state->done.NotifyAll();
     });
   }
-  std::unique_lock<std::mutex> lock(mu);
-  cv.wait(lock, [&] { return remaining.load() == 0; });
+  MutexLock lock(state->mu);
+  while (state->remaining != 0) state->done.Wait(state->mu);
 }
 
 }  // namespace scoop

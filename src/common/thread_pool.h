@@ -1,17 +1,21 @@
 #ifndef SCOOP_COMMON_THREAD_POOL_H_
 #define SCOOP_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace scoop {
 
 // Fixed-size worker pool with a FIFO queue. Used to run Spark-like tasks
 // concurrently; keeps its own bookkeeping so callers can wait for drain.
+//
+// Locking contract: `mu_` (rank lockrank::kThreadPool) guards the task
+// queue and the active/shutdown bookkeeping. Tasks execute with `mu_`
+// released, so submitted work may take any lock; `mu_` itself is a leaf.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -21,22 +25,23 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   // Enqueues `fn` for execution on some worker thread.
-  void Submit(std::function<void()> fn);
+  void Submit(std::function<void()> fn) EXCLUDES(mu_);
 
   // Blocks until the queue is empty and no task is running.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   size_t num_threads() const { return threads_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
-  size_t active_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_{"thread_pool", lockrank::kThreadPool};
+  CondVar work_cv_;
+  CondVar idle_cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  size_t active_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  // Written only by the constructor; immutable afterwards.
   std::vector<std::thread> threads_;
 };
 

@@ -1,7 +1,5 @@
 #include "compute/job.h"
 
-#include <mutex>
-
 #include "sql/parser.h"
 
 namespace scoop {

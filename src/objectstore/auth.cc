@@ -9,7 +9,7 @@ Status AuthService::RegisterTenant(const std::string& tenant,
                                    const std::string& key,
                                    const std::string& account,
                                    TenantTier tier) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (tenants_.count(tenant)) {
     return Status::AlreadyExists("tenant exists: " + tenant);
   }
@@ -20,7 +20,7 @@ Status AuthService::RegisterTenant(const std::string& tenant,
 
 Result<std::string> AuthService::IssueToken(const std::string& tenant,
                                             const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return Status::NotFound("unknown tenant: " + tenant);
   if (it->second.key != key) return Status::Unauthorized("bad credentials");
@@ -32,14 +32,14 @@ Result<std::string> AuthService::IssueToken(const std::string& tenant,
 }
 
 Result<std::string> AuthService::ValidateToken(const std::string& token) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tokens_.find(token);
   if (it == tokens_.end()) return Status::Unauthorized("invalid token");
   return it->second;
 }
 
 Result<TenantTier> AuthService::GetTier(const std::string& account) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = account_tier_.find(account);
   if (it == account_tier_.end()) {
     return Status::NotFound("unknown account: " + account);
@@ -48,7 +48,7 @@ Result<TenantTier> AuthService::GetTier(const std::string& account) const {
 }
 
 Status AuthService::SetTier(const std::string& account, TenantTier tier) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = account_tier_.find(account);
   if (it == account_tier_.end()) {
     return Status::NotFound("unknown account: " + account);

@@ -3,10 +3,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/result.h"
+#include "common/sync.h"
 #include "objectstore/middleware.h"
 
 namespace scoop {
@@ -19,6 +19,10 @@ enum class TenantTier { kGold, kBronze };
 
 // Keystone-lite identity service: tenants authenticate with a secret key
 // and receive a bearer token scoped to their account.
+//
+// Locking contract: `mu_` (rank lockrank::kAuth) guards every table and
+// the token sequence; each public method is one critical section. Leaf
+// lock — token validation in the middleware never nests another Mutex.
 class AuthService {
  public:
   // Registers `tenant` with secret `key`, owning account `account`.
@@ -43,11 +47,14 @@ class AuthService {
     TenantTier tier;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, TenantInfo> tenants_;       // by tenant name
-  std::map<std::string, std::string> tokens_;       // token -> account
-  std::map<std::string, TenantTier> account_tier_;  // account -> tier
-  uint64_t token_seq_ = 0;
+  mutable Mutex mu_{"auth", lockrank::kAuth};
+  // Keyed by tenant name.
+  std::map<std::string, TenantInfo> tenants_ GUARDED_BY(mu_);
+  // token -> account
+  std::map<std::string, std::string> tokens_ GUARDED_BY(mu_);
+  // account -> tier
+  std::map<std::string, TenantTier> account_tier_ GUARDED_BY(mu_);
+  uint64_t token_seq_ GUARDED_BY(mu_) = 0;
 };
 
 // Proxy middleware enforcing that every request carries a valid token for

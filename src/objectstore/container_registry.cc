@@ -5,19 +5,19 @@
 namespace scoop {
 
 Status ContainerRegistry::CreateAccount(const std::string& account) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   accounts_[account];  // idempotent
   return Status::OK();
 }
 
 bool ContainerRegistry::AccountExists(const std::string& account) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return accounts_.count(account) > 0;
 }
 
 Status ContainerRegistry::CreateContainer(const std::string& account,
                                           const std::string& container) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = accounts_.find(account);
   if (it == accounts_.end()) return Status::NotFound("no account " + account);
   it->second[container];  // idempotent, like Swift container PUT
@@ -26,7 +26,7 @@ Status ContainerRegistry::CreateContainer(const std::string& account,
 
 Status ContainerRegistry::DeleteContainer(const std::string& account,
                                           const std::string& container) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = accounts_.find(account);
   if (it == accounts_.end()) return Status::NotFound("no account " + account);
   auto cit = it->second.find(container);
@@ -42,7 +42,7 @@ Status ContainerRegistry::DeleteContainer(const std::string& account,
 
 bool ContainerRegistry::ContainerExists(const std::string& account,
                                         const std::string& container) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = accounts_.find(account);
   if (it == accounts_.end()) return false;
   return it->second.count(container) > 0;
@@ -50,7 +50,7 @@ bool ContainerRegistry::ContainerExists(const std::string& account,
 
 Result<std::vector<std::string>> ContainerRegistry::ListContainers(
     const std::string& account) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = accounts_.find(account);
   if (it == accounts_.end()) return Status::NotFound("no account " + account);
   std::vector<std::string> out;
@@ -62,7 +62,7 @@ Result<std::vector<std::string>> ContainerRegistry::ListContainers(
 Status ContainerRegistry::RecordObject(const std::string& account,
                                        const std::string& container,
                                        const ObjectInfo& info) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = accounts_.find(account);
   if (it == accounts_.end()) return Status::NotFound("no account " + account);
   auto cit = it->second.find(container);
@@ -76,7 +76,7 @@ Status ContainerRegistry::RecordObject(const std::string& account,
 Status ContainerRegistry::RemoveObject(const std::string& account,
                                        const std::string& container,
                                        const std::string& object) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = accounts_.find(account);
   if (it == accounts_.end()) return Status::NotFound("no account " + account);
   auto cit = it->second.find(container);
@@ -90,7 +90,7 @@ Status ContainerRegistry::RemoveObject(const std::string& account,
 Result<std::vector<ObjectInfo>> ContainerRegistry::ListObjects(
     const std::string& account, const std::string& container,
     const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = accounts_.find(account);
   if (it == accounts_.end()) return Status::NotFound("no account " + account);
   auto cit = it->second.find(container);

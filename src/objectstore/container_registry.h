@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/sync.h"
 
 namespace scoop {
 
@@ -21,6 +21,10 @@ struct ObjectInfo {
 // Account/container metadata service — the role Swift's account and
 // container rings play. Tracks which containers exist and what objects
 // they hold so proxies can serve listings and validate writes.
+//
+// Locking contract: `mu_` (rank lockrank::kContainerRegistry) guards the
+// whole account/container/object tree; every public method holds it for
+// the duration of the call and results are returned by value. Leaf lock.
 class ContainerRegistry {
  public:
   Status CreateAccount(const std::string& account);
@@ -46,10 +50,10 @@ class ContainerRegistry {
       const std::string& prefix = "") const;
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_{"container_registry", lockrank::kContainerRegistry};
   // account -> container -> object name -> info
   std::map<std::string, std::map<std::string, std::map<std::string, ObjectInfo>>>
-      accounts_;
+      accounts_ GUARDED_BY(mu_);
 };
 
 }  // namespace scoop

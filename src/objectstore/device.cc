@@ -3,7 +3,7 @@
 namespace scoop {
 
 Status Device::Put(const std::string& path, StoredObject object) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (failed_) return Status::IOError("device failed");
   auto it = objects_.find(path);
   if (it != objects_.end() && it->second->timestamp > object.timestamp) {
@@ -22,7 +22,7 @@ Result<StoredObject> Device::Get(const std::string& path) const {
 
 Result<std::shared_ptr<const StoredObject>> Device::GetShared(
     const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (failed_) return Status::IOError("device failed");
   auto it = objects_.find(path);
   if (it == objects_.end()) return Status::NotFound("no object at " + path);
@@ -30,20 +30,20 @@ Result<std::shared_ptr<const StoredObject>> Device::GetShared(
 }
 
 Status Device::Delete(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (failed_) return Status::IOError("device failed");
   if (objects_.erase(path) == 0) return Status::NotFound("no object at " + path);
   return Status::OK();
 }
 
 bool Device::Exists(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (failed_) return false;
   return objects_.find(path) != objects_.end();
 }
 
 std::vector<std::string> Device::ListPaths() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(objects_.size());
   for (const auto& [path, obj] : objects_) out.push_back(path);
@@ -51,29 +51,29 @@ std::vector<std::string> Device::ListPaths() const {
 }
 
 uint64_t Device::TotalBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t total = 0;
   for (const auto& [path, obj] : objects_) total += obj->data.size();
   return total;
 }
 
 size_t Device::ObjectCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return objects_.size();
 }
 
 bool Device::failed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return failed_;
 }
 
 void Device::SetFailed(bool failed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   failed_ = failed;
 }
 
 void Device::Wipe() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   objects_.clear();
 }
 

@@ -4,12 +4,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/sync.h"
 #include "objectstore/http.h"
 
 namespace scoop {
@@ -25,6 +25,12 @@ struct StoredObject {
 // One disk of a storage node. Thread-safe in-memory object map with the
 // small mutation surface the object server needs. A device can be "failed"
 // to exercise replica-repair paths.
+//
+// Locking contract: `mu_` (rank lockrank::kDevice) guards the object map
+// and the failed flag; every public method takes it for the duration of
+// the call. It is a leaf lock — streaming GETs share the immutable object
+// out and read it with no lock held, and the replicator copies between
+// devices with sequential (never nested) per-device critical sections.
 class Device {
  public:
   explicit Device(int id) : id_(id) {}
@@ -60,11 +66,12 @@ class Device {
   void SetFailed(bool failed);
 
   const int id_;
-  mutable std::mutex mu_;
-  bool failed_ = false;
+  mutable Mutex mu_{"device", lockrank::kDevice};
+  bool failed_ GUARDED_BY(mu_) = false;
   // Objects are immutable once stored (PUT replaces the pointer), so GETs
   // can share them out without holding the device lock while streaming.
-  std::map<std::string, std::shared_ptr<const StoredObject>> objects_;
+  std::map<std::string, std::shared_ptr<const StoredObject>> objects_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace scoop

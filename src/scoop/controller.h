@@ -2,7 +2,6 @@
 #define SCOOP_SCOOP_CONTROLLER_H_
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 

@@ -41,8 +41,13 @@ struct PipelineRun {
   std::vector<std::unique_ptr<BoundedByteQueue>> queues;
   std::vector<std::thread> threads;
 
-  std::mutex mu;
-  std::map<std::string, std::string> metadata;
+  // Locking contract: `mu` (rank lockrank::kPipeline) guards the metadata
+  // accumulated by stage threads. The trailers Headers is written only by
+  // the final stage under `mu`, strictly before it closes its queue; the
+  // consumer dereferences it lock-free only after observing EOF, which the
+  // queue's own mutex orders after that write.
+  Mutex mu{"pipeline_run", lockrank::kPipeline};
+  std::map<std::string, std::string> metadata GUARDED_BY(mu);
   std::shared_ptr<Headers> trailers = std::make_shared<Headers>();
 
   ~PipelineRun() {
@@ -214,7 +219,7 @@ Result<StorletEngine::StreamingPipeline> StorletEngine::RunPipelineStreaming(
           sandbox_.ExecuteStreaming(*r->storlets[i], in, out, r->params[i]);
       Status final_status = result.ok() ? Status::OK() : result.status();
       {
-        std::lock_guard<std::mutex> lock(r->mu);
+        MutexLock lock(r->mu);
         if (result.ok()) {
           for (auto& [key, value] : result->metadata) {
             r->metadata[key] = std::move(value);

@@ -5,32 +5,32 @@
 namespace scoop {
 
 void PolicyStore::SetDefault(StorletPolicy policy) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   default_policy_ = std::move(policy);
 }
 
 void PolicyStore::SetAccountPolicy(const std::string& account,
                                    StorletPolicy policy) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   account_policies_[account] = std::move(policy);
 }
 
 void PolicyStore::SetContainerPolicy(const std::string& account,
                                      const std::string& container,
                                      StorletPolicy policy) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   container_policies_[{account, container}] = std::move(policy);
 }
 
 void PolicyStore::ClearContainerPolicy(const std::string& account,
                                        const std::string& container) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   container_policies_.erase({account, container});
 }
 
 StorletPolicy PolicyStore::Resolve(const std::string& account,
                                    const std::string& container) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto cit = container_policies_.find({account, container});
   if (cit != container_policies_.end()) return cit->second;
   auto ait = account_policies_.find(account);

@@ -2,12 +2,12 @@
 #define SCOOP_STORLETS_POLICY_H_
 
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/sync.h"
 
 namespace scoop {
 
@@ -28,6 +28,10 @@ struct StorletPolicy {
 
 // Policy resolution: container-level overrides account-level overrides the
 // cluster default.
+//
+// Locking contract: `mu_` (rank lockrank::kPolicy) guards the default and
+// both override maps; Resolve copies the effective policy out under it.
+// Leaf lock.
 class PolicyStore {
  public:
   void SetDefault(StorletPolicy policy);
@@ -45,11 +49,11 @@ class PolicyStore {
   static bool Allows(const StorletPolicy& policy, const std::string& storlet);
 
  private:
-  mutable std::mutex mu_;
-  StorletPolicy default_policy_;
-  std::map<std::string, StorletPolicy> account_policies_;
+  mutable Mutex mu_{"policy_store", lockrank::kPolicy};
+  StorletPolicy default_policy_ GUARDED_BY(mu_);
+  std::map<std::string, StorletPolicy> account_policies_ GUARDED_BY(mu_);
   std::map<std::pair<std::string, std::string>, StorletPolicy>
-      container_policies_;
+      container_policies_ GUARDED_BY(mu_);
 };
 
 }  // namespace scoop

@@ -4,7 +4,7 @@ namespace scoop {
 
 Status StorletRegistry::RegisterFactory(const std::string& name,
                                         StorletFactory factory) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (factories_.count(name)) {
     return Status::AlreadyExists("storlet factory exists: " + name);
   }
@@ -13,7 +13,7 @@ Status StorletRegistry::RegisterFactory(const std::string& name,
 }
 
 Status StorletRegistry::Deploy(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!factories_.count(name)) {
     return Status::NotFound("no storlet implementation named " + name);
   }
@@ -22,7 +22,7 @@ Status StorletRegistry::Deploy(const std::string& name) {
 }
 
 Status StorletRegistry::Undeploy(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = deployed_.find(name);
   if (it == deployed_.end() || !it->second) {
     return Status::NotFound("storlet not deployed: " + name);
@@ -32,14 +32,14 @@ Status StorletRegistry::Undeploy(const std::string& name) {
 }
 
 bool StorletRegistry::IsDeployed(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = deployed_.find(name);
   return it != deployed_.end() && it->second;
 }
 
 Result<std::unique_ptr<Storlet>> StorletRegistry::Create(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto dit = deployed_.find(name);
   if (dit == deployed_.end() || !dit->second) {
     return Status::NotFound("storlet not deployed: " + name);
@@ -52,7 +52,7 @@ Result<std::unique_ptr<Storlet>> StorletRegistry::Create(
 }
 
 std::vector<std::string> StorletRegistry::DeployedNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   for (const auto& [name, is_deployed] : deployed_) {
     if (is_deployed) out.push_back(name);

@@ -3,11 +3,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/sync.h"
 #include "storlets/storlet.h"
 
 namespace scoop {
@@ -18,6 +18,11 @@ namespace scoop {
 // as installed for use. The split mirrors the paper's model: a third party
 // contributes only the logic, the system manages deployment and execution
 // (§IV-B), and the store can be extended with new filters "on-the-fly".
+//
+// Locking contract: `mu_` (rank lockrank::kStorletRegistry) guards both
+// maps. Create() runs the factory while holding `mu_`, so factories must
+// not acquire any lock of rank <= kStorletRegistry (plain make_unique
+// factories are fine). Otherwise a leaf lock.
 class StorletRegistry {
  public:
   // Makes the implementation `factory` available under `name`.
@@ -38,9 +43,9 @@ class StorletRegistry {
   std::vector<std::string> DeployedNames() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, StorletFactory> factories_;
-  std::map<std::string, bool> deployed_;
+  mutable Mutex mu_{"storlet_registry", lockrank::kStorletRegistry};
+  std::map<std::string, StorletFactory> factories_ GUARDED_BY(mu_);
+  std::map<std::string, bool> deployed_ GUARDED_BY(mu_);
 };
 
 }  // namespace scoop
