@@ -115,6 +115,13 @@ Status BoundedByteQueue::Write(std::string_view data) {
   if (read_closed_) {
     return Status::Aborted("stream consumer closed before EOF");
   }
+  if (write_closed_) {
+    // The write side was closed out from under this producer (Poison after
+    // a sibling died): nothing written now may reach the reader.
+    return final_status_.ok()
+               ? Status::Aborted("stream already closed for writing")
+               : final_status_;
+  }
   chunks_.emplace_back(data);
   queued_bytes_ += data.size();
   if (buffered_bytes_ != nullptr) {
@@ -131,6 +138,24 @@ void BoundedByteQueue::CloseWrite(Status final_status) {
   write_closed_ = true;
   final_status_ = std::move(final_status);
   can_read_.NotifyAll();
+}
+
+void BoundedByteQueue::Poison(Status error) {
+  MutexLock lock(mu_);
+  if (write_closed_) return;
+  write_closed_ = true;
+  final_status_ = error.ok() ? Status::Aborted("stream producer died") :
+                               std::move(error);
+  // Buffered chunks are from a producer that did not finish; dropping them
+  // (rather than delivering a silently truncated body) is the contract.
+  if (buffered_bytes_ != nullptr && queued_bytes_ > 0) {
+    buffered_bytes_->Add(-static_cast<int64_t>(queued_bytes_));
+  }
+  chunks_.clear();
+  queued_bytes_ = 0;
+  front_pos_ = 0;
+  can_read_.NotifyAll();
+  can_write_.NotifyAll();
 }
 
 Result<size_t> BoundedByteQueue::Read(char* buf, size_t n) {

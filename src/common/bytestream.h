@@ -216,6 +216,12 @@ class BoundedByteQueue {
   Status Write(std::string_view data) EXCLUDES(mu_);
   void CloseWrite(Status final_status) EXCLUDES(mu_);
 
+  // Producer died mid-stream (storlet crash): discards everything still
+  // buffered and fails the consumer's next Read with `error` — a poisoned
+  // queue never delivers stale chunks or blocks a reader forever. No-op if
+  // the producer already closed cleanly.
+  void Poison(Status error) EXCLUDES(mu_);
+
   // Consumer side.
   Result<size_t> Read(char* buf, size_t n) EXCLUDES(mu_);
   void CloseRead() EXCLUDES(mu_);

@@ -28,6 +28,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "io_error";
     case StatusCode::kAborted:
       return "aborted";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "unknown";
 }

@@ -24,6 +24,7 @@ enum class StatusCode {
   kInternal,
   kIOError,
   kAborted,
+  kDeadlineExceeded,
 };
 
 // Returns the canonical lowercase name of a status code ("not_found", ...).
@@ -77,6 +78,9 @@ class Status {
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -89,6 +93,11 @@ class Status {
   bool IsUnauthorized() const { return code_ == StatusCode::kUnauthorized; }
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
   }
 
   // "OK" or "<code>: <message>".

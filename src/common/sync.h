@@ -106,7 +106,9 @@ inline constexpr int kContainerRegistry = 41;  // account/container metadata
 inline constexpr int kAuth = 42;               // AuthService tables
 inline constexpr int kStorletRegistry = 43;    // storlet factories/deploys
 inline constexpr int kPolicy = 44;             // PolicyStore overrides
+inline constexpr int kRepairQueue = 45;        // read-repair path set
 inline constexpr int kDevice = 50;             // per-device object map
+inline constexpr int kFailpoint = 85;          // fault-injection registry
 inline constexpr int kLogging = 90;            // log serialization, leaf-most
 }  // namespace lockrank
 

@@ -27,19 +27,39 @@ Result<Stocator::ReadResult> Stocator::ReadPartition(
   ReadResult result;
   SCOOP_ASSIGN_OR_RETURN(
       ReadStats stats,
-      ReadPartitionInto(partition, task, [&](std::string_view chunk) {
-        result.data.append(chunk);
-        return Status::OK();
-      }));
+      ReadPartitionInto(
+          partition, task,
+          [&](std::string_view chunk) {
+            result.data.append(chunk);
+            return Status::OK();
+          },
+          // Buffered reads can always restart: drop the partial data.
+          [&] {
+            result.data.clear();
+            return Status::OK();
+          }));
   result.pushdown_executed = stats.pushdown_executed;
   result.bytes_transferred = stats.bytes_transferred;
   result.requests = stats.requests;
   return result;
 }
 
+Result<Stocator::ReadStats> Stocator::Fallback(
+    const Partition& partition,
+    const std::function<Status(std::string_view)>& consume,
+    const std::function<Status()>& restart, int wasted_requests) {
+  if (restart) SCOOP_RETURN_IF_ERROR(restart());
+  if (fallbacks_counter_ != nullptr) fallbacks_counter_->Increment();
+  SCOOP_ASSIGN_OR_RETURN(ReadStats stats,
+                         ReadAlignedInto(partition, consume));
+  stats.requests += wasted_requests;
+  return stats;
+}
+
 Result<Stocator::ReadStats> Stocator::ReadPartitionInto(
     const Partition& partition, const PushdownTask* task,
-    const std::function<Status(std::string_view)>& consume) {
+    const std::function<Status(std::string_view)>& consume,
+    const std::function<Status()>& restart) {
   if (task == nullptr) return ReadAlignedInto(partition, consume);
 
   Headers headers;
@@ -74,14 +94,18 @@ Result<Stocator::ReadStats> Stocator::ReadPartitionInto(
     return Status::NotFound("no object " + partition.object);
   }
   if (!response.ok()) {
-    return Status::Internal("pushdown GET -> " +
-                            std::to_string(response.status) + " " +
-                            response.body());
+    // The storlet invocation failed at the store (engine fault, storlet
+    // crash before the first byte, middleware error). The object itself
+    // may be perfectly healthy — degrade to a plain client-side read
+    // rather than failing the task (§IV).
+    return Fallback(partition, consume, /*restart=*/nullptr,
+                    /*wasted_requests=*/1);
   }
   if (!response.headers.Has(kStorletExecutedHeader)) {
     // The store declined (policy): what we would receive is the raw byte
     // range, not record-aligned. Redo the read the traditional way.
-    return ReadAlignedInto(partition, consume);
+    return Fallback(partition, consume, /*restart=*/nullptr,
+                    /*wasted_requests=*/0);
   }
 
   ReadStats stats;
@@ -89,20 +113,38 @@ Result<Stocator::ReadStats> Stocator::ReadPartitionInto(
   if (task->compress_transfer) {
     // A compressed frame decodes as a unit; this path trades the memory
     // bound for link bytes by design.
-    SCOOP_ASSIGN_OR_RETURN(std::string frame,
-                           response.TakeBodyStream()->ReadAll());
-    stats.bytes_transferred = frame.size();
-    SCOOP_ASSIGN_OR_RETURN(std::string decoded, DecodeCompressedFrame(frame));
+    Result<std::string> frame = response.TakeBodyStream()->ReadAll();
+    if (!frame.ok()) {
+      // Stream died before anything was consumed: safe to degrade.
+      return Fallback(partition, consume, /*restart=*/nullptr,
+                      /*wasted_requests=*/1);
+    }
+    stats.bytes_transferred = frame->size();
+    SCOOP_ASSIGN_OR_RETURN(std::string decoded, DecodeCompressedFrame(*frame));
     SCOOP_RETURN_IF_ERROR(consume(decoded));
     return stats;
   }
   // Filtered rows flow straight from the storlet pipeline to the caller,
   // one chunk at a time.
-  SCOOP_RETURN_IF_ERROR(response.TakeBodyStream()->DrainTo(
+  bool consume_failed = false;
+  Status drained = response.TakeBodyStream()->DrainTo(
       [&](std::string_view chunk) {
         stats.bytes_transferred += chunk.size();
-        return consume(chunk);
-      }));
+        Status s = consume(chunk);
+        if (!s.ok()) consume_failed = true;
+        return s;
+      });
+  if (!drained.ok() && !consume_failed) {
+    // The storlet pipeline died mid-stream (crash, dropped queue). Rows
+    // already delivered are filtered output that cannot be stitched onto
+    // a raw re-read — only a consumer that can restart from scratch may
+    // degrade; otherwise the failure propagates.
+    if (restart) {
+      return Fallback(partition, consume, restart, /*wasted_requests=*/1);
+    }
+    return drained;
+  }
+  SCOOP_RETURN_IF_ERROR(drained);
   return stats;
 }
 

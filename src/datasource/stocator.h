@@ -32,7 +32,14 @@ struct PushdownTask {
 // This is the analytics-delegator end of the protocol.
 class Stocator {
  public:
-  explicit Stocator(SwiftClient* client) : client_(client) {}
+  // `metrics` (optional) receives the "pushdown.fallbacks" counter — one
+  // increment per read that degraded from storlet pushdown to a plain
+  // client-side read.
+  explicit Stocator(SwiftClient* client, MetricRegistry* metrics = nullptr)
+      : client_(client),
+        fallbacks_counter_(metrics != nullptr
+                               ? metrics->GetCounter("pushdown.fallbacks")
+                               : nullptr) {}
 
   struct ReadResult {
     std::string data;              // record-aligned CSV for the partition
@@ -50,10 +57,13 @@ class Stocator {
   };
 
   // Reads `partition`. When `task` is provided the GET is tagged with the
-  // CSVStorlet invocation; the store may decline (policy off), in which
-  // case the caller receives raw data with pushdown_executed = false and
-  // must filter compute-side. Without `task` the connector performs
-  // client-side Hadoop record alignment itself (extra ranged GETs).
+  // CSVStorlet invocation; if the store declines (policy off) or the
+  // storlet invocation *fails* — engine error, storlet crash mid-stream,
+  // middleware fault — the connector degrades to a plain client-side read
+  // (§IV graceful degradation) and the caller receives raw data with
+  // pushdown_executed = false, to be filtered compute-side. Without
+  // `task` the connector performs client-side Hadoop record alignment
+  // itself (extra ranged GETs).
   Result<ReadResult> ReadPartition(const Partition& partition,
                                    const PushdownTask* task);
 
@@ -62,9 +72,16 @@ class Stocator {
   // chunk as it arrives off the store, never materializing the whole
   // partition. Compressed transfers are the exception — the frame must be
   // buffered to decode. A non-OK status from `consume` aborts the read.
+  //
+  // `restart` (optional) enables mid-stream fallback: when a pushdown
+  // stream fails after chunks were already delivered, restart() must
+  // discard everything consumed so far; the read is then redone
+  // client-side from scratch. Without `restart`, a mid-stream failure
+  // after the first delivered chunk propagates as an error.
   Result<ReadStats> ReadPartitionInto(
       const Partition& partition, const PushdownTask* task,
-      const std::function<Status(std::string_view)>& consume);
+      const std::function<Status(std::string_view)>& consume,
+      const std::function<Status()>& restart = nullptr);
 
   // Uploads `data`, running the ETL storlet on the PUT path when
   // `etl_params` is provided (paper §V-A data cleansing at ingestion).
@@ -78,7 +95,17 @@ class Stocator {
       const Partition& partition,
       const std::function<Status(std::string_view)>& consume);
 
+  // The bottom rung of the ladder: counts the fallback, optionally
+  // restarts the consumer, and redoes the read client-side.
+  // `wasted_requests` is the number of GETs the failed pushdown attempt
+  // already spent (kept in the stats for honest accounting).
+  Result<ReadStats> Fallback(
+      const Partition& partition,
+      const std::function<Status(std::string_view)>& consume,
+      const std::function<Status()>& restart, int wasted_requests);
+
   SwiftClient* client_;
+  Counter* fallbacks_counter_;
 };
 
 }  // namespace scoop

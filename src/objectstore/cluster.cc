@@ -1,8 +1,15 @@
 #include "objectstore/cluster.h"
 
+#include "common/failpoint.h"
 #include "common/strings.h"
 
 namespace scoop {
+
+SwiftCluster::~SwiftCluster() {
+  if (fault_counter_ != nullptr) {
+    Failpoints::Global().ClearFaultCounter(fault_counter_);
+  }
+}
 
 Result<std::unique_ptr<SwiftCluster>> SwiftCluster::Create(
     const SwiftConfig& config) {
@@ -53,10 +60,16 @@ Result<std::unique_ptr<SwiftCluster>> SwiftCluster::Create(
   };
   for (int p = 0; p < config.num_proxies; ++p) {
     auto proxy = std::make_unique<ProxyServer>(
-        p, &cluster->ring_, cluster->registry_, backend, &cluster->metrics_);
+        p, &cluster->ring_, cluster->registry_, backend, &cluster->metrics_,
+        config.retry, &cluster->repair_queue_);
     proxy->pipeline().Use(std::make_shared<AuthMiddleware>(cluster->auth_));
     cluster->proxies_.push_back(std::move(proxy));
   }
+  // Mirror failpoint fires into this cluster's metrics so chaos tests can
+  // assert "faults.injected" alongside the healing counters. Last cluster
+  // created wins the (process-global) registration.
+  cluster->fault_counter_ = cluster->metrics_.GetCounter("faults.injected");
+  Failpoints::Global().SetFaultCounter(cluster->fault_counter_);
   return cluster;
 }
 
@@ -81,6 +94,11 @@ HttpResponse SwiftCluster::Handle(Request request) {
 Replicator::Report SwiftCluster::RunReplication(bool remove_handoffs) {
   Replicator replicator(&ring_, DevicesById());
   return replicator.RunOnce(remove_handoffs);
+}
+
+Replicator::Report SwiftCluster::RunReadRepair() {
+  Replicator replicator(&ring_, DevicesById());
+  return replicator.RepairPaths(repair_queue_.Drain());
 }
 
 Result<ObjectServer*> SwiftCluster::AddStorageNode(int disks) {
@@ -176,7 +194,13 @@ Result<std::string> SwiftClient::GetObject(const std::string& container,
     return Status::Internal("object GET -> " + std::to_string(r.status) +
                             " " + r.body());
   }
-  return r.TakeBody();
+  // Materialize *before* trusting the status: a streamed body whose last
+  // replica died mid-transfer flips to 500 only once drained.
+  std::string body = r.TakeBody();
+  if (!r.ok()) {
+    return Status::Internal("object GET stream failed: " + r.body());
+  }
+  return body;
 }
 
 Result<std::string> SwiftClient::GetObjectRange(const std::string& container,
@@ -197,7 +221,11 @@ Result<std::string> SwiftClient::GetObjectRange(const std::string& container,
     return Status::Internal("object GET -> " + std::to_string(r.status) +
                             " " + r.body());
   }
-  return r.TakeBody();
+  std::string body = r.TakeBody();
+  if (!r.ok()) {
+    return Status::Internal("object GET stream failed: " + r.body());
+  }
+  return body;
 }
 
 Status SwiftClient::DeleteObject(const std::string& container,

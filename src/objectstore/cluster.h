@@ -27,6 +27,8 @@ struct SwiftConfig {
   int num_zones = 2;       // nodes are assigned to zones round-robin
   int part_power = 8;      // 2^part_power ring partitions
   int replica_count = 3;
+  // Read failover / retry behavior of every proxy (see proxy_server.h).
+  ProxyRetryPolicy retry;
 };
 
 // An in-process OpenStack-Swift-like cluster: a load-balanced pool of
@@ -38,6 +40,7 @@ class SwiftCluster {
  public:
   static Result<std::unique_ptr<SwiftCluster>> Create(
       const SwiftConfig& config);
+  ~SwiftCluster();
 
   SwiftCluster(const SwiftCluster&) = delete;
   SwiftCluster& operator=(const SwiftCluster&) = delete;
@@ -63,6 +66,13 @@ class SwiftCluster {
   // once the set is fully populated (post-rebalance cleanup).
   Replicator::Report RunReplication(bool remove_handoffs = false);
 
+  // Targeted read-repair: heals exactly the paths proxies flagged as
+  // degraded (failed-over reads, partial writes) since the last drain.
+  Replicator::Report RunReadRepair();
+
+  // Paths awaiting read-repair (proxies feed this; see ReadRepairQueue).
+  ReadRepairQueue& read_repair_queue() { return repair_queue_; }
+
   // Scale-out: adds a storage node with `disks` devices, incrementally
   // rebalances the ring onto it, and returns the new node's ObjectServer
   // (so callers can extend its middleware pipeline). Data migrates on the
@@ -79,6 +89,10 @@ class SwiftCluster {
   SwiftConfig config_;
   Ring ring_;
   MetricRegistry metrics_;
+  ReadRepairQueue repair_queue_;
+  // The cluster's "faults.injected" counter while registered with the
+  // process-global failpoint registry (detached on destruction).
+  Counter* fault_counter_ = nullptr;
   std::shared_ptr<AuthService> auth_ = std::make_shared<AuthService>();
   std::shared_ptr<ContainerRegistry> registry_ =
       std::make_shared<ContainerRegistry>();

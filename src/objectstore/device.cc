@@ -1,8 +1,23 @@
 #include "objectstore/device.h"
 
+#include "common/failpoint.h"
+#include "common/hash.h"
+
 namespace scoop {
 
+std::vector<uint64_t> ComputeChunkHashes(std::string_view data) {
+  std::vector<uint64_t> hashes;
+  hashes.reserve((data.size() + kIntegrityChunkSize - 1) /
+                 kIntegrityChunkSize);
+  for (size_t off = 0; off < data.size(); off += kIntegrityChunkSize) {
+    hashes.push_back(Fnv1a64(
+        data.substr(off, std::min(kIntegrityChunkSize, data.size() - off))));
+  }
+  return hashes;
+}
+
 Status Device::Put(const std::string& path, StoredObject object) {
+  SCOOP_FAILPOINT_KEYED("device.write", key_);
   MutexLock lock(mu_);
   if (failed_) return Status::IOError("device failed");
   auto it = objects_.find(path);
@@ -22,6 +37,7 @@ Result<StoredObject> Device::Get(const std::string& path) const {
 
 Result<std::shared_ptr<const StoredObject>> Device::GetShared(
     const std::string& path) const {
+  SCOOP_FAILPOINT_KEYED("device.read", key_);
   MutexLock lock(mu_);
   if (failed_) return Status::IOError("device failed");
   auto it = objects_.find(path);
@@ -30,6 +46,7 @@ Result<std::shared_ptr<const StoredObject>> Device::GetShared(
 }
 
 Status Device::Delete(const std::string& path) {
+  SCOOP_FAILPOINT_KEYED("device.delete", key_);
   MutexLock lock(mu_);
   if (failed_) return Status::IOError("device failed");
   if (objects_.erase(path) == 0) return Status::NotFound("no object at " + path);

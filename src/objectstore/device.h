@@ -6,6 +6,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -14,12 +15,26 @@
 
 namespace scoop {
 
+// Granularity of the at-rest integrity hashes: one Fnv1a64 per aligned
+// 64 KiB slice of the payload. Matches kDefaultStreamChunk so a streaming
+// GET can verify each chunk as it leaves the device — a corrupt chunk is
+// detected *before* delivery, early enough for the proxy to fail over to
+// another replica instead of handing the client bad bytes.
+inline constexpr size_t kIntegrityChunkSize = 64 * 1024;
+
+// Per-chunk Fnv1a64 hashes of `data` at kIntegrityChunkSize granularity
+// (empty payload -> no hashes).
+std::vector<uint64_t> ComputeChunkHashes(std::string_view data);
+
 // An object replica at rest on a device: payload plus user/system metadata.
 struct StoredObject {
   std::string data;
   Headers metadata;   // user metadata (X-Object-Meta-*) and content type
   std::string etag;   // content hash, Swift's ETag
   uint64_t timestamp = 0;  // last-write-wins ordering
+  // Integrity hashes (see ComputeChunkHashes); empty means "not computed"
+  // and disables per-chunk verification for this copy.
+  std::vector<uint64_t> chunk_hashes;
 };
 
 // One disk of a storage node. Thread-safe in-memory object map with the
@@ -33,9 +48,12 @@ struct StoredObject {
 // devices with sequential (never nested) per-device critical sections.
 class Device {
  public:
-  explicit Device(int id) : id_(id) {}
+  explicit Device(int id) : id_(id), key_("d" + std::to_string(id)) {}
 
   int id() const { return id_; }
+  // Stable key naming this device at failpoint sites ("d<id>"), so a test
+  // can scope a fault to one replica of an object.
+  const std::string& failpoint_key() const { return key_; }
 
   Status Put(const std::string& path, StoredObject object);
   Result<StoredObject> Get(const std::string& path) const;
@@ -66,6 +84,7 @@ class Device {
   void SetFailed(bool failed);
 
   const int id_;
+  const std::string key_;
   mutable Mutex mu_{"device", lockrank::kDevice};
   bool failed_ GUARDED_BY(mu_) = false;
   // Objects are immutable once stored (PUT replaces the pointer), so GETs

@@ -181,4 +181,28 @@ Result<ByteRange> ByteRange::Parse(std::string_view header_value,
   return range;
 }
 
+Result<ContentRange> ContentRange::Parse(std::string_view header_value) {
+  if (!StartsWith(header_value, "bytes ")) {
+    return Status::InvalidArgument("bad Content-Range: " +
+                                   std::string(header_value));
+  }
+  std::string_view rest = header_value.substr(6);
+  size_t dash = rest.find('-');
+  size_t slash = rest.find('/');
+  if (dash == std::string_view::npos || slash == std::string_view::npos ||
+      dash > slash) {
+    return Status::InvalidArgument("bad Content-Range: " +
+                                   std::string(header_value));
+  }
+  ContentRange out;
+  SCOOP_ASSIGN_OR_RETURN(int64_t first, ParseInt64(rest.substr(0, dash)));
+  SCOOP_ASSIGN_OR_RETURN(int64_t last,
+                         ParseInt64(rest.substr(dash + 1, slash - dash - 1)));
+  SCOOP_ASSIGN_OR_RETURN(int64_t total, ParseInt64(rest.substr(slash + 1)));
+  out.first = static_cast<uint64_t>(first);
+  out.last = static_cast<uint64_t>(last);
+  out.total = static_cast<uint64_t>(total);
+  return out;
+}
+
 }  // namespace scoop

@@ -77,6 +77,18 @@ struct ByteRange {
                                  uint64_t object_size);
 };
 
+// A parsed "bytes first-last/total" Content-Range *response* header —
+// the window a 206 body covers. Shared by the storlet middleware's
+// record-alignment logic and the proxy's mid-stream failover (which must
+// resume a partial body at an absolute object offset).
+struct ContentRange {
+  uint64_t first = 0;
+  uint64_t last = 0;  // inclusive
+  uint64_t total = 0;
+
+  static Result<ContentRange> Parse(std::string_view header_value);
+};
+
 struct Request {
   HttpMethod method = HttpMethod::kGet;
   std::string path;

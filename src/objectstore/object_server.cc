@@ -1,9 +1,117 @@
 #include "objectstore/object_server.h"
 
+#include <algorithm>
+#include <cstring>
+
+#include "common/failpoint.h"
 #include "common/hash.h"
 #include "common/strings.h"
 
 namespace scoop {
+
+namespace {
+
+// The device-side GET data plane. Instead of sharing the at-rest buffer out
+// directly, each aligned kIntegrityChunkSize slice is materialized into a
+// private copy, passed through the "object.read.chunk" failpoint (which may
+// corrupt or truncate the copy — never the at-rest object), and verified
+// against the chunk hash recorded at PUT. A corrupt chunk therefore turns
+// into an IOError *before* its bytes are delivered, early enough for the
+// proxy to resume the stream from another replica; memory stays bounded at
+// one chunk regardless of object size.
+class ObjectChunkStream : public ByteStream {
+ public:
+  ObjectChunkStream(std::shared_ptr<const StoredObject> object,
+                    size_t win_start, size_t win_len, size_t chunk_size,
+                    std::string device_key)
+      : object_(std::move(object)),
+        win_start_(win_start),
+        win_len_(win_len),
+        chunk_size_(chunk_size == 0 ? 1 : chunk_size),
+        device_key_(std::move(device_key)) {}
+
+  Result<size_t> Read(char* buf, size_t n) override {
+    while (buf_pos_ >= buf_.size()) {
+      if (!sticky_error_.ok()) return sticky_error_;
+      if (pos_ >= win_len_) return static_cast<size_t>(0);
+      SCOOP_RETURN_IF_ERROR(Refill());
+    }
+    size_t count = std::min({n, chunk_size_, buf_.size() - buf_pos_});
+    std::memcpy(buf, buf_.data() + buf_pos_, count);
+    buf_pos_ += count;
+    pos_ += count;
+    return count;
+  }
+
+  std::optional<uint64_t> SizeHint() const override {
+    return win_len_ - pos_;
+  }
+
+ private:
+  Status Refill() {
+    const std::string& data = object_->data;
+    size_t abs = win_start_ + pos_;
+    size_t chunk_idx = abs / kIntegrityChunkSize;
+    size_t chunk_begin = chunk_idx * kIntegrityChunkSize;
+    size_t chunk_len =
+        std::min(kIntegrityChunkSize, data.size() - chunk_begin);
+    buf_.assign(data, chunk_begin, chunk_len);
+    bool dropped = false;
+    if (FailpointsArmed()) {
+      size_t keep = buf_.size();
+      Status err;
+      DataFaultKind kind = Failpoints::Global().CheckData(
+          "object.read.chunk", device_key_, buf_.data(), buf_.size(), &keep,
+          &err);
+      switch (kind) {
+        case DataFaultKind::kNone:
+        case DataFaultKind::kCorrupted:
+          break;  // corruption is caught by the hash check below
+        case DataFaultKind::kError:
+          sticky_error_ = err;
+          return err;
+        case DataFaultKind::kDrop:
+          buf_.resize(std::min(keep, buf_.size()));
+          sticky_error_ =
+              err.ok() ? Status::IOError("stream dropped mid-chunk") : err;
+          dropped = true;
+          break;
+      }
+    }
+    if (!dropped && chunk_idx < object_->chunk_hashes.size() &&
+        Fnv1a64(buf_) != object_->chunk_hashes[chunk_idx]) {
+      sticky_error_ = Status::IOError(
+          "chunk integrity check failed at offset " +
+          std::to_string(chunk_begin));
+      return sticky_error_;
+    }
+    // Clip the aligned chunk to the portion of the request window it
+    // serves (range GETs start mid-chunk).
+    size_t begin_in_chunk = abs - chunk_begin;
+    if (begin_in_chunk >= buf_.size()) {
+      buf_.clear();
+    } else {
+      buf_ = buf_.substr(
+          begin_in_chunk,
+          std::min(buf_.size() - begin_in_chunk, win_len_ - pos_));
+    }
+    buf_pos_ = 0;
+    if (buf_.empty() && !sticky_error_.ok()) return sticky_error_;
+    return Status::OK();
+  }
+
+  std::shared_ptr<const StoredObject> object_;
+  const size_t win_start_;
+  const size_t win_len_;
+  const size_t chunk_size_;
+  const std::string device_key_;
+  std::string buf_;
+  size_t buf_pos_ = 0;
+  size_t pos_ = 0;  // delivered bytes within the window
+  Status sticky_error_ = Status::OK();
+};
+
+}  // namespace
 
 ObjectServer::ObjectServer(int node_id, const std::vector<int>& device_ids,
                            MetricRegistry* metrics)
@@ -93,11 +201,14 @@ HttpResponse ObjectServer::DoGet(Request& request, Device& device,
     response.status = 200;
   }
   response.headers.Set(kContentLengthHeader, std::to_string(window.size()));
-  // Serve the (possibly range-sliced) payload as a chunk producer over the
-  // shared at-rest object: no copy is made here, and consumers pull at
-  // most chunk_size_ bytes at a time.
-  response.SetBodyStream(std::make_shared<SharedBufferByteStream>(
-      std::move(stored).value(), window, chunk_size_));
+  // Serve the (possibly range-sliced) payload as a verifying chunk producer
+  // over the shared at-rest object: one aligned chunk is materialized and
+  // integrity-checked at a time, and consumers pull at most chunk_size_
+  // bytes per read.
+  size_t win_start = static_cast<size_t>(window.data() - object.data.data());
+  response.SetBodyStream(std::make_shared<ObjectChunkStream>(
+      std::move(stored).value(), win_start, window.size(), chunk_size_,
+      device.failpoint_key()));
   if (metrics_ != nullptr) {
     metrics_->GetCounter(StrFormat("node_%d.bytes_read", node_id_))
         ->Add(static_cast<int64_t>(window.size()));
@@ -112,6 +223,7 @@ HttpResponse ObjectServer::DoPut(Request& request, Device& device,
   StoredObject object;
   object.data = request.body;
   object.etag = ComputeEtag(object.data);
+  object.chunk_hashes = ComputeChunkHashes(object.data);
   auto ts = request.headers.Get(kTimestampHeader);
   if (ts) {
     auto parsed = ParseInt64(*ts);

@@ -8,9 +8,11 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/random.h"
 #include "objectstore/container_registry.h"
 #include "objectstore/http.h"
 #include "objectstore/middleware.h"
+#include "objectstore/replicator.h"
 #include "objectstore/ring.h"
 
 namespace scoop {
@@ -20,36 +22,73 @@ namespace scoop {
 using BackendFn =
     std::function<HttpResponse(int device_id, Request& request)>;
 
+// How a proxy retries object reads across the replica set. Reads sweep
+// the replicas in primary order up to `read_sweeps` times; every attempt
+// after the first backs off exponentially (capped, with seeded jitter so
+// retry storms decorrelate deterministically). An attempt that takes
+// longer than `attempt_deadline_us`, or a single streamed Read slower
+// than `read_deadline_us`, counts as a failure and triggers failover —
+// the slow-replica half of the fault model (0 disables either deadline).
+struct ProxyRetryPolicy {
+  int read_sweeps = 2;
+  int64_t backoff_base_us = 100;
+  int64_t backoff_max_us = 2000;
+  int64_t attempt_deadline_us = 1'000'000;
+  int64_t read_deadline_us = 1'000'000;
+};
+
 // A Swift proxy server: authenticates (via its middleware pipeline),
 // resolves the ring, and fans object operations out to the replica
-// object servers. Writes require a majority quorum; reads fall through
-// replicas in primary order so a single failed device is invisible.
+// object servers. Writes require a majority quorum; reads fail over
+// across replicas — at response level and mid-stream — so a single
+// failed, slow, or corrupt device is invisible to the client.
 class ProxyServer {
  public:
+  // `repair_queue` (optional) receives the paths of objects that needed a
+  // failover or missed a write, for targeted read-repair.
   ProxyServer(int proxy_id, const Ring* ring,
               std::shared_ptr<ContainerRegistry> registry, BackendFn backend,
-              MetricRegistry* metrics);
+              MetricRegistry* metrics, ProxyRetryPolicy policy = {},
+              ReadRepairQueue* repair_queue = nullptr);
 
   int proxy_id() const { return proxy_id_; }
   Pipeline& pipeline() { return *pipeline_; }
+  const ProxyRetryPolicy& retry_policy() const { return policy_; }
 
   // Full request entry (runs the middleware pipeline, then the app).
   HttpResponse Handle(Request& request);
 
  private:
+  friend class FailoverByteStream;
+
   HttpResponse App(Request& request);
   HttpResponse HandleAccount(Request& request, const ObjectPath& path);
   HttpResponse HandleContainer(Request& request, const ObjectPath& path);
   HttpResponse HandleObject(Request& request, const ObjectPath& path);
+  // The read side of HandleObject: replica failover loop plus mid-stream
+  // resume wiring.
+  HttpResponse ObjectRead(Request& request, const std::vector<int>& replicas);
 
-  // Sends `request` to the replica device, tagging backend headers.
+  // Sends `request` to the replica device, tagging backend headers. An
+  // attempt slower than the policy's attempt deadline comes back as 504.
   HttpResponse SendToDevice(int device_id, Request& request);
+
+  // Capped exponential backoff before retry `attempt` (1-based), with
+  // jitter drawn from `rng`.
+  void Backoff(int attempt, Rng* rng) const;
+
+  void CountRetry();
+  void CountFailover(const std::string& path);
 
   const int proxy_id_;
   const Ring* ring_;
   std::shared_ptr<ContainerRegistry> registry_;
   BackendFn backend_;
   MetricRegistry* metrics_;
+  const ProxyRetryPolicy policy_;
+  ReadRepairQueue* repair_queue_;
+  Counter* retries_counter_ = nullptr;    // "proxy.retries"
+  Counter* failovers_counter_ = nullptr;  // "proxy.failovers"
   std::unique_ptr<Pipeline> pipeline_;
   std::atomic<uint64_t> timestamp_seq_{1};
 };

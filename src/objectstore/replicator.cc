@@ -1,7 +1,6 @@
 #include "objectstore/replicator.h"
 
-#include <set>
-#include <string>
+#include "common/failpoint.h"
 
 namespace scoop {
 
@@ -19,70 +18,90 @@ Replicator::Report Replicator::RunOnce(bool remove_handoffs) {
     }
   }
   for (const std::string& path : all_paths) {
-    ++report.objects_scanned;
-    const std::vector<int>& replicas = ring_->GetNodes(path);
-    // Find the newest available copy.
-    StoredObject newest;
-    bool found = false;
-    for (int device_id : replicas) {
-      Device* device = devices_[device_id];
-      if (device == nullptr) continue;
+    RepairOne(path, remove_handoffs, &report);
+  }
+  return report;
+}
+
+Replicator::Report Replicator::RepairPaths(
+    const std::vector<std::string>& paths) {
+  Report report;
+  for (const std::string& path : paths) {
+    RepairOne(path, /*remove_handoffs=*/false, &report);
+  }
+  return report;
+}
+
+void Replicator::RepairOne(const std::string& path, bool remove_handoffs,
+                           Report* report) {
+  ++report->objects_scanned;
+  const std::vector<int>& replicas = ring_->GetNodes(path);
+  // Find the newest available copy.
+  StoredObject newest;
+  bool found = false;
+  for (int device_id : replicas) {
+    Device* device = devices_[device_id];
+    if (device == nullptr) continue;
+    auto copy = device->Get(path);
+    if (copy.ok() && (!found || copy->timestamp > newest.timestamp)) {
+      newest = std::move(copy).value();
+      found = true;
+    }
+  }
+  if (!found) {
+    // An object may exist only on devices outside its replica set after a
+    // ring change; look everywhere as handoff recovery.
+    for (Device* device : devices_) {
+      if (device == nullptr || device->failed()) continue;
       auto copy = device->Get(path);
       if (copy.ok() && (!found || copy->timestamp > newest.timestamp)) {
         newest = std::move(copy).value();
         found = true;
       }
     }
-    if (!found) {
-      // An object may exist only on devices outside its replica set after a
-      // ring change; look everywhere as handoff recovery.
-      for (Device* device : devices_) {
-        if (device == nullptr || device->failed()) continue;
-        auto copy = device->Get(path);
-        if (copy.ok() && (!found || copy->timestamp > newest.timestamp)) {
-          newest = std::move(copy).value();
-          found = true;
-        }
-      }
-    }
-    if (!found) {
-      report.replicas_unreachable +=
-          static_cast<int>(replicas.size());
+  }
+  if (!found) {
+    report->replicas_unreachable += static_cast<int>(replicas.size());
+    return;
+  }
+  int replicas_in_place = 0;
+  for (int device_id : replicas) {
+    Device* device = devices_[device_id];
+    if (device == nullptr || device->failed()) {
+      ++report->replicas_unreachable;
       continue;
     }
-    int replicas_in_place = 0;
-    for (int device_id : replicas) {
-      Device* device = devices_[device_id];
-      if (device == nullptr || device->failed()) {
-        ++report.replicas_unreachable;
-        continue;
-      }
-      auto existing = device->Get(path);
-      if (existing.ok() && existing->timestamp >= newest.timestamp) {
-        ++replicas_in_place;
-        continue;
-      }
-      if (device->Put(path, newest).ok()) {
-        ++report.replicas_repaired;
-        ++replicas_in_place;
-      }
+    auto existing = device->Get(path);
+    if (existing.ok() && existing->timestamp >= newest.timestamp) {
+      ++replicas_in_place;
+      continue;
     }
-    // Handoff cleanup: only once the object is fully replicated on its
-    // assigned devices may stray copies be dropped.
-    if (remove_handoffs &&
-        replicas_in_place == static_cast<int>(replicas.size())) {
-      for (Device* device : devices_) {
-        if (device == nullptr || device->failed()) continue;
-        bool assigned = false;
-        for (int id : replicas) {
-          if (device->id() == id) assigned = true;
-        }
-        if (assigned || !device->Exists(path)) continue;
-        if (device->Delete(path).ok()) ++report.handoffs_removed;
-      }
+    Status push = FailpointCheck("replicator.push", device->failpoint_key());
+    if (push.ok()) push = device->Put(path, newest);
+    if (push.ok()) {
+      ++report->replicas_repaired;
+      ++replicas_in_place;
+    } else {
+      // The copy could not be placed (device failed mid-repair or an
+      // injected push fault): the replica set is still degraded and the
+      // report must say so.
+      ++report->replicas_unreachable;
     }
   }
-  return report;
+  // Handoff cleanup: only once the object is fully replicated on its
+  // assigned devices may stray copies be dropped.
+  if (remove_handoffs &&
+      replicas_in_place == static_cast<int>(replicas.size())) {
+    for (Device* device : devices_) {
+      if (device == nullptr || device->failed()) continue;
+      bool assigned = false;
+      for (int id : replicas) {
+        if (device->id() == id) assigned = true;
+      }
+      if (assigned || !device->Exists(path)) continue;
+      if (device->Delete(path).ok()) ++report->handoffs_removed;
+    }
+  }
 }
 
 }  // namespace scoop

@@ -2,12 +2,46 @@
 #define SCOOP_OBJECTSTORE_REPLICATOR_H_
 
 #include <memory>
+#include <set>
+#include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "objectstore/device.h"
 #include "objectstore/ring.h"
 
 namespace scoop {
+
+// Paths whose replica sets are known-degraded: a proxy enqueues an object
+// here whenever a read had to fail over past a broken replica or a write
+// landed on fewer than all replicas. Draining the queue through
+// Replicator::RepairPaths is *read-repair* — the damage a client already
+// tripped over is healed without waiting for the next full scan.
+//
+// Locking contract: `mu_` (rank lockrank::kRepairQueue) guards the path
+// set; it is held only for set mutation, never across device access.
+class ReadRepairQueue {
+ public:
+  void Enqueue(std::string path) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    paths_.insert(std::move(path));
+  }
+  // Removes and returns all queued paths.
+  std::vector<std::string> Drain() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    std::vector<std::string> out(paths_.begin(), paths_.end());
+    paths_.clear();
+    return out;
+  }
+  size_t size() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return paths_.size();
+  }
+
+ private:
+  mutable Mutex mu_{"read_repair_queue", lockrank::kRepairQueue};
+  std::set<std::string> paths_ GUARDED_BY(mu_);
+};
 
 // Background replica repair, the role of Swift's object-replicator daemon.
 // Scans every device, recomputes each object's replica set from the ring,
@@ -32,7 +66,14 @@ class Replicator {
   // rebalance moved assignments.
   Report RunOnce(bool remove_handoffs = false);
 
+  // Targeted read-repair: repairs exactly `paths` (canonical
+  // /account/container/object forms) instead of scanning every device.
+  Report RepairPaths(const std::vector<std::string>& paths);
+
  private:
+  void RepairOne(const std::string& path, bool remove_handoffs,
+                 Report* report);
+
   const Ring* ring_;
   std::vector<Device*> devices_;
 };

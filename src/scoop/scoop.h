@@ -60,7 +60,7 @@ class ScoopSession {
   ScoopSession(ScoopCluster* cluster, SwiftClient client, int num_workers)
       : cluster_(cluster),
         client_(std::move(client)),
-        stocator_(&client_),
+        stocator_(&client_, &cluster->metrics()),
         spark_(num_workers) {}
 
   ScoopSession(const ScoopSession&) = delete;

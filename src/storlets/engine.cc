@@ -2,12 +2,54 @@
 
 #include <thread>
 
+#include "common/failpoint.h"
 #include "common/strings.h"
 #include "storlets/headers.h"
 
 namespace scoop {
 
 namespace {
+
+// Poisons `queue` on scope exit. Placed at the top of every stage thread:
+// if the stage dies without reaching its CloseWrite (a storlet "crash"),
+// the consumer gets an Aborted status instead of blocking forever on a
+// queue whose producer is gone. No-op after a clean CloseWrite.
+class QueuePoisonGuard {
+ public:
+  explicit QueuePoisonGuard(BoundedByteQueue* queue) : queue_(queue) {}
+  ~QueuePoisonGuard() {
+    queue_->Poison(
+        Status::Aborted("storlet stage died without closing its stream"));
+  }
+
+ private:
+  BoundedByteQueue* queue_;
+};
+
+// Chaos hook simulating a storlet that dies mid-stream: when the
+// "engine.stage_crash" failpoint fires, the write fails AND the crash flag
+// tells the stage thread to exit without closing its queue — the poison
+// guard is then the only thing standing between the consumer and a hang.
+class CrashOnFailpointSink : public ByteSink {
+ public:
+  CrashOnFailpointSink(ByteSink* inner, bool* crashed)
+      : inner_(inner), crashed_(crashed) {}
+
+  Status Write(std::string_view data) override {
+    if (FailpointsArmed()) {
+      Status fault = FailpointCheck("engine.stage_crash");
+      if (!fault.ok()) {
+        *crashed_ = true;
+        return fault;
+      }
+    }
+    return inner_->Write(data);
+  }
+
+ private:
+  ByteSink* inner_;
+  bool* crashed_;
+};
 
 // Tracks bytes the buffered pipeline holds resident, releasing them on
 // scope exit so early returns cannot leak gauge accounting.
@@ -118,6 +160,7 @@ Result<SandboxResult> StorletEngine::RunPipeline(
     const std::string& account, const std::string& container,
     const std::vector<StorletInvocation>& invocations,
     std::string_view data) const {
+  SCOOP_FAILPOINT("engine.invoke");
   StorletPolicy policy = policies_->Resolve(account, container);
   // The buffered form holds each stage's full input plus its full output
   // resident at once; the gauge makes that visible next to the streaming
@@ -159,6 +202,7 @@ Result<StorletEngine::StreamingPipeline> StorletEngine::RunPipelineStreaming(
     const std::string& account, const std::string& container,
     const std::vector<StorletInvocation>& invocations,
     std::shared_ptr<ByteStream> input) const {
+  SCOOP_FAILPOINT("engine.invoke");
   StorletPolicy policy = policies_->Resolve(account, container);
   auto run = std::make_shared<PipelineRun>();
   run->source = std::move(input);
@@ -203,6 +247,10 @@ Result<StorletEngine::StreamingPipeline> StorletEngine::RunPipelineStreaming(
     const bool final_stage = (i + 1 == stages);
     PipelineRun* r = run.get();  // threads never outlive `run` (dtor joins)
     run->threads.emplace_back([this, r, i, final_stage] {
+      // Last line of defense: if this thread exits without a clean
+      // CloseWrite below, the guard poisons the queue so the consumer
+      // fails instead of hanging.
+      QueuePoisonGuard poison_guard(r->queues[i].get());
       // Stage i>0 owns a Reader over the previous queue; destroying it on
       // exit aborts the upstream stage if this one stopped early.
       std::unique_ptr<ByteStream> queue_reader;
@@ -214,9 +262,12 @@ Result<StorletEngine::StreamingPipeline> StorletEngine::RunPipelineStreaming(
       }
       StorletInputStream in(in_stream);
       BoundedByteQueue::Writer writer(r->queues[i].get());
-      StorletOutputStream out(&writer, chunk_size_);
+      bool crashed = false;
+      CrashOnFailpointSink sink(&writer, &crashed);
+      StorletOutputStream out(&sink, chunk_size_);
       Result<SandboxResult> result =
           sandbox_.ExecuteStreaming(*r->storlets[i], in, out, r->params[i]);
+      if (crashed) return;  // simulated mid-stream death: no CloseWrite
       Status final_status = result.ok() ? Status::OK() : result.status();
       {
         MutexLock lock(r->mu);

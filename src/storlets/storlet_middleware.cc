@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/failpoint.h"
 #include "common/strings.h"
 #include "objectstore/object_server.h"
 #include "storlets/headers.h"
@@ -9,35 +10,6 @@
 namespace scoop {
 
 namespace {
-
-// Parses "bytes first-last/total" from a Content-Range header.
-struct ContentRange {
-  uint64_t first = 0;
-  uint64_t last = 0;
-  uint64_t total = 0;
-};
-
-Result<ContentRange> ParseContentRange(const std::string& value) {
-  if (!StartsWith(value, "bytes ")) {
-    return Status::InvalidArgument("bad Content-Range: " + value);
-  }
-  std::string_view rest = std::string_view(value).substr(6);
-  size_t dash = rest.find('-');
-  size_t slash = rest.find('/');
-  if (dash == std::string_view::npos || slash == std::string_view::npos ||
-      dash > slash) {
-    return Status::InvalidArgument("bad Content-Range: " + value);
-  }
-  ContentRange out;
-  SCOOP_ASSIGN_OR_RETURN(int64_t first, ParseInt64(rest.substr(0, dash)));
-  SCOOP_ASSIGN_OR_RETURN(int64_t last,
-                         ParseInt64(rest.substr(dash + 1, slash - dash - 1)));
-  SCOOP_ASSIGN_OR_RETURN(int64_t total, ParseInt64(rest.substr(slash + 1)));
-  out.first = static_cast<uint64_t>(first);
-  out.last = static_cast<uint64_t>(last);
-  out.total = static_cast<uint64_t>(total);
-  return out;
-}
 
 // Parses an explicit "bytes=first-last" request range; other forms return
 // an error and disable the start-1 adjustment.
@@ -213,6 +185,10 @@ HttpResponse StorletMiddleware::Process(Request& request,
 HttpResponse StorletMiddleware::ProcessGet(
     Request& request, const HttpHandler& next, const ObjectPath& path,
     const std::vector<StorletInvocation>& invocations) {
+  // Chaos hook: a middleware failure here turns into a 500 the client's
+  // pushdown fallback ladder must absorb (degrade to a plain GET, §IV).
+  Status fault = FailpointCheck("middleware.get");
+  if (!fault.ok()) return HttpResponse::Make(500, fault.ToString());
   bool align = ToLower(request.headers.GetOr(kStorletRangeRecordsHeader,
                                              "")) == "true";
   bool skip_first_record = false;
@@ -245,7 +221,7 @@ HttpResponse StorletMiddleware::ProcessGet(
   if (align && response.status == 206) {
     auto header = response.headers.Get("Content-Range");
     if (header) {
-      auto range = ParseContentRange(*header);
+      auto range = ContentRange::Parse(*header);
       if (!range.ok()) {
         return HttpResponse::Make(500, range.status().ToString());
       }

@@ -5,12 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/bytestream.h"
+#include "common/failpoint.h"
 #include "common/metrics.h"
 #include "objectstore/cluster.h"
 #include "scoop/scoop.h"
@@ -129,6 +131,51 @@ TEST(BoundedByteQueueTest, AbandonedReaderUnblocksWriter) {
   }
   producer.join();
   EXPECT_EQ(writer_status.code(), StatusCode::kAborted);
+}
+
+TEST(BoundedByteQueueTest, PoisonFailsReaderAndDiscardsBufferedChunks) {
+  Gauge gauge;
+  BoundedByteQueue queue(1024, &gauge);
+  ASSERT_TRUE(queue.Write("stale").ok());
+  EXPECT_EQ(gauge.value(), 5);
+  queue.Poison(Status::Aborted("producer died"));
+  // Poison models a producer that vanished mid-stream: what it buffered
+  // cannot be trusted to be a prefix of anything complete, so the reader
+  // sees the failure immediately, not stale data first.
+  char buf[64];
+  auto r = queue.Read(buf, sizeof buf);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAborted);
+  EXPECT_EQ(gauge.value(), 0) << "discarded chunks must release the gauge";
+  // A poisoned queue rejects further writes.
+  EXPECT_FALSE(queue.Write("more").ok());
+}
+
+TEST(BoundedByteQueueTest, PoisonAfterCleanCloseIsANoOp) {
+  BoundedByteQueue queue(1024);
+  ASSERT_TRUE(queue.Write("done").ok());
+  queue.CloseWrite(Status::OK());
+  queue.Poison(Status::Aborted("too late"));  // the guard ran after success
+  BoundedByteQueue::Reader reader(&queue, nullptr);
+  auto all = reader.ReadAll();
+  ASSERT_TRUE(all.ok()) << all.status();
+  EXPECT_EQ(*all, "done");
+}
+
+TEST(BoundedByteQueueTest, PoisonUnblocksAWaitingReader) {
+  BoundedByteQueue queue(16);
+  Status seen = Status::OK();
+  std::thread consumer([&] {
+    char buf[16];
+    auto r = queue.Read(buf, sizeof buf);  // blocks: nothing written yet
+    seen = r.ok() ? Status::OK() : r.status();
+  });
+  // Give the consumer time to park on the empty queue, then kill the
+  // producer side. The test hangs here if Poison fails to wake readers.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Poison(Status::Aborted("producer died"));
+  consumer.join();
+  EXPECT_EQ(seen.code(), StatusCode::kAborted);
 }
 
 TEST(BoundedByteQueueTest, GaugeReleasedOnDrainAndDestruction) {
@@ -339,6 +386,10 @@ class StreamingEquivalenceTest : public ::testing::Test {
     ASSERT_TRUE(client_->PutObject("data", "obj", payload_).ok());
   }
 
+  // Failpoint hygiene: a failed assert must not leave faults armed for
+  // the next test.
+  void TearDown() override { Failpoints::Global().DisarmAll(); }
+
   void SetChunkSize(size_t chunk) {
     for (auto& server : cluster_->swift().object_servers()) {
       server->set_chunk_size(chunk);
@@ -443,6 +494,38 @@ TEST_F(StreamingEquivalenceTest, PeakBufferingIsChunkBound) {
   ASSERT_TRUE(buffered.ok()) << buffered.status();
   EXPECT_GE(gauge->peak(), static_cast<int64_t>(payload_.size()));
   EXPECT_EQ(gauge->value(), 0);
+}
+
+TEST_F(StreamingEquivalenceTest, CrashedStagePoisonsQueueInsteadOfHanging) {
+  // A storlet stage that dies mid-stream exits without closing its queue.
+  // The poison guard must convert that into a stream error the consumer
+  // observes promptly — this test hangs (and times out) if it doesn't.
+  SetChunkSize(64);
+  FailpointSpec spec;
+  // The queues hold ~2 chunks of slack per stage, so the middleware's
+  // first-chunk prefetch can observe at most a handful of stage writes;
+  // skipping well past that guarantees the crash lands mid-body (after
+  // the 200 is committed), not before the first byte.
+  spec.skip = 20;
+  ASSERT_TRUE(Failpoints::Global().Arm("engine.stage_crash", spec).ok());
+
+  Headers pushdown;
+  pushdown.Set(kRunStorletHeader, "grep,upper");
+  pushdown.Set("X-Storlet-0-Parameter-Needle", "keep");
+  HttpResponse response = PushdownGet(pushdown);
+  ASSERT_EQ(response.status, 200);
+  ASSERT_TRUE(response.streamed());
+  auto drained = response.TakeBodyStream()->ReadAll();
+  ASSERT_FALSE(drained.ok()) << "the crash must surface as a status";
+  EXPECT_EQ(drained.status().code(), StatusCode::kAborted);
+  Failpoints::Global().DisarmAll();
+
+  // The path heals once the fault is gone, and nothing leaked.
+  HttpResponse healed = PushdownGet(pushdown);
+  ASSERT_EQ(healed.status, 200);
+  EXPECT_FALSE(healed.body().empty());
+  EXPECT_EQ(cluster_->metrics().GetGauge("storlet.buffered_bytes")->value(),
+            0);
 }
 
 TEST_F(StreamingEquivalenceTest, AbandonedResponseTearsDownPipeline) {

@@ -1,0 +1,242 @@
+// Unit tests of the failpoint subsystem itself: arming, trigger shaping
+// (skip / probability / max_fires), key scoping, seeded determinism, the
+// data-plane corrupt/drop faults, and the disarmed fast path. The chaos
+// suite (chaos_test.cc) exercises the sites these feed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/metrics.h"
+#include "common/result.h"
+
+namespace scoop {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Failpoints::Global().DisarmAll(); }
+};
+
+TEST_F(FailpointTest, UnknownNameRejected) {
+  Status s = Failpoints::Global().Arm("no.such.site", FailpointSpec{});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(FailpointsArmed());
+}
+
+TEST_F(FailpointTest, DisarmedSitesAreFreeAndOk) {
+  EXPECT_FALSE(FailpointsArmed());
+  EXPECT_TRUE(FailpointCheck("device.read").ok());
+  EXPECT_TRUE(FailpointCheck("device.read", "d0").ok());
+}
+
+TEST_F(FailpointTest, ArmFireDisarm) {
+  FailpointSpec spec;
+  spec.error = Status::IOError("disk on fire");
+  ASSERT_TRUE(Failpoints::Global().Arm("device.read", spec).ok());
+  EXPECT_TRUE(FailpointsArmed());
+
+  Status s = FailpointCheck("device.read");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(Failpoints::Global().hits("device.read"), 1);
+  EXPECT_EQ(Failpoints::Global().fires("device.read"), 1);
+
+  Failpoints::Global().Disarm("device.read");
+  EXPECT_FALSE(FailpointsArmed());
+  EXPECT_TRUE(FailpointCheck("device.read").ok());
+}
+
+TEST_F(FailpointTest, SkipAndMaxFiresSelectExactlyTheNthHit) {
+  // skip=2, max_fires=1: fire on exactly the third evaluation.
+  FailpointSpec spec;
+  spec.skip = 2;
+  spec.max_fires = 1;
+  ASSERT_TRUE(Failpoints::Global().Arm("device.write", spec).ok());
+
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) {
+    fired.push_back(!FailpointCheck("device.write").ok());
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false,
+                                      false}));
+  EXPECT_EQ(Failpoints::Global().hits("device.write"), 6);
+  EXPECT_EQ(Failpoints::Global().fires("device.write"), 1);
+}
+
+TEST_F(FailpointTest, KeyScopingOnlyMatchingEvaluationsFire) {
+  FailpointSpec spec;
+  spec.key = "d1";
+  ASSERT_TRUE(Failpoints::Global().Arm("device.read", spec).ok());
+
+  EXPECT_TRUE(FailpointCheck("device.read", "d0").ok());
+  EXPECT_FALSE(FailpointCheck("device.read", "d1").ok());
+  EXPECT_TRUE(FailpointCheck("device.read", "d2").ok());
+  // Non-matching evaluations do not count as hits against skip/max_fires.
+  EXPECT_EQ(Failpoints::Global().hits("device.read"), 1);
+}
+
+TEST_F(FailpointTest, EmptySpecKeyMatchesEveryEvaluation) {
+  ASSERT_TRUE(Failpoints::Global().Arm("device.read", FailpointSpec{}).ok());
+  EXPECT_FALSE(FailpointCheck("device.read", "d0").ok());
+  EXPECT_FALSE(FailpointCheck("device.read", "d7").ok());
+  EXPECT_FALSE(FailpointCheck("device.read").ok());
+}
+
+TEST_F(FailpointTest, ProbabilityIsDeterministicForAFixedSeed) {
+  auto draw_schedule = [](uint64_t seed) {
+    FailpointSpec spec;
+    spec.probability = 0.5;
+    spec.seed = seed;
+    EXPECT_TRUE(Failpoints::Global().Arm("proxy.backend", spec).ok());
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(!FailpointCheck("proxy.backend").ok());
+    }
+    Failpoints::Global().Disarm("proxy.backend");
+    return fired;
+  };
+
+  std::vector<bool> first = draw_schedule(7);
+  std::vector<bool> second = draw_schedule(7);
+  std::vector<bool> other = draw_schedule(8);
+  EXPECT_EQ(first, second) << "same seed must give the same fault schedule";
+  EXPECT_NE(first, other) << "different seeds should diverge";
+  // p=0.5 over 64 draws: both outcomes must occur.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 64);
+}
+
+TEST_F(FailpointTest, RearmingResetsCounters) {
+  ASSERT_TRUE(Failpoints::Global().Arm("device.read", FailpointSpec{}).ok());
+  EXPECT_FALSE(FailpointCheck("device.read").ok());
+  EXPECT_EQ(Failpoints::Global().hits("device.read"), 1);
+  ASSERT_TRUE(Failpoints::Global().Arm("device.read", FailpointSpec{}).ok());
+  EXPECT_EQ(Failpoints::Global().hits("device.read"), 0);
+  EXPECT_EQ(Failpoints::Global().fires("device.read"), 0);
+}
+
+TEST_F(FailpointTest, LatencyDelaysButSucceeds) {
+  FailpointSpec spec;
+  spec.action = FailpointSpec::Action::kLatency;
+  spec.latency_us = 2000;
+  ASSERT_TRUE(Failpoints::Global().Arm("middleware.get", spec).ok());
+
+  Stopwatch watch;
+  EXPECT_TRUE(FailpointCheck("middleware.get").ok());
+  EXPECT_GE(watch.ElapsedSeconds(), 0.002);
+  EXPECT_EQ(Failpoints::Global().fires("middleware.get"), 1);
+}
+
+TEST_F(FailpointTest, CheckDataCorruptFlipsBytesInPlace) {
+  FailpointSpec spec;
+  spec.action = FailpointSpec::Action::kCorrupt;
+  spec.seed = 99;
+  ASSERT_TRUE(Failpoints::Global().Arm("object.read.chunk", spec).ok());
+
+  const std::string original(256, 'a');
+  std::string chunk = original;
+  size_t keep = chunk.size();
+  Status error;
+  DataFaultKind kind = Failpoints::Global().CheckData(
+      "object.read.chunk", "d0", chunk.data(), chunk.size(), &keep, &error);
+  EXPECT_EQ(kind, DataFaultKind::kCorrupted);
+  EXPECT_EQ(keep, original.size()) << "corruption must not truncate";
+  EXPECT_NE(chunk, original) << "bytes must actually be flipped";
+  int flipped = 0;
+  for (size_t i = 0; i < chunk.size(); ++i) {
+    if (chunk[i] != original[i]) ++flipped;
+  }
+  EXPECT_GE(flipped, 1);
+  EXPECT_LE(flipped, 3);
+}
+
+TEST_F(FailpointTest, CheckDataDropTruncatesAndReportsError) {
+  FailpointSpec spec;
+  spec.action = FailpointSpec::Action::kDrop;
+  spec.error = Status::IOError("link cut");
+  ASSERT_TRUE(Failpoints::Global().Arm("object.read.chunk", spec).ok());
+
+  std::string chunk(100, 'x');
+  size_t keep = chunk.size();
+  Status error;
+  DataFaultKind kind = Failpoints::Global().CheckData(
+      "object.read.chunk", "d0", chunk.data(), chunk.size(), &keep, &error);
+  EXPECT_EQ(kind, DataFaultKind::kDrop);
+  EXPECT_EQ(keep, 50u) << "drop keeps the first half of the chunk";
+  ASSERT_FALSE(error.ok());
+  EXPECT_EQ(error.code(), StatusCode::kIOError);
+}
+
+TEST_F(FailpointTest, CheckDataErrorLeavesBytesAlone) {
+  FailpointSpec spec;
+  spec.error = Status::IOError("read head crash");
+  ASSERT_TRUE(Failpoints::Global().Arm("object.read.chunk", spec).ok());
+
+  const std::string original(64, 'q');
+  std::string chunk = original;
+  size_t keep = chunk.size();
+  Status error;
+  DataFaultKind kind = Failpoints::Global().CheckData(
+      "object.read.chunk", "d0", chunk.data(), chunk.size(), &keep, &error);
+  EXPECT_EQ(kind, DataFaultKind::kError);
+  EXPECT_EQ(chunk, original);
+  EXPECT_FALSE(error.ok());
+}
+
+TEST_F(FailpointTest, ControlPlaneCorruptActsAsError) {
+  // A control-plane site has no bytes to corrupt: the fault still lands as
+  // the spec's error status instead of silently passing.
+  FailpointSpec spec;
+  spec.action = FailpointSpec::Action::kCorrupt;
+  ASSERT_TRUE(Failpoints::Global().Arm("engine.invoke", spec).ok());
+  EXPECT_FALSE(FailpointCheck("engine.invoke").ok());
+}
+
+TEST_F(FailpointTest, FaultCounterMirrorsFires) {
+  Counter counter;
+  Failpoints::Global().SetFaultCounter(&counter);
+  ASSERT_TRUE(Failpoints::Global().Arm("device.read", FailpointSpec{}).ok());
+  EXPECT_FALSE(FailpointCheck("device.read").ok());
+  EXPECT_FALSE(FailpointCheck("device.read").ok());
+  EXPECT_EQ(counter.value(), 2);
+  // ClearFaultCounter with a different pointer must not detach ours...
+  Counter other;
+  Failpoints::Global().ClearFaultCounter(&other);
+  EXPECT_FALSE(FailpointCheck("device.read").ok());
+  EXPECT_EQ(counter.value(), 3);
+  // ...but with the registered one, it must.
+  Failpoints::Global().ClearFaultCounter(&counter);
+  EXPECT_FALSE(FailpointCheck("device.read").ok());
+  EXPECT_EQ(counter.value(), 3);
+}
+
+TEST_F(FailpointTest, DisarmAllClearsEverything) {
+  ASSERT_TRUE(Failpoints::Global().Arm("device.read", FailpointSpec{}).ok());
+  ASSERT_TRUE(Failpoints::Global().Arm("device.write", FailpointSpec{}).ok());
+  EXPECT_TRUE(FailpointsArmed());
+  Failpoints::Global().DisarmAll();
+  EXPECT_FALSE(FailpointsArmed());
+  EXPECT_TRUE(FailpointCheck("device.read").ok());
+  EXPECT_TRUE(FailpointCheck("device.write").ok());
+}
+
+TEST_F(FailpointTest, MacroReturnsInjectedErrorFromEnclosingFunction) {
+  auto guarded = []() -> Status {
+    SCOOP_FAILPOINT("replicator.push");
+    return Status::OK();
+  };
+  EXPECT_TRUE(guarded().ok());
+  FailpointSpec spec;
+  spec.error = Status::Internal("replica down");
+  ASSERT_TRUE(Failpoints::Global().Arm("replicator.push", spec).ok());
+  Status s = guarded();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace scoop

@@ -4,6 +4,7 @@
 
 #include <thread>
 
+#include "common/failpoint.h"
 #include "common/random.h"
 #include "common/strings.h"
 #include "scoop/scoop.h"
@@ -283,6 +284,287 @@ TEST_F(RobustnessTest, StorletHeadersDontBypassAuth) {
   request.headers.Set("X-Storlet-Parameter-Schema", schema_.ToSpec());
   HttpResponse response = other->Send(std::move(request));
   EXPECT_EQ(response.status, 403);
+}
+
+// Regression for the proxy read path: kill the primary replica's device
+// outright (not via a failpoint) and the GET must transparently serve
+// from a survivor, counting the failover.
+TEST_F(RobustnessTest, GetSurvivesPrimaryDeviceDeath) {
+  const std::string path = "/acct/meters/m0000.csv";
+  auto healthy = session_->client().GetObject("meters", "m0000.csv");
+  ASSERT_TRUE(healthy.ok());
+
+  const std::vector<int>& replicas = cluster_->swift().ring().GetNodes(path);
+  ASSERT_FALSE(replicas.empty());
+  auto devices = cluster_->swift().DevicesById();
+  Device* primary = devices[static_cast<size_t>(replicas[0])];
+  primary->Fail();
+  int64_t failovers_before =
+      cluster_->metrics().GetCounter("proxy.failovers")->value();
+
+  auto degraded = session_->client().GetObject("meters", "m0000.csv");
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  EXPECT_EQ(*degraded, *healthy);
+  EXPECT_GT(cluster_->metrics().GetCounter("proxy.failovers")->value(),
+            failovers_before);
+  primary->Repair();
+}
+
+// ---------------------------------------------------------------------------
+// Every failpoint site, exercised end to end: arm the site, drive the
+// operation that traverses it, and assert both the client-visible status
+// and the fault accounting (hits/fires and the faults.injected mirror).
+
+class FailpointSiteTest : public RobustnessTest,
+                          public ::testing::WithParamInterface<const char*> {
+ protected:
+  void TearDown() override { Failpoints::Global().DisarmAll(); }
+
+  HttpResponse PushdownGet() {
+    Request request = Request::Get("/acct/meters/m0000.csv");
+    request.headers.Set(kRunStorletHeader, "csvstorlet");
+    request.headers.Set("X-Storlet-Parameter-Schema", schema_.ToSpec());
+    return session_->client().Send(std::move(request));
+  }
+};
+
+TEST_P(FailpointSiteTest, InjectedFaultSurfacesAndIsCounted) {
+  const std::string site = GetParam();
+  SwiftClient& client = session_->client();
+  Counter* injected = cluster_->metrics().GetCounter("faults.injected");
+  const int64_t injected_before = injected->value();
+
+  FailpointSpec spec;
+  spec.error = Status::IOError("injected at " + site);
+  ASSERT_TRUE(Failpoints::Global().Arm(site, spec).ok());
+
+  // Checked inside each branch, before any mid-test disarm resets the
+  // per-site counters.
+  auto expect_counted = [&] {
+    EXPECT_GT(Failpoints::Global().hits(site), 0) << site;
+    EXPECT_GT(Failpoints::Global().fires(site), 0) << site;
+    EXPECT_GT(injected->value(), injected_before) << site;
+  };
+
+  if (site == "device.read" || site == "object.read.chunk" ||
+      site == "proxy.backend") {
+    // Unkeyed: every replica path is faulted, so the read must fail with
+    // a status — never hang, never hand back partial or bogus bytes.
+    auto got = client.GetObject("meters", "m0000.csv");
+    EXPECT_FALSE(got.ok()) << site;
+    expect_counted();
+  } else if (site == "device.write") {
+    EXPECT_FALSE(client.PutObject("meters", "doomed", "x").ok());
+    expect_counted();
+    Failpoints::Global().DisarmAll();
+    EXPECT_FALSE(client.GetObject("meters", "doomed").ok())
+        << "a no-quorum write must not be readable";
+  } else if (site == "device.delete") {
+    EXPECT_FALSE(client.DeleteObject("meters", "m0000.csv").ok());
+    expect_counted();
+    Failpoints::Global().DisarmAll();
+    EXPECT_TRUE(client.GetObject("meters", "m0000.csv").ok())
+        << "the object must survive a failed delete";
+  } else if (site == "replicator.push") {
+    const std::string path = "/acct/meters/m0000.csv";
+    auto devices = cluster_->swift().DevicesById();
+    const auto& replicas = cluster_->swift().ring().GetNodes(path);
+    ASSERT_TRUE(devices[static_cast<size_t>(replicas[0])]->Delete(path).ok());
+    cluster_->swift().read_repair_queue().Enqueue(path);
+    Replicator::Report report = cluster_->swift().RunReadRepair();
+    EXPECT_EQ(report.replicas_repaired, 0);
+    EXPECT_GE(report.replicas_unreachable, 1);
+    expect_counted();
+    Failpoints::Global().DisarmAll();
+    cluster_->swift().read_repair_queue().Enqueue(path);
+    EXPECT_EQ(cluster_->swift().RunReadRepair().replicas_repaired, 1);
+  } else if (site == "middleware.get" || site == "engine.invoke") {
+    HttpResponse response = PushdownGet();
+    EXPECT_EQ(response.status, 500) << site;
+    expect_counted();
+  } else if (site == "engine.stage_crash") {
+    HttpResponse response = PushdownGet();
+    // The pipeline starts streaming (200), then the stage dies; the error
+    // is committed when the body is drained.
+    response.Materialize();
+    EXPECT_EQ(response.status, 500);
+    expect_counted();
+  } else {
+    FAIL() << "no driver for failpoint site " << site
+           << " — extend this test when adding sites";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSites, FailpointSiteTest, ::testing::ValuesIn(kFailpointSites),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '.') c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Seeded soak: concurrent PUT / GET / pushdown traffic under a background
+// probabilistic fault schedule. Individual operations may fail, but the
+// system must never serve wrong bytes, and once the faults clear one
+// repair + replication pass must converge every replica set.
+
+// Self-describing soak payload: pure function of (writer, object, round),
+// so a reader can verify any GET against no shared state.
+std::string SoakPayload(int writer, int object, int round) {
+  std::string payload = StrFormat("soak-%d-%d-%d:", writer, object, round);
+  Rng rng(static_cast<uint64_t>(writer) * 1'000'003 +
+          static_cast<uint64_t>(object) * 1'009 +
+          static_cast<uint64_t>(round));
+  while (payload.size() < 8192) {
+    payload += static_cast<char>('a' + rng.NextBounded(26));
+  }
+  return payload;
+}
+
+TEST(ChaosSoakTest, SeededFaultMixConvergesAfterRepair) {
+  // One proxy: timestamps are strictly monotone, so last-write-wins has a
+  // single well-defined winner for every object and convergence is exact.
+  SwiftConfig config;
+  config.num_proxies = 1;
+  config.num_storage_nodes = 3;
+  config.disks_per_node = 2;
+  config.part_power = 5;
+  auto cluster_or = ScoopCluster::Create(config);
+  ASSERT_TRUE(cluster_or.ok()) << cluster_or.status();
+  auto cluster = std::move(cluster_or).value();
+  auto client_or = cluster->Connect("tenant", "key", "acct");
+  ASSERT_TRUE(client_or.ok());
+  SwiftClient client = std::move(client_or).value();
+  ASSERT_TRUE(client.CreateContainer("soak").ok());
+
+  // Pushdown leg: a small meter table plus its fault-free answer.
+  GeneratorConfig gen{.num_meters = 4, .readings_per_meter = 250, .seed = 9};
+  GridPocketGenerator generator(gen);
+  ScoopSession session(cluster.get(), client, /*num_workers=*/2);
+  ASSERT_TRUE(generator.Upload(&session.client(), "meters", "m", 2).ok());
+  CsvSourceOptions options;
+  options.chunk_size = 16 * 1024;
+  session.RegisterCsvTable("meters", "meters", "m",
+                           GridPocketGenerator::MeterSchema(), true, options);
+  const char* kSql =
+      "SELECT city, count(*) AS n FROM meters GROUP BY city ORDER BY city";
+  auto healthy = session.Sql(kSql);
+  ASSERT_TRUE(healthy.ok()) << healthy.status();
+  const std::string healthy_csv = healthy->table.ToCsv();
+
+  // Background fault schedule, all drawn from SCOOP_FAILPOINT_SEED.
+  auto arm = [](const char* site, double p) {
+    FailpointSpec spec;
+    spec.probability = p;
+    spec.error = Status::IOError(std::string("soak fault at ") + site);
+    ASSERT_TRUE(Failpoints::Global().Arm(site, spec).ok());
+  };
+  arm("device.read", 0.04);
+  arm("device.write", 0.04);
+  arm("proxy.backend", 0.02);
+  arm("engine.stage_crash", 0.15);
+
+  constexpr int kWriters = 3;
+  constexpr int kObjectsPerWriter = 6;
+  constexpr int kRounds = 4;
+  std::vector<std::thread> threads;
+  // Writers: each owns its objects; failed PUTs are tolerated (the fault
+  // schedule causes some), correctness is judged after repair.
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      SwiftClient mine = client;
+      for (int round = 0; round < kRounds; ++round) {
+        for (int i = 0; i < kObjectsPerWriter; ++i) {
+          std::string name = StrFormat("obj-%d-%d", w, i);
+          (void)mine.PutObject("soak", name, SoakPayload(w, i, round));
+        }
+      }
+    });
+  }
+  // Readers: any successful GET must return exactly some version its
+  // writer produced — faults may fail a read, never falsify one.
+  std::vector<Status> reader_status(2, Status::OK());
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&, r] {
+      SwiftClient mine = client;
+      Rng rng(1234 + static_cast<uint64_t>(r));
+      for (int i = 0; i < 80; ++i) {
+        int w = static_cast<int>(rng.NextBounded(kWriters));
+        int o = static_cast<int>(rng.NextBounded(kObjectsPerWriter));
+        auto got = mine.GetObject("soak", StrFormat("obj-%d-%d", w, o));
+        if (!got.ok()) continue;  // not written yet, or a fault surfaced
+        bool valid = false;
+        for (int round = 0; round < kRounds; ++round) {
+          if (*got == SoakPayload(w, o, round)) valid = true;
+        }
+        if (!valid) {
+          reader_status[static_cast<size_t>(r)] = Status::Internal(
+              "GET returned bytes no writer produced: " +
+              got->substr(0, 40));
+          return;
+        }
+      }
+    });
+  }
+  // Pushdown queries under fire: may fail, must never be wrong.
+  Status query_status = Status::OK();
+  threads.emplace_back([&] {
+    for (int i = 0; i < 4; ++i) {
+      auto outcome = session.Sql(kSql);
+      if (!outcome.ok()) continue;
+      if (outcome->table.ToCsv() != healthy_csv) {
+        query_status = Status::Internal("query result changed under faults");
+        return;
+      }
+    }
+  });
+  for (auto& thread : threads) thread.join();
+  for (const Status& s : reader_status) EXPECT_TRUE(s.ok()) << s;
+  EXPECT_TRUE(query_status.ok()) << query_status;
+  EXPECT_GT(cluster->metrics().GetCounter("faults.injected")->value(), 0)
+      << "the soak must actually have injected faults";
+
+  // Faults clear; heal (read-repair first, then a full scan) and verify
+  // every surviving object's replica set is converged and byte-identical
+  // to a version its writer produced.
+  Failpoints::Global().DisarmAll();
+  cluster->swift().RunReadRepair();
+  cluster->swift().RunReplication();
+  auto devices = cluster->swift().DevicesById();
+  const Ring& ring = cluster->swift().ring();
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kObjectsPerWriter; ++i) {
+      std::string path = StrFormat("/acct/soak/obj-%d-%d", w, i);
+      SCOPED_TRACE(path);
+      const std::vector<int>& replicas = ring.GetNodes(path);
+      // At least one PUT for this object succeeded on some replica with
+      // overwhelming probability; repair must then have cloned the newest
+      // copy onto every assigned device.
+      std::vector<std::string> copies;
+      for (int device : replicas) {
+        auto stored = devices[static_cast<size_t>(device)]->Get(path);
+        if (stored.ok()) copies.push_back(stored->data);
+      }
+      ASSERT_FALSE(copies.empty());
+      EXPECT_EQ(copies.size(), replicas.size())
+          << "repair must restore every assigned replica";
+      for (const std::string& copy : copies) {
+        EXPECT_EQ(copy, copies.front()) << "replicas must converge";
+      }
+      bool valid = false;
+      for (int round = 0; round < kRounds; ++round) {
+        if (copies.front() == SoakPayload(w, i, round)) valid = true;
+      }
+      EXPECT_TRUE(valid) << "converged bytes must be a written version";
+      // The client reads the converged bytes back.
+      auto got = client.GetObject("soak", StrFormat("obj-%d-%d", w, i));
+      ASSERT_TRUE(got.ok()) << got.status();
+      EXPECT_EQ(*got, copies.front());
+    }
+  }
 }
 
 // Randomized end-to-end equivalence: random queries over the generated

@@ -19,6 +19,12 @@ Checks (each finding is `file:line: [check] message`, exit 1 on any):
   banned-function      non-reentrant / nondeterministic / unsafe libc calls
                        (rand, strtok, localtime, sprintf, ...) — use
                        common/random.h, common/strings.h, snprintf.
+  failpoint-name       SCOOP_FAILPOINT / SCOOP_FAILPOINT_KEYED /
+                       FailpointCheck / CheckData call sites whose name
+                       literal is not in the kFailpointSites catalog
+                       (src/common/failpoint.h). Arm() rejects unknown
+                       names at runtime; this catches the production side
+                       of the contract statically.
 
 A line containing `NOLINT` is exempt (pair it with a reason, as in
 clang-tidy). Run `tools/lint.py --self-test` to verify the checkers fire
@@ -59,6 +65,29 @@ BANNED_RE = re.compile(
 )
 COMMENT_RE = re.compile(r"//")
 
+# Failpoint evaluation sites must use catalogued names. The catalog itself
+# (and the macro definitions, which take `name` as a parameter) is exempt.
+FAILPOINT_EXEMPT = {"src/common/failpoint.h", "src/common/failpoint.cc"}
+FAILPOINT_CALL_RE = re.compile(
+    r'\b(?:SCOOP_FAILPOINT|SCOOP_FAILPOINT_KEYED|FailpointCheck|'
+    r'CheckData)\s*\(\s*"([^"]+)"'
+)
+FAILPOINT_CATALOG_RE = re.compile(
+    r"kFailpointSites\[\]\s*=\s*\{(.*?)\};", re.S
+)
+
+
+def load_failpoint_sites(root):
+    """Returns the registered site names, or None if the catalog is gone."""
+    header = root / "src" / "common" / "failpoint.h"
+    if not header.is_file():
+        return None
+    m = FAILPOINT_CATALOG_RE.search(
+        header.read_text(encoding="utf-8", errors="replace"))
+    if not m:
+        return None
+    return set(re.findall(r'"([^"]+)"', m.group(1)))
+
 
 def _strip_comment(line):
     """Best-effort removal of // comments (ignores // inside strings)."""
@@ -66,7 +95,7 @@ def _strip_comment(line):
     return line[: m.start()] if m else line
 
 
-def lint_file(rel_path, lines):
+def lint_file(rel_path, lines, failpoint_sites=None):
     """Returns a list of (lineno, check, message) findings for one file."""
     findings = []
     is_sync_layer = rel_path in SYNC_EXEMPT
@@ -77,15 +106,21 @@ def lint_file(rel_path, lines):
     lock_scopes = []
     depth = 0
     saw_guard = False
+    # Comment-stripped lines, same numbering as the input — call sites that
+    # wrap across lines (name literal on the next line) are matched on the
+    # joined text afterwards.
+    stripped = []
 
     for lineno, raw in enumerate(lines, start=1):
         if "NOLINT" in raw:
             depth += raw.count("{") - raw.count("}")
+            stripped.append("")
             continue
         line = _strip_comment(raw)
         if in_block_comment:
             end = line.find("*/")
             if end < 0:
+                stripped.append("")
                 continue
             line = line[end + 2:]
             in_block_comment = False
@@ -97,6 +132,7 @@ def lint_file(rel_path, lines):
                 line = line[:start]
             else:
                 line = line[:start] + line[end + 2:]
+        stripped.append(line)
 
         if GUARD_RE.search(line):
             saw_guard = True
@@ -152,6 +188,18 @@ def lint_file(rel_path, lines):
     if is_header and not saw_guard and not is_sync_layer:
         findings.append((1, "include-hygiene",
                          "header lacks a SCOOP_*_H_ include guard"))
+
+    if failpoint_sites is not None and rel_path not in FAILPOINT_EXEMPT:
+        text = "\n".join(stripped)
+        for m in FAILPOINT_CALL_RE.finditer(text):
+            name = m.group(1)
+            if name not in failpoint_sites:
+                lineno = text.count("\n", 0, m.start()) + 1
+                findings.append((
+                    lineno, "failpoint-name",
+                    f'failpoint "{name}" is not in kFailpointSites '
+                    "(src/common/failpoint.h) — register the site or fix "
+                    "the typo"))
     return findings
 
 
@@ -163,12 +211,19 @@ def run(root):
             continue
         files.extend(p for p in sorted(base.rglob("*"))
                      if p.suffix in CXX_SUFFIXES)
+    failpoint_sites = load_failpoint_sites(root)
+    if failpoint_sites is None:
+        print("src/common/failpoint.h:1: [failpoint-name] kFailpointSites "
+              "catalog not found — the failpoint-name check has nothing to "
+              "validate against")
+        return 1
     total = 0
     for path in files:
         rel = path.relative_to(root).as_posix()
         lines = path.read_text(encoding="utf-8",
                                errors="replace").splitlines()
-        for lineno, check, message in lint_file(rel, lines):
+        for lineno, check, message in lint_file(rel, lines,
+                                                failpoint_sites):
             print(f"{rel}:{lineno}: [{check}] {message}")
             total += 1
     if total:
@@ -197,7 +252,21 @@ SELF_TEST_CASES = [
      "blocking-under-lock"),
     ("void F() {\n  {\n    MutexLock lock(mu_);\n  }\n"
      "  std::this_thread::sleep_for(1s);\n}", "src/foo/a.cc", None),
+    ('SCOOP_FAILPOINT("bogus.site");', "src/foo/a.cc", "failpoint-name"),
+    ('SCOOP_FAILPOINT_KEYED("bogus.site", key_);', "src/foo/a.cc",
+     "failpoint-name"),
+    ('SCOOP_FAILPOINT("device.read");', "src/foo/a.cc", None),
+    ('Status s = FailpointCheck("device.read", key);', "src/foo/a.cc", None),
+    # The name literal may land on the continuation line.
+    ('auto kind = Failpoints::Global().CheckData(\n'
+     '    "bogus.chunk", key, &buf);', "src/foo/a.cc", "failpoint-name"),
+    ('// SCOOP_FAILPOINT("bogus.site") in a comment', "src/foo/a.cc", None),
+    # Macro definitions take `name` as a parameter — no literal, no match.
+    ('SCOOP_FAILPOINT(name)', "src/foo/a.cc", None),
 ]
+
+# A fixed catalog for the self-test, independent of the real header.
+SELF_TEST_FAILPOINT_SITES = {"device.read", "object.read.chunk"}
 
 
 def self_test():
@@ -206,7 +275,8 @@ def self_test():
         lines = snippet.split("\n")
         if path.endswith(".h"):
             lines = ["#ifndef SCOOP_SELF_TEST_H_"] + lines
-        got = [check for (_, check, _) in lint_file(path, lines)]
+        got = [check for (_, check, _) in
+               lint_file(path, lines, SELF_TEST_FAILPOINT_SITES)]
         if expected is None and got:
             print(f"self-test FAIL: {snippet!r} -> unexpected {got}")
             failures += 1
