@@ -109,6 +109,62 @@ inline MiniDeployment MakeMiniDeployment(int num_meters, int readings,
   return d;
 }
 
+// --- BENCH_*.json emission --------------------------------------------------
+// Every bench binary dumps its metric registry (counters, gauges, and the
+// latency histograms with p50/p95/p99 summaries) as BENCH_<name>.json in
+// the working directory, so the perf trajectory across PRs is diffable
+// data rather than console scrape. Schema (see EXPERIMENTS.md):
+//   {"bench": "<name>",
+//    "extra": {<bench-specific numbers>},
+//    "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}}}
+
+// One bench-specific scalar, e.g. {"speedup", 12.4}.
+struct BenchExtra {
+  std::string key;
+  double value;
+};
+
+// Writes BENCH_<name>.json; returns false (and warns) on IO failure so a
+// read-only working directory degrades instead of killing the bench.
+inline bool EmitBenchJson(const std::string& name,
+                          const MetricRegistry& metrics,
+                          const std::vector<BenchExtra>& extras = {}) {
+  std::string json = "{\"bench\":\"" + name + "\",\"extra\":{";
+  for (size_t i = 0; i < extras.size(); ++i) {
+    if (i > 0) json += ",";
+    json += "\"" + extras[i].key + "\":" + StrFormat("%.6g", extras[i].value);
+  }
+  json += "},\"metrics\":" + metrics.ToJson() + "}\n";
+  std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+// Companion artifact: the collected trace buffer as TRACE_<name>.json
+// (call with TraceCollector::Global() after an Enable()d run).
+inline bool EmitTraceJson(const std::string& name,
+                          const TraceCollector& traces) {
+  std::string path = "TRACE_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::string json = traces.DumpJson();
+  json += "\n";
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
 }  // namespace scoop::bench
 
 #endif  // SCOOP_BENCH_BENCH_UTIL_H_

@@ -80,5 +80,9 @@ int main() {
                              1e9 / 1e6)});
   real.Print();
   std::printf("\n");
+  bench::EmitBenchJson(
+      "fig10_storage_cpu", metrics,
+      {{"storlet_invocations", static_cast<double>(invocations)},
+       {"filter_cpu_seconds", static_cast<double>(exec_ns) / 1e9}});
   return 0;
 }

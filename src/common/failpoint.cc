@@ -93,6 +93,14 @@ void Failpoints::DisarmAll() {
   armed_.clear();
 }
 
+std::vector<std::string> Failpoints::ArmedSites() const {
+  MutexLock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(armed_.size());
+  for (const auto& [name, state] : armed_) out.push_back(name);
+  return out;
+}
+
 void Failpoints::SetFaultCounter(Counter* counter) {
   MutexLock lock(mu_);
   fault_counter_ = counter;

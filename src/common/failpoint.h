@@ -6,6 +6,7 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/random.h"
@@ -120,6 +121,11 @@ class Failpoints {
   // Detaches only if `counter` is the one currently registered — lets an
   // owner unregister on destruction without clobbering a newer owner.
   void ClearFaultCounter(Counter* counter) EXCLUDES(mu_);
+
+  // Names of the currently armed sites, sorted. Trace spans along the
+  // retry path tag attempts with this so a faulted run's trace shows
+  // *which* injected fault each retry was healing.
+  std::vector<std::string> ArmedSites() const EXCLUDES(mu_);
 
   // Evaluations since the site was (re)armed / since it fired.
   int64_t hits(std::string_view name) const EXCLUDES(mu_);

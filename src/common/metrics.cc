@@ -1,8 +1,108 @@
 #include "common/metrics.h"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
 
 namespace scoop {
+namespace {
+
+// Bucket for `value`: 0 for value <= 0, otherwise bit_width(value), so
+// bucket i (i >= 1) spans [2^(i-1), 2^i). Negative durations cannot
+// happen on the steady clock, so collapsing them into bucket 0 is fine.
+int BucketIndex(int64_t value) {
+  if (value <= 0) return 0;
+  return std::bit_width(static_cast<uint64_t>(value));
+}
+
+// Lowest value bucket i can hold (see BucketIndex).
+int64_t BucketLow(int i) {
+  if (i <= 0) return 0;
+  return int64_t{1} << (i - 1);
+}
+
+void AppendDouble(double v, std::string* out) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+void ExponentialHistogram::Record(int64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  int64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  // min_ starts at the kNoMin sentinel, so the CAS-lower loop needs no
+  // special first-record case.
+  seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+void ExponentialHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(kNoMin, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+double ExponentialHistogram::Percentile(double q,
+                                        const int64_t (&buckets)[kBuckets],
+                                        int64_t total) const {
+  if (total <= 0) return 0.0;
+  // Rank of the q-quantile in 1..total, then walk the cumulative counts.
+  double rank = q * static_cast<double>(total);
+  if (rank < 1.0) rank = 1.0;
+  int64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    double before = static_cast<double>(cumulative);
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) >= rank) {
+      // Linear interpolation across the bucket's value range.
+      double lo = static_cast<double>(BucketLow(i));
+      double hi = static_cast<double>(BucketLow(i + 1));
+      double frac = (rank - before) / static_cast<double>(buckets[i]);
+      return lo + frac * (hi - lo);
+    }
+  }
+  return static_cast<double>(max_.load(std::memory_order_relaxed));
+}
+
+ExponentialHistogram::Snapshot ExponentialHistogram::Take() const {
+  int64_t buckets[kBuckets];
+  int64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += buckets[i];
+  }
+  Snapshot snap;
+  snap.count = total;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  int64_t min = min_.load(std::memory_order_relaxed);
+  snap.min = (total == 0 || min == kNoMin) ? 0 : min;
+  snap.max = max_.load(std::memory_order_relaxed);
+  snap.p50 = Percentile(0.50, buckets, total);
+  snap.p95 = Percentile(0.95, buckets, total);
+  snap.p99 = Percentile(0.99, buckets, total);
+  // Interpolation can overshoot the true extremes; clamp to observed.
+  if (total > 0) {
+    double lo = static_cast<double>(snap.min);
+    double hi = static_cast<double>(snap.max);
+    snap.p50 = std::clamp(snap.p50, lo, hi);
+    snap.p95 = std::clamp(snap.p95, lo, hi);
+    snap.p99 = std::clamp(snap.p99, lo, hi);
+  }
+  return snap;
+}
 
 // The accessors intentionally let a pointer into the guarded map escape:
 // Counter/Gauge are internally atomic and map nodes are pointer-stable, so
@@ -18,6 +118,12 @@ Gauge* MetricRegistry::GetGauge(const std::string& name)
     NO_THREAD_SAFETY_ANALYSIS {
   MutexLock lock(mu_);
   return &gauges_[name];
+}
+
+ExponentialHistogram* MetricRegistry::GetHistogram(const std::string& name)
+    NO_THREAD_SAFETY_ANALYSIS {
+  MutexLock lock(mu_);
+  return &histograms_[name];
 }
 
 std::vector<std::pair<std::string, int64_t>> MetricRegistry::Snapshot() const {
@@ -41,10 +147,78 @@ std::vector<MetricRegistry::GaugeSample> MetricRegistry::SnapshotGauges()
   return out;
 }
 
+std::vector<MetricRegistry::HistogramSample> MetricRegistry::SnapshotHistograms()
+    const {
+  MutexLock lock(mu_);
+  std::vector<HistogramSample> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.push_back(HistogramSample{name, histogram.Take()});
+  }
+  return out;
+}
+
 void MetricRegistry::ResetAll() {
   MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter.Reset();
   for (auto& [name, gauge] : gauges_) gauge.Reset();
+  for (auto& [name, histogram] : histograms_) histogram.Reset();
+}
+
+std::string MetricRegistry::ToJson() const {
+  auto counters = Snapshot();
+  auto gauges = SnapshotGauges();
+  auto histograms = SnapshotHistograms();
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    out.append(name);
+    out.append("\":");
+    out.append(std::to_string(value));
+  }
+  out.append("},\"gauges\":{");
+  first = true;
+  for (const auto& g : gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    out.append(g.name);
+    out.append("\":{\"value\":");
+    out.append(std::to_string(g.value));
+    out.append(",\"peak\":");
+    out.append(std::to_string(g.peak));
+    out.push_back('}');
+  }
+  out.append("},\"histograms\":{");
+  first = true;
+  for (const auto& h : histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    out.append(h.name);
+    out.append("\":{\"count\":");
+    out.append(std::to_string(h.stats.count));
+    out.append(",\"sum\":");
+    out.append(std::to_string(h.stats.sum));
+    out.append(",\"min\":");
+    out.append(std::to_string(h.stats.min));
+    out.append(",\"max\":");
+    out.append(std::to_string(h.stats.max));
+    out.append(",\"mean\":");
+    AppendDouble(h.stats.mean(), &out);
+    out.append(",\"p50\":");
+    AppendDouble(h.stats.p50, &out);
+    out.append(",\"p95\":");
+    AppendDouble(h.stats.p95, &out);
+    out.append(",\"p99\":");
+    AppendDouble(h.stats.p99, &out);
+    out.push_back('}');
+  }
+  out.append("}}");
+  return out;
 }
 
 double TimeSeries::Max() const {

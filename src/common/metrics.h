@@ -26,26 +26,93 @@ class Counter {
 
 // A level that moves both ways (e.g. currently buffered bytes), tracking
 // its high-water mark. Safe for concurrent updates.
+//
+// Snapshot-vs-reset contract: value() and peak() are two independent
+// atomic reads, so a snapshot taken concurrently with updates is only
+// *per-field* consistent. The invariant the class does guarantee is that
+// once all concurrent Add()/Reset() calls have completed, peak() >=
+// value() and peak() >= every level the gauge actually reached since the
+// reset. A Reset() racing an Add() may leave peak reflecting the pre-reset
+// level of that add (peak over-counts, never under-counts); callers who
+// need an exact epoch must quiesce writers before resetting — which is
+// what every test and bench harness here does.
 class Gauge {
  public:
   void Add(int64_t delta) {
     int64_t now = value_.fetch_add(delta, std::memory_order_relaxed) + delta;
-    int64_t seen = peak_.load(std::memory_order_relaxed);
-    while (now > seen &&
-           !peak_.compare_exchange_weak(seen, now,
-                                        std::memory_order_relaxed)) {
-    }
+    RaisePeakTo(now);
   }
   int64_t value() const { return value_.load(std::memory_order_relaxed); }
   int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
   void Reset() {
     value_.store(0, std::memory_order_relaxed);
     peak_.store(0, std::memory_order_relaxed);
+    // An Add() between the two stores above can have published a raised
+    // peak_ before our peak_ store, then bumped value_ after our value_
+    // store — leaving peak_ < value_. Re-read the live level and repair
+    // the invariant; the CAS loop only ever raises peak_, so it cannot
+    // clobber a concurrent Add()'s own peak update.
+    RaisePeakTo(value_.load(std::memory_order_relaxed));
   }
 
  private:
+  void RaisePeakTo(int64_t level) {
+    int64_t seen = peak_.load(std::memory_order_relaxed);
+    while (level > seen &&
+           !peak_.compare_exchange_weak(seen, level,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
   std::atomic<int64_t> value_{0};
   std::atomic<int64_t> peak_{0};
+};
+
+// Lock-free latency/size histogram with power-of-two buckets: bucket i
+// holds values in [2^(i-1), 2^i), bucket 0 holds everything <= 0 or == 1
+// via the bit-width rule below. 64 buckets cover the whole int64 range,
+// so there is no configuration and no clipping. Percentiles come from a
+// cumulative walk with linear interpolation inside the winning bucket —
+// exact to within the bucket's ~2x resolution, which is plenty for the
+// p50/p95/p99 summaries the benchmarks report (DESIGN.md §3f).
+class ExponentialHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  // Point-in-time summary. With concurrent writers the fields are only
+  // per-field consistent (same caveat as Gauge); quiesce for exact stats.
+  struct Snapshot {
+    int64_t count = 0;
+    int64_t sum = 0;
+    int64_t min = 0;  // 0 when empty
+    int64_t max = 0;  // 0 when empty
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+
+    double mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+  };
+
+  void Record(int64_t value);
+  Snapshot Take() const;
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  // min_ rests at this sentinel until the first Record() CAS-lowers it.
+  static constexpr int64_t kNoMin = INT64_MAX;
+
+  double Percentile(double q, const int64_t (&buckets)[kBuckets],
+                    int64_t total) const;
+
+  std::atomic<int64_t> buckets_[kBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{kNoMin};
+  std::atomic<int64_t> max_{0};
 };
 
 // Named counters shared by a subsystem (e.g., one registry per cluster).
@@ -60,6 +127,7 @@ class MetricRegistry {
  public:
   Counter* GetCounter(const std::string& name) EXCLUDES(mu_);
   Gauge* GetGauge(const std::string& name) EXCLUDES(mu_);
+  ExponentialHistogram* GetHistogram(const std::string& name) EXCLUDES(mu_);
 
   // Snapshot of all counter values, sorted by name.
   std::vector<std::pair<std::string, int64_t>> Snapshot() const
@@ -73,12 +141,29 @@ class MetricRegistry {
   };
   std::vector<GaugeSample> SnapshotGauges() const EXCLUDES(mu_);
 
+  // Snapshot of all histograms, sorted by name.
+  struct HistogramSample {
+    std::string name;
+    ExponentialHistogram::Snapshot stats;
+  };
+  std::vector<HistogramSample> SnapshotHistograms() const EXCLUDES(mu_);
+
   void ResetAll() EXCLUDES(mu_);
+
+  // The registry as one JSON object:
+  //   {"counters":{name:value,...},
+  //    "gauges":{name:{"value":v,"peak":p},...},
+  //    "histograms":{name:{"count":...,"sum":...,"min":...,"max":...,
+  //                        "mean":...,"p50":...,"p95":...,"p99":...},...}}
+  // This is the "metrics" payload of the BENCH_*.json files benchmarks
+  // emit (see bench/bench_util.h and EXPERIMENTS.md).
+  std::string ToJson() const EXCLUDES(mu_);
 
  private:
   mutable Mutex mu_{"metric_registry", lockrank::kMetrics};
   std::map<std::string, Counter> counters_ GUARDED_BY(mu_);
   std::map<std::string, Gauge> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, ExponentialHistogram> histograms_ GUARDED_BY(mu_);
 };
 
 // A sampled (time, value) series, e.g. "compute-cluster CPU%" over a

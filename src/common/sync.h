@@ -108,6 +108,7 @@ inline constexpr int kStorletRegistry = 43;    // storlet factories/deploys
 inline constexpr int kPolicy = 44;             // PolicyStore overrides
 inline constexpr int kRepairQueue = 45;        // read-repair path set
 inline constexpr int kDevice = 50;             // per-device object map
+inline constexpr int kTrace = 80;              // TraceCollector span buffer
 inline constexpr int kFailpoint = 85;          // fault-injection registry
 inline constexpr int kLogging = 90;            // log serialization, leaf-most
 }  // namespace lockrank

@@ -1,0 +1,172 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace scoop {
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void AppendJsonEscaped(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string HexId(uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return std::string(buf);
+}
+
+uint64_t ParseHexId(std::string_view s) {
+  if (s.empty() || s.size() > 16) return 0;
+  uint64_t value = 0;
+  for (char c : s) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return 0;
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  return value;
+}
+
+TraceCollector& TraceCollector::Global() {
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+void TraceCollector::Record(Span span) {
+  MutexLock lock(mu_);
+  if (spans_.size() >= kMaxSpans) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  spans_.push_back(std::move(span));
+}
+
+std::vector<Span> TraceCollector::Snapshot() const {
+  MutexLock lock(mu_);
+  return spans_;
+}
+
+void TraceCollector::Clear() {
+  MutexLock lock(mu_);
+  spans_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::string TraceCollector::DumpJson() const {
+  std::vector<Span> spans = Snapshot();
+  std::string out = "{\"spans\":[";
+  bool first_span = true;
+  for (const Span& span : spans) {
+    if (!first_span) out.push_back(',');
+    first_span = false;
+    out.append("{\"trace_id\":\"");
+    out.append(HexId(span.trace_id));
+    out.append("\",\"span_id\":\"");
+    out.append(HexId(span.span_id));
+    out.append("\",\"parent_id\":\"");
+    out.append(HexId(span.parent_id));
+    out.append("\",\"name\":\"");
+    AppendJsonEscaped(span.name, &out);
+    out.append("\",\"start_ns\":");
+    out.append(std::to_string(span.start_ns));
+    out.append(",\"end_ns\":");
+    out.append(std::to_string(span.end_ns));
+    out.append(",\"duration_ns\":");
+    out.append(std::to_string(span.duration_ns()));
+    out.append(",\"tags\":{");
+    bool first_tag = true;
+    for (const auto& [key, value] : span.tags) {
+      if (!first_tag) out.push_back(',');
+      first_tag = false;
+      out.push_back('"');
+      AppendJsonEscaped(key, &out);
+      out.append("\":\"");
+      AppendJsonEscaped(value, &out);
+      out.push_back('"');
+    }
+    out.append("}}");
+  }
+  out.append("],\"dropped\":");
+  out.append(std::to_string(dropped()));
+  out.push_back('}');
+  return out;
+}
+
+TraceSpan::TraceSpan(std::string name, const TraceContext& parent) {
+  TraceCollector& collector = TraceCollector::Global();
+  if (!collector.enabled()) return;
+  active_ = true;
+  span_.name = std::move(name);
+  if (parent.valid()) {
+    span_.trace_id = parent.trace_id;
+    span_.parent_id = parent.span_id;
+  } else {
+    span_.trace_id = collector.NextId();
+    span_.parent_id = 0;
+  }
+  span_.span_id = collector.NextId();
+  span_.start_ns = NowNs();
+}
+
+void TraceSpan::SetTag(std::string key, std::string value) {
+  if (!active_ || ended_) return;
+  for (auto& [existing_key, existing_value] : span_.tags) {
+    if (existing_key == key) {
+      existing_value = std::move(value);
+      return;
+    }
+  }
+  span_.tags.emplace_back(std::move(key), std::move(value));
+}
+
+void TraceSpan::End() {
+  if (!active_ || ended_) return;
+  ended_ = true;
+  span_.end_ns = NowNs();
+  TraceCollector::Global().Record(std::move(span_));
+}
+
+}  // namespace scoop

@@ -1,0 +1,157 @@
+#ifndef SCOOP_COMMON_TRACE_H_
+#define SCOOP_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/sync.h"
+
+namespace scoop {
+
+// Request tracing for the pushdown data path. A *span* is one timed
+// operation (a proxy GET, one replica attempt, one storlet stage); spans
+// link to a parent span and carry string tags, so a whole request renders
+// as a tree: Stocator partition read → proxy → per-attempt backend hop →
+// object server → storlet middleware → pipeline stages. The paper's
+// evaluation is about *where* ingest time goes (Figs. 1, 5, 9, 10);
+// traces make the same question answerable inside this reproduction.
+//
+// Propagation mirrors real distributed tracing: the ids travel as request
+// headers (kTraceIdHeader / kParentSpanHeader, stamped via the glue in
+// objectstore/http.h) and every hop re-stamps the parent-span header with
+// its own span id before delegating down.
+//
+// Properties:
+//  * Zero overhead when disabled: TraceSpan checks one relaxed atomic in
+//    its constructor and becomes inert (no clock reads, no allocation).
+//  * Deterministic ids: span/trace ids come from one process-wide atomic
+//    counter, not from wall clock or randomness.
+//  * Bounded: the collector keeps at most kMaxSpans spans and counts
+//    drops instead of growing without bound.
+//  * Thread-safe under the sync.h layer (buffer mutex has rank
+//    lockrank::kTrace and is a leaf — Record() never nests a lock).
+
+// Header names carrying the trace context across the HTTP-like hops.
+inline constexpr char kTraceIdHeader[] = "X-Trace-Id";
+inline constexpr char kParentSpanHeader[] = "X-Parent-Span-Id";
+
+// One finished (or in-flight) timed operation.
+struct Span {
+  uint64_t trace_id = 0;   // all spans of one request share this
+  uint64_t span_id = 0;    // unique within the process
+  uint64_t parent_id = 0;  // 0 = root span of its trace
+  std::string name;        // site name, e.g. "proxy.attempt"
+  int64_t start_ns = 0;    // steady-clock, comparable within the process
+  int64_t end_ns = 0;
+  std::vector<std::pair<std::string, std::string>> tags;
+
+  int64_t duration_ns() const { return end_ns - start_ns; }
+};
+
+// The wire form of "who is my parent": a trace id plus the span id the
+// next child should attach to. Invalid (trace_id == 0) means "no caller
+// context" — a span started from it roots a fresh trace.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+
+  bool valid() const { return trace_id != 0; }
+};
+
+// Fixed-width lowercase-hex encoding used for the trace headers; Parse
+// accepts any non-empty hex string and returns 0 on malformed input
+// (which downstream treats as "no context").
+std::string HexId(uint64_t id);
+uint64_t ParseHexId(std::string_view s);
+
+// Process-wide bounded span buffer. Tests and the ScoopController enable
+// it around a workload, snapshot or dump the spans, then disable it; the
+// production path never turns it on by itself.
+class TraceCollector {
+ public:
+  static TraceCollector& Global();
+
+  // Spans recorded beyond this many are counted in dropped() instead.
+  static constexpr size_t kMaxSpans = 1 << 16;
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Fresh id for a span or a trace root; never returns 0.
+  uint64_t NextId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void Record(Span span) EXCLUDES(mu_);
+
+  // Copy of every buffered span, in record order.
+  std::vector<Span> Snapshot() const EXCLUDES(mu_);
+
+  // Empties the buffer and zeroes the drop counter (ids keep advancing).
+  void Clear() EXCLUDES(mu_);
+
+  int64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  // The whole buffer as a JSON document:
+  //   {"spans":[{"trace_id":"<hex>","span_id":"<hex>","parent_id":"<hex>",
+  //              "name":...,"start_ns":...,"end_ns":...,"duration_ns":...,
+  //              "tags":{...}}, ...],
+  //    "dropped": N}
+  std::string DumpJson() const EXCLUDES(mu_);
+
+ private:
+  TraceCollector() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<int64_t> dropped_{0};
+  mutable Mutex mu_{"trace_collector", lockrank::kTrace};
+  std::vector<Span> spans_ GUARDED_BY(mu_);
+};
+
+// RAII span handle. Construction starts the clock; End() (or destruction)
+// stops it and records the span into the global collector. When the
+// collector is disabled at construction time the handle is inert: every
+// method is a no-op and context() is invalid, so children started from it
+// are inert too.
+//
+// A valid `parent` attaches the span to that trace; an invalid one roots
+// a new trace (this is how Stocator — the client edge — mints trace ids).
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name, const TraceContext& parent = {});
+  ~TraceSpan() { End(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  // Attaches/overwrites a tag. Tags set after End() are lost.
+  void SetTag(std::string key, std::string value);
+
+  // Stops the clock and hands the span to the collector. Idempotent.
+  void End();
+
+  // Context for children of this span (invalid when inert).
+  TraceContext context() const {
+    return active_ ? TraceContext{span_.trace_id, span_.span_id}
+                   : TraceContext{};
+  }
+
+  bool active() const { return active_; }
+
+ private:
+  bool active_ = false;
+  bool ended_ = false;
+  Span span_;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_COMMON_TRACE_H_

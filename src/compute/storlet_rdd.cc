@@ -11,6 +11,13 @@ Result<std::vector<StorletRdd::PartitionOutput>> StorletRdd::Collect() {
   std::vector<Status> statuses(objects.size(), Status::OK());
 
   scheduler_->RunTasks(objects.size(), [&](size_t index, int /*worker*/) {
+    // Client edge: each per-object invocation roots its own trace, the
+    // whole store-side tree for that object hangs below it.
+    TraceSpan span("storletrdd.object");
+    if (span.active()) {
+      span.SetTag("object", objects[index].name);
+      span.SetTag("storlet", storlet_);
+    }
     Headers headers;
     headers.Set(kRunStorletHeader, storlet_);
     for (const auto& [key, value] : params_) {
@@ -19,6 +26,7 @@ Result<std::vector<StorletRdd::PartitionOutput>> StorletRdd::Collect() {
     Request request = Request::Get("/" + client_->account() + "/" +
                                    container_ + "/" + objects[index].name);
     for (const auto& [name, value] : headers) request.headers.Set(name, value);
+    StampTraceContext(span.context(), &request.headers);
     HttpResponse response = client_->Send(std::move(request));
     if (!response.ok()) {
       statuses[index] = Status::Internal(
@@ -58,6 +66,11 @@ Status StorletRdd::ForEachChunk(
   std::vector<Status> statuses(objects.size(), Status::OK());
 
   scheduler_->RunTasks(objects.size(), [&](size_t index, int /*worker*/) {
+    TraceSpan span("storletrdd.object");
+    if (span.active()) {
+      span.SetTag("object", objects[index].name);
+      span.SetTag("storlet", storlet_);
+    }
     Headers headers;
     headers.Set(kRunStorletHeader, storlet_);
     for (const auto& [key, value] : params_) {
@@ -66,6 +79,7 @@ Status StorletRdd::ForEachChunk(
     Request request = Request::Get("/" + client_->account() + "/" +
                                    container_ + "/" + objects[index].name);
     for (const auto& [name, value] : headers) request.headers.Set(name, value);
+    StampTraceContext(span.context(), &request.headers);
     HttpResponse response = client_->Send(std::move(request));
     if (!response.ok()) {
       statuses[index] = Status::Internal(

@@ -47,11 +47,12 @@ Result<Stocator::ReadResult> Stocator::ReadPartition(
 Result<Stocator::ReadStats> Stocator::Fallback(
     const Partition& partition,
     const std::function<Status(std::string_view)>& consume,
-    const std::function<Status()>& restart, int wasted_requests) {
+    const std::function<Status()>& restart, int wasted_requests,
+    const TraceContext& parent) {
   if (restart) SCOOP_RETURN_IF_ERROR(restart());
   if (fallbacks_counter_ != nullptr) fallbacks_counter_->Increment();
   SCOOP_ASSIGN_OR_RETURN(ReadStats stats,
-                         ReadAlignedInto(partition, consume));
+                         ReadAlignedInto(partition, consume, parent));
   stats.requests += wasted_requests;
   return stats;
 }
@@ -60,7 +61,54 @@ Result<Stocator::ReadStats> Stocator::ReadPartitionInto(
     const Partition& partition, const PushdownTask* task,
     const std::function<Status(std::string_view)>& consume,
     const std::function<Status()>& restart) {
-  if (task == nullptr) return ReadAlignedInto(partition, consume);
+  // The client edge of the trace: no inbound context, so this span roots
+  // the trace every store-side hop of this partition read attaches to.
+  TraceSpan span("stocator.read_partition");
+  if (span.active()) {
+    span.SetTag("container", partition.container);
+    span.SetTag("object", partition.object);
+    span.SetTag("range", StrFormat("%llu-%llu",
+                                   static_cast<unsigned long long>(
+                                       partition.first),
+                                   static_cast<unsigned long long>(
+                                       partition.last)));
+  }
+  Stopwatch watch;
+  Result<ReadStats> result =
+      ReadPartitionIntoTraced(partition, task, consume, restart,
+                              span.context());
+  if (metrics_ != nullptr) {
+    // Full-drain latency: request issue through last consumed chunk —
+    // the per-partition ingest time of the paper's figures. Compare
+    // proxy.get_us, which stops at the response head.
+    metrics_->GetHistogram("stocator.read_us")
+        ->Record(static_cast<int64_t>(watch.ElapsedSeconds() * 1e6));
+    if (result.ok() && result->pushdown_executed) {
+      // Link bytes the pushdown avoided: partition window minus what
+      // actually crossed. Negative (filter kept ~everything plus headers)
+      // clamps to zero.
+      int64_t window =
+          static_cast<int64_t>(partition.last + 1 - partition.first);
+      int64_t saved =
+          window - static_cast<int64_t>(result->bytes_transferred);
+      metrics_->GetHistogram("pushdown.bytes_saved")
+          ->Record(saved > 0 ? saved : 0);
+    }
+  }
+  if (span.active() && result.ok()) {
+    span.SetTag("pushdown",
+                result->pushdown_executed ? "executed" : "declined");
+    span.SetTag("bytes_transferred",
+                std::to_string(result->bytes_transferred));
+  }
+  return result;
+}
+
+Result<Stocator::ReadStats> Stocator::ReadPartitionIntoTraced(
+    const Partition& partition, const PushdownTask* task,
+    const std::function<Status(std::string_view)>& consume,
+    const std::function<Status()>& restart, const TraceContext& parent) {
+  if (task == nullptr) return ReadAlignedInto(partition, consume, parent);
 
   Headers headers;
   headers.Set(kRunStorletHeader,
@@ -88,6 +136,7 @@ Result<Stocator::ReadStats> Stocator::ReadPartitionInto(
                           static_cast<unsigned long long>(partition.last)));
   }
   for (const auto& [name, value] : headers) request.headers.Set(name, value);
+  StampTraceContext(parent, &request.headers);
 
   HttpResponse response = client_->Send(std::move(request));
   if (response.status == 404) {
@@ -99,13 +148,13 @@ Result<Stocator::ReadStats> Stocator::ReadPartitionInto(
     // may be perfectly healthy — degrade to a plain client-side read
     // rather than failing the task (§IV).
     return Fallback(partition, consume, /*restart=*/nullptr,
-                    /*wasted_requests=*/1);
+                    /*wasted_requests=*/1, parent);
   }
   if (!response.headers.Has(kStorletExecutedHeader)) {
     // The store declined (policy): what we would receive is the raw byte
     // range, not record-aligned. Redo the read the traditional way.
     return Fallback(partition, consume, /*restart=*/nullptr,
-                    /*wasted_requests=*/0);
+                    /*wasted_requests=*/0, parent);
   }
 
   ReadStats stats;
@@ -117,7 +166,7 @@ Result<Stocator::ReadStats> Stocator::ReadPartitionInto(
     if (!frame.ok()) {
       // Stream died before anything was consumed: safe to degrade.
       return Fallback(partition, consume, /*restart=*/nullptr,
-                      /*wasted_requests=*/1);
+                      /*wasted_requests=*/1, parent);
     }
     stats.bytes_transferred = frame->size();
     SCOOP_ASSIGN_OR_RETURN(std::string decoded, DecodeCompressedFrame(*frame));
@@ -140,7 +189,8 @@ Result<Stocator::ReadStats> Stocator::ReadPartitionInto(
     // a raw re-read — only a consumer that can restart from scratch may
     // degrade; otherwise the failure propagates.
     if (restart) {
-      return Fallback(partition, consume, restart, /*wasted_requests=*/1);
+      return Fallback(partition, consume, restart, /*wasted_requests=*/1,
+                      parent);
     }
     return drained;
   }
@@ -150,7 +200,9 @@ Result<Stocator::ReadStats> Stocator::ReadPartitionInto(
 
 Result<Stocator::ReadStats> Stocator::ReadAlignedInto(
     const Partition& partition,
-    const std::function<Status(std::string_view)>& consume) {
+    const std::function<Status(std::string_view)>& consume,
+    const TraceContext& parent) {
+  TraceSpan span("stocator.read_aligned", parent);
   ReadStats stats;
   stats.requests = 0;
   stats.pushdown_executed = false;
@@ -159,9 +211,10 @@ Result<Stocator::ReadStats> Stocator::ReadAlignedInto(
   // `last` until the final record completes. The main range streams
   // through chunk by chunk; only an alignment chunk is ever resident.
   uint64_t start = partition.first > 0 ? partition.first - 1 : 0;
-  HttpResponse response = client_->Send(
-      RangedGet(client_->account(), partition.container, partition.object,
-                start, partition.last));
+  Request ranged = RangedGet(client_->account(), partition.container,
+                             partition.object, start, partition.last);
+  StampTraceContext(span.context(), &ranged.headers);
+  HttpResponse response = client_->Send(std::move(ranged));
   if (response.status == 404) {
     return Status::NotFound("no object " + partition.object);
   }

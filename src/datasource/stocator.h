@@ -34,9 +34,12 @@ class Stocator {
  public:
   // `metrics` (optional) receives the "pushdown.fallbacks" counter — one
   // increment per read that degraded from storlet pushdown to a plain
-  // client-side read.
+  // client-side read — plus the "stocator.read_us" (full partition drain,
+  // the ingest latency the paper's figures measure) and
+  // "pushdown.bytes_saved" histograms (see METRICS.md).
   explicit Stocator(SwiftClient* client, MetricRegistry* metrics = nullptr)
       : client_(client),
+        metrics_(metrics),
         fallbacks_counter_(metrics != nullptr
                                ? metrics->GetCounter("pushdown.fallbacks")
                                : nullptr) {}
@@ -91,9 +94,19 @@ class Stocator {
   SwiftClient* client() { return client_; }
 
  private:
+  // ReadPartitionInto behind the "stocator.read_partition" root span;
+  // `parent` is that span's context, stamped onto every GET so the whole
+  // store-side tree (proxy -> object server -> storlet stages) hangs off
+  // this partition read.
+  Result<ReadStats> ReadPartitionIntoTraced(
+      const Partition& partition, const PushdownTask* task,
+      const std::function<Status(std::string_view)>& consume,
+      const std::function<Status()>& restart, const TraceContext& parent);
+
   Result<ReadStats> ReadAlignedInto(
       const Partition& partition,
-      const std::function<Status(std::string_view)>& consume);
+      const std::function<Status(std::string_view)>& consume,
+      const TraceContext& parent);
 
   // The bottom rung of the ladder: counts the fallback, optionally
   // restarts the consumer, and redoes the read client-side.
@@ -102,9 +115,11 @@ class Stocator {
   Result<ReadStats> Fallback(
       const Partition& partition,
       const std::function<Status(std::string_view)>& consume,
-      const std::function<Status()>& restart, int wasted_requests);
+      const std::function<Status()>& restart, int wasted_requests,
+      const TraceContext& parent);
 
   SwiftClient* client_;
+  MetricRegistry* metrics_;
   Counter* fallbacks_counter_;
 };
 

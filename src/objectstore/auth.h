@@ -1,3 +1,7 @@
+// Token authentication for the Swift-like store (the tempauth role):
+// tenants register with a key, exchange it for a bearer token, and every
+// request is validated against the account the token scopes to. Locking
+// follows the annotated model of DESIGN.md §3d (rank lockrank::kAuth).
 #ifndef SCOOP_OBJECTSTORE_AUTH_H_
 #define SCOOP_OBJECTSTORE_AUTH_H_
 

@@ -92,12 +92,12 @@ HttpResponse SwiftCluster::Handle(Request request) {
 }
 
 Replicator::Report SwiftCluster::RunReplication(bool remove_handoffs) {
-  Replicator replicator(&ring_, DevicesById());
+  Replicator replicator(&ring_, DevicesById(), &metrics_);
   return replicator.RunOnce(remove_handoffs);
 }
 
 Replicator::Report SwiftCluster::RunReadRepair() {
-  Replicator replicator(&ring_, DevicesById());
+  Replicator replicator(&ring_, DevicesById(), &metrics_);
   return replicator.RepairPaths(repair_queue_.Drain());
 }
 

@@ -1,3 +1,9 @@
+// The assembled Swift-like cluster: a load balancer fanning out to proxy
+// servers, which dispatch over the ring to object servers, plus the
+// shared services (auth, container registry, policy store, metric
+// registry) and the SwiftClient programs talk to. This is the "object
+// store" box of the paper's Fig. 3; scale-out (AddStorageNode) and the
+// replication entry points live here too.
 #ifndef SCOOP_OBJECTSTORE_CLUSTER_H_
 #define SCOOP_OBJECTSTORE_CLUSTER_H_
 

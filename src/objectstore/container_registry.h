@@ -1,3 +1,7 @@
+// Account/container metadata service — the role Swift's account and
+// container rings play: which accounts and containers exist, and what
+// objects they hold, so proxies can serve listings and validate writes.
+// Locking per DESIGN.md §3d (rank lockrank::kContainerRegistry, leaf).
 #ifndef SCOOP_OBJECTSTORE_CONTAINER_REGISTRY_H_
 #define SCOOP_OBJECTSTORE_CONTAINER_REGISTRY_H_
 

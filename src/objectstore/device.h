@@ -1,3 +1,8 @@
+// StorageDevice: one disk of one storage node, holding replica objects
+// with timestamps and per-chunk checksums. Every IO passes the
+// device.read/write/delete failpoints, which is where the chaos suite
+// injects disk faults. Locking per DESIGN.md §3d (rank
+// lockrank::kDevice, leaf — the replicator never nests two devices).
 #ifndef SCOOP_OBJECTSTORE_DEVICE_H_
 #define SCOOP_OBJECTSTORE_DEVICE_H_
 

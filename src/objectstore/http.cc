@@ -205,4 +205,29 @@ Result<ContentRange> ContentRange::Parse(std::string_view header_value) {
   return out;
 }
 
+TraceContext TraceContextFromHeaders(const Headers& headers) {
+  // Disabled collector → every span is inert, so skip the map lookups and
+  // keep the request path at one relaxed atomic load.
+  if (!TraceCollector::Global().enabled()) return TraceContext{};
+  TraceContext ctx;
+  if (auto trace = headers.Get(kTraceIdHeader)) {
+    ctx.trace_id = ParseHexId(*trace);
+  }
+  if (auto span = headers.Get(kParentSpanHeader)) {
+    ctx.span_id = ParseHexId(*span);
+  }
+  if (ctx.trace_id == 0) return TraceContext{};
+  return ctx;
+}
+
+void StampTraceContext(const TraceContext& ctx, Headers* headers) {
+  if (!ctx.valid()) {
+    headers->Remove(kTraceIdHeader);
+    headers->Remove(kParentSpanHeader);
+    return;
+  }
+  headers->Set(kTraceIdHeader, HexId(ctx.trace_id));
+  headers->Set(kParentSpanHeader, HexId(ctx.span_id));
+}
+
 }  // namespace scoop

@@ -1,3 +1,9 @@
+// The HTTP-like vocabulary every hop of the store speaks: methods,
+// status codes, the ordered-multimap Headers, Request, HttpResponse with
+// its streaming body (bounded chunks, DESIGN.md §3c), and the glue that
+// carries trace contexts in X-Trace-Id / X-Parent-Span-Id headers
+// (DESIGN.md §3f). In-process, but shaped like the wire protocol so the
+// middleware pipelines compose the way Swift's WSGI stack does.
 #ifndef SCOOP_OBJECTSTORE_HTTP_H_
 #define SCOOP_OBJECTSTORE_HTTP_H_
 
@@ -11,6 +17,7 @@
 
 #include "common/bytestream.h"
 #include "common/result.h"
+#include "common/trace.h"
 
 namespace scoop {
 
@@ -44,6 +51,21 @@ class Headers {
   };
   std::map<std::string, std::string, CaseInsensitiveLess> map_;
 };
+
+// --- Trace propagation glue (DESIGN.md §3f) ---------------------------------
+// The trace context rides the same header channel as the pushdown task:
+// kTraceIdHeader / kParentSpanHeader. Each hop decodes its parent context
+// from the inbound request, opens a child span, and re-stamps the headers
+// with its own span id before delegating down.
+
+// Decodes the context stamped on `headers`; invalid when absent/malformed
+// or when the collector is disabled (spans would be inert anyway — the
+// early-out keeps the disabled request path at one atomic load).
+TraceContext TraceContextFromHeaders(const Headers& headers);
+
+// Stamps `ctx` onto `headers`; an invalid ctx removes the trace headers
+// instead (so a disabled collector leaves requests byte-identical).
+void StampTraceContext(const TraceContext& ctx, Headers* headers);
 
 // Parsed /account/container/object path. `object` may contain slashes
 // (Swift pseudo-directories).

@@ -1,3 +1,7 @@
+// WSGI-style middleware and the Pipeline that chains them around an
+// application handler. Proxies and object servers each run one of these
+// pipelines; the storlet engine joins the data path as just another
+// middleware (paper §III-B, §V-A).
 #ifndef SCOOP_OBJECTSTORE_MIDDLEWARE_H_
 #define SCOOP_OBJECTSTORE_MIDDLEWARE_H_
 

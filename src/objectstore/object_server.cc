@@ -126,7 +126,30 @@ ObjectServer::ObjectServer(int node_id, const std::vector<int>& device_ids,
 }
 
 HttpResponse ObjectServer::Handle(Request& request) {
-  return pipeline_->Handle(request);
+  // Child of the proxy's attempt span (or of whatever hop stamped the
+  // headers); the storlet middleware on this node parents off our re-stamp.
+  TraceSpan span("objectserver.request",
+                 TraceContextFromHeaders(request.headers));
+  if (span.active()) {
+    span.SetTag("node", std::to_string(node_id_));
+    span.SetTag("method", std::string(HttpMethodName(request.method)));
+    span.SetTag("device", request.headers.GetOr(kBackendDeviceHeader, ""));
+    StampTraceContext(span.context(), &request.headers);
+  }
+  Stopwatch watch;
+  HttpResponse response = pipeline_->Handle(request);
+  if (metrics_ != nullptr) {
+    // Like proxy.get_us: handler latency up to the response head — a
+    // streamed GET body is drained by the layer above.
+    int64_t us = static_cast<int64_t>(watch.ElapsedSeconds() * 1e6);
+    if (request.method == HttpMethod::kGet) {
+      metrics_->GetHistogram("objectserver.get_us")->Record(us);
+    } else if (request.method == HttpMethod::kPut) {
+      metrics_->GetHistogram("objectserver.put_us")->Record(us);
+    }
+  }
+  if (span.active()) span.SetTag("status", std::to_string(response.status));
+  return response;
 }
 
 Device* ObjectServer::GetDevice(int device_id) {

@@ -1,3 +1,8 @@
+// The object server: one storage node's request handler, running its own
+// middleware pipeline (storlet engine included — this is where pushdown
+// filters execute, next to the disks) over the node's StorageDevices.
+// Serves ranged GETs chunk by chunk with per-chunk checksum verification
+// and records objectserver.get_us/put_us handler latency (METRICS.md).
 #ifndef SCOOP_OBJECTSTORE_OBJECT_SERVER_H_
 #define SCOOP_OBJECTSTORE_OBJECT_SERVER_H_
 

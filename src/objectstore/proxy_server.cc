@@ -179,11 +179,33 @@ void ProxyServer::CountFailover(const std::string& path) {
 }
 
 HttpResponse ProxyServer::Handle(Request& request) {
+  // Child of the caller's context (Stocator / SwiftClient); roots a new
+  // trace when the client did not stamp one.
+  TraceSpan span("proxy.request", TraceContextFromHeaders(request.headers));
+  if (span.active()) {
+    span.SetTag("proxy", std::to_string(proxy_id_));
+    span.SetTag("method", std::string(HttpMethodName(request.method)));
+    span.SetTag("path", request.path);
+    StampTraceContext(span.context(), &request.headers);
+  }
   if (metrics_ != nullptr) {
     metrics_->GetCounter(StrFormat("proxy_%d.requests", proxy_id_))
         ->Increment();
   }
+  Stopwatch watch;
   HttpResponse response = pipeline_->Handle(request);
+  if (metrics_ != nullptr) {
+    // Handler latency: time to the response head. A streamed body (the
+    // pushdown pipeline) is drained later by the caller, so full-transfer
+    // latency lives in stocator.read_us, not here (DESIGN.md §3f).
+    int64_t us = static_cast<int64_t>(watch.ElapsedSeconds() * 1e6);
+    if (request.method == HttpMethod::kGet) {
+      metrics_->GetHistogram("proxy.get_us")->Record(us);
+    } else if (request.method == HttpMethod::kPut) {
+      metrics_->GetHistogram("proxy.put_us")->Record(us);
+    }
+  }
+  if (span.active()) span.SetTag("status", std::to_string(response.status));
   if (metrics_ != nullptr) {
     Counter* bytes_out =
         metrics_->GetCounter(StrFormat("proxy_%d.bytes_out", proxy_id_));
@@ -304,6 +326,9 @@ HttpResponse ProxyServer::ObjectRead(Request& request,
   // Deterministic per-request jitter stream: no shared state, no locks.
   Rng rng(Mix64(Fnv1a64(request.path)) ^
           (static_cast<uint64_t>(proxy_id_) << 32));
+  // Parent for the per-attempt spans: the proxy.request span Handle()
+  // stamped onto the request headers.
+  TraceContext parent = TraceContextFromHeaders(request.headers);
   HttpResponse last = HttpResponse::Make(404);
   int attempt = 0;
   for (int sweep = 0; sweep < std::max(1, policy_.read_sweeps); ++sweep) {
@@ -315,7 +340,22 @@ HttpResponse ProxyServer::ObjectRead(Request& request,
         Backoff(attempt, &rng);
       }
       Request replica_request = request;
+      // One span per replica attempt; a faulted run's trace shows every
+      // retry, which fault it healed ("armed"), and where it landed.
+      TraceSpan attempt_span("proxy.attempt", parent);
+      if (attempt_span.active()) {
+        attempt_span.SetTag("device", std::to_string(replicas[i]));
+        attempt_span.SetTag("attempt", std::to_string(attempt));
+        if (FailpointsArmed()) {
+          attempt_span.SetTag("armed",
+                              Join(Failpoints::Global().ArmedSites(), ","));
+        }
+        StampTraceContext(attempt_span.context(), &replica_request.headers);
+      }
       HttpResponse r = SendToDevice(replicas[i], replica_request);
+      if (attempt_span.active()) {
+        attempt_span.SetTag("status", std::to_string(r.status));
+      }
       if (!r.ok()) {
         if (r.status != 404) retryable_failure = true;
         last = std::move(r);

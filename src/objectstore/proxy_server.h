@@ -1,3 +1,9 @@
+// The proxy server: Swift's client-facing tier. Authenticates, resolves
+// the ring, writes to a quorum of replicas, and reads with the
+// self-healing ladder of DESIGN.md §3e — replica failover with capped
+// backoff, mid-stream resume at the delivered offset, read-repair
+// enqueueing. Each replica attempt is a traced "proxy.attempt" span and
+// the handler feeds proxy.get_us/put_us (DESIGN.md §3f, METRICS.md).
 #ifndef SCOOP_OBJECTSTORE_PROXY_SERVER_H_
 #define SCOOP_OBJECTSTORE_PROXY_SERVER_H_
 

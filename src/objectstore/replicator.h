@@ -1,3 +1,9 @@
+// Replica repair: the full-sweep replicator (scan every device, push the
+// newest copy wherever a replica is missing or stale) and the
+// ReadRepairQueue that heals paths a degraded GET actually observed,
+// ahead of the next sweep (DESIGN.md §3e rung 3). Sweeps are traced as
+// "replicator.run" spans and timed into replicator.run_us. Queue locking
+// per DESIGN.md §3d (rank lockrank::kRepairQueue).
 #ifndef SCOOP_OBJECTSTORE_REPLICATOR_H_
 #define SCOOP_OBJECTSTORE_REPLICATOR_H_
 
@@ -6,7 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/sync.h"
+#include "common/trace.h"
 #include "objectstore/device.h"
 #include "objectstore/ring.h"
 
@@ -49,8 +57,11 @@ class ReadRepairQueue {
 // it or holds a stale copy.
 class Replicator {
  public:
-  // `devices_by_id[i]` must be the device with ring id `i`.
-  Replicator(const Ring* ring, std::vector<Device*> devices_by_id);
+  // `devices_by_id[i]` must be the device with ring id `i`. With a
+  // non-null `metrics`, each pass records its wall time into the
+  // "replicator.run_us" histogram (see METRICS.md).
+  Replicator(const Ring* ring, std::vector<Device*> devices_by_id,
+             MetricRegistry* metrics = nullptr);
 
   struct Report {
     int objects_scanned = 0;
@@ -72,10 +83,11 @@ class Replicator {
 
  private:
   void RepairOne(const std::string& path, bool remove_handoffs,
-                 Report* report);
+                 Report* report, const TraceContext& parent);
 
   const Ring* ring_;
   std::vector<Device*> devices_;
+  MetricRegistry* metrics_;
 };
 
 }  // namespace scoop

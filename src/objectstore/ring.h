@@ -1,3 +1,7 @@
+// The Swift-style consistent-hashing ring: object names hash to
+// partitions, partitions map to weighted devices spread across zones and
+// nodes. Immutable once built (rebalancing builds a new ring), so
+// lookups need no locking.
 #ifndef SCOOP_OBJECTSTORE_RING_H_
 #define SCOOP_OBJECTSTORE_RING_H_
 

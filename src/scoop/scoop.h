@@ -34,6 +34,13 @@ class ScoopCluster {
   PolicyStore& policies() { return engine_->policies(); }
   MetricRegistry& metrics() { return swift_->metrics(); }
 
+  // The (process-global) trace collector, surfaced here for controllers
+  // and tests: Enable() around a query, then Snapshot()/DumpJson() to see
+  // the span tree stocator -> proxy -> object server -> storlet stages
+  // with per-hop durations. Disabled it costs one atomic load per site
+  // (DESIGN.md §3f).
+  TraceCollector& traces() { return TraceCollector::Global(); }
+
   // Registers a tenant and returns a connected client.
   Result<SwiftClient> Connect(const std::string& tenant,
                               const std::string& key,

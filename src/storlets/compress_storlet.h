@@ -1,3 +1,7 @@
+// The compression storlet and its frame codec: pipelined after the CSV
+// filter (X-Run-Storlet: csvstorlet,compress) so filtered data crosses
+// the inter-cluster link compressed — the §VI-C "filtering + compression"
+// combination the paper leaves as future work.
 #ifndef SCOOP_STORLETS_COMPRESS_STORLET_H_
 #define SCOOP_STORLETS_COMPRESS_STORLET_H_
 

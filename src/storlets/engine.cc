@@ -201,7 +201,7 @@ Result<SandboxResult> StorletEngine::RunPipeline(
 Result<StorletEngine::StreamingPipeline> StorletEngine::RunPipelineStreaming(
     const std::string& account, const std::string& container,
     const std::vector<StorletInvocation>& invocations,
-    std::shared_ptr<ByteStream> input) const {
+    std::shared_ptr<ByteStream> input, const TraceContext& parent) const {
   SCOOP_FAILPOINT("engine.invoke");
   StorletPolicy policy = policies_->Resolve(account, container);
   auto run = std::make_shared<PipelineRun>();
@@ -243,10 +243,24 @@ Result<StorletEngine::StreamingPipeline> StorletEngine::RunPipelineStreaming(
         std::make_unique<BoundedByteQueue>(2 * chunk_size_, buffered, chunks));
   }
 
+  ExponentialHistogram* stage_us =
+      metrics_ != nullptr ? metrics_->GetHistogram("storlet.stage_us")
+                          : nullptr;
   for (size_t i = 0; i < stages; ++i) {
     const bool final_stage = (i + 1 == stages);
     PipelineRun* r = run.get();  // threads never outlive `run` (dtor joins)
-    run->threads.emplace_back([this, r, i, final_stage] {
+    // Copied (not referenced): the stage thread can outlive this call.
+    std::string storlet_name = invocations[i].name;
+    run->threads.emplace_back([this, r, i, final_stage, parent, stage_us,
+                               storlet_name = std::move(storlet_name)] {
+      // Stage wall time *including* queue waits — a slow stage shows up
+      // both in its own span and as back-pressure in its neighbours'.
+      TraceSpan stage_span("storlet.stage", parent);
+      if (stage_span.active()) {
+        stage_span.SetTag("stage", std::to_string(i));
+        stage_span.SetTag("storlet", storlet_name);
+      }
+      Stopwatch stage_watch;
       // Last line of defense: if this thread exits without a clean
       // CloseWrite below, the guard poisons the queue so the consumer
       // fails instead of hanging.
@@ -267,8 +281,19 @@ Result<StorletEngine::StreamingPipeline> StorletEngine::RunPipelineStreaming(
       StorletOutputStream out(&sink, chunk_size_);
       Result<SandboxResult> result =
           sandbox_.ExecuteStreaming(*r->storlets[i], in, out, r->params[i]);
-      if (crashed) return;  // simulated mid-stream death: no CloseWrite
+      if (stage_us != nullptr) {
+        stage_us->Record(
+            static_cast<int64_t>(stage_watch.ElapsedSeconds() * 1e6));
+      }
+      if (crashed) {
+        // Simulated mid-stream death: no CloseWrite.
+        if (stage_span.active()) stage_span.SetTag("crashed", "true");
+        return;
+      }
       Status final_status = result.ok() ? Status::OK() : result.status();
+      if (stage_span.active() && !final_status.ok()) {
+        stage_span.SetTag("error", final_status.ToString());
+      }
       {
         MutexLock lock(r->mu);
         if (result.ok()) {

@@ -1,3 +1,9 @@
+// The storlet engine: resolves deployed filters from the registry,
+// checks policy, and runs single invocations or multi-stage streaming
+// pipelines (one thread per stage, bounded SPSC queues between them —
+// DESIGN.md §3c). Stage threads open "storlet.stage" trace spans and
+// feed the storlet.stage_us histogram (DESIGN.md §3f). Queue locking per
+// DESIGN.md §3d.
 #ifndef SCOOP_STORLETS_ENGINE_H_
 #define SCOOP_STORLETS_ENGINE_H_
 
@@ -62,10 +68,14 @@ class StorletEngine {
   // Validates policy and instantiates every storlet up front (those
   // errors return synchronously, before any byte moves), then launches
   // one thread per stage. `input` feeds stage 0 and is owned by the run.
+  // Each stage thread opens a "storlet.stage" span under `parent` (the
+  // middleware's span) and records its wall time — queue waits included,
+  // that is the point — into the "storlet.stage_us" histogram.
   Result<StreamingPipeline> RunPipelineStreaming(
       const std::string& account, const std::string& container,
       const std::vector<StorletInvocation>& invocations,
-      std::shared_ptr<ByteStream> input) const;
+      std::shared_ptr<ByteStream> input,
+      const TraceContext& parent = {}) const;
 
   // Chunk granularity and per-queue buffer bound of the streaming
   // pipeline (test hook; queues admit 2 chunks of backpressure).
@@ -73,6 +83,10 @@ class StorletEngine {
     chunk_size_ = chunk_size == 0 ? 1 : chunk_size;
   }
   size_t chunk_size() const { return chunk_size_; }
+
+  // The cluster registry this engine meters into (may be null); the
+  // storlet middleware records its own latency histograms here.
+  MetricRegistry* metrics() const { return metrics_; }
 
  private:
   std::shared_ptr<StorletRegistry> registry_;

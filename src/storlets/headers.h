@@ -1,3 +1,6 @@
+// Header names of the pushdown-task protocol: how the analytics
+// delegator (Stocator) tells the store which storlets to run, with what
+// parameters, at which stage, and how the store signals execution back.
 #ifndef SCOOP_STORLETS_HEADERS_H_
 #define SCOOP_STORLETS_HEADERS_H_
 

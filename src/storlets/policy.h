@@ -1,3 +1,7 @@
+// Administrator-facing pushdown policy (paper §II/§VII): per
+// account/container, whether pushdown is allowed, which storlets may
+// run, and at which stage (object node vs proxy, §V-A). Locking per
+// DESIGN.md §3d (rank lockrank::kPolicy, leaf).
 #ifndef SCOOP_STORLETS_POLICY_H_
 #define SCOOP_STORLETS_POLICY_H_
 

@@ -1,3 +1,8 @@
+// Deployed-storlet registry: name → factory, populated at cluster build
+// and extensible at runtime ("on-the-fly" deployment, paper §IV). Every
+// invocation constructs a fresh Storlet so instances never share state.
+// Locking per DESIGN.md §3d (rank lockrank::kStorletRegistry; factories
+// run under the lock and must not acquire anything ranked at or below it).
 #ifndef SCOOP_STORLETS_REGISTRY_H_
 #define SCOOP_STORLETS_REGISTRY_H_
 

@@ -1,3 +1,8 @@
+// The storlet sandbox: executes filters under resource limits and meters
+// what they consume (storlet.* counters, METRICS.md) — the storage-side
+// cost the paper's §VI-D quantifies. Stands in for the OpenStack
+// framework's Docker isolation, which is orthogonal to the behaviour
+// studied here.
 #ifndef SCOOP_STORLETS_SANDBOX_H_
 #define SCOOP_STORLETS_SANDBOX_H_
 

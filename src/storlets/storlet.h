@@ -1,3 +1,8 @@
+// The Storlet abstraction (paper §III-B): a computation deployed into
+// the store, invoked with an input stream, an output stream, parameters,
+// and a logger — this file defines that interface and the stream/logger
+// types it consumes. Concrete filters (CSV, ETL, compress, agg) live in
+// their own headers.
 #ifndef SCOOP_STORLETS_STORLET_H_
 #define SCOOP_STORLETS_STORLET_H_
 

@@ -50,8 +50,9 @@ class RecordAlignedStream : public ByteStream {
  public:
   RecordAlignedStream(std::shared_ptr<ByteStream> inner, bool skip_first,
                       ContentRange range, Request base_request,
-                      HttpHandler next)
-      : inner_(std::move(inner)),
+                      HttpHandler next, const TraceContext& parent)
+      : span_("middleware.align", parent),
+        inner_(std::move(inner)),
         skipping_(skip_first),
         range_(range),
         cursor_(range.last + 1),
@@ -59,6 +60,9 @@ class RecordAlignedStream : public ByteStream {
         next_(std::move(next)) {
     request_.headers.Remove(kRunStorletHeader);
     request_.headers.Remove(kStorletRangeRecordsHeader);
+    if (span_.active()) {
+      span_.SetTag("skip_first", skip_first ? "true" : "false");
+    }
   }
 
   Result<size_t> Read(char* buf, size_t n) override {
@@ -126,6 +130,9 @@ class RecordAlignedStream : public ByteStream {
     return std::string();
   }
 
+  // Alignment is lazy, so the span covers the stream's whole life: it
+  // ends at destruction, i.e. once the consumer drained (or dropped) it.
+  TraceSpan span_;
   std::shared_ptr<ByteStream> inner_;  // null once the raw range is drained
   bool skipping_;
   const ContentRange range_;
@@ -171,7 +178,32 @@ HttpResponse StorletMiddleware::Process(Request& request,
                                                   : ExecutionStage::kObjectNode;
       }
       if (effective != stage_) return next(request);
-      return ProcessGet(request, next, *path, *invocations);
+      // The middleware's span parents everything below it: the raw read
+      // (and so the proxy's per-attempt spans at proxy stage), the lazy
+      // record-alignment stream, and every storlet stage thread.
+      TraceSpan span("middleware.get",
+                     TraceContextFromHeaders(request.headers));
+      if (span.active()) {
+        span.SetTag("stage", stage_ == ExecutionStage::kObjectNode
+                                 ? "object"
+                                 : "proxy");
+        span.SetTag("storlets",
+                    request.headers.GetOr(kRunStorletHeader, ""));
+        StampTraceContext(span.context(), &request.headers);
+      }
+      Stopwatch watch;
+      HttpResponse response = ProcessGet(request, next, *path, *invocations);
+      if (engine_->metrics() != nullptr) {
+        // Time to the response head (first pipeline chunk included); the
+        // tail of the filtered stream drains under the caller's clock.
+        engine_->metrics()
+            ->GetHistogram("middleware.get_us")
+            ->Record(static_cast<int64_t>(watch.ElapsedSeconds() * 1e6));
+      }
+      if (span.active()) {
+        span.SetTag("status", std::to_string(response.status));
+      }
+      return response;
     }
     case HttpMethod::kPut:
       // ETL transforms run once, before replication — the proxy stage.
@@ -226,14 +258,16 @@ HttpResponse StorletMiddleware::ProcessGet(
         return HttpResponse::Make(500, range.status().ToString());
       }
       source = std::make_shared<RecordAlignedStream>(
-          std::move(source), skip_first_record, *range, request, next);
+          std::move(source), skip_first_record, *range, request, next,
+          TraceContextFromHeaders(request.headers));
       // Alignment changes the length by an amount only known at EOF.
       response.headers.Remove(kContentLengthHeader);
     }
   }
 
-  auto pipeline = engine_->RunPipelineStreaming(path.account, path.container,
-                                                invocations, source);
+  auto pipeline = engine_->RunPipelineStreaming(
+      path.account, path.container, invocations, source,
+      TraceContextFromHeaders(request.headers));
   if (!pipeline.ok()) {
     if (pipeline.status().IsUnauthorized()) {
       // Policy denies these filters: fall back to serving the raw

@@ -1,3 +1,10 @@
+// The storlet middleware: the bridge between the object store's
+// pipelines and the storlet engine. Intercepts X-Run-Storlet requests at
+// proxy or object stage, honours the policy's staging decision, performs
+// record alignment for ranged GETs (the Hadoop text-input contract,
+// executed at the store), and streams filter output back as the
+// response body. Opens "middleware.get"/"middleware.align" trace spans
+// and feeds middleware.get_us (DESIGN.md §3f, METRICS.md).
 #ifndef SCOOP_STORLETS_STORLET_MIDDLEWARE_H_
 #define SCOOP_STORLETS_STORLET_MIDDLEWARE_H_
 

@@ -25,6 +25,11 @@ Checks (each finding is `file:line: [check] message`, exit 1 on any):
                        (src/common/failpoint.h). Arm() rejects unknown
                        names at runtime; this catches the production side
                        of the contract statically.
+  metric-name          GetCounter / GetGauge / GetHistogram call sites in
+                       src/ and bench/ whose name literal (including the
+                       StrFormat("...%d...") per-instance form) is not
+                       catalogued in METRICS.md. Tests may use scratch
+                       names; production metrics must be documented.
 
 A line containing `NOLINT` is exempt (pair it with a reason, as in
 clang-tidy). Run `tools/lint.py --self-test` to verify the checkers fire
@@ -89,13 +94,37 @@ def load_failpoint_sites(root):
     return set(re.findall(r'"([^"]+)"', m.group(1)))
 
 
+# Metric names must be catalogued in METRICS.md. Only src/ and bench/ are
+# held to the contract (tests register scratch names); the registry
+# implementation itself takes `name` as a parameter and is exempt.
+METRIC_SCAN_PREFIXES = ("src/", "bench/")
+METRIC_EXEMPT = {"src/common/metrics.h", "src/common/metrics.cc"}
+METRIC_CALL_RE = re.compile(
+    r'\bGet(?:Counter|Gauge|Histogram)\s*\(\s*'
+    r'(?:StrFormat\s*\(\s*)?"([^"]+)"'
+)
+# Catalog rows: markdown table lines whose first cell is a backticked name.
+METRIC_CATALOG_ROW_RE = re.compile(r"^\|\s*`([^`]+)`", re.M)
+
+
+def load_metric_catalog(root):
+    """Returns the documented names (with <N> canonicalised to %d), or
+    None if METRICS.md is missing."""
+    catalog = root / "METRICS.md"
+    if not catalog.is_file():
+        return None
+    text = catalog.read_text(encoding="utf-8", errors="replace")
+    return {name.replace("<N>", "%d")
+            for name in METRIC_CATALOG_ROW_RE.findall(text)}
+
+
 def _strip_comment(line):
     """Best-effort removal of // comments (ignores // inside strings)."""
     m = COMMENT_RE.search(line)
     return line[: m.start()] if m else line
 
 
-def lint_file(rel_path, lines, failpoint_sites=None):
+def lint_file(rel_path, lines, failpoint_sites=None, metric_names=None):
     """Returns a list of (lineno, check, message) findings for one file."""
     findings = []
     is_sync_layer = rel_path in SYNC_EXEMPT
@@ -200,6 +229,20 @@ def lint_file(rel_path, lines, failpoint_sites=None):
                     f'failpoint "{name}" is not in kFailpointSites '
                     "(src/common/failpoint.h) — register the site or fix "
                     "the typo"))
+
+    if (metric_names is not None
+            and rel_path.startswith(METRIC_SCAN_PREFIXES)
+            and rel_path not in METRIC_EXEMPT):
+        text = "\n".join(stripped)
+        for m in METRIC_CALL_RE.finditer(text):
+            name = m.group(1)
+            if name not in metric_names:
+                lineno = text.count("\n", 0, m.start()) + 1
+                findings.append((
+                    lineno, "metric-name",
+                    f'metric "{name}" is not catalogued in METRICS.md — '
+                    "add a row (per-instance names use <N> for the %d "
+                    "slot) or fix the typo"))
     return findings
 
 
@@ -217,13 +260,19 @@ def run(root):
               "catalog not found — the failpoint-name check has nothing to "
               "validate against")
         return 1
+    metric_names = load_metric_catalog(root)
+    if metric_names is None:
+        print("METRICS.md:1: [metric-name] metrics catalog not found — "
+              "the metric-name check has nothing to validate against")
+        return 1
     total = 0
     for path in files:
         rel = path.relative_to(root).as_posix()
         lines = path.read_text(encoding="utf-8",
                                errors="replace").splitlines()
         for lineno, check, message in lint_file(rel, lines,
-                                                failpoint_sites):
+                                                failpoint_sites,
+                                                metric_names):
             print(f"{rel}:{lineno}: [{check}] {message}")
             total += 1
     if total:
@@ -263,10 +312,31 @@ SELF_TEST_CASES = [
     ('// SCOOP_FAILPOINT("bogus.site") in a comment', "src/foo/a.cc", None),
     # Macro definitions take `name` as a parameter — no literal, no match.
     ('SCOOP_FAILPOINT(name)', "src/foo/a.cc", None),
+    # Metric names must be catalogued (src/ and bench/ only).
+    ('metrics->GetCounter("bogus.metric")->Increment();', "src/foo/a.cc",
+     "metric-name"),
+    ('metrics->GetHistogram("bogus.metric")->Record(1);', "bench/b.cc",
+     "metric-name"),
+    ('metrics->GetCounter("proxy.retries")->Increment();', "src/foo/a.cc",
+     None),
+    # Per-instance names go through StrFormat; the catalog stores the
+    # format string (with <N> canonicalised to %d).
+    ('metrics->GetCounter(StrFormat("proxy_%d.requests", id))\n'
+     '    ->Increment();', "src/foo/a.cc", None),
+    ('metrics->GetCounter(StrFormat("bogus_%d.metric", id));',
+     "src/foo/a.cc", "metric-name"),
+    # The literal may land on the continuation line.
+    ('metrics->GetGauge(\n    "bogus.metric")->Add(1);', "src/foo/a.cc",
+     "metric-name"),
+    # Non-literal names and files outside the contract are not checked.
+    ('metrics->GetCounter(name)->Increment();', "src/foo/a.cc", None),
+    ('metrics->GetCounter("bogus.metric");', "tests/t.cc", None),
+    ('// GetCounter("bogus.metric") in a comment', "src/foo/a.cc", None),
 ]
 
-# A fixed catalog for the self-test, independent of the real header.
+# Fixed catalogs for the self-test, independent of the real files.
 SELF_TEST_FAILPOINT_SITES = {"device.read", "object.read.chunk"}
+SELF_TEST_METRIC_NAMES = {"proxy.retries", "proxy_%d.requests"}
 
 
 def self_test():
@@ -276,7 +346,8 @@ def self_test():
         if path.endswith(".h"):
             lines = ["#ifndef SCOOP_SELF_TEST_H_"] + lines
         got = [check for (_, check, _) in
-               lint_file(path, lines, SELF_TEST_FAILPOINT_SITES)]
+               lint_file(path, lines, SELF_TEST_FAILPOINT_SITES,
+                         SELF_TEST_METRIC_NAMES)]
         if expected is None and got:
             print(f"self-test FAIL: {snippet!r} -> unexpected {got}")
             failures += 1
