@@ -68,16 +68,17 @@ struct MiniDeployment {
   Schema schema;
 };
 
-inline MiniDeployment MakeMiniDeployment(int num_meters, int readings,
-                                         int num_objects,
-                                         uint64_t chunk_size = 64 * 1024) {
+inline MiniDeployment MakeMiniDeployment(
+    int num_meters, int readings, int num_objects,
+    uint64_t chunk_size = 64 * 1024,
+    const ResultCacheConfig& cache_config = ResultCacheConfig()) {
   MiniDeployment d;
   SwiftConfig config;
   config.num_proxies = 2;
   config.num_storage_nodes = 4;
   config.disks_per_node = 2;
   config.part_power = 6;
-  auto cluster = ScoopCluster::Create(config);
+  auto cluster = ScoopCluster::Create(config, cache_config);
   if (!cluster.ok()) {
     std::fprintf(stderr, "cluster: %s\n", cluster.status().ToString().c_str());
     std::abort();

@@ -1,0 +1,267 @@
+#include "cache/cache_middleware.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/strings.h"
+#include "common/trace.h"
+#include "storlets/headers.h"
+
+namespace scoop {
+
+std::string CanonicalQueryFingerprint(const Headers& headers) {
+  // Headers iterates in case-insensitive sorted order, so equal header
+  // sets serialize identically regardless of arrival order or name case.
+  std::string fp = "v1";
+  for (const auto& [name, value] : headers) {
+    std::string lower = ToLower(name);
+    bool relevant = lower == "range" || StartsWith(lower, "x-run-storlet") ||
+                    StartsWith(lower, "x-storlet-");
+    if (!relevant) continue;
+    fp.push_back('|');
+    fp.append(lower);
+    fp.push_back('=');
+    fp.append(value);
+  }
+  return fp;
+}
+
+ResultCacheMiddleware::ResultCacheMiddleware(
+    std::shared_ptr<ResultCache> cache, std::shared_ptr<Singleflight> flights,
+    ContainerRegistry* registry, MetricRegistry* metrics)
+    : cache_(std::move(cache)),
+      flights_(std::move(flights)),
+      registry_(registry),
+      metrics_(metrics),
+      fills_(metrics->GetCounter("cache.fills")),
+      drops_(metrics->GetCounter("cache.drops")) {}
+
+HttpResponse ResultCacheMiddleware::Process(Request& request,
+                                            const HttpHandler& next) {
+  Result<ObjectPath> parsed = ObjectPath::Parse(request.path);
+  if (!parsed.ok() || !parsed->IsObject()) return next(request);
+  switch (request.method) {
+    case HttpMethod::kGet:
+      return ProcessGet(request, next, *parsed);
+    case HttpMethod::kPut:
+    case HttpMethod::kPost:
+    case HttpMethod::kDelete: {
+      HttpResponse response = next(request);
+      // Runs even when the cache is disabled, so entries cached before a
+      // runtime disable cannot go stale for a later re-enable. The ETag
+      // key already makes overwrites invalidate naturally; this returns
+      // the bytes immediately.
+      if (response.ok()) cache_->InvalidateObject(parsed->ToString());
+      return response;
+    }
+    default:
+      return next(request);
+  }
+}
+
+HttpResponse ResultCacheMiddleware::ProcessGet(Request& request,
+                                               const HttpHandler& next,
+                                               const ObjectPath& path) {
+  if (!cache_->enabled()) return next(request);
+  // Only pushdown results are worth caching: a plain GET is already a
+  // zero-CPU read at the store, and the proxy would double the cluster's
+  // memory footprint caching raw objects.
+  if (!request.headers.Has(kRunStorletHeader)) return next(request);
+  const std::string object_path = path.ToString();
+  // A faulted cache degrades to the uncached path, byte-identically.
+  if (!FailpointCheck("cache.lookup", object_path).ok()) return next(request);
+  Result<ObjectInfo> info =
+      registry_->GetObjectInfo(path.account, path.container, path.object);
+  if (!info.ok()) return next(request);
+
+  const std::string key = ResultCache::MakeKey(
+      object_path, info->etag, CanonicalQueryFingerprint(request.headers));
+  const TraceContext parent = TraceContextFromHeaders(request.headers);
+
+  std::optional<CachedResult> hit;
+  Singleflight::Ticket ticket;
+  {
+    TraceSpan span("cache.lookup", parent);
+    hit = cache_->Lookup(key);
+    if (hit) {
+      span.SetTag("outcome", "hit");
+    } else {
+      // A follower blocks here until the leader publishes the head; that
+      // wait *is* the lookup finding an in-flight identical execution.
+      ticket = flights_->Join(key);
+      switch (ticket.role) {
+        case Singleflight::Role::kLeader:
+          span.SetTag("outcome", "miss");
+          break;
+        case Singleflight::Role::kFollower:
+          span.SetTag("outcome", "coalesced");
+          break;
+        case Singleflight::Role::kBypass:
+          span.SetTag("outcome", "bypass");
+          break;
+      }
+    }
+  }
+  if (hit) return ServeHit(std::move(*hit), "hit");
+  switch (ticket.role) {
+    case Singleflight::Role::kLeader:
+      return LeadAndFill(request, next, key, object_path, ticket.flight,
+                         parent);
+    case Singleflight::Role::kFollower:
+      return ServeCoalesced(request, next, std::move(ticket));
+    case Singleflight::Role::kBypass:
+      break;
+  }
+  return next(request);
+}
+
+HttpResponse ResultCacheMiddleware::ServeHit(CachedResult result,
+                                             const char* how) {
+  HttpResponse response;
+  response.status = result.status;
+  response.headers = result.headers;
+  response.headers.Set(kCacheStatusHeader, how);
+  response.headers.Set("Content-Length", std::to_string(result.body->size()));
+  response.SetBodyStream(
+      std::make_shared<SharedBufferByteStream>(result.body, *result.body));
+  return response;
+}
+
+HttpResponse ResultCacheMiddleware::LeadAndFill(
+    Request& request, const HttpHandler& next, const std::string& key,
+    const std::string& object_path,
+    const std::shared_ptr<Singleflight::Flight>& flight,
+    const TraceContext& parent) {
+  HttpResponse response = next(request);
+  if (!response.ok()) {
+    // Followers bypass to their own execution; an error response is
+    // never fanned out or cached.
+    flight->Abort(Status::IOError("coalesced leader got status " +
+                                  std::to_string(response.status)));
+    return response;
+  }
+  // Only results a storlet actually produced are cached: a declined
+  // pushdown (raw bytes) still fans out to followers — they asked for the
+  // same request and would be declined identically — but is not worth
+  // proxy memory.
+  bool executed = response.headers.Has(kStorletExecutedHeader);
+  Status fill_fault = FailpointCheck("cache.fill", object_path);
+  bool cacheable = executed && fill_fault.ok();
+  if (executed && !fill_fault.ok()) drops_->Increment();
+
+  flight->PublishHead(response.status, response.headers);
+  std::shared_ptr<const Headers> trailers = response.trailers();
+  std::shared_ptr<ByteStream> inner = response.TakeBodyStream();
+  auto on_complete = [cache = cache_, fills = fills_, drops = drops_,
+                      cacheable, status = response.status, key, object_path,
+                      parent](bool overflowed,
+                              std::shared_ptr<const std::string> body,
+                              Headers headers) {
+    if (!cacheable) return;
+    if (overflowed || !body) {
+      drops->Increment();
+      return;
+    }
+    TraceSpan span("cache.fill", parent);
+    span.SetTag("bytes", std::to_string(body->size()));
+    CachedResult entry;
+    entry.status = status;
+    entry.headers = std::move(headers);
+    entry.body = std::move(body);
+    if (cache->Insert(key, object_path, std::move(entry))) {
+      fills->Increment();
+    } else {
+      span.SetTag("dropped", "true");
+      drops->Increment();
+    }
+  };
+  response.SetBodyStream(
+      flight->MakeTee(std::move(inner), trailers, std::move(on_complete)),
+      trailers);
+  return response;
+}
+
+namespace {
+
+// The follower's body: reads the leader's fan-out stream, and if the
+// leader dies mid-stream (poisoned queue), re-executes the captured
+// request itself and skips the bytes already delivered. Sound because the
+// pushdown output is deterministic for a given (object, query); if the
+// re-execution resolves differently (e.g. pushdown now declined, so raw
+// bytes instead of filtered ones), the original error is surfaced instead
+// and the client's own fallback ladder takes over.
+class CoalescedBodyStream : public ByteStream {
+ public:
+  CoalescedBodyStream(std::shared_ptr<ByteStream> inner, Request request,
+                      HttpHandler next, bool expect_executed)
+      : inner_(std::move(inner)),
+        request_(std::move(request)),
+        next_(std::move(next)),
+        expect_executed_(expect_executed) {}
+
+  Result<size_t> Read(char* buf, size_t n) override {
+    if (failed_) {
+      if (fallback_) return fallback_->Read(buf, n);
+      return error_;
+    }
+    Result<size_t> r = inner_->Read(buf, n);
+    if (r.ok()) {
+      delivered_ += *r;
+      return r;
+    }
+    return FailOver(r.status(), buf, n);
+  }
+
+ private:
+  Result<size_t> FailOver(const Status& original, char* buf, size_t n) {
+    failed_ = true;
+    error_ = original;
+    HttpResponse fresh = next_(request_);
+    if (!fresh.ok() ||
+        fresh.headers.Has(kStorletExecutedHeader) != expect_executed_) {
+      return error_;
+    }
+    std::shared_ptr<ByteStream> stream = fresh.TakeBodyStream();
+    // Skip what the leader already delivered to us.
+    uint64_t to_skip = delivered_;
+    std::vector<char> scratch(kDefaultStreamChunk);
+    while (to_skip > 0) {
+      size_t want = static_cast<size_t>(
+          std::min<uint64_t>(to_skip, scratch.size()));
+      Result<size_t> skipped = stream->Read(scratch.data(), want);
+      if (!skipped.ok() || *skipped == 0) return error_;
+      to_skip -= *skipped;
+    }
+    fallback_ = std::move(stream);
+    return fallback_->Read(buf, n);
+  }
+
+  std::shared_ptr<ByteStream> inner_;
+  Request request_;
+  HttpHandler next_;
+  const bool expect_executed_;
+  uint64_t delivered_ = 0;
+  bool failed_ = false;
+  Status error_ = Status::OK();
+  std::shared_ptr<ByteStream> fallback_;
+};
+
+}  // namespace
+
+HttpResponse ResultCacheMiddleware::ServeCoalesced(
+    Request& request, const HttpHandler& next, Singleflight::Ticket ticket) {
+  HttpResponse response;
+  response.status = ticket.status;
+  response.headers = ticket.headers;
+  response.headers.Set(kCacheStatusHeader, "coalesced");
+  bool expect_executed = ticket.headers.Has(kStorletExecutedHeader);
+  response.SetBodyStream(std::make_shared<CoalescedBodyStream>(
+                             std::move(ticket.stream), request, next,
+                             expect_executed),
+                         std::move(ticket.trailers));
+  return response;
+}
+
+}  // namespace scoop

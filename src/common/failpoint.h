@@ -51,6 +51,8 @@ inline constexpr const char* kFailpointSites[] = {
     "middleware.get",      // storlet middleware GET interception
     "engine.invoke",       // storlet pipeline launch
     "engine.stage_crash",  // stage thread dies without closing its queue
+    "cache.lookup",        // result-cache lookup (fault => uncached path)
+    "cache.fill",          // result-cache fill (fault => fill dropped)
 };
 
 // What an armed failpoint does when it fires.

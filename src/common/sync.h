@@ -99,6 +99,9 @@ inline constexpr int kNoLockRank = -1;
 // full table of which mutex guards what is in DESIGN.md "Locking model".
 namespace lockrank {
 inline constexpr int kPipeline = 10;           // storlet pipeline run state
+inline constexpr int kSingleflight = 12;       // Singleflight flight table
+inline constexpr int kCacheFlight = 13;        // per-flight fan-out state
+inline constexpr int kCacheShard = 15;         // ResultCache shard LRU
 inline constexpr int kQueue = 20;              // BoundedByteQueue
 inline constexpr int kThreadPool = 30;         // ThreadPool bookkeeping
 inline constexpr int kMetrics = 40;            // MetricRegistry maps

@@ -87,6 +87,23 @@ Status ContainerRegistry::RemoveObject(const std::string& account,
   return Status::OK();
 }
 
+Result<ObjectInfo> ContainerRegistry::GetObjectInfo(
+    const std::string& account, const std::string& container,
+    const std::string& object) const {
+  MutexLock lock(mu_);
+  auto it = accounts_.find(account);
+  if (it == accounts_.end()) return Status::NotFound("no account " + account);
+  auto cit = it->second.find(container);
+  if (cit == it->second.end()) {
+    return Status::NotFound("no container " + container);
+  }
+  auto oit = cit->second.find(object);
+  if (oit == cit->second.end()) {
+    return Status::NotFound("no object " + object);
+  }
+  return oit->second;
+}
+
 Result<std::vector<ObjectInfo>> ContainerRegistry::ListObjects(
     const std::string& account, const std::string& container,
     const std::string& prefix) const {

@@ -48,6 +48,11 @@ class ContainerRegistry {
                       const ObjectInfo& info);
   Status RemoveObject(const std::string& account, const std::string& container,
                       const std::string& object);
+  // Metadata of one object (the cheap ETag probe the proxy-tier result
+  // cache keys on). NotFound when the object is not recorded.
+  Result<ObjectInfo> GetObjectInfo(const std::string& account,
+                                   const std::string& container,
+                                   const std::string& object) const;
   // Objects in a container, sorted by name, optionally filtered by prefix.
   Result<std::vector<ObjectInfo>> ListObjects(
       const std::string& account, const std::string& container,

@@ -19,6 +19,22 @@ double AdaptivePushdownController::WindowCpuSeconds() const {
   return TotalCpuSeconds() - window_start_cpu_s_;
 }
 
+double AdaptivePushdownController::WindowCacheHitRatio() const {
+  int64_t lookups = WindowCacheLookups();
+  if (lookups == 0) return 0.0;
+  int64_t hits = cluster_->metrics().GetCounter("cache.hits")->value() -
+                 window_start_cache_hits_;
+  return static_cast<double>(hits) / static_cast<double>(lookups);
+}
+
+int64_t AdaptivePushdownController::WindowCacheLookups() const {
+  MetricRegistry& metrics = cluster_->metrics();
+  return (metrics.GetCounter("cache.hits")->value() -
+          window_start_cache_hits_) +
+         (metrics.GetCounter("cache.misses")->value() -
+          window_start_cache_misses_);
+}
+
 bool AdaptivePushdownController::Tick() {
   double used = WindowCpuSeconds();
   bool hot = used > options_.cpu_budget_seconds_per_window;
@@ -31,8 +47,21 @@ bool AdaptivePushdownController::Tick() {
     }
     bronze_demoted_ = hot;
   }
+  // Result-cache stewardship: a window of real traffic whose hit ratio
+  // stays under the configured floor means the byte budget is buying
+  // nothing — give the memory back (the cache can be re-enabled by hand).
+  if (options_.min_cache_hit_ratio > 0.0 &&
+      cluster_->result_cache().enabled() &&
+      WindowCacheLookups() >= options_.min_cache_lookups_per_window &&
+      WindowCacheHitRatio() < options_.min_cache_hit_ratio) {
+    cluster_->result_cache().set_enabled(false);
+    cache_disabled_ = true;
+  }
   // A new control window starts each tick.
   window_start_cpu_s_ = TotalCpuSeconds();
+  MetricRegistry& metrics = cluster_->metrics();
+  window_start_cache_hits_ = metrics.GetCounter("cache.hits")->value();
+  window_start_cache_misses_ = metrics.GetCounter("cache.misses")->value();
   return bronze_demoted_;
 }
 

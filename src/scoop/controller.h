@@ -31,6 +31,13 @@ class AdaptivePushdownController {
     // Pushdown is advised only when the pushed filter is expected to
     // discard at least this fraction of rows.
     double min_estimated_discard = 0.2;
+    // Result-cache stewardship: when > 0, a control window with at least
+    // `min_cache_lookups_per_window` lookups whose hit ratio falls below
+    // this threshold disables the proxy result cache — memory whose
+    // budget buys no hits is returned to the cluster. 0 leaves the cache
+    // alone.
+    double min_cache_hit_ratio = 0.0;
+    int64_t min_cache_lookups_per_window = 64;
   };
 
   AdaptivePushdownController(ScoopCluster* cluster, Options options)
@@ -55,7 +62,15 @@ class AdaptivePushdownController {
   // Storlet CPU seconds consumed in the current window so far.
   double WindowCpuSeconds() const;
 
+  // Result-cache hit ratio of the current window so far (hits over
+  // lookups); 0 when the window saw no lookups.
+  double WindowCacheHitRatio() const;
+  // Lookups (hits + misses) observed in the current window so far.
+  int64_t WindowCacheLookups() const;
+
   bool bronze_demoted() const { return bronze_demoted_; }
+  // True once a Tick() disabled the result cache for poor hit ratio.
+  bool cache_disabled() const { return cache_disabled_; }
 
  private:
   double TotalCpuSeconds() const;
@@ -64,7 +79,10 @@ class AdaptivePushdownController {
   Options options_;
   std::map<std::string, TenantTier> tiers_;
   double window_start_cpu_s_ = 0.0;
+  int64_t window_start_cache_hits_ = 0;
+  int64_t window_start_cache_misses_ = 0;
   bool bronze_demoted_ = false;
+  bool cache_disabled_ = false;
 };
 
 }  // namespace scoop

@@ -9,7 +9,7 @@
 namespace scoop {
 
 Result<std::unique_ptr<ScoopCluster>> ScoopCluster::Create(
-    const SwiftConfig& config) {
+    const SwiftConfig& config, const ResultCacheConfig& cache_config) {
   auto cluster = std::unique_ptr<ScoopCluster>(new ScoopCluster());
   SCOOP_ASSIGN_OR_RETURN(cluster->swift_, SwiftCluster::Create(config));
 
@@ -34,14 +34,28 @@ Result<std::unique_ptr<ScoopCluster>> ScoopCluster::Create(
     SCOOP_RETURN_IF_ERROR(registry->Deploy(name));
   }
 
-  // Install the storlet middleware at both stages: object servers (the
-  // default execution site) and proxies (PUT-path ETL and the staging
-  // override).
+  // The proxy-tier pushdown result cache and its singleflight coalescer.
+  // One instance each, shared by every proxy — the cache amortizes
+  // storage CPU across the whole fleet, and coalescing only works if all
+  // proxies join the same flight table. The singleflight's fill buffer
+  // matches the largest entry the cache would admit.
+  cluster->cache_ = std::make_shared<ResultCache>(
+      cache_config, &cluster->swift_->metrics());
+  cluster->flights_ = std::make_shared<Singleflight>(
+      &cluster->swift_->metrics(), cluster->cache_->max_entry_bytes());
+
+  // Install the middleware: object servers get the storlet stage (the
+  // default execution site); proxies get result cache + singleflight
+  // first (so hits and coalesced fans never reach the storlet), then the
+  // proxy storlet stage (PUT-path ETL and the staging override).
   for (auto& server : cluster->swift_->object_servers()) {
     server->pipeline().Use(std::make_shared<StorletMiddleware>(
         ExecutionStage::kObjectNode, cluster->engine_));
   }
   for (auto& proxy : cluster->swift_->proxies()) {
+    proxy->pipeline().Use(std::make_shared<ResultCacheMiddleware>(
+        cluster->cache_, cluster->flights_, &cluster->swift_->registry(),
+        &cluster->swift_->metrics()));
     proxy->pipeline().Use(std::make_shared<StorletMiddleware>(
         ExecutionStage::kProxy, cluster->engine_));
   }

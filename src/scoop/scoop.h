@@ -4,6 +4,9 @@
 #include <memory>
 #include <string>
 
+#include "cache/cache_middleware.h"
+#include "cache/result_cache.h"
+#include "cache/singleflight.h"
 #include "common/result.h"
 #include "compute/session.h"
 #include "compute/storlet_rdd.h"
@@ -22,17 +25,24 @@ namespace scoop {
 // Fig. 3 storage side in one object.
 class ScoopCluster {
  public:
-  // Builds the cluster and installs the storlet middleware at both stages.
-  // The CSVStorlet and EtlStorlet ship pre-deployed; more filters can be
+  // Builds the cluster and installs the storlet middleware at both stages
+  // plus the pushdown result cache + singleflight middleware on every
+  // proxy (between auth and the proxy-stage storlet middleware). The
+  // CSVStorlet and EtlStorlet ship pre-deployed; more filters can be
   // registered through engine().registry() at any time ("on-the-fly"
-  // extension, §IV).
+  // extension, §IV). The cache ships disabled by default
+  // (cache_config.enabled) and can be toggled at runtime through
+  // result_cache().
   static Result<std::unique_ptr<ScoopCluster>> Create(
-      const SwiftConfig& config = SwiftConfig());
+      const SwiftConfig& config = SwiftConfig(),
+      const ResultCacheConfig& cache_config = ResultCacheConfig());
 
   SwiftCluster& swift() { return *swift_; }
   StorletEngine& engine() { return *engine_; }
   PolicyStore& policies() { return engine_->policies(); }
   MetricRegistry& metrics() { return swift_->metrics(); }
+  ResultCache& result_cache() { return *cache_; }
+  Singleflight& singleflight() { return *flights_; }
 
   // The (process-global) trace collector, surfaced here for controllers
   // and tests: Enable() around a query, then Snapshot()/DumpJson() to see
@@ -56,6 +66,8 @@ class ScoopCluster {
 
   std::unique_ptr<SwiftCluster> swift_;
   std::shared_ptr<StorletEngine> engine_;
+  std::shared_ptr<ResultCache> cache_;
+  std::shared_ptr<Singleflight> flights_;
 };
 
 // The compute side bound to one tenant: a SparkSession plus the Stocator

@@ -1,5 +1,10 @@
 #include "workload/queries.h"
 
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
 namespace scoop {
 
 const std::vector<GridPocketQuery>& GridPocketQueries() {
@@ -66,6 +71,73 @@ const std::vector<GridPocketQuery>& GridPocketQueries() {
            0.9999, 0.9999, 0.9999},
       };
   return queries;
+}
+
+namespace {
+
+// Replaces every "2015-01" in a base query with another month. The base
+// queries only mention January, so this parameterizes both the "LIKE
+// '2015-01%'" and "LIKE '2015-01-%'" spellings at once.
+std::string SubstituteMonth(const std::string& sql, int month) {
+  const std::string from = "2015-01";
+  std::string to = StrFormat("2015-%02d", month);
+  std::string out;
+  out.reserve(sql.size());
+  size_t pos = 0;
+  while (true) {
+    size_t hit = sql.find(from, pos);
+    if (hit == std::string::npos) {
+      out.append(sql, pos, std::string::npos);
+      return out;
+    }
+    out.append(sql, pos, hit - pos);
+    out.append(to);
+    pos = hit + from.size();
+  }
+}
+
+}  // namespace
+
+RepeatedQueryMix::RepeatedQueryMix(const QueryMixConfig& config) {
+  const std::vector<GridPocketQuery>& bases = GridPocketQueries();
+  const int base_count = static_cast<int>(bases.size());
+  int want = config.distinct_queries > 0 ? config.distinct_queries
+                                         : base_count;
+  want = std::clamp(want, 1, base_count * 12);
+  // Month-major interleaving: the pool covers every base query before it
+  // starts adding month variants, so small pools stay representative.
+  variants_.reserve(want);
+  for (int month = 1; month <= 12 && static_cast<int>(variants_.size()) < want;
+       ++month) {
+    for (int b = 0; b < base_count && static_cast<int>(variants_.size()) < want;
+         ++b) {
+      MixedQuery q;
+      q.name = StrFormat("%s@2015-%02d", bases[b].name.c_str(), month);
+      q.sql = SubstituteMonth(bases[b].sql, month);
+      q.base_index = b;
+      variants_.push_back(std::move(q));
+    }
+  }
+  double total = 0.0;
+  mass_.reserve(variants_.size());
+  for (size_t r = 0; r < variants_.size(); ++r) {
+    mass_.push_back(1.0 /
+                    std::pow(static_cast<double>(r + 1), config.zipf_exponent));
+    total += mass_.back();
+  }
+  for (double& m : mass_) m /= total;
+  sampler_ = std::make_unique<ZipfSampler>(variants_.size(),
+                                           config.zipf_exponent, config.seed);
+}
+
+const MixedQuery& RepeatedQueryMix::Next() {
+  return variants_[sampler_->Next()];
+}
+
+double RepeatedQueryMix::ExpectedHitMass(size_t top_k) const {
+  double sum = 0.0;
+  for (size_t r = 0; r < std::min(top_k, mass_.size()); ++r) sum += mass_[r];
+  return sum;
 }
 
 }  // namespace scoop

@@ -1,8 +1,12 @@
 #ifndef SCOOP_WORKLOAD_QUERIES_H_
 #define SCOOP_WORKLOAD_QUERIES_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "common/random.h"
 
 namespace scoop {
 
@@ -21,6 +25,53 @@ struct GridPocketQuery {
 // The seven Table I queries, verbatim except for the table name, which is
 // always `largeMeter` (as in the paper).
 const std::vector<GridPocketQuery>& GridPocketQueries();
+
+// --- Repeated-query mix -----------------------------------------------------
+// Real analytic dashboards re-issue a small set of hot queries against
+// slowly-changing data — exactly the traffic the proxy result cache
+// amortizes. RepeatedQueryMix models that: a pool of distinct query
+// variants (the Table I queries parameterized by month) sampled with a
+// zipfian popularity distribution, so rank-0 dominates and the tail is
+// long. Seeded and fully deterministic, like every workload generator in
+// the repo.
+
+struct QueryMixConfig {
+  uint64_t seed = 1;
+  // YCSB-default skew; larger = hotter head.
+  double zipf_exponent = 0.99;
+  // Size of the distinct-variant pool; 0 uses just the seven base
+  // queries. Larger pools substitute months 01..12 into the base queries
+  // (7 x 12 = 84 variants max).
+  int distinct_queries = 0;
+};
+
+// One sampled variant: a base Table I query with its month substituted.
+struct MixedQuery {
+  std::string name;  // e.g. "ShowMapCons@2015-03"
+  std::string sql;
+  int base_index = 0;  // index into GridPocketQueries()
+};
+
+class RepeatedQueryMix {
+ public:
+  explicit RepeatedQueryMix(const QueryMixConfig& config = QueryMixConfig());
+
+  // The next query, zipf-distributed over the variant pool (rank 0 = the
+  // hottest variant). The reference stays valid for the mix's lifetime.
+  const MixedQuery& Next();
+
+  const std::vector<MixedQuery>& variants() const { return variants_; }
+
+  // Expected fraction of draws landing on the `top_k` hottest variants
+  // under the configured zipf — the ceiling a result cache holding k
+  // results can hit on this mix.
+  double ExpectedHitMass(size_t top_k) const;
+
+ private:
+  std::vector<MixedQuery> variants_;
+  std::vector<double> mass_;  // normalized zipf pmf by rank
+  std::unique_ptr<ZipfSampler> sampler_;
+};
 
 }  // namespace scoop
 

@@ -389,6 +389,24 @@ TEST_P(FailpointSiteTest, InjectedFaultSurfacesAndIsCounted) {
     response.Materialize();
     EXPECT_EQ(response.status, 500);
     expect_counted();
+  } else if (site == "cache.lookup" || site == "cache.fill") {
+    // Cache faults degrade instead of surfacing: the query succeeds with
+    // the uncached bytes, and a poisoned fill is dropped, never served.
+    // The reference runs before the cache is enabled, so the armed site
+    // is not evaluated yet.
+    HttpResponse reference = PushdownGet();
+    reference.Materialize();
+    ASSERT_TRUE(reference.ok());
+    cluster_->result_cache().set_enabled(true);
+    HttpResponse faulted = PushdownGet();
+    faulted.Materialize();
+    EXPECT_TRUE(faulted.ok()) << site;
+    EXPECT_EQ(faulted.body(), reference.body()) << site;
+    expect_counted();
+    // Neither a bypassed lookup nor a dropped fill caches anything.
+    EXPECT_EQ(cluster_->metrics().GetCounter("cache.fills")->value(), 0)
+        << site;
+    cluster_->result_cache().set_enabled(false);
   } else {
     FAIL() << "no driver for failpoint site " << site
            << " — extend this test when adding sites";

@@ -306,6 +306,12 @@ SELF_TEST_CASES = [
      "failpoint-name"),
     ('SCOOP_FAILPOINT("device.read");', "src/foo/a.cc", None),
     ('Status s = FailpointCheck("device.read", key);', "src/foo/a.cc", None),
+    # The cache subsystem's sites are registered (src/cache/).
+    ('Status s = FailpointCheck("cache.lookup", object_path);',
+     "src/cache/m.cc", None),
+    ('Status s = FailpointCheck("cache.fill", object_path);',
+     "src/cache/m.cc", None),
+    ('SCOOP_FAILPOINT("cache.evict");', "src/cache/m.cc", "failpoint-name"),
     # The name literal may land on the continuation line.
     ('auto kind = Failpoints::Global().CheckData(\n'
      '    "bogus.chunk", key, &buf);', "src/foo/a.cc", "failpoint-name"),
@@ -319,6 +325,10 @@ SELF_TEST_CASES = [
      "metric-name"),
     ('metrics->GetCounter("proxy.retries")->Increment();', "src/foo/a.cc",
      None),
+    ('hits_ = metrics->GetCounter("cache.hits");', "src/cache/c.cc", None),
+    ('metrics->GetHistogram("cache.lookup_us")->Record(us);',
+     "src/cache/c.cc", None),
+    ('metrics->GetCounter("cache.bogus");', "src/cache/c.cc", "metric-name"),
     # Per-instance names go through StrFormat; the catalog stores the
     # format string (with <N> canonicalised to %d).
     ('metrics->GetCounter(StrFormat("proxy_%d.requests", id))\n'
@@ -335,8 +345,10 @@ SELF_TEST_CASES = [
 ]
 
 # Fixed catalogs for the self-test, independent of the real files.
-SELF_TEST_FAILPOINT_SITES = {"device.read", "object.read.chunk"}
-SELF_TEST_METRIC_NAMES = {"proxy.retries", "proxy_%d.requests"}
+SELF_TEST_FAILPOINT_SITES = {"device.read", "object.read.chunk",
+                             "cache.lookup", "cache.fill"}
+SELF_TEST_METRIC_NAMES = {"proxy.retries", "proxy_%d.requests",
+                          "cache.hits", "cache.lookup_us"}
 
 
 def self_test():
