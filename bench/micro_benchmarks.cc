@@ -8,6 +8,7 @@
 
 #include "common/bytestream.h"
 #include "common/strings.h"
+#include "csv/batch_reader.h"
 #include "csv/csv_storlet.h"
 #include "csv/record_reader.h"
 #include "common/lz.h"
@@ -63,6 +64,49 @@ void BM_CsvParseTyped(benchmark::State& state) {
                           static_cast<int64_t>(csv.size()));
 }
 BENCHMARK(BM_CsvParseTyped);
+
+// The retired row-at-a-time engine, kept as the reference arm of the
+// columnar ablation (BM_CsvParseTyped above now adapts over batches).
+void BM_CsvParseRowReference(benchmark::State& state) {
+  std::string csv = SampleCsv(20000);
+  Schema schema = GridPocketGenerator::MeterSchema();
+  for (auto _ : state) {
+    ScalarRowReader reader(csv, &schema);
+    Row row;
+    int64_t n = 0;
+    while (reader.Next(&row)) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(csv.size()));
+}
+BENCHMARK(BM_CsvParseRowReference);
+
+void RunCsvBatchParse(benchmark::State& state, bool dictionary) {
+  std::string csv = SampleCsv(20000);
+  Schema schema = GridPocketGenerator::MeterSchema();
+  CsvBatchOptions options;
+  options.dictionary = dictionary;
+  for (auto _ : state) {
+    CsvBatchReader reader(csv, &schema, options);
+    RecordBatch batch;
+    int64_t n = 0;
+    while (reader.Next(&batch)) n += batch.num_rows();
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(csv.size()));
+}
+
+void BM_CsvBatchParse(benchmark::State& state) {
+  RunCsvBatchParse(state, /*dictionary=*/true);
+}
+BENCHMARK(BM_CsvBatchParse);
+
+void BM_CsvBatchParseNoDict(benchmark::State& state) {
+  RunCsvBatchParse(state, /*dictionary=*/false);
+}
+BENCHMARK(BM_CsvBatchParseNoDict);
 
 // The CSVStorlet in its three Fig. 5 modes.
 void RunStorletBenchmark(benchmark::State& state, StorletParams params) {

@@ -1,0 +1,255 @@
+#include "columnar/batch_wire.h"
+
+#include <cstring>
+
+namespace scoop {
+
+namespace {
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (i * 8)));
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (i * 8)));
+}
+
+// Bounds-checked little-endian cursor over one frame payload.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  Result<uint32_t> U32() {
+    if (data_.size() - pos_ < 4) return Truncated();
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (i * 8);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> U64() {
+    if (data_.size() - pos_ < 8) return Truncated();
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (i * 8);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  Result<uint8_t> U8() {
+    if (pos_ >= data_.size()) return Truncated();
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  Result<std::string_view> Bytes(size_t n) {
+    if (data_.size() - pos_ < n) return Truncated();
+    std::string_view v = data_.substr(pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+  bool Done() const { return pos_ == data_.size(); }
+
+ private:
+  static Status Truncated() {
+    return Status::InvalidArgument("batch wire: truncated frame payload");
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+Status DecodePayload(std::string_view payload, RecordBatch* batch) {
+  WireReader in(payload);
+  SCOOP_ASSIGN_OR_RETURN(uint32_t spec_len, in.U32());
+  SCOOP_ASSIGN_OR_RETURN(std::string_view spec, in.Bytes(spec_len));
+  SCOOP_ASSIGN_OR_RETURN(Schema schema, Schema::FromSpec(spec));
+  SCOOP_ASSIGN_OR_RETURN(uint32_t num_rows, in.U32());
+
+  RecordBatch out(schema);
+  size_t validity_words = (num_rows + 63) / 64;
+  for (size_t c = 0; c < schema.size(); ++c) {
+    SCOOP_ASSIGN_OR_RETURN(uint8_t encoding, in.U8());
+    std::vector<uint64_t> validity(validity_words);
+    for (size_t w = 0; w < validity_words; ++w) {
+      SCOOP_ASSIGN_OR_RETURN(validity[w], in.U64());
+    }
+    auto valid = [&](uint32_t i) {
+      return (validity[i >> 6] & (1ull << (i & 63))) != 0;
+    };
+    ColumnVector* col = out.mutable_column(c);
+    switch (schema.column(c).type) {
+      case ColumnType::kInt64:
+        for (uint32_t i = 0; i < num_rows; ++i) {
+          SCOOP_ASSIGN_OR_RETURN(uint64_t bits, in.U64());
+          if (valid(i)) {
+            col->AppendInt64(static_cast<int64_t>(bits));
+          } else {
+            col->AppendNull();
+          }
+        }
+        break;
+      case ColumnType::kDouble:
+        for (uint32_t i = 0; i < num_rows; ++i) {
+          SCOOP_ASSIGN_OR_RETURN(uint64_t bits, in.U64());
+          if (valid(i)) {
+            double v;
+            std::memcpy(&v, &bits, sizeof(v));
+            col->AppendDouble(v);
+          } else {
+            col->AppendNull();
+          }
+        }
+        break;
+      case ColumnType::kString: {
+        if (encoding == 1) {
+          SCOOP_ASSIGN_OR_RETURN(uint32_t dict_count, in.U32());
+          std::vector<std::string> values;
+          values.reserve(dict_count);
+          for (uint32_t d = 0; d < dict_count; ++d) {
+            SCOOP_ASSIGN_OR_RETURN(uint32_t len, in.U32());
+            SCOOP_ASSIGN_OR_RETURN(std::string_view bytes, in.Bytes(len));
+            values.emplace_back(bytes);
+          }
+          std::vector<int32_t> codes(num_rows);
+          for (uint32_t i = 0; i < num_rows; ++i) {
+            SCOOP_ASSIGN_OR_RETURN(uint32_t code, in.U32());
+            codes[i] = static_cast<int32_t>(code);
+            if (codes[i] >= static_cast<int32_t>(dict_count)) {
+              return Status::InvalidArgument(
+                  "batch wire: dictionary code out of range");
+            }
+          }
+          *col = ColumnVector::FromDictionary(values, codes);
+        } else {
+          SCOOP_ASSIGN_OR_RETURN(uint32_t arena_len, in.U32());
+          std::vector<uint32_t> offsets(num_rows + 1);
+          for (uint32_t i = 0; i <= num_rows; ++i) {
+            SCOOP_ASSIGN_OR_RETURN(offsets[i], in.U32());
+          }
+          SCOOP_ASSIGN_OR_RETURN(std::string_view arena, in.Bytes(arena_len));
+          for (uint32_t i = 0; i < num_rows; ++i) {
+            if (!valid(i)) {
+              col->AppendNull();
+              continue;
+            }
+            if (offsets[i + 1] < offsets[i] || offsets[i + 1] > arena_len) {
+              return Status::InvalidArgument(
+                  "batch wire: string offsets out of range");
+            }
+            col->AppendString(
+                arena.substr(offsets[i], offsets[i + 1] - offsets[i]));
+          }
+        }
+        break;
+      }
+    }
+    if (col->size() != static_cast<int64_t>(num_rows)) {
+      return Status::Internal("batch wire: column row count mismatch");
+    }
+  }
+  if (!in.Done()) {
+    return Status::InvalidArgument("batch wire: trailing bytes in frame");
+  }
+  out.set_num_rows(num_rows);
+  *batch = std::move(out);
+  return Status::OK();
+}
+
+}  // namespace
+
+bool LooksLikeBatchWire(std::string_view data) {
+  return data.size() >= kBatchWireMagic.size() &&
+         data.substr(0, kBatchWireMagic.size()) == kBatchWireMagic;
+}
+
+void AppendBatchFrame(const RecordBatch& batch, std::string* out) {
+  std::string payload;
+  std::string spec = batch.schema().ToSpec();
+  PutU32(static_cast<uint32_t>(spec.size()), &payload);
+  payload.append(spec);
+  uint32_t num_rows = static_cast<uint32_t>(batch.num_rows());
+  PutU32(num_rows, &payload);
+  size_t validity_words = (num_rows + 63) / 64;
+  for (size_t c = 0; c < batch.num_columns(); ++c) {
+    const ColumnVector& col = batch.column(c);
+    bool dict = col.type() == ColumnType::kString && col.dict_active();
+    payload.push_back(dict ? 1 : 0);
+    const std::vector<uint64_t>& validity = col.validity_words();
+    for (size_t w = 0; w < validity_words; ++w) {
+      PutU64(w < validity.size() ? validity[w] : 0, &payload);
+    }
+    switch (col.type()) {
+      case ColumnType::kInt64:
+        for (int64_t v : col.int64_data()) {
+          PutU64(static_cast<uint64_t>(v), &payload);
+        }
+        break;
+      case ColumnType::kDouble:
+        for (double v : col.double_data()) {
+          uint64_t bits;
+          std::memcpy(&bits, &v, sizeof(bits));
+          PutU64(bits, &payload);
+        }
+        break;
+      case ColumnType::kString:
+        if (dict) {
+          PutU32(static_cast<uint32_t>(col.dict_size()), &payload);
+          for (int32_t d = 0; d < col.dict_size(); ++d) {
+            std::string_view v = col.DictValue(d);
+            PutU32(static_cast<uint32_t>(v.size()), &payload);
+            payload.append(v);
+          }
+          for (int32_t code : col.dict_codes()) {
+            PutU32(static_cast<uint32_t>(code), &payload);
+          }
+        } else {
+          PutU32(static_cast<uint32_t>(col.string_bytes().size()), &payload);
+          for (uint32_t offset : col.string_offsets()) {
+            PutU32(offset, &payload);
+          }
+          payload.append(col.string_bytes());
+        }
+        break;
+    }
+  }
+  out->append(kBatchWireMagic);
+  PutU32(static_cast<uint32_t>(payload.size()), out);
+  out->append(payload);
+}
+
+Result<bool> BatchWireReader::Next(RecordBatch* batch) {
+  size_t header = kBatchWireMagic.size() + 4;
+  if (buf_.size() - pos_ < header) return false;
+  std::string_view view(buf_);
+  if (view.substr(pos_, kBatchWireMagic.size()) != kBatchWireMagic) {
+    return Status::InvalidArgument("batch wire: bad frame magic");
+  }
+  uint32_t payload_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    payload_len |= static_cast<uint32_t>(static_cast<uint8_t>(
+                       buf_[pos_ + kBatchWireMagic.size() + i]))
+                   << (i * 8);
+  }
+  if (buf_.size() - pos_ - header < payload_len) return false;
+  Status decoded =
+      DecodePayload(view.substr(pos_ + header, payload_len), batch);
+  if (!decoded.ok()) return decoded;
+  pos_ += header + payload_len;
+  // Drop consumed frames so long pipelines stay bounded by one frame.
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > (1u << 20)) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return true;
+}
+
+}  // namespace scoop

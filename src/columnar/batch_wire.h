@@ -1,0 +1,63 @@
+// Length-prefixed wire encoding of RecordBatches for the storlet
+// pipeline. Frames are self-delimiting, so a stream of them survives the
+// arbitrary re-chunking ByteStream transports perform: the reader buffers
+// bytes until a whole frame is present, however the producer's writes
+// were split or coalesced.
+//
+// Frame layout (all integers little-endian):
+//   "SBT1"                       magic
+//   u32  payload_len
+//   payload:
+//     u32  schema_spec_len, schema spec bytes (Schema::ToSpec)
+//     u32  num_rows
+//     per column, in schema order:
+//       u8   encoding: 0 = plain, 1 = dictionary (string columns only)
+//       validity bitmap: ceil(num_rows / 64) u64 words
+//       kInt64:  num_rows u64 values
+//       kDouble: num_rows u64 bit patterns
+//       kString plain: u32 arena_len, (num_rows + 1) u32 offsets, arena
+//       kString dict:  u32 dict_count, dict_count * (u32 len + bytes),
+//                      num_rows i32 codes (-1 = null)
+#ifndef SCOOP_COLUMNAR_BATCH_WIRE_H_
+#define SCOOP_COLUMNAR_BATCH_WIRE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "columnar/record_batch.h"
+
+namespace scoop {
+
+inline constexpr std::string_view kBatchWireMagic = "SBT1";
+
+// True when `data` starts with a batch-wire frame header (used by
+// storlets to sniff whether their input is text CSV or batch frames).
+bool LooksLikeBatchWire(std::string_view data);
+
+// Appends one frame carrying `batch` to `out`.
+void AppendBatchFrame(const RecordBatch& batch, std::string* out);
+
+// Incremental frame decoder. Feed() accepts bytes in any chunking;
+// Next() yields a decoded batch per complete frame.
+class BatchWireReader {
+ public:
+  void Feed(std::string_view data) { buf_.append(data); }
+
+  // Decodes the next complete frame into `batch`. Returns false when the
+  // buffered bytes do not yet hold a whole frame (feed more / EOF), and
+  // an error status on malformed frames.
+  Result<bool> Next(RecordBatch* batch);
+
+  // Bytes buffered but not yet consumed by a decoded frame. Non-zero at
+  // EOF means a truncated trailing frame.
+  size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_COLUMNAR_BATCH_WIRE_H_

@@ -1,0 +1,144 @@
+#include "columnar/column_vector.h"
+
+namespace scoop {
+
+Value ColumnVector::GetValue(int64_t i) const {
+  if (is_null(i)) return Value::Null();
+  switch (type_) {
+    case ColumnType::kInt64:
+      return Value(ints_[i]);
+    case ColumnType::kDouble:
+      return Value(doubles_[i]);
+    case ColumnType::kString:
+      return Value(StringAt(i));
+  }
+  return Value::Null();
+}
+
+void ColumnVector::Reserve(int64_t n) {
+  validity_.reserve((static_cast<size_t>(n) + 63) / 64);
+  switch (type_) {
+    case ColumnType::kInt64:
+      ints_.reserve(n);
+      break;
+    case ColumnType::kDouble:
+      doubles_.reserve(n);
+      break;
+    case ColumnType::kString:
+      offsets_.reserve(n + 1);
+      if (dict_active_) codes_.reserve(n);
+      break;
+  }
+}
+
+void ColumnVector::AppendValidity(bool valid) {
+  size_t word = static_cast<size_t>(size_) >> 6;
+  if (word >= validity_.size()) validity_.push_back(0);
+  if (valid) validity_[word] |= 1ull << (static_cast<size_t>(size_) & 63);
+  ++size_;
+}
+
+void ColumnVector::AppendNull() {
+  switch (type_) {
+    case ColumnType::kInt64:
+      ints_.push_back(0);
+      break;
+    case ColumnType::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case ColumnType::kString:
+      offsets_.push_back(offsets_.back());
+      if (dict_active_) codes_.push_back(-1);
+      break;
+  }
+  AppendValidity(false);
+}
+
+void ColumnVector::AppendInt64(int64_t v) {
+  ints_.push_back(v);
+  AppendValidity(true);
+}
+
+void ColumnVector::AppendDouble(double v) {
+  doubles_.push_back(v);
+  AppendValidity(true);
+}
+
+void ColumnVector::AppendString(std::string_view v) {
+  bytes_.append(v);
+  offsets_.push_back(static_cast<uint32_t>(bytes_.size()));
+  if (dict_active_) {
+    auto it = dict_index_.find(v);
+    if (it != dict_index_.end()) {
+      codes_.push_back(it->second);
+    } else if (dict_size() < kMaxDictCardinality) {
+      int32_t code = dict_size();
+      dict_starts_.push_back(static_cast<uint32_t>(dict_bytes_.size()));
+      dict_lens_.push_back(static_cast<uint32_t>(v.size()));
+      dict_bytes_.append(v);
+      dict_index_.emplace(std::string(v), code);
+      codes_.push_back(code);
+    } else {
+      // Cardinality blew the cutoff: abandon the dictionary. The flat
+      // arena already holds every value, so this is just bookkeeping.
+      dict_active_ = false;
+      codes_.clear();
+      dict_starts_.clear();
+      dict_lens_.clear();
+      dict_bytes_.clear();
+      dict_index_.clear();
+    }
+  }
+  AppendValidity(true);
+}
+
+void ColumnVector::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case ColumnType::kInt64:
+      AppendInt64(v.type() == ValueType::kInt64
+                      ? v.AsInt64()
+                      : static_cast<int64_t>(v.ToDouble()));
+      return;
+    case ColumnType::kDouble:
+      AppendDouble(v.ToDouble());
+      return;
+    case ColumnType::kString:
+      if (v.type() == ValueType::kString) {
+        AppendString(v.AsString());
+      } else {
+        AppendString(v.ToString());
+      }
+      return;
+  }
+}
+
+ColumnVector ColumnVector::FromDictionary(
+    const std::vector<std::string>& values, const std::vector<int32_t>& codes) {
+  ColumnVector col(ColumnType::kString, /*dictionary=*/true);
+  for (int32_t code = 0; code < static_cast<int32_t>(values.size()); ++code) {
+    col.dict_starts_.push_back(static_cast<uint32_t>(col.dict_bytes_.size()));
+    col.dict_lens_.push_back(static_cast<uint32_t>(values[code].size()));
+    col.dict_bytes_.append(values[code]);
+    col.dict_index_.emplace(values[code], code);
+  }
+  for (int32_t code : codes) {
+    if (code < 0) {
+      col.offsets_.push_back(col.offsets_.back());
+      col.codes_.push_back(-1);
+      col.AppendValidity(false);
+    } else {
+      std::string_view v = col.DictValue(code);
+      col.bytes_.append(v);
+      col.offsets_.push_back(static_cast<uint32_t>(col.bytes_.size()));
+      col.codes_.push_back(code);
+      col.AppendValidity(true);
+    }
+  }
+  return col;
+}
+
+}  // namespace scoop

@@ -1,0 +1,114 @@
+// One typed column of a RecordBatch: a flat value array plus a validity
+// bitmap, Arrow-style. String columns keep their bytes in a single arena
+// (offsets + bytes) and can additionally carry a dictionary when the
+// column is low-cardinality — the batch evaluator then tests each
+// distinct value once and maps codes, and the wire format ships the
+// dictionary instead of the repeated bytes.
+#ifndef SCOOP_COLUMNAR_COLUMN_VECTOR_H_
+#define SCOOP_COLUMNAR_COLUMN_VECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "columnar/schema.h"
+#include "columnar/value.h"
+
+namespace scoop {
+
+class ColumnVector {
+ public:
+  // Dictionary build cutoff: a string column that exceeds this many
+  // distinct values abandons its dictionary (the flat arena is always
+  // maintained, so nothing is re-encoded).
+  static constexpr int32_t kMaxDictCardinality = 256;
+
+  explicit ColumnVector(ColumnType type, bool dictionary = false)
+      : type_(type), dict_active_(dictionary && type == ColumnType::kString) {}
+
+  ColumnType type() const { return type_; }
+  int64_t size() const { return size_; }
+
+  bool is_null(int64_t i) const {
+    return (validity_[static_cast<size_t>(i) >> 6] &
+            (1ull << (static_cast<size_t>(i) & 63))) == 0;
+  }
+  int64_t Int64At(int64_t i) const { return ints_[i]; }
+  double DoubleAt(int64_t i) const { return doubles_[i]; }
+  std::string_view StringAt(int64_t i) const {
+    return std::string_view(bytes_).substr(offsets_[i],
+                                           offsets_[i + 1] - offsets_[i]);
+  }
+  // The value at row `i` as a dynamically-typed Value (the row-adapter
+  // bridge; null rows yield Value::Null()).
+  Value GetValue(int64_t i) const;
+
+  void Reserve(int64_t n);
+  void AppendNull();
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string_view v);
+  // Typed append for the row adapters. A value whose type mismatches the
+  // column is converted (numeric casts; ToString() for string columns) —
+  // well-typed rows round-trip exactly.
+  void AppendValue(const Value& v);
+
+  // --- dictionary view -------------------------------------------------
+  bool dict_active() const { return dict_active_; }
+  int32_t dict_size() const { return static_cast<int32_t>(dict_lens_.size()); }
+  std::string_view DictValue(int32_t code) const {
+    return std::string_view(dict_bytes_)
+        .substr(dict_starts_[code], dict_lens_[code]);
+  }
+  // Dictionary code of row `i` (-1 for null). Valid only while
+  // dict_active().
+  int32_t CodeAt(int64_t i) const { return codes_[i]; }
+
+  // Rebuilds a dictionary-encoded column from its wire parts (codes use
+  // -1 for null). The flat arena is materialized so StringAt stays O(1).
+  static ColumnVector FromDictionary(const std::vector<std::string>& values,
+                                     const std::vector<int32_t>& codes);
+
+  // --- raw views for the wire format -----------------------------------
+  const std::vector<uint64_t>& validity_words() const { return validity_; }
+  const std::vector<int64_t>& int64_data() const { return ints_; }
+  const std::vector<double>& double_data() const { return doubles_; }
+  const std::vector<uint32_t>& string_offsets() const { return offsets_; }
+  const std::string& string_bytes() const { return bytes_; }
+  const std::vector<int32_t>& dict_codes() const { return codes_; }
+
+ private:
+  void AppendValidity(bool valid);
+
+  ColumnType type_;
+  int64_t size_ = 0;
+  std::vector<uint64_t> validity_;  // bit set = non-null
+
+  std::vector<int64_t> ints_;     // kInt64 (0 for null)
+  std::vector<double> doubles_;   // kDouble (0.0 for null)
+  std::vector<uint32_t> offsets_ = {0};  // kString: arena offsets, size()+1
+  std::string bytes_;
+
+  // Dictionary state (kString only, while dict_active_).
+  bool dict_active_ = false;
+  std::vector<int32_t> codes_;          // per row, -1 = null
+  std::vector<uint32_t> dict_starts_;   // per distinct value, into dict_bytes_
+  std::vector<uint32_t> dict_lens_;
+  std::string dict_bytes_;
+  // Heterogeneous lookup so the hot append path probes with a
+  // string_view instead of materializing a std::string per row.
+  struct TransparentHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_map<std::string, int32_t, TransparentHash, std::equal_to<>>
+      dict_index_;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_COLUMNAR_COLUMN_VECTOR_H_

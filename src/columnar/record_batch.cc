@@ -1,0 +1,70 @@
+#include "columnar/record_batch.h"
+
+namespace scoop {
+
+RecordBatch::RecordBatch(Schema schema, bool dictionary_encode)
+    : schema_(std::move(schema)) {
+  columns_.reserve(schema_.size());
+  for (const Column& column : schema_.columns()) {
+    columns_.push_back(
+        std::make_shared<ColumnVector>(column.type, dictionary_encode));
+  }
+}
+
+void RecordBatch::Reserve(int64_t n) {
+  for (auto& column : columns_) column->Reserve(n);
+}
+
+void RecordBatch::AppendRow(const Row& row) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i < row.size()) {
+      columns_[i]->AppendValue(row[i]);
+    } else {
+      columns_[i]->AppendNull();
+    }
+  }
+  ++rows_;
+}
+
+void RecordBatch::ExtractRow(int64_t i, Row* row) const {
+  row->clear();
+  row->reserve(columns_.size());
+  for (const auto& column : columns_) row->push_back(column->GetValue(i));
+}
+
+std::vector<Row> RecordBatch::ToRows() const {
+  std::vector<Row> rows(rows_);
+  for (int64_t i = 0; i < rows_; ++i) ExtractRow(i, &rows[i]);
+  return rows;
+}
+
+RecordBatch RecordBatch::FromRows(const Schema& schema,
+                                  const std::vector<Row>& rows,
+                                  bool dictionary_encode) {
+  RecordBatch batch(schema, dictionary_encode);
+  batch.Reserve(static_cast<int64_t>(rows.size()));
+  for (const Row& row : rows) batch.AppendRow(row);
+  return batch;
+}
+
+RecordBatch RecordBatch::SelectColumns(const Schema& projected,
+                                       const std::vector<int>& indices) const {
+  RecordBatch out;
+  out.schema_ = projected;
+  out.rows_ = rows_;
+  out.columns_.reserve(indices.size());
+  for (size_t k = 0; k < indices.size(); ++k) {
+    if (indices[k] >= 0) {
+      out.columns_.push_back(columns_[indices[k]]);
+    } else {
+      auto nulls =
+          std::make_shared<ColumnVector>(projected.column(k).type);
+      nulls->Reserve(rows_);
+      for (int64_t i = 0; i < rows_; ++i) nulls->AppendNull();
+      out.columns_.push_back(std::move(nulls));
+    }
+  }
+  return out;
+}
+
+}  // namespace scoop

@@ -1,0 +1,69 @@
+// A schema plus one ColumnVector per column — the unit of work the batch
+// data plane moves between the scanner, the evaluator, and the storlet
+// wire. Columns are held by shared_ptr so projection is a pointer copy,
+// not a data copy.
+#ifndef SCOOP_COLUMNAR_RECORD_BATCH_H_
+#define SCOOP_COLUMNAR_RECORD_BATCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "columnar/column_vector.h"
+#include "columnar/schema.h"
+#include "columnar/value.h"
+
+namespace scoop {
+
+// Rows the scanner packs into one batch before handing it downstream;
+// large enough to amortize per-batch overhead, small enough to stay in
+// cache.
+inline constexpr int64_t kDefaultBatchRows = 4096;
+
+class RecordBatch {
+ public:
+  RecordBatch() = default;
+  // Creates an empty batch with one column vector per schema column.
+  explicit RecordBatch(Schema schema, bool dictionary_encode = false);
+
+  const Schema& schema() const { return schema_; }
+  int64_t num_rows() const { return rows_; }
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnVector& column(size_t i) const { return *columns_[i]; }
+  ColumnVector* mutable_column(size_t i) { return columns_[i].get(); }
+
+  void Reserve(int64_t n);
+  // Callers appending directly to the column vectors must keep them in
+  // lockstep and then account the rows here.
+  void set_num_rows(int64_t n) { rows_ = n; }
+
+  // Replaces column `i` with an externally-built vector (e.g. a
+  // dictionary column decoded straight off the parquet wire). The caller
+  // keeps the row counts in lockstep, as with mutable_column().
+  void SetColumn(size_t i, ColumnVector column) {
+    columns_[i] = std::make_shared<ColumnVector>(std::move(column));
+  }
+
+  void AppendRow(const Row& row);
+  // Materializes row `i` into `row` (cleared first) — the bridge back to
+  // the row-at-a-time APIs.
+  void ExtractRow(int64_t i, Row* row) const;
+  std::vector<Row> ToRows() const;
+  static RecordBatch FromRows(const Schema& schema, const std::vector<Row>& rows,
+                              bool dictionary_encode = false);
+
+  // Projection: column k of the result is this batch's column
+  // `indices[k]` (shared, zero-copy), or an all-null column of
+  // `projected`'s declared type when `indices[k]` < 0.
+  RecordBatch SelectColumns(const Schema& projected,
+                            const std::vector<int>& indices) const;
+
+ private:
+  Schema schema_;
+  int64_t rows_ = 0;
+  std::vector<std::shared_ptr<ColumnVector>> columns_;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_COLUMNAR_RECORD_BATCH_H_

@@ -1,4 +1,4 @@
-#include "sql/schema.h"
+#include "columnar/schema.h"
 
 #include "common/strings.h"
 

@@ -1,0 +1,131 @@
+#include "columnar/simd.h"
+
+#include <atomic>
+
+#if !defined(SCOOP_SIMD_ENABLED)
+#define SCOOP_SIMD_ENABLED 0
+#endif
+
+#if SCOOP_SIMD_ENABLED && defined(__SSE2__)
+#include <emmintrin.h>
+#define SCOOP_SIMD_SSE2 1
+#else
+#define SCOOP_SIMD_SSE2 0
+#endif
+
+namespace scoop {
+
+namespace {
+
+std::atomic<uint64_t> g_simd_bytes{0};
+
+inline uint32_t Tagged(size_t offset, char c) {
+  uint32_t tag = c == ',' ? kCsvTagComma
+                          : (c == '\n' ? kCsvTagNewline : kCsvTagQuote);
+  return static_cast<uint32_t>(offset) | tag;
+}
+
+// Scalar loop for buffer tails shorter than one classifier block.
+inline void ScanScalar(const char* data, size_t begin, size_t end,
+                       std::vector<uint32_t>* out) {
+  for (size_t i = begin; i < end; ++i) {
+    char c = data[i];
+    if (c == ',' || c == '\n' || c == '"') out->push_back(Tagged(i, c));
+  }
+}
+
+#if SCOOP_SIMD_SSE2
+
+void ScanBlocks(const char* data, size_t size, std::vector<uint32_t>* out) {
+  const __m128i comma = _mm_set1_epi8(',');
+  const __m128i newline = _mm_set1_epi8('\n');
+  const __m128i quote = _mm_set1_epi8('"');
+  size_t i = 0;
+  for (; i + 16 <= size; i += 16) {
+    __m128i block =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    uint32_t commas = static_cast<uint32_t>(
+        _mm_movemask_epi8(_mm_cmpeq_epi8(block, comma)));
+    uint32_t newlines = static_cast<uint32_t>(
+        _mm_movemask_epi8(_mm_cmpeq_epi8(block, newline)));
+    uint32_t quotes = static_cast<uint32_t>(
+        _mm_movemask_epi8(_mm_cmpeq_epi8(block, quote)));
+    uint32_t any = commas | newlines | quotes;
+    while (any != 0) {
+      uint32_t bit = static_cast<uint32_t>(__builtin_ctz(any));
+      size_t offset = i + bit;
+      uint32_t mask = 1u << bit;
+      uint32_t tag = (newlines & mask) != 0
+                         ? kCsvTagNewline
+                         : ((quotes & mask) != 0 ? kCsvTagQuote
+                                                 : kCsvTagComma);
+      out->push_back(static_cast<uint32_t>(offset) | tag);
+      any &= any - 1;
+    }
+  }
+  g_simd_bytes.fetch_add(i, std::memory_order_relaxed);
+  ScanScalar(data, i, size, out);
+}
+
+#else  // SWAR fallback
+
+// Exact SWAR zero-byte classifier: bit 7 of each byte is set iff that
+// byte of x is 0. The textbook (x - 0x01..) & ~x & 0x80.. detector is
+// NOT usable here: its subtraction borrows across byte lanes, falsely
+// flagging a 0x01 byte that sits above a run of zero bytes (e.g. '-'
+// right after a matched ','). This form is carry-free — each lane's sum
+// is at most 0x7F + 0x7F, so lanes never interact.
+inline uint64_t ZeroBytes(uint64_t x) {
+  uint64_t t = (x & 0x7F7F7F7F7F7F7F7Full) + 0x7F7F7F7F7F7F7F7Full;
+  return ~(t | x | 0x7F7F7F7F7F7F7F7Full);
+}
+
+inline uint64_t Broadcast(char c) {
+  return 0x0101010101010101ull * static_cast<uint8_t>(c);
+}
+
+void ScanBlocks(const char* data, size_t size, std::vector<uint32_t>* out) {
+  const uint64_t comma = Broadcast(',');
+  const uint64_t newline = Broadcast('\n');
+  const uint64_t quote = Broadcast('"');
+  size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    uint64_t word;
+    __builtin_memcpy(&word, data + i, 8);
+    uint64_t commas = ZeroBytes(word ^ comma);
+    uint64_t newlines = ZeroBytes(word ^ newline);
+    uint64_t quotes = ZeroBytes(word ^ quote);
+    uint64_t any = commas | newlines | quotes;
+    while (any != 0) {
+      // Each match sets bit 7 of its byte; ctz/8 is the byte index
+      // (little-endian byte order matches memcpy above).
+      uint32_t byte = static_cast<uint32_t>(__builtin_ctzll(any)) / 8;
+      uint64_t mask = 0x80ull << (byte * 8);
+      uint32_t tag = (newlines & mask) != 0
+                         ? kCsvTagNewline
+                         : ((quotes & mask) != 0 ? kCsvTagQuote
+                                                 : kCsvTagComma);
+      out->push_back((static_cast<uint32_t>(i) + byte) | tag);
+      any &= any - 1;
+    }
+  }
+  g_simd_bytes.fetch_add(i, std::memory_order_relaxed);
+  ScanScalar(data, i, size, out);
+}
+
+#endif
+
+}  // namespace
+
+void ScanCsvStructural(const char* data, size_t size,
+                       std::vector<uint32_t>* out) {
+  ScanBlocks(data, size, out);
+}
+
+bool SimdEnabled() { return SCOOP_SIMD_SSE2 != 0; }
+
+uint64_t SimdBytesScanned() {
+  return g_simd_bytes.load(std::memory_order_relaxed);
+}
+
+}  // namespace scoop

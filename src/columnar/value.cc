@@ -1,4 +1,4 @@
-#include "sql/value.h"
+#include "columnar/value.h"
 
 #include <cmath>
 

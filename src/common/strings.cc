@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cctype>
@@ -92,6 +93,42 @@ Result<double> ParseDouble(std::string_view s) {
   return v;
 }
 
+bool FastParseDouble(std::string_view s, double* out) {
+  static constexpr double kPow10[] = {1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6,
+                                      1e7, 1e8, 1e9, 1e10, 1e11, 1e12,
+                                      1e13, 1e14, 1e15};
+  size_t i = 0;
+  bool neg = false;
+  if (i < s.size() && s[i] == '-') {
+    neg = true;
+    ++i;
+  }
+  uint64_t mantissa = 0;
+  int digits = 0;
+  int frac = 0;
+  const size_t int_start = i;
+  for (; i < s.size() && s[i] >= '0' && s[i] <= '9'; ++i) {
+    mantissa = mantissa * 10 + static_cast<uint64_t>(s[i] - '0');
+    ++digits;
+  }
+  if (i == int_start) return false;  // ".5", "-", "inf", ...
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    const size_t frac_start = i;
+    for (; i < s.size() && s[i] >= '0' && s[i] <= '9'; ++i) {
+      mantissa = mantissa * 10 + static_cast<uint64_t>(s[i] - '0');
+      ++digits;
+      ++frac;
+    }
+    if (i == frac_start) return false;  // "1." — strtod differs, fall back
+  }
+  if (i != s.size() || digits > 15) return false;
+  double v = static_cast<double>(mantissa);
+  if (frac > 0) v /= kPow10[frac];
+  *out = neg ? -v : v;
+  return true;
+}
+
 bool LikeMatch(std::string_view s, std::string_view pattern) {
   // Iterative greedy matcher with backtracking on the last '%', the classic
   // O(n*m) wildcard algorithm.
@@ -115,6 +152,19 @@ bool LikeMatch(std::string_view s, std::string_view pattern) {
   }
   while (pi < pattern.size() && pattern[pi] == '%') ++pi;
   return pi == pattern.size();
+}
+
+void AppendCsvField(std::string_view field, std::string* out) {
+  if (field.find_first_of(",\"\n") == std::string_view::npos) {
+    out->append(field);
+    return;
+  }
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
 }
 
 std::string FormatBytes(double bytes) {

@@ -34,10 +34,27 @@ bool Contains(std::string_view s, std::string_view needle);
 Result<int64_t> ParseInt64(std::string_view s);
 Result<double> ParseDouble(std::string_view s);
 
+// Allocation-free exact fast path for the common `[-]digits[.digits]`
+// shape with at most 15 total digits. Returns false (leaving *out
+// untouched) on any other shape — exponents, hex, inf/nan, surrounding
+// whitespace, 16+ digits — which the caller must route to ParseDouble.
+// When it returns true the result is bit-identical to ParseDouble's:
+// mantissa and power of ten are both exactly representable, so the
+// single IEEE division is correctly rounded, same as strtod. Hot scan
+// and filter loops use this; see csv/batch_reader.cc.
+bool FastParseDouble(std::string_view s, double* out);
+
 // Matches `s` against a SQL LIKE `pattern` where '%' matches any run of
 // characters and '_' matches exactly one character. Case-sensitive, like
 // Spark SQL's default collation.
 bool LikeMatch(std::string_view s, std::string_view pattern);
+
+// Appends `field` to `out` as one CSV field, RFC-4180 quoting it (and
+// doubling embedded quotes) when it contains a comma, quote, or newline.
+// The single escaping routine shared by every CSV writer in the repo —
+// row writers, the batch serializer, and result rendering — so the
+// dialects cannot drift apart.
+void AppendCsvField(std::string_view field, std::string* out);
 
 // Renders a byte count with binary units ("1.5 GiB").
 std::string FormatBytes(double bytes);

@@ -19,6 +19,9 @@ Result<QueryOutcome> SqlJobRunner::Run(const SelectStatement& stmt,
   };
   std::vector<TaskOutput> outputs(partitions.size());
 
+  ExponentialHistogram* batch_eval_us =
+      metrics_ != nullptr ? metrics_->GetHistogram("exec.batch_eval_us")
+                          : nullptr;
   std::vector<TaskInfo> task_infos = scheduler_->RunTasks(
       partitions.size(), [&](size_t index, int /*worker_id*/) {
         TaskOutput& out = outputs[index];
@@ -29,10 +32,21 @@ Result<QueryOutcome> SqlJobRunner::Run(const SelectStatement& stmt,
           out.status = scan.status();
           return;
         }
+        // Row-plane sources (and adapters) fill rows; columnar sources
+        // fill batches. Either way the same plan accumulates.
         for (const Row& row : scan->rows) {
           plan->ProcessRow(row, scan->filter_applied, &out.partial);
         }
+        for (const RecordBatch& batch : scan->batches) {
+          Stopwatch batch_watch;
+          plan->ProcessBatch(batch, scan->filter_applied, &out.partial);
+          if (batch_eval_us != nullptr) {
+            batch_eval_us->Record(static_cast<int64_t>(
+                batch_watch.ElapsedSeconds() * 1e6));
+          }
+        }
         scan->rows.clear();
+        scan->batches.clear();
         out.scan_info = std::move(scan).value();
       });
 

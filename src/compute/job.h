@@ -48,7 +48,11 @@ struct QueryOutcome {
 // workers is decided per partition by what the scan reports.
 class SqlJobRunner {
  public:
-  explicit SqlJobRunner(TaskScheduler* scheduler) : scheduler_(scheduler) {}
+  // `metrics` (optional) receives the "exec.batch_eval_us" histogram —
+  // per-RecordBatch evaluation latency on the columnar plane.
+  explicit SqlJobRunner(TaskScheduler* scheduler,
+                        MetricRegistry* metrics = nullptr)
+      : scheduler_(scheduler), metrics_(metrics) {}
 
   Result<QueryOutcome> Run(const SelectStatement& stmt,
                            PartitionedRelation* relation);
@@ -57,6 +61,7 @@ class SqlJobRunner {
 
  private:
   TaskScheduler* scheduler_;
+  MetricRegistry* metrics_;
 };
 
 }  // namespace scoop

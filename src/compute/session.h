@@ -24,6 +24,10 @@ class SparkSession {
 
   TaskScheduler& scheduler() { return scheduler_; }
 
+  // Points query execution at a metric registry (exec.batch_eval_us and
+  // friends); nullptr (the default) disables execution metrics.
+  void set_metrics(MetricRegistry* metrics) { metrics_ = metrics; }
+
   // Registers (or replaces) a table backed by `relation`.
   void RegisterTable(const std::string& name,
                      std::shared_ptr<PartitionedRelation> relation);
@@ -40,6 +44,7 @@ class SparkSession {
 
  private:
   TaskScheduler scheduler_;
+  MetricRegistry* metrics_ = nullptr;
   std::map<std::string, std::shared_ptr<PartitionedRelation>> tables_;
 };
 

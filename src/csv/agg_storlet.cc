@@ -1,8 +1,12 @@
 #include "csv/agg_storlet.h"
 
 #include <map>
+#include <numeric>
 
+#include "columnar/batch_wire.h"
+#include "columnar/record_batch.h"
 #include "common/strings.h"
+#include "csv/batch_reader.h"
 #include "csv/record_reader.h"
 #include "sql/aggregates.h"
 #include "sql/source_filter.h"
@@ -79,6 +83,7 @@ Status GroupAggStorlet::Invoke(StorletInputStream& input,
     SCOOP_ASSIGN_OR_RETURN(selection,
                            SourceFilter::Parse(selection_it->second));
   }
+  bool has_selection = !selection.IsTrue();
 
   // Group map keyed by the rendered group fields (std::map: sorted output).
   struct Entry {
@@ -86,18 +91,10 @@ Status GroupAggStorlet::Invoke(StorletInputStream& input,
     std::vector<AggState> states;
   };
   std::map<std::string, Entry> groups;
-
-  CsvRecordParser parser;
   int64_t rows_in = 0;
-  while (auto line = input.ReadLine()) {
-    std::string_view record = *line;
-    if (!record.empty() && record.back() == '\r') record.remove_suffix(1);
-    if (record.empty()) continue;
-    const std::vector<std::string_view>& fields = parser.Parse(record);
-    if (fields.size() != schema.size()) continue;
-    if (!selection.Matches(fields, schema)) continue;
-    ++rows_in;
 
+  // Folds one record (raw fields, schema order) into the group map.
+  auto accumulate = [&](const std::string_view* fields) {
     std::string key;
     for (int idx : group_indices) {
       key.append(fields[static_cast<size_t>(idx)]);
@@ -122,6 +119,86 @@ Status GroupAggStorlet::Invoke(StorletInputStream& input,
                              spec.type));
       }
     }
+  };
+
+  // Sniff the input: an upstream csv storlet invoked with output=batch
+  // sends length-prefixed RecordBatch frames instead of CSV text.
+  char magic[4];
+  size_t sniffed = input.Peek(magic, sizeof(magic));
+  bool wire_input =
+      LooksLikeBatchWire(std::string_view(magic, sniffed));
+
+  if (wire_input) {
+    // Wire frames carry raw string fields under their own (possibly
+    // projected) schema; map this storlet's column positions by name so
+    // the record view handed to accumulate/selection stays schema-shaped.
+    BatchWireReader wire;
+    RecordBatch batch;
+    std::vector<char> chunk(64 * 1024);
+    std::vector<int> wire_idx;          // schema position -> wire column
+    std::vector<std::string> rendered;  // scratch for non-string columns
+    rendered.reserve(schema.size());    // views into it must not relocate
+    std::vector<std::string_view> fields(schema.size());
+    std::vector<uint32_t> one;
+    for (;;) {
+      SCOOP_ASSIGN_OR_RETURN(bool got_batch, wire.Next(&batch));
+      if (!got_batch) {
+        size_t got = input.Read(chunk.data(), chunk.size());
+        if (got == 0) break;
+        wire.Feed(std::string_view(chunk.data(), got));
+        continue;
+      }
+      wire_idx.assign(schema.size(), -1);
+      for (size_t i = 0; i < schema.size(); ++i) {
+        wire_idx[i] = batch.schema().IndexOf(schema.column(i).name);
+      }
+      for (int64_t r = 0; r < batch.num_rows(); ++r) {
+        rendered.clear();
+        for (size_t i = 0; i < schema.size(); ++i) {
+          int wc = wire_idx[i];
+          if (wc < 0) {
+            fields[i] = std::string_view();  // absent column reads as null
+            continue;
+          }
+          const ColumnVector& col = batch.column(wc);
+          if (col.type() == ColumnType::kString) {
+            fields[i] = col.is_null(r) ? std::string_view() : col.StringAt(r);
+          } else {
+            rendered.push_back(col.GetValue(r).ToString());
+            fields[i] = rendered.back();
+          }
+        }
+        if (has_selection) {
+          one.assign(1, 0);
+          selection.MatchRows(fields.data(), fields.size(), schema, &one);
+          if (one.empty()) continue;
+        }
+        ++rows_in;
+        accumulate(fields.data());
+      }
+    }
+    if (wire.buffered_bytes() > 0) {
+      return Status::InvalidArgument(
+          "aggstorlet: truncated batch frame at end of input");
+    }
+  } else {
+    // Text input: batched structural scan. rows_in counts selected rows
+    // only, exactly like the historical per-line loop.
+    CsvStreamBatcher batcher(&input, schema.size());
+    RawRecordBatch raw;
+    std::vector<uint32_t> selected;
+    while (batcher.Next(&raw)) {
+      selected.resize(static_cast<size_t>(raw.num_rows));
+      std::iota(selected.begin(), selected.end(), 0u);
+      if (has_selection) {
+        selection.MatchRows(raw.fields.data(), raw.num_fields, schema,
+                            &selected);
+      }
+      rows_in += static_cast<int64_t>(selected.size());
+      for (uint32_t r : selected) {
+        accumulate(raw.fields.data() + r * raw.num_fields);
+      }
+    }
   }
 
   std::string scratch;
@@ -139,8 +216,9 @@ Status GroupAggStorlet::Invoke(StorletInputStream& input,
     WriteCsvRecord(views, &scratch);
     output.Write(scratch);
   }
-  logger.Emit(StrFormat("aggstorlet: %lld rows -> %zu groups",
-                        static_cast<long long>(rows_in), groups.size()));
+  logger.Emit(StrFormat("aggstorlet: %lld rows -> %zu groups%s",
+                        static_cast<long long>(rows_in), groups.size(),
+                        wire_input ? " (batch frames in)" : ""));
   output.SetMetadata("groups", std::to_string(groups.size()));
   return Status::OK();
 }

@@ -1,5 +1,8 @@
 #include "csv/record_reader.h"
 
+#include "common/strings.h"
+#include "csv/batch_reader.h"
+
 namespace scoop {
 
 const std::vector<std::string_view>& CsvRecordParser::Parse(
@@ -61,7 +64,31 @@ const std::vector<std::string_view>& CsvRecordParser::Parse(
   return fields_;
 }
 
+CsvRowReader::CsvRowReader(std::string_view data, const Schema* schema) {
+  // Rows are materialized immediately, so dictionary-encoding the
+  // intermediate batches would be pure overhead.
+  CsvBatchOptions options;
+  options.dictionary = false;
+  reader_ = std::make_unique<CsvBatchReader>(data, schema, options);
+}
+
+CsvRowReader::~CsvRowReader() = default;
+
 bool CsvRowReader::Next(Row* row) {
+  while (cursor_ >= batch_.num_rows()) {
+    if (!reader_->Next(&batch_)) return false;
+    cursor_ = 0;
+  }
+  batch_.ExtractRow(cursor_++, row);
+  ++rows_;
+  return true;
+}
+
+int64_t CsvRowReader::malformed_rows() const {
+  return reader_->stats().malformed_rows;
+}
+
+bool ScalarRowReader::Next(Row* row) {
   while (pos_ < data_.size()) {
     size_t nl = data_.find('\n', pos_);
     std::string_view line;
@@ -94,17 +121,7 @@ void WriteCsvRecord(const std::vector<std::string_view>& fields,
                     std::string* out) {
   for (size_t i = 0; i < fields.size(); ++i) {
     if (i > 0) out->push_back(',');
-    std::string_view field = fields[i];
-    if (field.find_first_of(",\"\n") == std::string_view::npos) {
-      out->append(field);
-    } else {
-      out->push_back('"');
-      for (char c : field) {
-        if (c == '"') out->push_back('"');
-        out->push_back(c);
-      }
-      out->push_back('"');
-    }
+    AppendCsvField(fields[i], out);
   }
   out->push_back('\n');
 }

@@ -1,6 +1,9 @@
 #include "datasource/csv_source.h"
 
-#include "csv/record_reader.h"
+#include <numeric>
+
+#include "columnar/simd.h"
+#include "csv/batch_reader.h"
 
 namespace scoop {
 
@@ -37,12 +40,32 @@ Result<PartitionScanResult> CsvDataSource::ScanPartition(
   result.filter_applied = read.pushdown_executed;
 
   // With pushdown the storlet already projected the record to
-  // required-column order; otherwise we parse full records and project.
+  // required-column order; otherwise we scan full-schema batches and
+  // project by sharing column vectors (zero copy).
   SCOOP_ASSIGN_OR_RETURN(Schema pruned, schema_.Select(required_columns));
+  MetricRegistry* metrics = stocator_->metrics();
+  Counter* batches_counter =
+      metrics != nullptr ? metrics->GetCounter("csv.batches") : nullptr;
+  Counter* simd_bytes =
+      metrics != nullptr ? metrics->GetCounter("csv.simd_bytes") : nullptr;
+  ExponentialHistogram* rows_per_batch =
+      metrics != nullptr ? metrics->GetHistogram("scan.rows_per_batch")
+                         : nullptr;
+  auto account = [&](const RecordBatch& batch) {
+    if (batches_counter != nullptr) batches_counter->Increment();
+    if (rows_per_batch != nullptr) rows_per_batch->Record(batch.num_rows());
+  };
+
   if (read.pushdown_executed) {
-    CsvRowReader reader(read.data, &pruned);
-    Row row;
-    while (reader.Next(&row)) result.rows.push_back(row);
+    CsvBatchReader reader(read.data, &pruned);
+    RecordBatch batch;
+    while (reader.Next(&batch)) {
+      account(batch);
+      result.batches.push_back(std::move(batch));
+    }
+    if (simd_bytes != nullptr && SimdEnabled()) {
+      simd_bytes->Add(static_cast<int64_t>(reader.stats().scanned_bytes));
+    }
     return result;
   }
 
@@ -51,16 +74,14 @@ Result<PartitionScanResult> CsvDataSource::ScanPartition(
   for (const std::string& name : required_columns) {
     indices.push_back(schema_.IndexOf(name));
   }
-  CsvRowReader reader(read.data, &schema_);
-  Row row;
-  while (reader.Next(&row)) {
-    Row projected;
-    projected.reserve(indices.size());
-    for (int idx : indices) {
-      projected.push_back(idx >= 0 ? row[static_cast<size_t>(idx)]
-                                   : Value::Null());
-    }
-    result.rows.push_back(std::move(projected));
+  CsvBatchReader reader(read.data, &schema_);
+  RecordBatch batch;
+  while (reader.Next(&batch)) {
+    account(batch);
+    result.batches.push_back(batch.SelectColumns(pruned, indices));
+  }
+  if (simd_bytes != nullptr && SimdEnabled()) {
+    simd_bytes->Add(static_cast<int64_t>(reader.stats().scanned_bytes));
   }
   return result;
 }
@@ -76,6 +97,7 @@ Result<std::vector<Row>> CsvDataSource::ScanPrunedFiltered(
         PartitionScanResult scan,
         ScanPartition(partition, required_columns, filter));
     all_filtered = all_filtered && scan.filter_applied;
+    scan.MaterializeRows();
     for (Row& row : scan.rows) rows.push_back(std::move(row));
   }
   if (filter_applied != nullptr) {

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "columnar/record_batch.h"
 #include "common/result.h"
 #include "datasource/partitioner.h"
 #include "sql/schema.h"
@@ -29,8 +30,13 @@ namespace scoop {
 // wrappers over it.
 
 struct PartitionScanResult {
-  // Typed rows in required-column order.
+  // Typed rows in required-column order. Sources on the columnar plane
+  // leave this empty and fill `batches` instead; a scan never populates
+  // both for the same records.
   std::vector<Row> rows;
+  // Typed RecordBatches in required-column order — the columnar plane's
+  // native product.
+  std::vector<RecordBatch> batches;
   // True when the source already applied the selection filter exactly.
   bool filter_applied = false;
   // Bytes that crossed the store->compute link for this partition.
@@ -39,6 +45,25 @@ struct PartitionScanResult {
   uint64_t raw_bytes = 0;
   // GET requests issued.
   int requests = 0;
+
+  int64_t TotalRows() const {
+    int64_t n = static_cast<int64_t>(rows.size());
+    for (const RecordBatch& b : batches) n += b.num_rows();
+    return n;
+  }
+
+  // Flattens `batches` into `rows` (appended) — the bridge for callers
+  // still on the row-at-a-time API.
+  void MaterializeRows() {
+    Row row;
+    for (const RecordBatch& b : batches) {
+      for (int64_t i = 0; i < b.num_rows(); ++i) {
+        b.ExtractRow(i, &row);
+        rows.push_back(row);
+      }
+    }
+    batches.clear();
+  }
 };
 
 class BaseRelation {

@@ -350,7 +350,7 @@ Result<ParquetInfo> ParquetInspect(std::string_view data) {
   return std::move(parsed.first);
 }
 
-Result<std::vector<Row>> ParquetDecode(
+Result<RecordBatch> ParquetDecodeBatch(
     std::string_view data, const std::vector<std::string>& required_columns) {
   SCOOP_ASSIGN_OR_RETURN(auto parsed, ParseBlocks(data));
   const ParquetInfo& info = parsed.first;
@@ -367,19 +367,55 @@ Result<std::vector<Row>> ParquetDecode(
     }
   }
 
-  std::vector<std::vector<Value>> columns;
-  columns.reserve(selected.size());
-  for (const ColumnBlock* block : selected) {
+  std::vector<Column> out_columns;
+  out_columns.reserve(selected.size());
+  for (const ColumnBlock* block : selected) out_columns.push_back(block->column);
+  RecordBatch batch{Schema(std::move(out_columns))};
+
+  for (size_t c = 0; c < selected.size(); ++c) {
+    const ColumnBlock& block = *selected[c];
+    if (block.encoding == kDict) {
+      // Straight into a dictionary column vector: distinct values + codes.
+      SCOOP_ASSIGN_OR_RETURN(std::string raw, LzDecompress(block.compressed));
+      if (raw.size() != block.raw_size) {
+        return Status::InvalidArgument("column block size mismatch");
+      }
+      BinReader reader(raw);
+      SCOOP_ASSIGN_OR_RETURN(uint32_t dict_size, reader.U32());
+      std::vector<std::string> dict(dict_size);
+      for (uint32_t i = 0; i < dict_size; ++i) {
+        SCOOP_ASSIGN_OR_RETURN(dict[i], reader.String());
+      }
+      std::vector<int32_t> codes;
+      codes.reserve(info.rows);
+      for (uint64_t r = 0; r < info.rows; ++r) {
+        SCOOP_ASSIGN_OR_RETURN(uint16_t index, reader.U16());
+        if (index == kNullIndex) {
+          codes.push_back(-1);
+        } else if (index < dict_size) {
+          codes.push_back(static_cast<int32_t>(index));
+        } else {
+          return Status::InvalidArgument("dictionary index out of range");
+        }
+      }
+      batch.SetColumn(c, ColumnVector::FromDictionary(dict, codes));
+      continue;
+    }
     SCOOP_ASSIGN_OR_RETURN(std::vector<Value> values,
-                           DecodeColumn(*block, info.rows));
-    columns.push_back(std::move(values));
+                           DecodeColumn(block, info.rows));
+    ColumnVector* col = batch.mutable_column(c);
+    col->Reserve(static_cast<int64_t>(info.rows));
+    for (const Value& v : values) col->AppendValue(v);
   }
-  std::vector<Row> rows(info.rows);
-  for (uint64_t r = 0; r < info.rows; ++r) {
-    rows[r].reserve(columns.size());
-    for (auto& column : columns) rows[r].push_back(std::move(column[r]));
-  }
-  return rows;
+  batch.set_num_rows(static_cast<int64_t>(info.rows));
+  return batch;
+}
+
+Result<std::vector<Row>> ParquetDecode(
+    std::string_view data, const std::vector<std::string>& required_columns) {
+  SCOOP_ASSIGN_OR_RETURN(RecordBatch batch,
+                         ParquetDecodeBatch(data, required_columns));
+  return batch.ToRows();
 }
 
 bool ParquetCanSkip(const SourceFilter& filter, const Schema& schema,

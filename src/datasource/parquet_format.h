@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "columnar/record_batch.h"
 #include "common/result.h"
 #include "sql/schema.h"
 #include "sql/source_filter.h"
@@ -45,7 +46,16 @@ struct ParquetInfo {
 };
 Result<ParquetInfo> ParquetInspect(std::string_view data);
 
-// Decodes `required_columns` (empty = all) into rows in that order.
+// Decodes `required_columns` (empty = all) into one RecordBatch in that
+// order. Dictionary-encoded string columns come off the wire as
+// dictionary column vectors — codes and distinct values, never the
+// repeated strings — so the batch evaluator's per-distinct-value fast
+// path applies directly.
+Result<RecordBatch> ParquetDecodeBatch(
+    std::string_view data, const std::vector<std::string>& required_columns);
+
+// Row-at-a-time adapter over ParquetDecodeBatch (deprecated as an
+// engine; kept for the remaining row-based callers).
 Result<std::vector<Row>> ParquetDecode(
     std::string_view data, const std::vector<std::string>& required_columns);
 

@@ -43,7 +43,9 @@ Result<PartitionScanResult> ParquetDataSource::ScanPartition(
       return result;  // provably empty: decode nothing
     }
   }
-  SCOOP_ASSIGN_OR_RETURN(result.rows, ParquetDecode(data, required_columns));
+  SCOOP_ASSIGN_OR_RETURN(RecordBatch batch,
+                         ParquetDecodeBatch(data, required_columns));
+  result.batches.push_back(std::move(batch));
   return result;
 }
 
@@ -55,6 +57,7 @@ Result<std::vector<Row>> ParquetDataSource::ScanPruned(
     SCOOP_ASSIGN_OR_RETURN(
         PartitionScanResult scan,
         ScanPartition(partition, required_columns, SourceFilter::True()));
+    scan.MaterializeRows();
     for (Row& row : scan.rows) rows.push_back(std::move(row));
   }
   return rows;

@@ -92,6 +92,10 @@ class Stocator {
                    std::string data, const StorletParams* etl_params);
 
   SwiftClient* client() { return client_; }
+  // The registry this connector reports into (nullptr when metrics are
+  // off); data sources built over the connector share it for their scan
+  // metrics (csv.batches, csv.simd_bytes, scan.rows_per_batch).
+  MetricRegistry* metrics() { return metrics_; }
 
  private:
   // ReadPartitionInto behind the "stocator.read_partition" root span;

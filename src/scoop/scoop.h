@@ -80,7 +80,9 @@ class ScoopSession {
       : cluster_(cluster),
         client_(std::move(client)),
         stocator_(&client_, &cluster->metrics()),
-        spark_(num_workers) {}
+        spark_(num_workers) {
+    spark_.set_metrics(&cluster->metrics());
+  }
 
   ScoopSession(const ScoopSession&) = delete;
   ScoopSession& operator=(const ScoopSession&) = delete;

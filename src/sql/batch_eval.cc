@@ -1,0 +1,256 @@
+#include "sql/batch_eval.h"
+
+#include "common/strings.h"
+#include "sql/expr_eval.h"
+
+namespace scoop {
+
+namespace {
+
+inline bool CmpResult(BinaryOp op, int cmp) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return cmp == 0;
+    case BinaryOp::kNe:
+      return cmp != 0;
+    case BinaryOp::kLt:
+      return cmp < 0;
+    case BinaryOp::kLe:
+      return cmp <= 0;
+    case BinaryOp::kGt:
+      return cmp > 0;
+    case BinaryOp::kGe:
+      return cmp >= 0;
+    default:
+      return false;
+  }
+}
+
+inline int Cmp3(double a, double b) { return a < b ? -1 : (a > b ? 1 : 0); }
+inline int Cmp3(int64_t a, int64_t b) { return a < b ? -1 : (a > b ? 1 : 0); }
+inline int Cmp3(std::string_view a, std::string_view b) {
+  int c = a.compare(b);
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+inline bool IsComparison(BinaryOp op) {
+  return op == BinaryOp::kEq || op == BinaryOp::kNe || op == BinaryOp::kLt ||
+         op == BinaryOp::kLe || op == BinaryOp::kGt || op == BinaryOp::kGe;
+}
+
+// Mirror of the comparison with its operands swapped: `lit OP col` is
+// `col Mirror(OP) lit`.
+inline BinaryOp Mirror(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return BinaryOp::kGt;
+    case BinaryOp::kLe:
+      return BinaryOp::kGe;
+    case BinaryOp::kGt:
+      return BinaryOp::kLt;
+    case BinaryOp::kGe:
+      return BinaryOp::kLe;
+    default:
+      return op;
+  }
+}
+
+// A `column OP literal` shape (either operand order), column bound.
+struct ColLit {
+  const ColumnVector* col = nullptr;
+  const Value* lit = nullptr;
+  BinaryOp op = BinaryOp::kEq;  // normalized: column on the left
+  bool swapped = false;         // the column was the right operand
+};
+
+bool MatchColLit(const Expr& expr, const RecordBatch& batch, ColLit* out) {
+  if (expr.kind != Expr::Kind::kBinary || expr.args.size() != 2) return false;
+  const Expr& l = *expr.args[0];
+  const Expr& r = *expr.args[1];
+  auto bound = [&](const Expr& e) {
+    return e.kind == Expr::Kind::kColumn && e.col_index >= 0 &&
+           static_cast<size_t>(e.col_index) < batch.num_columns();
+  };
+  if (bound(l) && r.kind == Expr::Kind::kLiteral) {
+    out->col = &batch.column(l.col_index);
+    out->lit = &r.literal;
+    out->op = expr.bop;
+    out->swapped = false;
+    return true;
+  }
+  if (bound(r) && l.kind == Expr::Kind::kLiteral) {
+    out->col = &batch.column(r.col_index);
+    out->lit = &l.literal;
+    out->op = Mirror(expr.bop);
+    out->swapped = true;
+    return true;
+  }
+  return false;
+}
+
+// Evaluates `col OP lit` for one non-null string value.
+inline bool StringCmp(std::string_view field, BinaryOp op, bool lit_is_string,
+                      std::string_view lit_display) {
+  // A string operand always compares via display forms (Value::Compare's
+  // mixed/string branch), so the numeric-literal case reduces to the
+  // same lexicographic compare against the literal's rendering.
+  (void)lit_is_string;
+  return CmpResult(op, Cmp3(field, lit_display));
+}
+
+// Vectorized kernels; `mask[i]` is set to whether row `rows[i]` passes.
+// Returns false when the expression shape is not handled (caller falls
+// back to the scalar evaluator).
+bool TryEvalMask(const Expr& expr, const RecordBatch& batch,
+                 const std::vector<uint32_t>& rows, std::vector<char>* mask) {
+  // Boolean structure: combine child masks. EvalExpr's AND/OR return
+  // {0,1} from the operands' truthiness and NOT negates it, and none of
+  // these shapes has side effects, so mask algebra matches exactly.
+  if (expr.kind == Expr::Kind::kBinary &&
+      (expr.bop == BinaryOp::kAnd || expr.bop == BinaryOp::kOr)) {
+    std::vector<char> right;
+    if (!TryEvalMask(*expr.args[0], batch, rows, mask)) return false;
+    if (!TryEvalMask(*expr.args[1], batch, rows, &right)) return false;
+    if (expr.bop == BinaryOp::kAnd) {
+      for (size_t i = 0; i < mask->size(); ++i) (*mask)[i] &= right[i];
+    } else {
+      for (size_t i = 0; i < mask->size(); ++i) (*mask)[i] |= right[i];
+    }
+    return true;
+  }
+  if (expr.kind == Expr::Kind::kUnary && expr.uop == UnaryOp::kNot) {
+    if (!TryEvalMask(*expr.args[0], batch, rows, mask)) return false;
+    for (char& m : *mask) m = !m;
+    return true;
+  }
+
+  if (expr.kind != Expr::Kind::kBinary) return false;
+  ColLit shape;
+  if (!MatchColLit(expr, batch, &shape)) return false;
+  const ColumnVector& col = *shape.col;
+  const Value& lit = *shape.lit;
+  mask->assign(rows.size(), 0);
+
+  // A null literal fails every comparison and LIKE (EvalExpr yields 0).
+  if (lit.is_null()) return true;
+
+  if (expr.bop == BinaryOp::kLike) {
+    // Vectorize string-column LIKE; other column types render per row in
+    // the scalar evaluator, so leave them to the fallback. LIKE is not
+    // symmetric, so only the `column LIKE pattern` order qualifies.
+    if (shape.swapped || col.type() != ColumnType::kString ||
+        lit.type() != ValueType::kString) {
+      return false;
+    }
+    const std::string& pattern = lit.AsString();
+    if (col.dict_active()) {
+      std::vector<char> per_code(col.dict_size());
+      for (int32_t c = 0; c < col.dict_size(); ++c) {
+        per_code[c] = LikeMatch(col.DictValue(c), pattern);
+      }
+      for (size_t i = 0; i < rows.size(); ++i) {
+        int32_t code = col.CodeAt(rows[i]);
+        (*mask)[i] = code >= 0 && per_code[code];
+      }
+    } else {
+      for (size_t i = 0; i < rows.size(); ++i) {
+        uint32_t r = rows[i];
+        (*mask)[i] = !col.is_null(r) && LikeMatch(col.StringAt(r), pattern);
+      }
+    }
+    return true;
+  }
+
+  if (!IsComparison(expr.bop)) return false;
+  BinaryOp op = shape.op;
+
+  switch (col.type()) {
+    case ColumnType::kInt64: {
+      if (lit.type() == ValueType::kInt64) {
+        int64_t v = lit.AsInt64();
+        const std::vector<int64_t>& data = col.int64_data();
+        for (size_t i = 0; i < rows.size(); ++i) {
+          uint32_t r = rows[i];
+          (*mask)[i] = !col.is_null(r) && CmpResult(op, Cmp3(data[r], v));
+        }
+        return true;
+      }
+      if (lit.type() == ValueType::kDouble) {
+        double v = lit.AsDoubleExact();
+        const std::vector<int64_t>& data = col.int64_data();
+        for (size_t i = 0; i < rows.size(); ++i) {
+          uint32_t r = rows[i];
+          (*mask)[i] = !col.is_null(r) &&
+                       CmpResult(op, Cmp3(static_cast<double>(data[r]), v));
+        }
+        return true;
+      }
+      // int column vs string literal renders the int per row (display-
+      // form comparison); leave to the fallback.
+      return false;
+    }
+    case ColumnType::kDouble: {
+      if (lit.type() != ValueType::kInt64 && lit.type() != ValueType::kDouble) {
+        return false;
+      }
+      double v = lit.ToDouble();
+      const std::vector<double>& data = col.double_data();
+      for (size_t i = 0; i < rows.size(); ++i) {
+        uint32_t r = rows[i];
+        (*mask)[i] = !col.is_null(r) && CmpResult(op, Cmp3(data[r], v));
+      }
+      return true;
+    }
+    case ColumnType::kString: {
+      // Value::Compare puts string-vs-anything through display forms, so
+      // one precomputed rendering of the literal covers both the string
+      // and numeric literal cases.
+      std::string display = lit.ToString();
+      bool lit_is_string = lit.type() == ValueType::kString;
+      if (col.dict_active()) {
+        std::vector<char> per_code(col.dict_size());
+        for (int32_t c = 0; c < col.dict_size(); ++c) {
+          per_code[c] = StringCmp(col.DictValue(c), op, lit_is_string, display);
+        }
+        for (size_t i = 0; i < rows.size(); ++i) {
+          int32_t code = col.CodeAt(rows[i]);
+          (*mask)[i] = code >= 0 && per_code[code];
+        }
+      } else {
+        for (size_t i = 0; i < rows.size(); ++i) {
+          uint32_t r = rows[i];
+          (*mask)[i] = !col.is_null(r) &&
+                       StringCmp(col.StringAt(r), op, lit_is_string, display);
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void FilterBatch(const Expr& expr, const RecordBatch& batch,
+                 std::vector<uint32_t>* selection) {
+  if (selection->empty()) return;
+  std::vector<char> mask;
+  if (TryEvalMask(expr, batch, *selection, &mask)) {
+    size_t out = 0;
+    for (size_t i = 0; i < selection->size(); ++i) {
+      if (mask[i]) (*selection)[out++] = (*selection)[i];
+    }
+    selection->resize(out);
+    return;
+  }
+  // Fallback: materialize the candidate rows through the scalar engine.
+  Row scratch;
+  size_t out = 0;
+  for (uint32_t r : *selection) {
+    batch.ExtractRow(r, &scratch);
+    if (EvalPredicate(expr, scratch)) (*selection)[out++] = r;
+  }
+  selection->resize(out);
+}
+
+}  // namespace scoop

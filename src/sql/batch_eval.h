@@ -1,0 +1,28 @@
+// Vectorized predicate evaluation over RecordBatches. The executor's
+// WHERE conjuncts run here batch-at-a-time with a selection vector,
+// instead of materializing a Row per record and walking the expression
+// tree per row.
+#ifndef SCOOP_SQL_BATCH_EVAL_H_
+#define SCOOP_SQL_BATCH_EVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "columnar/record_batch.h"
+#include "sql/ast.h"
+
+namespace scoop {
+
+// Narrows `selection` (row indices into `batch`) to the rows where
+// EvalPredicate(expr, row) holds. Common shapes — bound-column vs
+// literal comparisons and LIKE, plus AND/OR/NOT over those — evaluate
+// as typed kernels over the column vectors (with a once-per-distinct-
+// value fast path on dictionary-encoded string columns); every other
+// expression falls back to materializing the candidate rows through the
+// scalar evaluator, so the two paths agree by construction.
+void FilterBatch(const Expr& expr, const RecordBatch& batch,
+                 std::vector<uint32_t>* selection);
+
+}  // namespace scoop
+
+#endif  // SCOOP_SQL_BATCH_EVAL_H_

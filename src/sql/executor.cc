@@ -1,38 +1,21 @@
 #include "sql/executor.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "common/strings.h"
+#include "sql/batch_eval.h"
 #include "sql/expr_eval.h"
 #include "sql/parser.h"
 
 namespace scoop {
-
-namespace {
-
-// CSV field quoting for result rendering: quote when the field contains
-// a comma, quote or newline (RFC-4180 style).
-void AppendCsvField(std::string* out, const std::string& field) {
-  if (field.find_first_of(",\"\n") == std::string::npos) {
-    out->append(field);
-    return;
-  }
-  out->push_back('"');
-  for (char c : field) {
-    if (c == '"') out->push_back('"');
-    out->push_back(c);
-  }
-  out->push_back('"');
-}
-
-}  // namespace
 
 std::string ResultTable::ToCsv() const {
   std::string out;
   for (const Row& row : rows) {
     for (size_t i = 0; i < row.size(); ++i) {
       if (i > 0) out.push_back(',');
-      AppendCsvField(&out, row[i].ToString());
+      AppendCsvField(row[i].ToString(), &out);
     }
     out.push_back('\n');
   }
@@ -306,7 +289,31 @@ void PhysicalPlan::ProcessRow(const Row& row, bool filters_already_applied,
     if (!EvalPredicate(*conjunct, row)) return;
   }
   ++partial->rows_passed;
+  AccumulateRow(row, partial);
+}
 
+void PhysicalPlan::ProcessBatch(const RecordBatch& batch,
+                                bool filters_already_applied,
+                                PartialResult* partial) const {
+  const int64_t n = batch.num_rows();
+  partial->rows_seen += n;
+  const auto& conjuncts =
+      filters_already_applied ? residual_conjuncts_ : all_conjuncts_;
+  std::vector<uint32_t> selection(static_cast<size_t>(n));
+  std::iota(selection.begin(), selection.end(), 0u);
+  for (const auto& conjunct : conjuncts) {
+    if (selection.empty()) break;
+    FilterBatch(*conjunct, batch, &selection);
+  }
+  partial->rows_passed += static_cast<int64_t>(selection.size());
+  Row scratch;
+  for (uint32_t r : selection) {
+    batch.ExtractRow(r, &scratch);
+    AccumulateRow(scratch, partial);
+  }
+}
+
+void PhysicalPlan::AccumulateRow(const Row& row, PartialResult* partial) const {
   if (has_aggregates_) {
     Row key;
     key.reserve(group_exprs_.size());

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "columnar/record_batch.h"
 #include "common/result.h"
 #include "sql/aggregates.h"
 #include "sql/ast.h"
@@ -73,6 +74,14 @@ class PhysicalPlan {
   void ProcessRow(const Row& row, bool filters_already_applied,
                   PartialResult* partial) const;
 
+  // Batch-native equivalent: feeds every row of `batch` (typed per
+  // scan_schema()). The WHERE conjuncts narrow a selection vector via
+  // the vectorized kernels in sql/batch_eval.h; only the survivors are
+  // materialized as rows for aggregation/projection. Produces the exact
+  // PartialResult that per-row ProcessRow calls over the same data would.
+  void ProcessBatch(const RecordBatch& batch, bool filters_already_applied,
+                    PartialResult* partial) const;
+
   // Folds `from` into `into`. Call in ascending partition order so
   // first_value keeps the earliest partition's value.
   void MergePartial(PartialResult* into, PartialResult&& from) const;
@@ -109,6 +118,10 @@ class PhysicalPlan {
   Result<std::unique_ptr<Expr>> RewriteAggregateExpr(const Expr& expr);
 
   std::string SerializeKey(const Row& key) const;
+
+  // Post-filter half of ProcessRow: aggregation update or output/sort
+  // projection for one row that already passed the WHERE conjuncts.
+  void AccumulateRow(const Row& row, PartialResult* partial) const;
 
   Schema table_schema_;
   Schema scan_schema_;

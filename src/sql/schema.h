@@ -1,60 +1,9 @@
+// Forwarding header: Schema moved to the columnar layer (the batch data
+// plane owns the type system now). Kept so existing `sql/schema.h`
+// includers compile unchanged; new code should include columnar/schema.h.
 #ifndef SCOOP_SQL_SCHEMA_H_
 #define SCOOP_SQL_SCHEMA_H_
 
-#include <string>
-#include <string_view>
-#include <vector>
-
-#include "common/result.h"
-
-namespace scoop {
-
-// Column data types of the structured layer. CSV fields are parsed into
-// these on scan, mirroring Spark-CSV's schema application.
-enum class ColumnType { kString, kInt64, kDouble };
-
-std::string_view ColumnTypeName(ColumnType type);
-Result<ColumnType> ColumnTypeFromName(std::string_view name);
-
-struct Column {
-  std::string name;
-  ColumnType type = ColumnType::kString;
-
-  bool operator==(const Column& other) const {
-    return name == other.name && type == other.type;
-  }
-};
-
-// An ordered list of named, typed columns (Spark's StructType).
-class Schema {
- public:
-  Schema() = default;
-  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
-
-  const std::vector<Column>& columns() const { return columns_; }
-  size_t size() const { return columns_.size(); }
-  const Column& column(size_t i) const { return columns_[i]; }
-
-  // Case-insensitive column lookup; -1 when absent.
-  int IndexOf(std::string_view name) const;
-  bool Has(std::string_view name) const { return IndexOf(name) >= 0; }
-
-  // New schema keeping only `names`, in the given order. Errors on an
-  // unknown name.
-  Result<Schema> Select(const std::vector<std::string>& names) const;
-
-  // "name:type,name:type,...", the wire form used in storlet parameters.
-  std::string ToSpec() const;
-  static Result<Schema> FromSpec(std::string_view spec);
-
-  bool operator==(const Schema& other) const {
-    return columns_ == other.columns_;
-  }
-
- private:
-  std::vector<Column> columns_;
-};
-
-}  // namespace scoop
+#include "columnar/schema.h"
 
 #endif  // SCOOP_SQL_SCHEMA_H_

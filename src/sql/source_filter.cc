@@ -289,11 +289,19 @@ bool SourceFilter::Matches(const std::vector<std::string_view>& fields,
 
   int cmp;
   if (literal_is_number) {
-    auto field_num = ParseDouble(field);
-    if (!field_num.ok()) return false;
-    auto lit_num = ParseDouble(literal);
-    if (!lit_num.ok()) return false;
-    cmp = *field_num < *lit_num ? -1 : (*field_num > *lit_num ? 1 : 0);
+    double field_num;
+    if (!FastParseDouble(field, &field_num)) {
+      auto parsed = ParseDouble(field);
+      if (!parsed.ok()) return false;
+      field_num = *parsed;
+    }
+    double lit_num;
+    if (!FastParseDouble(literal, &lit_num)) {
+      auto parsed = ParseDouble(literal);
+      if (!parsed.ok()) return false;
+      lit_num = *parsed;
+    }
+    cmp = field_num < lit_num ? -1 : (field_num > lit_num ? 1 : 0);
   } else {
     cmp = field.compare(literal);
     cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
@@ -314,6 +322,128 @@ bool SourceFilter::Matches(const std::vector<std::string_view>& fields,
     default:
       return false;
   }
+}
+
+namespace {
+
+bool CompareMatches(SourceFilter::Op op, int cmp) {
+  switch (op) {
+    case SourceFilter::Op::kEq:
+      return cmp == 0;
+    case SourceFilter::Op::kNe:
+      return cmp != 0;
+    case SourceFilter::Op::kLt:
+      return cmp < 0;
+    case SourceFilter::Op::kLe:
+      return cmp <= 0;
+    case SourceFilter::Op::kGt:
+      return cmp > 0;
+    case SourceFilter::Op::kGe:
+      return cmp >= 0;
+    default:
+      return false;
+  }
+}
+
+// Sets mask[i] to whether row rows[i] matches `filter`. Same semantics
+// as Matches, evaluated structure-at-a-time over the candidate rows.
+void EvalFilterMask(const SourceFilter& filter, const std::string_view* fields,
+                    size_t num_fields, const Schema& schema,
+                    const std::vector<uint32_t>& rows,
+                    std::vector<char>* mask) {
+  switch (filter.op) {
+    case SourceFilter::Op::kTrue:
+      mask->assign(rows.size(), 1);
+      return;
+    case SourceFilter::Op::kAnd:
+    case SourceFilter::Op::kOr: {
+      const bool is_and = filter.op == SourceFilter::Op::kAnd;
+      mask->assign(rows.size(), is_and ? 1 : 0);
+      std::vector<char> child_mask;
+      for (const SourceFilter& child : filter.children) {
+        EvalFilterMask(child, fields, num_fields, schema, rows, &child_mask);
+        if (is_and) {
+          for (size_t i = 0; i < mask->size(); ++i) {
+            (*mask)[i] &= child_mask[i];
+          }
+        } else {
+          for (size_t i = 0; i < mask->size(); ++i) {
+            (*mask)[i] |= child_mask[i];
+          }
+        }
+      }
+      return;
+    }
+    case SourceFilter::Op::kNot:
+      EvalFilterMask(filter.children[0], fields, num_fields, schema, rows,
+                     mask);
+      for (char& m : *mask) m = !m;
+      return;
+    default:
+      break;
+  }
+
+  // Leaf: hoist the column lookup and literal parse out of the row loop.
+  mask->assign(rows.size(), 0);
+  int idx = schema.IndexOf(filter.column);
+  if (idx < 0 || static_cast<size_t>(idx) >= num_fields) return;
+  const size_t col = static_cast<size_t>(idx);
+
+  if (filter.op == SourceFilter::Op::kIsNull ||
+      filter.op == SourceFilter::Op::kIsNotNull) {
+    const bool want_empty = filter.op == SourceFilter::Op::kIsNull;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      (*mask)[i] = fields[rows[i] * num_fields + col].empty() == want_empty;
+    }
+    return;
+  }
+  if (filter.op == SourceFilter::Op::kLike) {
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::string_view field = fields[rows[i] * num_fields + col];
+      (*mask)[i] = !field.empty() && LikeMatch(field, filter.literal);
+    }
+    return;
+  }
+  if (filter.literal_is_number) {
+    auto lit_num = ParseDouble(filter.literal);
+    if (!lit_num.ok()) return;  // unparseable literal never matches
+    double lit = *lit_num;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::string_view field = fields[rows[i] * num_fields + col];
+      if (field.empty()) continue;
+      double field_num;
+      if (!FastParseDouble(field, &field_num)) {
+        auto parsed = ParseDouble(field);
+        if (!parsed.ok()) continue;
+        field_num = *parsed;
+      }
+      int cmp = field_num < lit ? -1 : (field_num > lit ? 1 : 0);
+      (*mask)[i] = CompareMatches(filter.op, cmp);
+    }
+    return;
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::string_view field = fields[rows[i] * num_fields + col];
+    if (field.empty()) continue;
+    int cmp = field.compare(filter.literal);
+    cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+    (*mask)[i] = CompareMatches(filter.op, cmp);
+  }
+}
+
+}  // namespace
+
+void SourceFilter::MatchRows(const std::string_view* fields, size_t num_fields,
+                             const Schema& schema,
+                             std::vector<uint32_t>* selection) const {
+  if (op == Op::kTrue || selection->empty()) return;
+  std::vector<char> mask;
+  EvalFilterMask(*this, fields, num_fields, schema, *selection, &mask);
+  size_t out = 0;
+  for (size_t i = 0; i < selection->size(); ++i) {
+    if (mask[i]) (*selection)[out++] = (*selection)[i];
+  }
+  selection->resize(out);
 }
 
 void SourceFilter::CollectColumns(std::set<std::string>* out) const {

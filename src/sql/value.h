@@ -1,71 +1,9 @@
+// Forwarding header: Value/Row moved to the columnar layer (the batch
+// data plane owns the type system now). Kept so existing `sql/value.h`
+// includers compile unchanged; new code should include columnar/value.h.
 #ifndef SCOOP_SQL_VALUE_H_
 #define SCOOP_SQL_VALUE_H_
 
-#include <cstdint>
-#include <string>
-#include <string_view>
-#include <variant>
-#include <vector>
-
-#include "common/result.h"
-#include "sql/schema.h"
-
-namespace scoop {
-
-enum class ValueType { kNull, kInt64, kDouble, kString };
-
-// A dynamically-typed SQL value. Row data flows through the executor as
-// vectors of these.
-class Value {
- public:
-  Value() = default;  // null
-  explicit Value(int64_t v) : data_(v) {}
-  explicit Value(double v) : data_(v) {}
-  explicit Value(std::string v) : data_(std::move(v)) {}
-  explicit Value(std::string_view v) : data_(std::string(v)) {}
-
-  static Value Null() { return Value(); }
-
-  ValueType type() const {
-    return static_cast<ValueType>(data_.index() == 0
-                                      ? 0
-                                      : static_cast<int>(data_.index()));
-  }
-  bool is_null() const { return data_.index() == 0; }
-
-  int64_t AsInt64() const { return std::get<int64_t>(data_); }
-  double AsDoubleExact() const { return std::get<double>(data_); }
-  const std::string& AsString() const { return std::get<std::string>(data_); }
-
-  // Numeric view: int64 promoted to double; 0.0 for null/strings that are
-  // not numeric contexts (callers check types first).
-  double ToDouble() const;
-
-  // SQL-ish display form ("" for null).
-  std::string ToString() const;
-
-  // Parses a raw CSV field into a typed value. Empty fields become null.
-  // Unparseable numeric fields become null (Spark-CSV permissive mode).
-  static Value FromField(std::string_view field, ColumnType type);
-
-  // Three-way comparison: -1/0/+1. Null sorts before everything; numeric
-  // types compare numerically (with int->double promotion); strings
-  // compare lexicographically. Mixed string/number compares as strings.
-  int Compare(const Value& other) const;
-
-  bool operator==(const Value& other) const { return Compare(other) == 0; }
-  bool operator<(const Value& other) const { return Compare(other) < 0; }
-
-  // Stable hash for group-by keys.
-  uint64_t Hash() const;
-
- private:
-  std::variant<std::monostate, int64_t, double, std::string> data_;
-};
-
-// A row of values, one per schema column.
-using Row = std::vector<Value>;
-
-}  // namespace scoop
+#include "columnar/value.h"
 
 #endif  // SCOOP_SQL_VALUE_H_

@@ -62,6 +62,19 @@ size_t StorletInputStream::Read(char* buf, size_t n) {
   return *got;
 }
 
+size_t StorletInputStream::Peek(char* buf, size_t n) {
+  if (stream_ == nullptr) {
+    size_t count = std::min(n, data_.size() - pos_);
+    std::memcpy(buf, data_.data() + pos_, count);
+    return count;
+  }
+  while (buf_.size() - bpos_ < n && Fill(n - (buf_.size() - bpos_))) {
+  }
+  size_t count = std::min(n, buf_.size() - bpos_);
+  std::memcpy(buf, buf_.data() + bpos_, count);
+  return count;
+}
+
 std::optional<std::string_view> StorletInputStream::ReadLine() {
   if (stream_ == nullptr) {
     if (pos_ >= data_.size()) return std::nullopt;

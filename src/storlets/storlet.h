@@ -56,6 +56,12 @@ class StorletInputStream {
   // Copies up to `n` bytes into `buf`; returns the count (0 at EOF).
   size_t Read(char* buf, size_t n);
 
+  // Copies up to `n` upcoming bytes into `buf` WITHOUT consuming them;
+  // returns the count (short only at EOF). Used to sniff the input
+  // format (batch wire frames vs CSV text) before choosing a decoder.
+  // On a stream backing the peeked bytes are staged internally.
+  size_t Peek(char* buf, size_t n);
+
   // Returns the next line without its trailing '\n' (handles a final
   // unterminated line); nullopt at EOF.
   std::optional<std::string_view> ReadLine();

@@ -15,8 +15,10 @@
 
 #include "common/failpoint.h"
 #include "common/metrics.h"
+#include "csv/record_reader.h"
 #include "objectstore/cluster.h"
 #include "scoop/scoop.h"
+#include "sql/executor.h"
 #include "storlets/headers.h"
 #include "workload/generator.h"
 
@@ -432,6 +434,43 @@ TEST_F(ChaosQueryTest, IntermittentStorletCrashStillConverges) {
     ASSERT_TRUE(faulted.ok()) << faulted.status();
     EXPECT_EQ(faulted->table.ToCsv(), reference_csv_);
   }
+}
+
+TEST_F(ChaosQueryTest, BatchPlaneFailoverMatchesScalarRowEngine) {
+  // The columnar scan plane under replica failover must not just be
+  // self-consistent — it must match the retired scalar row engine bit for
+  // bit. The reference is computed completely outside the cluster: the
+  // generator's CSV parsed row-at-a-time and executed through the local
+  // plan, with no batches, no storlets, no object store.
+  GeneratorConfig gen_config;
+  gen_config.num_meters = 6;
+  gen_config.readings_per_meter = 400;
+  gen_config.seed = 77;
+  GridPocketGenerator generator(gen_config);
+  std::string csv;
+  generator.AppendCsv(0, 6 * 400, &csv);
+  Schema schema = GridPocketGenerator::MeterSchema();
+  ScalarRowReader reader(csv, &schema);
+  std::vector<Row> rows;
+  Row row;
+  while (reader.Next(&row)) rows.push_back(row);
+  ASSERT_EQ(rows.size(), 2400u);
+  auto reference = ExecuteSqlOverRows(kQuery, schema, rows);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  ASSERT_EQ(reference->ToCsv(), reference_csv_)
+      << "fault-free batch plane diverges from the scalar row engine";
+
+  const std::vector<int>& replicas =
+      cluster_->swift().ring().GetNodes("/gp/meters/m0000.csv");
+  ASSERT_FALSE(replicas.empty());
+  FailpointSpec spec;
+  spec.key = "d" + std::to_string(replicas[0]);
+  spec.error = Status::IOError("replica down");
+  ASSERT_TRUE(Failpoints::Global().Arm("device.read", spec).ok());
+
+  auto faulted = session_->Sql(kQuery);
+  ASSERT_TRUE(faulted.ok()) << faulted.status();
+  EXPECT_EQ(faulted->table.ToCsv(), reference->ToCsv());
 }
 
 TEST_F(ChaosQueryTest, ReplicaFaultUnderPushdownIsInvisible) {

@@ -106,6 +106,24 @@ TEST(StringsTest, ParseDouble) {
   EXPECT_FALSE(ParseDouble("").ok());
 }
 
+TEST(StringsTest, FastParseDoubleMatchesParseDoubleBitForBit) {
+  // Shapes the fast path accepts must be bit-identical to strtod.
+  for (const char* s : {"0", "7", "-12", "3.25", "-0.1", "123456.789",
+                        "999999999999999", "0.00000000000001", "42.0"}) {
+    double fast = 0;
+    ASSERT_TRUE(FastParseDouble(s, &fast)) << s;
+    EXPECT_EQ(fast, *ParseDouble(s)) << s;
+  }
+  // Everything else must decline (fall back to the strict parser), not
+  // guess: exponents, 16+ digits, whitespace, empty parts, non-numbers.
+  double out = 0;
+  for (const char* s : {"", "-", ".", "1.", ".5", "1e3", "-2E-1", " 7",
+                        "7 ", "inf", "nan", "0x10", "1234567890123456",
+                        "1.23456789012345678", "+5", "1,5"}) {
+    EXPECT_FALSE(FastParseDouble(s, &out)) << s;
+  }
+}
+
 struct LikeCase {
   const char* text;
   const char* pattern;

@@ -245,7 +245,7 @@ TEST_F(DatasourceTest, ParquetStatsSkippingAvoidsDecode) {
     auto scan = source.ScanPartition(p, {"vid"}, *filter);
     ASSERT_TRUE(scan.ok());
     EXPECT_FALSE(scan->filter_applied);  // parquet never filters rows
-    total_rows += scan->rows.size();
+    total_rows += static_cast<size_t>(scan->TotalRows());
   }
   // The "low" object is provably out of range and decodes to zero rows.
   EXPECT_EQ(total_rows, 100u);

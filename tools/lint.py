@@ -16,6 +16,11 @@ Checks (each finding is `file:line: [check] message`, exit 1 on any):
   include-hygiene      parent-relative includes ("../"), <bits/...>
                        internals, and headers without a SCOOP_ include
                        guard.
+  intrinsics-include   CPU intrinsics headers (<emmintrin.h>,
+                       <immintrin.h>, <arm_neon.h>, ...) anywhere outside
+                       src/columnar/simd.{h,cc}. Platform dispatch lives
+                       behind ScanCsvStructural; nothing else may grow an
+                       ISA dependency.
   banned-function      non-reentrant / nondeterministic / unsafe libc calls
                        (rand, strtok, localtime, sprintf, ...) — use
                        common/random.h, common/strings.h, snprintf.
@@ -63,6 +68,12 @@ BLOCKING_RE = re.compile(
 )
 PARENT_INCLUDE_RE = re.compile(r'#\s*include\s*"\.\./')
 BITS_INCLUDE_RE = re.compile(r"#\s*include\s*<bits/")
+# The one place allowed to include CPU intrinsics: the structural scanner.
+INTRINSICS_EXEMPT = {"src/columnar/simd.h", "src/columnar/simd.cc"}
+INTRINSICS_INCLUDE_RE = re.compile(
+    r"#\s*include\s*<(?:[emnpstwx]mmintrin|immintrin|avx\w*intrin|"
+    r"x86intrin|x86gprintrin|intrin|arm_neon|arm_sve)\.h>"
+)
 GUARD_RE = re.compile(r"#\s*(?:ifndef\s+SCOOP_\w+_H_|pragma\s+once)")
 BANNED_RE = re.compile(
     r"\b(?:std::)?(rand|srand|strtok|gets|sprintf|vsprintf|strcpy|strcat|"
@@ -187,6 +198,13 @@ def lint_file(rel_path, lines, failpoint_sites=None, metric_names=None):
             findings.append((lineno, "include-hygiene",
                              "<bits/...> is libstdc++ internal — include "
                              "the standard header"))
+        if (rel_path not in INTRINSICS_EXEMPT
+                and INTRINSICS_INCLUDE_RE.search(line)):
+            findings.append((
+                lineno, "intrinsics-include",
+                "CPU intrinsics outside src/columnar/simd.{h,cc} — go "
+                "through ScanCsvStructural so platform dispatch stays in "
+                "one place"))
 
         banned = BANNED_RE.search(line)
         if banned:
@@ -293,6 +311,12 @@ SELF_TEST_CASES = [
     ("// std::mutex in a comment", "src/foo/a.cc", None),
     ('#include "../common/sync.h"', "src/foo/a.cc", "include-hygiene"),
     ("#include <bits/stdc++.h>", "src/foo/a.cc", "include-hygiene"),
+    ("#include <emmintrin.h>", "src/csv/batch_reader.cc",
+     "intrinsics-include"),
+    ("#include <immintrin.h>", "src/foo/a.cc", "intrinsics-include"),
+    ("#include <arm_neon.h>", "src/foo/a.cc", "intrinsics-include"),
+    ("#include <emmintrin.h>", "src/columnar/simd.cc", None),
+    ("// #include <emmintrin.h> in a comment", "src/foo/a.cc", None),
     ("int x = rand();", "src/foo/a.cc", "banned-function"),
     ("tm* t = localtime(&now);", "src/foo/a.cc", "banned-function"),
     ("int x = rand();  // NOLINT: seeded elsewhere", "src/foo/a.cc", None),
@@ -325,6 +349,15 @@ SELF_TEST_CASES = [
      "metric-name"),
     ('metrics->GetCounter("proxy.retries")->Increment();', "src/foo/a.cc",
      None),
+    # The columnar-plane metrics ride the same catalog contract.
+    ('metrics->GetCounter("csv.simd_bytes")->Add(n);',
+     "src/datasource/c.cc", None),
+    ('metrics->GetCounter("csv.batches")->Add(1);',
+     "src/datasource/c.cc", None),
+    ('metrics->GetHistogram("scan.rows_per_batch")->Record(rows);',
+     "src/datasource/c.cc", None),
+    ('metrics->GetHistogram("exec.batch_eval_us")->Record(us);',
+     "src/compute/j.cc", None),
     ('hits_ = metrics->GetCounter("cache.hits");', "src/cache/c.cc", None),
     ('metrics->GetHistogram("cache.lookup_us")->Record(us);',
      "src/cache/c.cc", None),
@@ -348,7 +381,9 @@ SELF_TEST_CASES = [
 SELF_TEST_FAILPOINT_SITES = {"device.read", "object.read.chunk",
                              "cache.lookup", "cache.fill"}
 SELF_TEST_METRIC_NAMES = {"proxy.retries", "proxy_%d.requests",
-                          "cache.hits", "cache.lookup_us"}
+                          "cache.hits", "cache.lookup_us", "csv.batches",
+                          "csv.simd_bytes", "scan.rows_per_batch",
+                          "exec.batch_eval_us"}
 
 
 def self_test():
