@@ -111,7 +111,9 @@ void RealSweep() {
   // tree (stocator -> proxy -> object server -> storlet stages) ships as
   // a CI artifact next to the metrics.
   d.cluster->traces().Enable();
-  (void)d.session->Sql(kQueries[1].pushdown_sql);
+  // Only the recorded span tree matters here; the query result was
+  // already validated by the timed sweep above.
+  d.session->Sql(kQueries[1].pushdown_sql).status().IgnoreError();
   bench::EmitTraceJson("fig5_selectivity_speedup", d.cluster->traces());
   d.cluster->traces().Disable();
 

@@ -150,14 +150,20 @@ class Singleflight {
 
     // Trailer map shared with every follower's response; filled (under
     // the queue-close happens-before edge) at completion.
+    // UNGUARDED: the pointer itself is set once at construction; the
+    // pointee is written only pre-queue-close, read only post-EOF.
     std::shared_ptr<Headers> fanout_trailers_ = std::make_shared<Headers>();
+    // UNGUARDED: written once by MakeTee before the tee stream exists.
     std::shared_ptr<const Headers> leader_trailers_;  // set by MakeTee
+    // UNGUARDED: written once by MakeTee before the tee stream exists.
     CompleteFn on_complete_;                          // set by MakeTee
   };
 
  private:
   void Remove(const std::string& key, const Flight* flight) EXCLUDES(mu_);
 
+  // UNGUARDED: registry pointer resolved in the constructor; Counter is
+  // internally atomic.
   Counter* coalesced_;
   const size_t max_buffer_bytes_;
   const size_t queue_bytes_;

@@ -257,8 +257,10 @@ class BoundedByteQueue {
 
  private:
   const size_t max_bytes_;
+  // UNGUARDED: registry pointers resolved in the constructor; Gauge and
+  // Counter are internally atomic.
   Gauge* buffered_bytes_;
-  Counter* chunk_counter_;
+  Counter* chunk_counter_;  // UNGUARDED: same as buffered_bytes_
 
   Mutex mu_{"bytequeue", lockrank::kQueue};
   CondVar can_write_;

@@ -15,8 +15,13 @@ namespace scoop {
 //   Result<int> ParsePort(std::string_view s);
 //   ...
 //   SCOOP_ASSIGN_OR_RETURN(int port, ParsePort(arg));
+//
+// [[nodiscard]] like Status: dropping a Result discards both the value and
+// the error, so -Werror=unused-result makes it a compile error. Use
+// `.status().IgnoreError()` (with a reason comment) for the rare fire-and-
+// forget call.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so `return value;` and `return status;` both work.
   Result(T value) : data_(std::move(value)) {}

@@ -32,7 +32,13 @@ std::string_view StatusCodeName(StatusCode code);
 
 // A cheap, copyable success-or-error value. The OK status carries no
 // allocation; error statuses carry a code and a human-readable message.
-class Status {
+//
+// The class is [[nodiscard]]: a fallible call whose Status is dropped on
+// the floor is a compile error under -Werror=unused-result (set globally in
+// CMakeLists.txt). Call sites that genuinely do not care must say so with
+// `.IgnoreError()` plus a comment explaining why the error is ignorable;
+// tools/scoop_check flags bare `(void)` discards.
+class [[nodiscard]] Status {
  public:
   // Constructs an OK status.
   Status() = default;
@@ -102,6 +108,12 @@ class Status {
 
   // "OK" or "<code>: <message>".
   std::string ToString() const;
+
+  // Explicitly discards this status. The only sanctioned way to ignore a
+  // fallible call's result — always pair it with a comment giving the
+  // reason (best-effort cleanup, error already reported elsewhere, ...).
+  // tools/scoop_check rejects bare `(void)` casts of Status expressions.
+  void IgnoreError() const {}
 
  private:
   StatusCode code_ = StatusCode::kOk;

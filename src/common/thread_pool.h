@@ -41,7 +41,8 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
   size_t active_ GUARDED_BY(mu_) = 0;
   bool shutdown_ GUARDED_BY(mu_) = false;
-  // Written only by the constructor; immutable afterwards.
+  // UNGUARDED: written only by the constructor; immutable afterwards
+  // (the destructor joins after shutdown_ flips under mu_).
   std::vector<std::thread> threads_;
 };
 

@@ -233,9 +233,12 @@ HttpResponse ProxyServer::App(Request& request) {
 HttpResponse ProxyServer::HandleAccount(Request& request,
                                         const ObjectPath& path) {
   switch (request.method) {
-    case HttpMethod::kPut:
-      registry_->CreateAccount(path.account);
+    case HttpMethod::kPut: {
+      if (Status s = registry_->CreateAccount(path.account); !s.ok()) {
+        return HttpResponse::Make(500, s.ToString());
+      }
       return HttpResponse::Make(201);
+    }
     case HttpMethod::kGet: {
       auto containers = registry_->ListContainers(path.account);
       if (!containers.ok()) return HttpResponse::Make(404);
@@ -429,9 +432,16 @@ HttpResponse ProxyServer::HandleObject(Request& request,
         // on the next read-repair pass instead of waiting for a full scan.
         repair_queue_->Enqueue(request.path);
       }
-      registry_->RecordObject(
-          path.account, path.container,
-          ObjectInfo{path.object, request.body.size(), etag});
+      if (Status s = registry_->RecordObject(
+              path.account, path.container,
+              ObjectInfo{path.object, request.body.size(), etag});
+          !s.ok()) {
+        // The container vanished between the existence check above and the
+        // metadata write (concurrent container DELETE). The replicas hold
+        // orphaned bytes, but the PUT must not claim success against a
+        // container that no longer exists — Swift answers 404 here.
+        return HttpResponse::Make(404, s.ToString());
+      }
       HttpResponse response = HttpResponse::Make(201);
       response.headers.Set(kEtagHeader, etag);
       return response;
@@ -447,7 +457,11 @@ HttpResponse ProxyServer::HandleObject(Request& request,
         if (r.ok() || r.status == 404) ++successes;
       }
       if (successes == 0) return HttpResponse::Make(503, "delete failed");
-      registry_->RemoveObject(path.account, path.container, path.object);
+      // A missing metadata row only means the object was never recorded or
+      // a concurrent DELETE already erased it — the devices are clean
+      // either way, so the DELETE still succeeded.
+      registry_->RemoveObject(path.account, path.container, path.object)
+          .IgnoreError();
       return HttpResponse::Make(204);
     }
     default:

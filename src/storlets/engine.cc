@@ -77,11 +77,14 @@ class GaugeHold {
 // joins the threads — abandoning a pipeline mid-stream is clean teardown,
 // not a leak.
 struct PipelineRun {
-  std::shared_ptr<ByteStream> source;
-  std::vector<std::unique_ptr<Storlet>> storlets;
-  std::vector<StorletParams> params;
-  std::vector<std::unique_ptr<BoundedByteQueue>> queues;
-  std::vector<std::thread> threads;
+  // The five pipeline-shape fields are built before any stage thread
+  // starts and never change while threads run; the destructor joins
+  // every thread before touching them — hence the waivers.
+  std::shared_ptr<ByteStream> source;                  // UNGUARDED: see above
+  std::vector<std::unique_ptr<Storlet>> storlets;      // UNGUARDED: see above
+  std::vector<StorletParams> params;                   // UNGUARDED: see above
+  std::vector<std::unique_ptr<BoundedByteQueue>> queues;  // UNGUARDED: above
+  std::vector<std::thread> threads;                    // UNGUARDED: see above
 
   // Locking contract: `mu` (rank lockrank::kPipeline) guards the metadata
   // accumulated by stage threads. The trailers Headers is written only by
@@ -90,6 +93,8 @@ struct PipelineRun {
   // queue's own mutex orders after that write.
   Mutex mu{"pipeline_run", lockrank::kPipeline};
   std::map<std::string, std::string> metadata GUARDED_BY(mu);
+  // UNGUARDED: pointer set once here; the pointee is written by the final
+  // stage strictly before queue close, read only after EOF (see above).
   std::shared_ptr<Headers> trailers = std::make_shared<Headers>();
 
   ~PipelineRun() {

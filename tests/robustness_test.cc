@@ -497,7 +497,10 @@ TEST(ChaosSoakTest, SeededFaultMixConvergesAfterRepair) {
       for (int round = 0; round < kRounds; ++round) {
         for (int i = 0; i < kObjectsPerWriter; ++i) {
           std::string name = StrFormat("obj-%d-%d", w, i);
-          (void)mine.PutObject("soak", name, SoakPayload(w, i, round));
+          // Soak writers race injected faults; failed PUTs are the point
+          // (readers assert they only ever see complete versions).
+          mine.PutObject("soak", name, SoakPayload(w, i, round))
+              .IgnoreError();
         }
       }
     });

@@ -24,17 +24,11 @@ Checks (each finding is `file:line: [check] message`, exit 1 on any):
   banned-function      non-reentrant / nondeterministic / unsafe libc calls
                        (rand, strtok, localtime, sprintf, ...) — use
                        common/random.h, common/strings.h, snprintf.
-  failpoint-name       SCOOP_FAILPOINT / SCOOP_FAILPOINT_KEYED /
-                       FailpointCheck / CheckData call sites whose name
-                       literal is not in the kFailpointSites catalog
-                       (src/common/failpoint.h). Arm() rejects unknown
-                       names at runtime; this catches the production side
-                       of the contract statically.
-  metric-name          GetCounter / GetGauge / GetHistogram call sites in
-                       src/ and bench/ whose name literal (including the
-                       StrFormat("...%d...") per-instance form) is not
-                       catalogued in METRICS.md. Tests may use scratch
-                       names; production metrics must be documented.
+
+The name-catalog cross-checks (failpoint-name, metric-name) that used to
+live here moved to tools/scoop_check, which validates every catalogued
+literal family (lock ranks, trace spans, failpoints, metrics) in one
+extraction pass. Run `python3 tools/scoop_check` for those.
 
 A line containing `NOLINT` is exempt (pair it with a reason, as in
 clang-tidy). Run `tools/lint.py --self-test` to verify the checkers fire
@@ -81,53 +75,6 @@ BANNED_RE = re.compile(
 )
 COMMENT_RE = re.compile(r"//")
 
-# Failpoint evaluation sites must use catalogued names. The catalog itself
-# (and the macro definitions, which take `name` as a parameter) is exempt.
-FAILPOINT_EXEMPT = {"src/common/failpoint.h", "src/common/failpoint.cc"}
-FAILPOINT_CALL_RE = re.compile(
-    r'\b(?:SCOOP_FAILPOINT|SCOOP_FAILPOINT_KEYED|FailpointCheck|'
-    r'CheckData)\s*\(\s*"([^"]+)"'
-)
-FAILPOINT_CATALOG_RE = re.compile(
-    r"kFailpointSites\[\]\s*=\s*\{(.*?)\};", re.S
-)
-
-
-def load_failpoint_sites(root):
-    """Returns the registered site names, or None if the catalog is gone."""
-    header = root / "src" / "common" / "failpoint.h"
-    if not header.is_file():
-        return None
-    m = FAILPOINT_CATALOG_RE.search(
-        header.read_text(encoding="utf-8", errors="replace"))
-    if not m:
-        return None
-    return set(re.findall(r'"([^"]+)"', m.group(1)))
-
-
-# Metric names must be catalogued in METRICS.md. Only src/ and bench/ are
-# held to the contract (tests register scratch names); the registry
-# implementation itself takes `name` as a parameter and is exempt.
-METRIC_SCAN_PREFIXES = ("src/", "bench/")
-METRIC_EXEMPT = {"src/common/metrics.h", "src/common/metrics.cc"}
-METRIC_CALL_RE = re.compile(
-    r'\bGet(?:Counter|Gauge|Histogram)\s*\(\s*'
-    r'(?:StrFormat\s*\(\s*)?"([^"]+)"'
-)
-# Catalog rows: markdown table lines whose first cell is a backticked name.
-METRIC_CATALOG_ROW_RE = re.compile(r"^\|\s*`([^`]+)`", re.M)
-
-
-def load_metric_catalog(root):
-    """Returns the documented names (with <N> canonicalised to %d), or
-    None if METRICS.md is missing."""
-    catalog = root / "METRICS.md"
-    if not catalog.is_file():
-        return None
-    text = catalog.read_text(encoding="utf-8", errors="replace")
-    return {name.replace("<N>", "%d")
-            for name in METRIC_CATALOG_ROW_RE.findall(text)}
-
 
 def _strip_comment(line):
     """Best-effort removal of // comments (ignores // inside strings)."""
@@ -135,7 +82,7 @@ def _strip_comment(line):
     return line[: m.start()] if m else line
 
 
-def lint_file(rel_path, lines, failpoint_sites=None, metric_names=None):
+def lint_file(rel_path, lines):
     """Returns a list of (lineno, check, message) findings for one file."""
     findings = []
     is_sync_layer = rel_path in SYNC_EXEMPT
@@ -146,21 +93,15 @@ def lint_file(rel_path, lines, failpoint_sites=None, metric_names=None):
     lock_scopes = []
     depth = 0
     saw_guard = False
-    # Comment-stripped lines, same numbering as the input — call sites that
-    # wrap across lines (name literal on the next line) are matched on the
-    # joined text afterwards.
-    stripped = []
 
     for lineno, raw in enumerate(lines, start=1):
         if "NOLINT" in raw:
             depth += raw.count("{") - raw.count("}")
-            stripped.append("")
             continue
         line = _strip_comment(raw)
         if in_block_comment:
             end = line.find("*/")
             if end < 0:
-                stripped.append("")
                 continue
             line = line[end + 2:]
             in_block_comment = False
@@ -172,7 +113,6 @@ def lint_file(rel_path, lines, failpoint_sites=None, metric_names=None):
                 line = line[:start]
             else:
                 line = line[:start] + line[end + 2:]
-        stripped.append(line)
 
         if GUARD_RE.search(line):
             saw_guard = True
@@ -235,32 +175,6 @@ def lint_file(rel_path, lines, failpoint_sites=None, metric_names=None):
     if is_header and not saw_guard and not is_sync_layer:
         findings.append((1, "include-hygiene",
                          "header lacks a SCOOP_*_H_ include guard"))
-
-    if failpoint_sites is not None and rel_path not in FAILPOINT_EXEMPT:
-        text = "\n".join(stripped)
-        for m in FAILPOINT_CALL_RE.finditer(text):
-            name = m.group(1)
-            if name not in failpoint_sites:
-                lineno = text.count("\n", 0, m.start()) + 1
-                findings.append((
-                    lineno, "failpoint-name",
-                    f'failpoint "{name}" is not in kFailpointSites '
-                    "(src/common/failpoint.h) — register the site or fix "
-                    "the typo"))
-
-    if (metric_names is not None
-            and rel_path.startswith(METRIC_SCAN_PREFIXES)
-            and rel_path not in METRIC_EXEMPT):
-        text = "\n".join(stripped)
-        for m in METRIC_CALL_RE.finditer(text):
-            name = m.group(1)
-            if name not in metric_names:
-                lineno = text.count("\n", 0, m.start()) + 1
-                findings.append((
-                    lineno, "metric-name",
-                    f'metric "{name}" is not catalogued in METRICS.md — '
-                    "add a row (per-instance names use <N> for the %d "
-                    "slot) or fix the typo"))
     return findings
 
 
@@ -272,25 +186,12 @@ def run(root):
             continue
         files.extend(p for p in sorted(base.rglob("*"))
                      if p.suffix in CXX_SUFFIXES)
-    failpoint_sites = load_failpoint_sites(root)
-    if failpoint_sites is None:
-        print("src/common/failpoint.h:1: [failpoint-name] kFailpointSites "
-              "catalog not found — the failpoint-name check has nothing to "
-              "validate against")
-        return 1
-    metric_names = load_metric_catalog(root)
-    if metric_names is None:
-        print("METRICS.md:1: [metric-name] metrics catalog not found — "
-              "the metric-name check has nothing to validate against")
-        return 1
     total = 0
     for path in files:
         rel = path.relative_to(root).as_posix()
         lines = path.read_text(encoding="utf-8",
                                errors="replace").splitlines()
-        for lineno, check, message in lint_file(rel, lines,
-                                                failpoint_sites,
-                                                metric_names):
+        for lineno, check, message in lint_file(rel, lines):
             print(f"{rel}:{lineno}: [{check}] {message}")
             total += 1
     if total:
@@ -325,65 +226,7 @@ SELF_TEST_CASES = [
      "blocking-under-lock"),
     ("void F() {\n  {\n    MutexLock lock(mu_);\n  }\n"
      "  std::this_thread::sleep_for(1s);\n}", "src/foo/a.cc", None),
-    ('SCOOP_FAILPOINT("bogus.site");', "src/foo/a.cc", "failpoint-name"),
-    ('SCOOP_FAILPOINT_KEYED("bogus.site", key_);', "src/foo/a.cc",
-     "failpoint-name"),
-    ('SCOOP_FAILPOINT("device.read");', "src/foo/a.cc", None),
-    ('Status s = FailpointCheck("device.read", key);', "src/foo/a.cc", None),
-    # The cache subsystem's sites are registered (src/cache/).
-    ('Status s = FailpointCheck("cache.lookup", object_path);',
-     "src/cache/m.cc", None),
-    ('Status s = FailpointCheck("cache.fill", object_path);',
-     "src/cache/m.cc", None),
-    ('SCOOP_FAILPOINT("cache.evict");', "src/cache/m.cc", "failpoint-name"),
-    # The name literal may land on the continuation line.
-    ('auto kind = Failpoints::Global().CheckData(\n'
-     '    "bogus.chunk", key, &buf);', "src/foo/a.cc", "failpoint-name"),
-    ('// SCOOP_FAILPOINT("bogus.site") in a comment', "src/foo/a.cc", None),
-    # Macro definitions take `name` as a parameter — no literal, no match.
-    ('SCOOP_FAILPOINT(name)', "src/foo/a.cc", None),
-    # Metric names must be catalogued (src/ and bench/ only).
-    ('metrics->GetCounter("bogus.metric")->Increment();', "src/foo/a.cc",
-     "metric-name"),
-    ('metrics->GetHistogram("bogus.metric")->Record(1);', "bench/b.cc",
-     "metric-name"),
-    ('metrics->GetCounter("proxy.retries")->Increment();', "src/foo/a.cc",
-     None),
-    # The columnar-plane metrics ride the same catalog contract.
-    ('metrics->GetCounter("csv.simd_bytes")->Add(n);',
-     "src/datasource/c.cc", None),
-    ('metrics->GetCounter("csv.batches")->Add(1);',
-     "src/datasource/c.cc", None),
-    ('metrics->GetHistogram("scan.rows_per_batch")->Record(rows);',
-     "src/datasource/c.cc", None),
-    ('metrics->GetHistogram("exec.batch_eval_us")->Record(us);',
-     "src/compute/j.cc", None),
-    ('hits_ = metrics->GetCounter("cache.hits");', "src/cache/c.cc", None),
-    ('metrics->GetHistogram("cache.lookup_us")->Record(us);',
-     "src/cache/c.cc", None),
-    ('metrics->GetCounter("cache.bogus");', "src/cache/c.cc", "metric-name"),
-    # Per-instance names go through StrFormat; the catalog stores the
-    # format string (with <N> canonicalised to %d).
-    ('metrics->GetCounter(StrFormat("proxy_%d.requests", id))\n'
-     '    ->Increment();', "src/foo/a.cc", None),
-    ('metrics->GetCounter(StrFormat("bogus_%d.metric", id));',
-     "src/foo/a.cc", "metric-name"),
-    # The literal may land on the continuation line.
-    ('metrics->GetGauge(\n    "bogus.metric")->Add(1);', "src/foo/a.cc",
-     "metric-name"),
-    # Non-literal names and files outside the contract are not checked.
-    ('metrics->GetCounter(name)->Increment();', "src/foo/a.cc", None),
-    ('metrics->GetCounter("bogus.metric");', "tests/t.cc", None),
-    ('// GetCounter("bogus.metric") in a comment', "src/foo/a.cc", None),
 ]
-
-# Fixed catalogs for the self-test, independent of the real files.
-SELF_TEST_FAILPOINT_SITES = {"device.read", "object.read.chunk",
-                             "cache.lookup", "cache.fill"}
-SELF_TEST_METRIC_NAMES = {"proxy.retries", "proxy_%d.requests",
-                          "cache.hits", "cache.lookup_us", "csv.batches",
-                          "csv.simd_bytes", "scan.rows_per_batch",
-                          "exec.batch_eval_us"}
 
 
 def self_test():
@@ -392,9 +235,7 @@ def self_test():
         lines = snippet.split("\n")
         if path.endswith(".h"):
             lines = ["#ifndef SCOOP_SELF_TEST_H_"] + lines
-        got = [check for (_, check, _) in
-               lint_file(path, lines, SELF_TEST_FAILPOINT_SITES,
-                         SELF_TEST_METRIC_NAMES)]
+        got = [check for (_, check, _) in lint_file(path, lines)]
         if expected is None and got:
             print(f"self-test FAIL: {snippet!r} -> unexpected {got}")
             failures += 1

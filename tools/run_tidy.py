@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Differential clang-tidy gate.
+
+Runs clang-tidy (profile: .clang-tidy) over every src/**/*.cc using the
+build tree's compile_commands.json, normalises the findings, and diffs
+them against the committed baseline (tools/tidy_baseline.txt):
+
+  * a finding NOT in the baseline fails the run — new debt is rejected;
+  * a baseline entry that no longer fires is reported so the baseline
+    can be shrunk (stale entries never fail the run);
+  * `--update` rewrites the baseline to exactly the current findings.
+
+Findings are normalised to `path: [check] message` — no line/column —
+so unrelated edits that shift lines do not churn the baseline.
+
+Bootstrap: a baseline containing the `# UNSEEDED` marker makes the run
+non-gating (findings are printed and written to --artifact, exit 0).
+The first machine with clang-tidy available runs
+`python3 tools/run_tidy.py -p build --update` and commits the result;
+from then on the gate is live. This repo's primary toolchain is GCC, so
+the marker keeps CI meaningful rather than red on day one.
+
+Exit codes: 0 clean/non-gating, 1 new findings, 2 environment problems.
+"""
+
+import argparse
+import json
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "tools" / "tidy_baseline.txt"
+UNSEEDED_MARKER = "# UNSEEDED"
+
+# clang-tidy diagnostic lines: /abs/path.cc:12:3: warning: msg [check-name]
+DIAG_RE = re.compile(
+    r"^(?P<path>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+):\s*"
+    r"(?:warning|error):\s*(?P<msg>.*?)\s*\[(?P<check>[\w.,-]+)\]$")
+
+TIDY_NAMES = ("clang-tidy", "clang-tidy-20", "clang-tidy-19",
+              "clang-tidy-18", "clang-tidy-17")
+
+
+def find_clang_tidy(explicit):
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for name in TIDY_NAMES:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def normalise(path_str):
+    """Absolute or build-relative diagnostic path -> repo-relative posix."""
+    p = Path(path_str)
+    try:
+        return p.resolve().relative_to(REPO_ROOT).as_posix()
+    except ValueError:
+        return p.as_posix()
+
+
+def collect_findings(tidy, build_dir, sources):
+    proc = subprocess.run(
+        [tidy, "-p", str(build_dir), "--quiet"] + [str(s) for s in sources],
+        capture_output=True, text=True, cwd=REPO_ROOT)
+    findings = set()
+    for line in proc.stdout.splitlines():
+        m = DIAG_RE.match(line.strip())
+        if m:
+            findings.add(f"{normalise(m.group('path'))}: "
+                         f"[{m.group('check')}] {m.group('msg')}")
+    return findings, proc.stdout
+
+
+def load_baseline():
+    if not BASELINE.is_file():
+        return None, False
+    entries = set()
+    unseeded = False
+    for line in BASELINE.read_text(encoding="utf-8").splitlines():
+        if line.strip() == UNSEEDED_MARKER:
+            unseeded = True
+        elif line.strip() and not line.startswith("#"):
+            entries.add(line.strip())
+    return entries, unseeded
+
+
+def write_baseline(findings):
+    lines = [
+        "# clang-tidy baseline: findings tolerated as legacy debt.",
+        "# Regenerate with `python3 tools/run_tidy.py -p build --update`.",
+        "# Shrink it whenever a listed finding is fixed; never add to it",
+        "# by hand — fix the code or NOLINT with a reason instead.",
+        "",
+    ]
+    lines.extend(sorted(findings))
+    BASELINE.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("-p", "--build-dir", default="build",
+                    help="build tree with compile_commands.json")
+    ap.add_argument("--clang-tidy", default=None,
+                    help="clang-tidy binary (default: search PATH)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite tools/tidy_baseline.txt from this run")
+    ap.add_argument("--artifact", default=None,
+                    help="also write findings as JSON to this path")
+    args = ap.parse_args()
+
+    tidy = find_clang_tidy(args.clang_tidy)
+    if tidy is None:
+        # GCC-only environments cannot run this gate; CI installs
+        # clang-tidy for the job that does.
+        print("run_tidy: clang-tidy not found on PATH — skipping "
+              "(the tidy gate only runs where clang-tidy is installed)")
+        return 0
+
+    build_dir = (REPO_ROOT / args.build_dir).resolve()
+    if not (build_dir / "compile_commands.json").is_file():
+        print(f"run_tidy: no compile_commands.json in {build_dir} — "
+              "configure with cmake first", file=sys.stderr)
+        return 2
+
+    sources = sorted((REPO_ROOT / "src").rglob("*.cc"))
+    findings, raw = collect_findings(tidy, build_dir, sources)
+
+    if args.artifact:
+        Path(args.artifact).write_text(
+            json.dumps({"tool": "clang-tidy",
+                        "findings": sorted(findings)}, indent=2) + "\n",
+            encoding="utf-8")
+
+    if args.update:
+        write_baseline(findings)
+        print(f"run_tidy: baseline updated ({len(findings)} entries)")
+        return 0
+
+    baseline, unseeded = load_baseline()
+    if baseline is None:
+        print("run_tidy: tools/tidy_baseline.txt missing — run with "
+              "--update to create it", file=sys.stderr)
+        return 2
+
+    if unseeded:
+        for f in sorted(findings):
+            print(f"  {f}")
+        print(f"run_tidy: {len(findings)} finding(s); baseline is "
+              "UNSEEDED so this run is non-gating — seed it with "
+              "`python3 tools/run_tidy.py -p build --update`")
+        return 0
+
+    new = sorted(findings - baseline)
+    stale = sorted(baseline - findings)
+    for f in stale:
+        print(f"run_tidy: stale baseline entry (fixed — remove it): {f}")
+    if new:
+        for f in new:
+            print(f"run_tidy: NEW: {f}")
+        print(f"run_tidy: {len(new)} new finding(s) not in the baseline — "
+              "fix them or NOLINT with a reason", file=sys.stderr)
+        if raw.strip():
+            print("--- raw clang-tidy output ---")
+            print(raw)
+        return 1
+    print(f"run_tidy: OK ({len(findings)} finding(s), all baselined; "
+          f"{len(stale)} stale)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""Shared infrastructure for scoop_check: findings, file views, scanning.
+
+Every check consumes a `SourceFile` — one physical file presented in three
+aligned views (raw lines, comment-stripped lines, comment-and-string-
+stripped lines), so structural parsing never trips over braces inside
+string literals while literal extraction still sees them, and waiver
+comments stay readable from the raw view.
+"""
+
+import dataclasses
+import re
+from pathlib import Path
+
+CXX_SUFFIXES = (".h", ".cc")
+
+# Directories holding C++ sources, relative to the repo root.
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One diagnostic: `path:line: [check] message`."""
+    path: str          # repo-relative, posix
+    line: int          # 1-based
+    check: str         # short check id, e.g. "layering"
+    message: str
+
+    def render(self):
+        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
+
+    def to_json(self):
+        return {"file": self.path, "line": self.line,
+                "check": self.check, "message": self.message}
+
+
+_LINE_COMMENT_RE = re.compile(r"//")
+
+
+def _strip_strings(line):
+    """Replaces the contents of "..." and '...' literals with spaces,
+    preserving length and the quote characters themselves."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c in "\"'":
+            quote = c
+            out.append(c)
+            i += 1
+            while i < n:
+                if line[i] == "\\" and i + 1 < n:
+                    out.append("  ")
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    out.append(quote)
+                    i += 1
+                    break
+                out.append(" ")
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def strip_comments(lines):
+    """Returns comment-stripped lines (same count/numbering). A line that
+    is entirely comment becomes empty; // and /* */ are honoured, comment
+    markers inside string literals are not treated as comments."""
+    stripped = []
+    in_block = False
+    for raw in lines:
+        # Use the string-blanked view to FIND comment markers, but cut the
+        # original line so string literals survive in the output.
+        probe = _strip_strings(raw)
+        line = raw
+        if in_block:
+            end = probe.find("*/")
+            if end < 0:
+                stripped.append("")
+                continue
+            line = line[end + 2:]
+            probe = probe[end + 2:]
+            in_block = False
+        out = []
+        while True:
+            mline = probe.find("//")
+            mblock = probe.find("/*")
+            if mline < 0 and mblock < 0:
+                out.append(line)
+                break
+            if mblock < 0 or (0 <= mline < mblock):
+                out.append(line[:mline])
+                break
+            out.append(line[:mblock])
+            end = probe.find("*/", mblock + 2)
+            if end < 0:
+                in_block = True
+                break
+            line = line[end + 2:]
+            probe = probe[end + 2:]
+        stripped.append("".join(out))
+    return stripped
+
+
+class SourceFile:
+    """One file in the three aligned views the checks consume."""
+
+    def __init__(self, rel_path, text):
+        self.path = rel_path  # repo-relative posix path
+        self.raw_lines = text.splitlines()
+        self.lines = strip_comments(self.raw_lines)
+        self.structure_lines = [_strip_strings(l) for l in self.lines]
+        # Joined views for multi-line regex scans. Positions in these map
+        # back to line numbers via line_of().
+        self.text = "\n".join(self.lines)
+        self.structure_text = "\n".join(self.structure_lines)
+
+    def line_of(self, offset, text=None):
+        """1-based line number of a character offset into self.text (or a
+        caller-provided joined view of identical line structure)."""
+        return (text or self.text).count("\n", 0, offset) + 1
+
+    @property
+    def module(self):
+        """First path component under src/, or None outside src/."""
+        parts = self.path.split("/")
+        if len(parts) >= 2 and parts[0] == "src":
+            return parts[1]
+        return None
+
+
+def make_source(rel_path, text):
+    return SourceFile(rel_path, text)
+
+
+def load_tree(root, dirs=SCAN_DIRS):
+    """Loads every .h/.cc under `dirs` as SourceFiles, sorted by path."""
+    files = []
+    root = Path(root)
+    for scan_dir in dirs:
+        base = root / scan_dir
+        if not base.is_dir():
+            continue
+        for p in sorted(base.rglob("*")):
+            if p.suffix in CXX_SUFFIXES:
+                rel = p.relative_to(root).as_posix()
+                files.append(SourceFile(
+                    rel, p.read_text(encoding="utf-8", errors="replace")))
+    return files

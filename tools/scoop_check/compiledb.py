@@ -1,0 +1,107 @@
+"""compile_commands.json loading.
+
+scoop_check is compilation-database-driven: the database tells us which
+translation units the build actually compiles (so generated or dead files
+cannot smuggle violations past the gate) and pins the include roots used
+to resolve `#include "..."` edges for the layering check. When no database
+exists (fresh checkout, docs-only change) we fall back to globbing the
+scan directories and the canonical `src/` include root, and say so.
+"""
+
+import json
+import shlex
+from pathlib import Path
+
+
+class CompileDb:
+    def __init__(self, tu_paths, include_roots, source):
+        # Repo-relative posix paths of every compiled TU (deduplicated).
+        self.tu_paths = tu_paths
+        # Repo-relative include roots, in -I order ("src", ...).
+        self.include_roots = include_roots
+        # Where this came from: a path string, or None for the fallback.
+        self.source = source
+
+    @property
+    def is_fallback(self):
+        return self.source is None
+
+
+def _include_roots_from_args(args, repo_root):
+    roots = []
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        path = None
+        if arg == "-I" and i + 1 < len(args):
+            path = args[i + 1]
+            i += 1
+        elif arg.startswith("-I"):
+            path = arg[2:]
+        elif arg in ("-isystem", "-iquote") and i + 1 < len(args):
+            path = args[i + 1]
+            i += 1
+        i += 1
+        if not path:
+            continue
+        try:
+            rel = Path(path).resolve().relative_to(repo_root).as_posix()
+        except ValueError:
+            continue  # include root outside the repo (toolchain, deps)
+        if rel not in roots:
+            roots.append(rel)
+    return roots
+
+
+def load(repo_root, explicit_path=None):
+    """Returns a CompileDb. Looks for compile_commands.json at
+    `explicit_path`, then build*/compile_commands.json, then the repo
+    root; falls back to a glob of src/tests/bench/examples."""
+    repo_root = Path(repo_root).resolve()
+    candidates = []
+    if explicit_path:
+        candidates.append(Path(explicit_path))
+    candidates.extend(sorted(repo_root.glob("build*/compile_commands.json")))
+    candidates.append(repo_root / "compile_commands.json")
+
+    for cand in candidates:
+        if not cand.is_file():
+            continue
+        try:
+            entries = json.loads(cand.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        tus = []
+        roots = []
+        for entry in entries:
+            directory = Path(entry.get("directory", "."))
+            file_path = (directory / entry["file"]).resolve()
+            try:
+                rel = file_path.relative_to(repo_root).as_posix()
+            except ValueError:
+                continue
+            if rel not in tus:
+                tus.append(rel)
+            if "arguments" in entry:
+                args = list(entry["arguments"])
+            else:
+                args = shlex.split(entry.get("command", ""))
+            for root in _include_roots_from_args(args, repo_root):
+                if root not in roots:
+                    roots.append(root)
+        if tus:
+            if "src" not in roots:
+                roots.append("src")
+            return CompileDb(sorted(tus), roots, cand.as_posix())
+
+    # Fallback: no database. The layering check still works off the
+    # canonical src/ include root; TU coverage degrades to "every file on
+    # disk", which is strictly more conservative.
+    import common
+    tus = []
+    for scan_dir in common.SCAN_DIRS:
+        base = repo_root / scan_dir
+        if base.is_dir():
+            tus.extend(p.relative_to(repo_root).as_posix()
+                       for p in sorted(base.rglob("*.cc")))
+    return CompileDb(tus, ["src"], None)

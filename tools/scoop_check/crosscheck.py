@@ -1,0 +1,289 @@
+"""Single-source-of-truth cross-checks.
+
+One extraction pass over the tree collects every name literal that has a
+catalog, then each family is validated against its catalog (these
+subsume the old one-off regex checks that lived in tools/lint.py):
+
+  lock-rank        `Mutex("name", lockrank::kFoo)` constructions vs the
+                   lockrank constants in src/common/sync.h vs the rank
+                   table in DESIGN.md §3d. All three must agree: same
+                   constants, same numeric values, every named mutex has
+                   a table row with the same rank.
+  span-name        TraceSpan literals vs the span catalog in DESIGN.md
+                   §3f ("Span catalog" table).
+  failpoint-name   SCOOP_FAILPOINT / FailpointCheck / CheckData literals
+                   vs kFailpointSites (src/common/failpoint.h).
+  metric-name      GetCounter/GetGauge/GetHistogram literals in src/ and
+                   bench/ vs METRICS.md (tests may use scratch names).
+"""
+
+import re
+
+import common
+
+SYNC_HEADER = "src/common/sync.h"
+FAILPOINT_HEADER = "src/common/failpoint.h"
+
+# --- extraction regexes -----------------------------------------------------
+
+LOCKRANK_CONST_RE = re.compile(
+    r"inline\s+constexpr\s+int\s+(k\w+)\s*=\s*(\d+)\s*;")
+LOCKRANK_NS_RE = re.compile(r"namespace\s+lockrank\s*\{(.*?)\}", re.S)
+
+# Mutex constructions: `Mutex mu_{"name", lockrank::kFoo}` (member
+# brace-init), `Mutex g("name", lockrank::kFoo)` (globals), with the rank
+# optional (unranked mutexes).
+MUTEX_CTOR_RE = re.compile(
+    r"\bMutex\s+\w+\s*[({]\s*\"([^\"]+)\"\s*(?:,\s*lockrank::(k\w+))?\s*[)}]")
+
+SPAN_RE = re.compile(r"\bTraceSpan\s+(?:\w+\s*)?[({]\s*\"([^\"]+)\"")
+
+FAILPOINT_CALL_RE = re.compile(
+    r"\b(?:SCOOP_FAILPOINT|SCOOP_FAILPOINT_KEYED|FailpointCheck|"
+    r"CheckData)\s*\(\s*\"([^\"]+)\"")
+FAILPOINT_CATALOG_RE = re.compile(r"kFailpointSites\[\]\s*=\s*\{(.*?)\};",
+                                  re.S)
+
+METRIC_CALL_RE = re.compile(
+    r"\bGet(?:Counter|Gauge|Histogram)\s*\(\s*"
+    r"(?:StrFormat\s*\(\s*)?\"([^\"]+)\"")
+METRIC_CATALOG_ROW_RE = re.compile(r"^\|\s*`([^`]+)`", re.M)
+METRIC_SCAN_PREFIXES = ("src/", "bench/")
+METRIC_EXEMPT = {"src/common/metrics.h", "src/common/metrics.cc"}
+FAILPOINT_EXEMPT = {FAILPOINT_HEADER, "src/common/failpoint.cc"}
+
+# DESIGN.md rank-table rows: | `name` | `kConst` (NN) | ... or
+#                            | `name` | unranked      | ...
+RANK_ROW_RE = re.compile(
+    r"^\|\s*`([^`]+)`\s*\|\s*(?:`(k\w+)`\s*\((\d+)\)|unranked)\s*\|",
+    re.M)
+
+SPAN_CATALOG_HEADING = "Span catalog"
+SPAN_ROW_RE = re.compile(r"^\|\s*`([^`]+)`", re.M)
+
+
+# --- catalog loaders --------------------------------------------------------
+
+def load_lockrank_constants(sync_text):
+    """{constant name: value} from the lockrank namespace, or None."""
+    m = LOCKRANK_NS_RE.search(sync_text)
+    if not m:
+        return None
+    return {name: int(value)
+            for name, value in LOCKRANK_CONST_RE.findall(m.group(1))}
+
+
+def load_design_ranks(design_text):
+    """{mutex name: (constant or None, value or None)} from DESIGN.md."""
+    rows = {}
+    for name, const, value in RANK_ROW_RE.findall(design_text):
+        rows[name] = (const or None, int(value) if value else None)
+    return rows
+
+
+def load_span_catalog(design_text):
+    """Span names from the 'Span catalog' table section, or None."""
+    idx = design_text.find(SPAN_CATALOG_HEADING)
+    if idx < 0:
+        return None
+    # The table ends at the next heading (or EOF).
+    section = design_text[idx:]
+    next_heading = re.search(r"\n#{2,}\s", section)
+    if next_heading:
+        section = section[:next_heading.start()]
+    names = set(SPAN_ROW_RE.findall(section))
+    names.discard("name")  # header row, if backticked
+    return names or None
+
+
+def load_failpoint_sites(failpoint_text):
+    m = FAILPOINT_CATALOG_RE.search(failpoint_text)
+    if not m:
+        return None
+    return set(re.findall(r"\"([^\"]+)\"", m.group(1)))
+
+
+def load_metric_catalog(metrics_md_text):
+    return {name.replace("<N>", "%d")
+            for name in METRIC_CATALOG_ROW_RE.findall(metrics_md_text)}
+
+
+# --- the checks -------------------------------------------------------------
+
+def check_lock_ranks(sources, design_text):
+    findings = []
+    by_path = {s.path: s for s in sources}
+    sync = by_path.get(SYNC_HEADER)
+    if sync is None:
+        return [common.Finding(SYNC_HEADER, 1, "lock-rank",
+                               "src/common/sync.h not found — nothing to "
+                               "cross-check lock ranks against")]
+    constants = load_lockrank_constants(sync.text)
+    if constants is None:
+        return [common.Finding(SYNC_HEADER, 1, "lock-rank",
+                               "could not find `namespace lockrank` in "
+                               "sync.h — the rank cross-check is blind")]
+    design = load_design_ranks(design_text)
+    if not design:
+        return [common.Finding("DESIGN.md", 1, "lock-rank",
+                               "no rank table rows found in DESIGN.md §3d "
+                               "— the rank cross-check is blind")]
+
+    # Pass 1: every Mutex construction in src/.
+    constructed = {}  # mutex name -> (path, line, constant or None)
+    for source in sources:
+        if not source.path.startswith("src/") or source.path == SYNC_HEADER:
+            continue
+        for m in MUTEX_CTOR_RE.finditer(source.text):
+            name, const = m.group(1), m.group(2)
+            line = source.line_of(m.start())
+            if name in constructed and constructed[name][2] != const:
+                findings.append(common.Finding(
+                    source.path, line, "lock-rank",
+                    f"mutex \"{name}\" constructed with rank "
+                    f"{const or 'unranked'} here but "
+                    f"{constructed[name][2] or 'unranked'} at "
+                    f"{constructed[name][0]}:{constructed[name][1]} — "
+                    "one name, one rank"))
+                continue
+            constructed.setdefault(name, (source.path, line, const))
+            if const is not None and const not in constants:
+                findings.append(common.Finding(
+                    source.path, line, "lock-rank",
+                    f"rank constant lockrank::{const} is not defined in "
+                    "src/common/sync.h"))
+
+    # Pass 2: constructions vs the DESIGN.md table.
+    for name, (path, line, const) in sorted(constructed.items()):
+        if name not in design:
+            findings.append(common.Finding(
+                path, line, "lock-rank",
+                f"mutex \"{name}\" has no row in the DESIGN.md §3d rank "
+                "table — document what it guards and its rank"))
+            continue
+        doc_const, _ = design[name]
+        if doc_const != const:
+            findings.append(common.Finding(
+                path, line, "lock-rank",
+                f"mutex \"{name}\" is constructed with "
+                f"{const or 'no rank'} but DESIGN.md documents "
+                f"{doc_const or 'unranked'} — fix whichever is stale"))
+
+    # Pass 3: the DESIGN.md table vs sync.h values and vs reality.
+    for name, (const, value) in sorted(design.items()):
+        if const is not None:
+            if const not in constants:
+                findings.append(common.Finding(
+                    "DESIGN.md", 1, "lock-rank",
+                    f"rank table row for \"{name}\" names `{const}`, "
+                    "which src/common/sync.h does not define"))
+            elif constants[const] != value:
+                findings.append(common.Finding(
+                    "DESIGN.md", 1, "lock-rank",
+                    f"rank table says `{const}` is {value} but "
+                    f"src/common/sync.h defines it as "
+                    f"{constants[const]} — update the table"))
+        if name not in constructed:
+            findings.append(common.Finding(
+                "DESIGN.md", 1, "lock-rank",
+                f"rank table documents mutex \"{name}\" but no Mutex with "
+                "that name is constructed anywhere in src/ — remove the "
+                "stale row"))
+
+    # Pass 4: every lockrank constant must be used by some construction.
+    used = {const for (_, _, const) in constructed.values()
+            if const is not None}
+    for const in sorted(constants):
+        if const not in used:
+            findings.append(common.Finding(
+                SYNC_HEADER, 1, "lock-rank",
+                f"lockrank::{const} is defined but never used by any "
+                "Mutex construction — delete it or rank the mutex it "
+                "was meant for"))
+    return findings
+
+
+def check_span_names(sources, design_text):
+    findings = []
+    catalog = load_span_catalog(design_text)
+    if catalog is None:
+        return [common.Finding(
+            "DESIGN.md", 1, "span-name",
+            "no 'Span catalog' table found in DESIGN.md §3f — the span "
+            "cross-check has nothing to validate against")]
+    seen = set()
+    for source in sources:
+        if not (source.path.startswith("src/")
+                or source.path.startswith("bench/")):
+            continue
+        for m in SPAN_RE.finditer(source.text):
+            name = m.group(1)
+            seen.add(name)
+            if name not in catalog:
+                findings.append(common.Finding(
+                    source.path, source.line_of(m.start()), "span-name",
+                    f"trace span \"{name}\" is not in the DESIGN.md span "
+                    "catalog — add a row or fix the typo"))
+    for name in sorted(catalog - seen):
+        findings.append(common.Finding(
+            "DESIGN.md", 1, "span-name",
+            f"span catalog documents \"{name}\" but nothing in src/ or "
+            "bench/ creates it — remove the stale row"))
+    return findings
+
+
+def check_failpoint_names(sources):
+    findings = []
+    by_path = {s.path: s for s in sources}
+    header = by_path.get(FAILPOINT_HEADER)
+    sites = load_failpoint_sites(header.text) if header else None
+    if sites is None:
+        return [common.Finding(
+            FAILPOINT_HEADER, 1, "failpoint-name",
+            "kFailpointSites catalog not found — the failpoint-name "
+            "check has nothing to validate against")]
+    for source in sources:
+        if source.path in FAILPOINT_EXEMPT:
+            continue
+        for m in FAILPOINT_CALL_RE.finditer(source.text):
+            name = m.group(1)
+            if name not in sites:
+                findings.append(common.Finding(
+                    source.path, source.line_of(m.start()),
+                    "failpoint-name",
+                    f"failpoint \"{name}\" is not in kFailpointSites "
+                    "(src/common/failpoint.h) — register the site or fix "
+                    "the typo"))
+    return findings
+
+
+def check_metric_names(sources, metrics_md_text):
+    findings = []
+    catalog = load_metric_catalog(metrics_md_text)
+    if not catalog:
+        return [common.Finding(
+            "METRICS.md", 1, "metric-name",
+            "metrics catalog is empty or missing — the metric-name "
+            "check has nothing to validate against")]
+    for source in sources:
+        if (not source.path.startswith(METRIC_SCAN_PREFIXES)
+                or source.path in METRIC_EXEMPT):
+            continue
+        for m in METRIC_CALL_RE.finditer(source.text):
+            name = m.group(1)
+            if name not in catalog:
+                findings.append(common.Finding(
+                    source.path, source.line_of(m.start()), "metric-name",
+                    f"metric \"{name}\" is not catalogued in METRICS.md — "
+                    "add a row (per-instance names use <N> for the %d "
+                    "slot) or fix the typo"))
+    return findings
+
+
+def check(sources, design_text, metrics_md_text):
+    findings = []
+    findings.extend(check_lock_ranks(sources, design_text))
+    findings.extend(check_span_names(sources, design_text))
+    findings.extend(check_failpoint_names(sources))
+    findings.extend(check_metric_names(sources, metrics_md_text))
+    return findings

@@ -1,0 +1,339 @@
+"""Token-level C++ class/member extraction.
+
+This is the documented fallback engine (DESIGN.md "Static analysis"): a
+structural parser over comment- and string-stripped text that recovers
+class bodies and their data-member declarations without a real C++
+frontend. It is deliberately conservative — declarations it cannot
+classify are surfaced as `unparsed` members so the GUARDED_BY check fails
+loudly instead of silently skipping them. When python3-libclang is
+importable, engine_libclang.py supplies the same Member/ClassInfo model
+from a real AST and this module is bypassed.
+"""
+
+import dataclasses
+import re
+
+# Thread-safety annotation macros (src/common/sync.h). Parens after these
+# are attribute arguments, not function parameter lists.
+ANNOTATION_MACROS = {
+    "CAPABILITY", "SCOPED_CAPABILITY", "GUARDED_BY", "PT_GUARDED_BY",
+    "ACQUIRED_BEFORE", "ACQUIRED_AFTER", "REQUIRES", "REQUIRES_SHARED",
+    "ACQUIRE", "ACQUIRE_SHARED", "RELEASE", "RELEASE_SHARED",
+    "RELEASE_GENERIC", "TRY_ACQUIRE", "TRY_ACQUIRE_SHARED", "EXCLUDES",
+    "ASSERT_CAPABILITY", "ASSERT_SHARED_CAPABILITY", "RETURN_CAPABILITY",
+    "NO_THREAD_SAFETY_ANALYSIS", "SCOOP_TS_ATTRIBUTE",
+}
+
+# Statement-leading keywords that can never start a data member.
+_NON_MEMBER_LEAD = {
+    "using", "typedef", "friend", "template", "static_assert", "public",
+    "private", "protected", "operator", "enum", "union", "return",
+    # Forward declarations of nested classes (`class TeeStream;`). Class
+    # *definitions* never reach _classify_member — the body brace routes
+    # them to the nested-class branch first.
+    "class", "struct",
+}
+
+_CLASS_HEAD_RE = re.compile(r"\b(class|struct)\b")
+_IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+_LAST_IDENT_RE = re.compile(r"([A-Za-z_]\w*)\s*$")
+
+
+@dataclasses.dataclass
+class Member:
+    name: str           # declared identifier ("" when unparseable)
+    decl: str           # normalized one-line declaration text
+    line: int           # 1-based line of the declaration's end (the ';')
+    is_const: bool
+    is_static: bool
+    is_atomic: bool
+    is_mutex: bool      # scoop::Mutex
+    is_condvar: bool    # scoop::CondVar
+    guarded: bool       # carries GUARDED_BY / PT_GUARDED_BY
+    unparsed: bool = False
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    name: str
+    line: int           # 1-based line of the class head
+    members: list
+    nested: list        # nested ClassInfo
+
+    def owns_mutex(self):
+        return any(m.is_mutex for m in self.members)
+
+    def walk(self):
+        yield self
+        for n in self.nested:
+            yield from n.walk()
+
+
+def _skip_balanced(text, i, open_ch, close_ch):
+    """i points at open_ch; returns index just past the matching close."""
+    depth = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == open_ch:
+            depth += 1
+        elif c == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+def _strip_template_args(s):
+    """Removes <...> template argument lists (best effort)."""
+    out = []
+    depth = 0
+    i, n = 0, len(s)
+    while i < n:
+        c = s[i]
+        if c == "<" and i > 0 and (s[i - 1].isalnum() or s[i - 1] in "_>"):
+            depth += 1
+        elif c == ">" and depth > 0:
+            depth -= 1
+        elif depth == 0:
+            out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def _first_call_paren(s):
+    """Index of the first '(' that looks like a function parameter list
+    (i.e. not the argument list of an annotation macro), or -1."""
+    i = 0
+    n = len(s)
+    while i < n:
+        j = s.find("(", i)
+        if j < 0:
+            return -1
+        head = s[:j]
+        m = _LAST_IDENT_RE.search(head)
+        if m and m.group(1) in ANNOTATION_MACROS:
+            i = _skip_balanced(s, j, "(", ")")
+            continue
+        return j
+    return -1
+
+
+def _classify_member(stmt, line):
+    """Builds a Member from one depth-1 declaration statement."""
+    text = " ".join(stmt.split())
+    # Drop leading access labels glued onto the statement.
+    text = re.sub(r"^(?:(?:public|private|protected)\s*:\s*)+", "", text)
+    if not text:
+        return None
+    lead = _IDENT_RE.match(text)
+    if not lead or lead.group(0) in _NON_MEMBER_LEAD:
+        return None
+    if "operator" in text.split("(")[0]:
+        return None
+
+    # Separate the declarator from its initializer. Brace-init was already
+    # folded into `stmt` by the caller; cut at the top-level '=' or '{'.
+    flat = _strip_template_args(text)
+    decl = flat
+    for cut in ("=", "{"):
+        # Find a top-level occurrence (outside parens).
+        depth = 0
+        for idx, c in enumerate(decl):
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+            elif c == cut and depth == 0:
+                decl = decl[:idx]
+                break
+    decl = decl.strip()
+    if not decl:
+        return None
+
+    # A parameter-list paren in the declarator means function, ctor, or
+    # dtor — not a data member. `(*name)` marks a function-pointer member.
+    paren = _first_call_paren(decl)
+    if paren >= 0:
+        after = decl[paren + 1:].lstrip()
+        if not after.startswith("*"):
+            return None  # function declaration
+
+    guarded = bool(re.search(r"\b(?:PT_)?GUARDED_BY\s*\(", decl))
+    # The declared name: last identifier before annotations / end.
+    name_part = re.split(r"\b(?:PT_)?GUARDED_BY\b", decl)[0].rstrip()
+    m = _LAST_IDENT_RE.search(name_part.rstrip("[]0-9 "))
+    name = m.group(1) if m else ""
+
+    tokens = decl.split()
+    is_static = "static" in tokens
+    type_part = name_part[: name_part.rfind(name)] if name else decl
+    # `const T x` and `T* const x` are both immutable slots; `const T* x`
+    # (mutable pointer to const) is not.
+    is_const = bool(re.match(r"^(?:mutable\s+|static\s+)*const\b", decl)
+                    or re.search(r"[*&]\s*const\s*$", type_part.rstrip()))
+    is_atomic = bool(re.search(r"\b(?:std::)?atomic\b|\bAtomic\w*\b",
+                               type_part))
+    is_mutex = bool(re.search(r"\b(?:scoop::)?Mutex\s*$|\b(?:scoop::)?Mutex\s",
+                              type_part))
+    is_condvar = bool(re.search(r"\b(?:scoop::)?CondVar\b", type_part))
+    if not name:
+        return Member("", text, line, is_const, is_static, is_atomic,
+                      is_mutex, is_condvar, guarded, unparsed=True)
+    return Member(name, text, line, is_const, is_static, is_atomic,
+                  is_mutex, is_condvar, guarded)
+
+
+def _parse_body(text, start, end, line_of):
+    """Parses one class body [start, end) into (members, nested)."""
+    members = []
+    nested = []
+    i = start
+    stmt_begin = start
+    while i < end:
+        c = text[i]
+        if c == ";":
+            stmt = text[stmt_begin:i]
+            member = _classify_member(stmt, line_of(i))
+            if member:
+                members.append(member)
+            stmt_begin = i + 1
+            i += 1
+            continue
+        if c == "(":
+            i = _skip_balanced(text, i, "(", ")")
+            continue
+        if c == "{":
+            head = " ".join(text[stmt_begin:i].split())
+            head = re.sub(r"^(?:(?:public|private|protected)\s*:\s*)+", "",
+                          head)
+            close = _skip_balanced(text, i, "{", "}")
+            m = _CLASS_HEAD_RE.match(head) or (
+                _CLASS_HEAD_RE.search(head)
+                if re.match(r"^(template\s*<|class\b|struct\b)", head)
+                else None)
+            if m and "enum" not in head.split():
+                name_m = re.search(
+                    r"\b(?:class|struct)\s+(?:\w+\s*\(\s*\"[^\"]*\"\s*\)\s*)?"
+                    r"([A-Za-z_]\w*)", head)
+                sub = _parse_body(text, i + 1, close - 1, line_of)
+                nested.append(ClassInfo(
+                    name_m.group(1) if name_m else "<anonymous>",
+                    line_of(stmt_begin), sub[0], sub[1]))
+                # Anonymous struct members (`struct {...} name;`) are rare
+                # and unsupported; the trailing name, if any, is dropped.
+                i = close
+                # Consume an optional trailing `;`.
+                while i < end and text[i] in " \n\t":
+                    i += 1
+                if i < end and text[i] == ";":
+                    i += 1
+                stmt_begin = i
+                continue
+            if _first_call_paren(_strip_template_args(head)) >= 0 or \
+                    head.split()[:1] in (["enum"], ["union"]):
+                # Function body / enum / union: opaque, skip it. A ctor
+                # whose member-init list uses brace initializers hits this
+                # branch at the *first* brace group (`: a_{1}, ...`), so
+                # keep consuming `, ident{...}` groups and the body itself
+                # until the next token starts an ordinary declaration.
+                i = close
+                while True:
+                    j = i
+                    while j < end and text[j] in " \n\t":
+                        j += 1
+                    if j < end and text[j] == ",":
+                        nxt = text.find("{", j, end)
+                        semi = text.find(";", j, end)
+                        if nxt < 0 or (0 <= semi < nxt):
+                            break
+                        i = _skip_balanced(text, nxt, "{", "}")
+                        continue
+                    if j < end and text[j] == "{":
+                        i = _skip_balanced(text, j, "{", "}")
+                        continue
+                    break
+                while i < end and text[i] in " \n\t":
+                    i += 1
+                if i < end and text[i] == ";":
+                    i += 1
+                stmt_begin = i
+                continue
+            # Brace initializer of a member (`Mutex mu_{...}`): fold it
+            # into the statement and keep scanning for the ';'.
+            i = close
+            continue
+        i += 1
+    return members, nested
+
+
+def parse_classes(source):
+    """Extracts every class/struct (with bodies) from a SourceFile using
+    the string-stripped structural view. Returns a list of top-level
+    ClassInfo; use .walk() for nested classes.
+
+    For member *lines* and waiver comments, callers map Member.line back
+    into source.raw_lines."""
+    text = source.structure_text
+
+    def line_of(offset):
+        return text.count("\n", 0, offset) + 1
+
+    classes = []
+    i = 0
+    n = len(text)
+    while i < n:
+        m = _CLASS_HEAD_RE.search(text, i)
+        if not m:
+            break
+        # Reject `enum class` and forward declarations.
+        prefix = text[max(0, m.start() - 16):m.start()]
+        head_start = m.start()
+        j = m.end()
+        # `template <class T, ...>`: the keyword introduces a template
+        # parameter, not a class. The identifier (if any) is followed by
+        # '>', ',', '=', or '...'.
+        tparam = re.match(r"\s*(?:\.\.\.\s*)?(?:[A-Za-z_]\w*\s*)?([>,=.])",
+                          text[j:])
+        if tparam:
+            i = j
+            continue
+        # Scan forward to '{' or ';' to decide declaration vs definition.
+        depth = 0
+        body_open = -1
+        while j < n:
+            c = text[j]
+            if c == "(":
+                j = _skip_balanced(text, j, "(", ")")
+                continue
+            if c == "<":
+                j += 1
+                depth += 1
+                continue
+            if c == ">" and depth:
+                depth -= 1
+            elif c == "{" and depth == 0:
+                body_open = j
+                break
+            elif c == ";" and depth == 0:
+                break
+            j += 1
+        if body_open < 0:
+            i = j + 1
+            continue
+        if re.search(r"\benum\s+$", prefix):
+            i = _skip_balanced(text, body_open, "{", "}")
+            continue
+        head = text[head_start:body_open]
+        name_m = re.search(
+            r"\b(?:class|struct)\s+(?:\[\[[^\]]*\]\]\s*)?"
+            r"(?:\w+\s*\(\s*\"[^\"]*\"\s*\)\s*)?([A-Za-z_]\w*)", head)
+        close = _skip_balanced(text, body_open, "{", "}")
+        members, nested = _parse_body(text, body_open + 1, close - 1,
+                                      line_of)
+        classes.append(ClassInfo(
+            name_m.group(1) if name_m else "<anonymous>",
+            line_of(head_start), members, nested))
+        i = close
+    return classes

@@ -1,0 +1,100 @@
+"""Optional libclang engine.
+
+When python3-libclang is importable, the GUARDED_BY check can extract
+classes and members from a real AST instead of the token-level parser in
+cxxparse.py — exact on constructs the fallback only approximates
+(macro-heavy declarations, exotic declarators). The Member/ClassInfo
+model is identical, so the check logic does not care which engine fed it.
+
+This engine is best-effort by design: any import, parse, or traversal
+failure makes the caller fall back to the token engine for that file, so
+a CI image without libclang (the default; the repo toolchain is GCC) is
+a fully supported configuration — the token engine is the reference
+implementation and the self-test corpora run against it.
+"""
+
+import cxxparse
+
+_index = None
+_unavailable_reason = None
+
+
+def available():
+    """True when clang.cindex imports and an Index can be created."""
+    global _index, _unavailable_reason
+    if _index is not None:
+        return True
+    if _unavailable_reason is not None:
+        return False
+    try:
+        from clang import cindex  # noqa: F401  (optional dependency)
+        _index = cindex.Index.create()
+        return True
+    except Exception as e:  # ImportError, LibclangError, ...
+        _unavailable_reason = str(e) or e.__class__.__name__
+        return False
+
+
+def unavailable_reason():
+    return _unavailable_reason
+
+
+def _field_to_member(cursor, tokens_text):
+    from clang import cindex
+    type_spelling = cursor.type.spelling or ""
+    is_mutex = type_spelling.split("::")[-1].split("<")[0] == "Mutex"
+    is_condvar = type_spelling.split("::")[-1] == "CondVar"
+    return cxxparse.Member(
+        name=cursor.spelling,
+        decl=tokens_text,
+        line=cursor.location.line,
+        is_const=type_spelling.startswith("const ")
+        or cursor.type.is_const_qualified(),
+        is_static=cursor.storage_class == cindex.StorageClass.STATIC,
+        is_atomic="atomic" in type_spelling,
+        is_mutex=is_mutex,
+        is_condvar=is_condvar,
+        # The thread-safety attributes survive into the AST as
+        # annotate-style attributes; checking the declaration's token
+        # stream is the portable way to see them across libclang versions.
+        guarded="GUARDED_BY" in tokens_text,
+    )
+
+
+def parse_classes(repo_root, rel_path, extra_args=()):
+    """AST-backed equivalent of cxxparse.parse_classes. Raises on any
+    parse problem; the caller falls back to the token engine."""
+    from clang import cindex
+    args = ["-std=c++20", "-x", "c++", f"-I{repo_root}/src",
+            "-DSCOOP_LOCK_ORDER_CHECK=1", *extra_args]
+    tu = _index.parse(f"{repo_root}/{rel_path}", args=args)
+    class_kinds = (cindex.CursorKind.CLASS_DECL,
+                   cindex.CursorKind.STRUCT_DECL)
+
+    def build(cursor):
+        """ClassInfo for one class-definition cursor."""
+        members = []
+        nested = []
+        for sub in cursor.get_children():
+            if sub.kind == cindex.CursorKind.FIELD_DECL:
+                tokens = " ".join(t.spelling for t in sub.get_tokens())
+                members.append(_field_to_member(sub, tokens))
+            elif sub.kind in class_kinds and sub.is_definition():
+                nested.append(build(sub))
+        return cxxparse.ClassInfo(cursor.spelling or "<anonymous>",
+                                  cursor.location.line, members, nested)
+
+    classes = []
+
+    def visit(cursor):
+        for child in cursor.get_children():
+            if child.location.file is None or \
+                    not str(child.location.file).endswith(rel_path):
+                continue
+            if child.kind in class_kinds and child.is_definition():
+                classes.append(build(child))
+            else:
+                visit(child)
+
+    visit(tu.cursor)
+    return classes

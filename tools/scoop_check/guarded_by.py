@@ -1,0 +1,106 @@
+"""GUARDED_BY coverage check.
+
+For every class that owns a `scoop::Mutex` member, every mutable data
+member must either carry a GUARDED_BY / PT_GUARDED_BY annotation or an
+explicit waiver comment
+
+    // UNGUARDED: <reason>
+
+on the member's line or the line directly above it. This closes the gap
+PR 2's Clang thread-safety analysis leaves open: the analysis only checks
+fields that *are* annotated — a new field added without an annotation is
+silently outside the contract. Here the default flips: unannotated
+mutable state in a lock-owning class is an error until a human writes
+down why it is safe.
+
+Automatically exempt (no waiver needed):
+  * the Mutex / CondVar members themselves,
+  * `static` members (not per-instance state),
+  * members declared `const` (immutable after construction),
+  * `std::atomic<...>` members (they synchronize themselves).
+
+src/common/sync.{h,cc} are excluded: the annotation macros and the lock
+primitives themselves live there.
+"""
+
+import re
+
+import common
+import cxxparse
+
+CHECK = "guarded-by"
+
+EXEMPT_FILES = {"src/common/sync.h", "src/common/sync.cc"}
+
+WAIVER_RE = re.compile(r"//\s*UNGUARDED:\s*(\S.*)?$")
+
+
+def _waived(source, line):
+    """Looks for an UNGUARDED waiver on the member's own line or anywhere
+    in the contiguous // comment block directly above it. Returns
+    (waived, bare) — `bare` marks a waiver with no reason text."""
+    candidates = []
+    if 1 <= line <= len(source.raw_lines):
+        candidates.append(source.raw_lines[line - 1])
+    lineno = line - 1
+    while 1 <= lineno <= len(source.raw_lines) and \
+            source.raw_lines[lineno - 1].lstrip().startswith("//"):
+        candidates.append(source.raw_lines[lineno - 1])
+        lineno -= 1
+    for raw in candidates:
+        m = WAIVER_RE.search(raw)
+        if m:
+            return (m.group(1) is not None, m.group(1) is None)
+    return (False, False)
+
+
+def check_source(source, classes=None):
+    """Findings for one SourceFile. Only src/ is in scope. `classes`
+    substitutes pre-parsed ClassInfos (the libclang engine's output) for
+    the token parser's."""
+    findings = []
+    if not source.path.startswith("src/") or source.path in EXEMPT_FILES:
+        return findings
+    if classes is None:
+        classes = cxxparse.parse_classes(source)
+    for top in classes:
+        for cls in top.walk():
+            if not cls.owns_mutex():
+                continue
+            for member in cls.members:
+                if member.unparsed:
+                    findings.append(common.Finding(
+                        source.path, member.line, CHECK,
+                        f"could not parse member declaration in "
+                        f"`{cls.name}` (`{member.decl}`) — simplify the "
+                        "declaration or file a scoop_check bug"))
+                    continue
+                if (member.is_mutex or member.is_condvar or member.is_static
+                        or member.is_const or member.is_atomic
+                        or member.guarded):
+                    continue
+                waived, bare = _waived(source, member.line)
+                if waived:
+                    continue
+                if bare:
+                    findings.append(common.Finding(
+                        source.path, member.line, CHECK,
+                        f"`{cls.name}::{member.name}` has an UNGUARDED "
+                        "waiver with no reason — say why it is safe "
+                        "(e.g. `// UNGUARDED: written before threads "
+                        "start`)"))
+                else:
+                    findings.append(common.Finding(
+                        source.path, member.line, CHECK,
+                        f"`{cls.name}::{member.name}` is mutable state in "
+                        "a Mutex-owning class but carries no GUARDED_BY "
+                        "annotation — annotate it or waive it with "
+                        "`// UNGUARDED: <reason>`"))
+    return findings
+
+
+def check(sources):
+    findings = []
+    for source in sources:
+        findings.extend(check_source(source))
+    return findings

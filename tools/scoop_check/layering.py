@@ -1,0 +1,164 @@
+"""Module layering check: the src/ include graph must match layers.spec.
+
+The spec file (tools/scoop_check/layers.spec) is the single checked-in
+declaration of the architecture: one line per module listing the modules
+it may include. Anything else is a hard error:
+
+  * an include edge not allowed by the spec (upward or sideways reach),
+  * a module on disk that the spec does not declare (or vice versa),
+  * a cycle in the spec itself (the declared architecture must be a DAG),
+  * a cycle in the *file-level* include graph (two headers including each
+    other compile fine under include guards but poison the layering).
+
+Include edges are resolved against the compilation database's include
+roots (src/ in this repo), so `#include "common/sync.h"` from
+src/csv/foo.cc is the module edge csv -> common.
+"""
+
+import re
+from pathlib import Path
+
+import common
+
+CHECK = "layering"
+
+INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+
+
+def parse_spec(text):
+    """Parses layers.spec text -> (deps: {module: set(modules)}, errors).
+
+    Line format:  module: dep1 dep2 ...   (empty dep list allowed)
+    '#' starts a comment. Later lines for the same module are an error.
+    """
+    deps = {}
+    errors = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if ":" not in line:
+            errors.append((lineno, f"malformed spec line: {raw.strip()!r} "
+                           "(want `module: dep dep ...`)"))
+            continue
+        module, _, rest = line.partition(":")
+        module = module.strip()
+        if module in deps:
+            errors.append((lineno, f"module `{module}` declared twice"))
+            continue
+        deps[module] = set(rest.split())
+    for module, targets in sorted(deps.items()):
+        for dep in sorted(targets):
+            if dep not in deps:
+                errors.append((0, f"module `{module}` depends on "
+                               f"undeclared module `{dep}`"))
+    return deps, errors
+
+
+def _spec_cycle(deps):
+    """Returns one cycle in the spec as a list of modules, or None."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {m: WHITE for m in deps}
+    stack = []
+
+    def dfs(node):
+        color[node] = GRAY
+        stack.append(node)
+        for nxt in sorted(deps.get(node, ())):
+            if nxt not in color:
+                continue
+            if color[nxt] == GRAY:
+                return stack[stack.index(nxt):] + [nxt]
+            if color[nxt] == WHITE:
+                cycle = dfs(nxt)
+                if cycle:
+                    return cycle
+        stack.pop()
+        color[node] = BLACK
+        return None
+
+    for module in sorted(deps):
+        if color[module] == WHITE:
+            cycle = dfs(module)
+            if cycle:
+                return cycle
+    return None
+
+
+def _file_cycle(file_edges):
+    """Returns one cycle in the file-level include graph, or None."""
+    return _spec_cycle(file_edges)
+
+
+def _resolve_include(include, include_roots, known_files):
+    """Maps an include string to a repo-relative path, or None."""
+    for root in include_roots:
+        cand = (Path(root) / include).as_posix() if root != "." else include
+        if cand in known_files:
+            return cand
+    return None
+
+
+def check(sources, spec_text, include_roots=("src",), spec_path="layers.spec"):
+    findings = []
+    deps, spec_errors = parse_spec(spec_text)
+    for lineno, msg in spec_errors:
+        findings.append(common.Finding(spec_path, max(lineno, 1), CHECK, msg))
+    if spec_errors:
+        return findings
+
+    cycle = _spec_cycle(deps)
+    if cycle:
+        findings.append(common.Finding(
+            spec_path, 1, CHECK,
+            "the declared layering is not a DAG: "
+            + " -> ".join(cycle)))
+        return findings
+
+    src_files = {s.path: s for s in sources if s.path.startswith("src/")}
+    modules_on_disk = sorted({s.module for s in src_files.values()
+                              if s.module})
+
+    for module in modules_on_disk:
+        if module not in deps:
+            findings.append(common.Finding(
+                f"src/{module}", 1, CHECK,
+                f"module `src/{module}/` exists on disk but is not "
+                f"declared in {spec_path} — add it with its allowed "
+                "dependencies"))
+    for module in sorted(deps):
+        if module not in modules_on_disk:
+            findings.append(common.Finding(
+                spec_path, 1, CHECK,
+                f"module `{module}` is declared but src/{module}/ has no "
+                "sources — remove the stale entry"))
+
+    # Edge scan + file-level graph, one pass over every src file.
+    file_edges = {path: set() for path in src_files}
+    for path, source in sorted(src_files.items()):
+        module = source.module
+        allowed = deps.get(module)
+        for m in INCLUDE_RE.finditer(source.text):
+            include = m.group(1)
+            target = _resolve_include(include, include_roots, src_files)
+            if target is None:
+                continue  # non-repo header (toolchain) or tests glue
+            file_edges[path].add(target)
+            target_module = src_files[target].module
+            if target_module == module or allowed is None:
+                continue
+            if target_module not in allowed:
+                findings.append(common.Finding(
+                    path, source.line_of(m.start()), CHECK,
+                    f"include of \"{include}\" creates the edge "
+                    f"{module} -> {target_module}, which {spec_path} "
+                    "does not allow — either the include is an "
+                    "architecture violation or the spec needs a "
+                    "deliberate, reviewed edge"))
+
+    cycle = _file_cycle(file_edges)
+    if cycle:
+        findings.append(common.Finding(
+            cycle[0], 1, CHECK,
+            "file-level include cycle: " + " -> ".join(cycle)))
+    return findings

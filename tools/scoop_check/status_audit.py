@@ -1,0 +1,91 @@
+"""nodiscard Status audit.
+
+The compiler does the heavy lifting: `Status` and `Result<T>` are
+`[[nodiscard]]` (src/common/status.h, src/common/result.h) and the build
+runs with -Werror=unused-result, so a *dropped* status is a compile
+error. This check guards the escape hatches:
+
+  nodiscard-attr   the [[nodiscard]] attributes themselves must stay on
+                   Status and Result — removing one silently re-opens
+                   every call site.
+  bare-discard     `(void)Foo(...)` / `(void)obj.Method(...)` casts:
+                   the C-style way to defeat nodiscard, invisible in
+                   review. Use `.IgnoreError()` (for Status) or bind the
+                   value. Casting a plain variable (`(void)unused_param;`)
+                   stays legal.
+  ignore-reason    every `.IgnoreError()` call site must carry a comment
+                   (same line or up to two lines above) saying why the
+                   error is ignorable.
+"""
+
+import re
+
+import common
+
+CHECK = "status-audit"
+
+STATUS_HEADER = "src/common/status.h"
+RESULT_HEADER = "src/common/result.h"
+
+NODISCARD_STATUS_RE = re.compile(r"class\s+\[\[nodiscard\]\]\s+Status\b")
+NODISCARD_RESULT_RE = re.compile(r"class\s+\[\[nodiscard\]\]\s+Result\b")
+
+# (void) applied to something that is *called* or *dereferenced* — i.e. an
+# expression producing a fresh value that is being thrown away.
+BARE_DISCARD_RE = re.compile(
+    r"\(\s*void\s*\)\s*[A-Za-z_][\w:]*\s*(?:\(|\.|->)")
+
+IGNORE_CALL_RE = re.compile(r"\.\s*IgnoreError\s*\(\s*\)")
+
+
+def _has_nearby_comment(source, line, lookback=2):
+    """True if raw line `line` or one of the `lookback` lines above it
+    carries a // comment with some text."""
+    for lineno in range(line, max(0, line - lookback - 1), -1):
+        if 1 <= lineno <= len(source.raw_lines):
+            m = re.search(r"//\s*(\S.*)$", source.raw_lines[lineno - 1])
+            if m:
+                return True
+    return False
+
+
+def check_source(source):
+    findings = []
+    for m in BARE_DISCARD_RE.finditer(source.text):
+        findings.append(common.Finding(
+            source.path, source.line_of(m.start()), CHECK,
+            "bare `(void)` discard of a call result defeats "
+            "[[nodiscard]] invisibly — for a Status use "
+            "`.IgnoreError()` with a reason comment; otherwise bind "
+            "the value"))
+    for m in IGNORE_CALL_RE.finditer(source.text):
+        line = source.line_of(m.start())
+        if not _has_nearby_comment(source, line):
+            findings.append(common.Finding(
+                source.path, line, CHECK,
+                "`.IgnoreError()` without a reason — add a comment "
+                "(same line or just above) explaining why this error "
+                "is safe to drop"))
+    return findings
+
+
+def check(sources):
+    findings = []
+    by_path = {s.path: s for s in sources}
+
+    status = by_path.get(STATUS_HEADER)
+    if status is None or not NODISCARD_STATUS_RE.search(status.text):
+        findings.append(common.Finding(
+            STATUS_HEADER, 1, CHECK,
+            "class Status must be declared `class [[nodiscard]] Status` "
+            "— without it -Werror=unused-result has nothing to enforce"))
+    result = by_path.get(RESULT_HEADER)
+    if result is None or not NODISCARD_RESULT_RE.search(result.text):
+        findings.append(common.Finding(
+            RESULT_HEADER, 1, CHECK,
+            "class Result must be declared `class [[nodiscard]] Result` "
+            "— without it dropped Result<T> values compile silently"))
+
+    for source in sources:
+        findings.extend(check_source(source))
+    return findings
