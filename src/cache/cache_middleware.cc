@@ -12,9 +12,18 @@
 namespace scoop {
 
 std::string CanonicalQueryFingerprint(const Headers& headers) {
+  // v2 leads with the response *shape*: a pushdown body is either row
+  // bytes or a SAG1 partial-aggregate frame, and the two must never
+  // share a cache entry — a row-shape query handed a cached SAG1 body
+  // (or vice versa) would decode garbage. The explicit token keeps the
+  // shapes apart even if the remaining header serialization ever
+  // collides across storlets.
+  bool agg_shape =
+      ToLower(Trim(headers.GetOr(std::string(kStorletParamPrefix) + "Output",
+                                 ""))) == "partials";
+  std::string fp = agg_shape ? "v2|shape=agg" : "v2|shape=rows";
   // Headers iterates in case-insensitive sorted order, so equal header
   // sets serialize identically regardless of arrival order or name case.
-  std::string fp = "v1";
   for (const auto& [name, value] : headers) {
     std::string lower = ToLower(name);
     bool relevant = lower == "range" || StartsWith(lower, "x-run-storlet") ||

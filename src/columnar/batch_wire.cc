@@ -164,8 +164,35 @@ Status DecodePayload(std::string_view payload, RecordBatch* batch) {
 }  // namespace
 
 bool LooksLikeBatchWire(std::string_view data) {
-  return data.size() >= kBatchWireMagic.size() &&
-         data.substr(0, kBatchWireMagic.size()) == kBatchWireMagic;
+  if (data.size() < kBatchWireMagic.size() ||
+      data.substr(0, kBatchWireMagic.size()) != kBatchWireMagic) {
+    return false;
+  }
+  // The magic alone is spoofable: a CSV record can legitimately start
+  // with the bytes "SBT1". Corroborate with the header fields when the
+  // sniffer peeked far enough: a real frame's payload_len is small-ish
+  // (the producer caps batches at kDefaultBatchRows) and its payload
+  // starts with a plausible schema-spec length, while ASCII text decoded
+  // as little-endian u32 always lands >= 0x09000000 (every printable or
+  // whitespace byte exceeds 0x08, and it ends up as the high byte).
+  auto u32_at = [&](size_t off) {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data[off + i]))
+           << (i * 8);
+    }
+    return v;
+  };
+  if (data.size() >= kBatchWireMagic.size() + 4) {
+    uint32_t payload_len = u32_at(kBatchWireMagic.size());
+    // Minimum real payload: u32 spec_len + u32 num_rows.
+    if (payload_len < 8 || payload_len > (64u << 20)) return false;
+    if (data.size() >= kBatchWireMagic.size() + 8) {
+      uint32_t spec_len = u32_at(kBatchWireMagic.size() + 4);
+      if (spec_len > 4096 || spec_len + 8 > payload_len) return false;
+    }
+  }
+  return true;
 }
 
 void AppendBatchFrame(const RecordBatch& batch, std::string* out) {

@@ -1,5 +1,6 @@
 #include "compute/job.h"
 
+#include "common/trace.h"
 #include "sql/parser.h"
 
 namespace scoop {
@@ -19,18 +20,39 @@ Result<QueryOutcome> SqlJobRunner::Run(const SelectStatement& stmt,
   };
   std::vector<TaskOutput> outputs(partitions.size());
 
+  // The full pushdown hint set, shared by every task: projection and
+  // selection always; partial aggregation when the plan's shape is
+  // distributable; a LIMIT cap when the driver only needs a row prefix.
+  // Sources that ignore the extensions return rows and the tasks
+  // aggregate/truncate compute-side — same answer either way.
+  ScanSpec scan_spec;
+  scan_spec.required_columns = plan->required_columns();
+  scan_spec.filter = plan->pushed_filter();
+  scan_spec.aggregate = plan->agg_pushdown();
+  if (plan->limit_pushdown_eligible()) scan_spec.limit = plan->limit();
+
   ExponentialHistogram* batch_eval_us =
       metrics_ != nullptr ? metrics_->GetHistogram("exec.batch_eval_us")
                           : nullptr;
   std::vector<TaskInfo> task_infos = scheduler_->RunTasks(
       partitions.size(), [&](size_t index, int /*worker_id*/) {
         TaskOutput& out = outputs[index];
-        auto scan = relation->ScanPartition(partitions[index],
-                                            plan->required_columns(),
-                                            plan->pushed_filter());
+        auto scan = relation->ScanPartition(partitions[index], scan_spec);
         if (!scan.ok()) {
           out.status = scan.status();
           return;
+        }
+        if (scan->agg_applied) {
+          // The store already folded this partition into partial
+          // aggregate states; absorb them as if the rows had been
+          // processed here.
+          AggPartialFrame frame;
+          frame.agg_kinds = scan_spec.aggregate->agg_kinds;
+          frame.rows = scan->agg_rows;
+          frame.groups = std::move(scan->agg_groups);
+          out.status = plan->AbsorbAggPartials(frame, &out.partial);
+          if (!out.status.ok()) return;
+          scan->agg_groups.clear();
         }
         // Row-plane sources (and adapters) fill rows; columnar sources
         // fill batches. Either way the same plan accumulates.
@@ -53,6 +75,11 @@ Result<QueryOutcome> SqlJobRunner::Run(const SelectStatement& stmt,
   QueryOutcome outcome;
   outcome.stats.partitions = static_cast<int>(partitions.size());
   outcome.stats.tasks = std::move(task_infos);
+  // Driver-side final merge: every partition's partial states — whether
+  // produced by a storlet or by a task — collapse here, in partition
+  // order, then finalize into the result table. Roots its own trace; the
+  // store-side trees hang off the per-partition stocator spans instead.
+  TraceSpan merge_span("driver.final_merge");
   PartialResult merged;
   for (size_t i = 0; i < outputs.size(); ++i) {
     SCOOP_RETURN_IF_ERROR(outputs[i].status);
@@ -67,6 +94,11 @@ Result<QueryOutcome> SqlJobRunner::Run(const SelectStatement& stmt,
   outcome.stats.rows_scanned = merged.rows_seen;
   outcome.stats.rows_passed = merged.rows_passed;
   SCOOP_ASSIGN_OR_RETURN(outcome.table, plan->Finalize(std::move(merged)));
+  if (merge_span.active()) {
+    merge_span.SetTag("partitions", std::to_string(outputs.size()));
+    merge_span.SetTag("rows_output", std::to_string(outcome.table.rows.size()));
+  }
+  merge_span.End();
   outcome.stats.rows_output = static_cast<int64_t>(outcome.table.rows.size());
   outcome.stats.wall_seconds = watch.ElapsedSeconds();
   return outcome;

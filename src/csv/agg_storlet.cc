@@ -1,5 +1,6 @@
 #include "csv/agg_storlet.h"
 
+#include <cstdlib>
 #include <map>
 #include <numeric>
 
@@ -8,10 +9,61 @@
 #include "common/strings.h"
 #include "csv/batch_reader.h"
 #include "csv/record_reader.h"
+#include "sql/agg_wire.h"
 #include "sql/aggregates.h"
+#include "sql/expr_eval.h"
 #include "sql/source_filter.h"
 
 namespace scoop {
+
+namespace {
+
+// One resolved group-key expression of the partials mode: a bare column
+// or substr(string-column, pos, len).
+struct GroupKeySpec {
+  int column_index = -1;
+  ColumnType type = ColumnType::kString;
+  bool is_substr = false;
+  int64_t pos = 0;
+  int64_t len = 0;
+};
+
+Result<GroupKeySpec> ResolveGroupSpec(const std::string& spec,
+                                      const Schema& schema) {
+  GroupKeySpec out;
+  std::string column = spec;
+  if (spec.rfind("substr(", 0) == 0 && spec.back() == ')') {
+    std::vector<std::string_view> parts =
+        Split(std::string_view(spec).substr(7, spec.size() - 8), ',');
+    if (parts.size() != 3) {
+      return Status::InvalidArgument("aggstorlet: bad group spec: " + spec);
+    }
+    char* end = nullptr;
+    std::string pos_str(parts[1]), len_str(parts[2]);
+    out.pos = std::strtoll(pos_str.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return Status::InvalidArgument("aggstorlet: bad group spec: " + spec);
+    }
+    out.len = std::strtoll(len_str.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return Status::InvalidArgument("aggstorlet: bad group spec: " + spec);
+    }
+    out.is_substr = true;
+    column = std::string(parts[0]);
+  }
+  out.column_index = schema.IndexOf(column);
+  if (out.column_index < 0) {
+    return Status::NotFound("group column not in schema: " + column);
+  }
+  out.type = schema.column(static_cast<size_t>(out.column_index)).type;
+  if (out.is_substr && out.type != ColumnType::kString) {
+    return Status::InvalidArgument(
+        "aggstorlet: substr group key requires a string column: " + spec);
+  }
+  return out;
+}
+
+}  // namespace
 
 Status GroupAggStorlet::Invoke(StorletInputStream& input,
                                StorletOutputStream& output,
@@ -23,17 +75,27 @@ Status GroupAggStorlet::Invoke(StorletInputStream& input,
   }
   SCOOP_ASSIGN_OR_RETURN(Schema schema, Schema::FromSpec(schema_it->second));
 
-  std::vector<int> group_indices;
-  auto group_it = params.find("group");
-  if (group_it != params.end() && !Trim(group_it->second).empty()) {
-    for (std::string_view name : Split(group_it->second, ',')) {
-      int idx = schema.IndexOf(Trim(name));
-      if (idx < 0) {
-        return Status::NotFound("group column not in schema: " +
-                                std::string(Trim(name)));
-      }
-      group_indices.push_back(idx);
+  // output=partials switches from finalized CSV rows to one SAG1 frame
+  // of mergeable AggStates (sql/agg_wire.h) with typed group keys — the
+  // aggregate-pushdown wire the driver merges with AggState::Merge.
+  bool partials_mode = false;
+  auto output_it = params.find("output");
+  if (output_it != params.end() && !Trim(output_it->second).empty()) {
+    std::string_view mode = Trim(output_it->second);
+    if (mode == "partials") {
+      partials_mode = true;
+    } else if (mode != "csv") {
+      return Status::InvalidArgument("aggstorlet: unknown output mode: " +
+                                     std::string(mode));
     }
+  }
+
+  std::string group_param;
+  auto group_it = params.find("group");
+  if (group_it != params.end()) group_param = Trim(group_it->second);
+  auto aggs_it = params.find("aggs");
+  if (aggs_it == params.end() || Trim(aggs_it->second).empty()) {
+    return Status::InvalidArgument("aggstorlet requires an 'aggs' parameter");
   }
 
   struct AggSpec {
@@ -42,39 +104,79 @@ Status GroupAggStorlet::Invoke(StorletInputStream& input,
     ColumnType type;
   };
   std::vector<AggSpec> specs;
-  auto aggs_it = params.find("aggs");
-  if (aggs_it == params.end() || Trim(aggs_it->second).empty()) {
-    return Status::InvalidArgument("aggstorlet requires an 'aggs' parameter");
-  }
-  for (std::string_view part : Split(aggs_it->second, ',')) {
-    part = Trim(part);
-    size_t colon = part.find(':');
-    if (colon == std::string_view::npos) {
-      return Status::InvalidArgument("bad agg spec: " + std::string(part));
+  std::vector<GroupKeySpec> key_specs;   // partials mode
+  std::vector<int> group_indices;        // csv mode
+  std::vector<AggKind> wire_kinds;       // partials mode frame header
+
+  if (partials_mode) {
+    SCOOP_ASSIGN_OR_RETURN(
+        AggPushdownSpec pushed,
+        ParseAggPushdownSpec(group_param, Trim(aggs_it->second)));
+    for (const std::string& g : pushed.group_specs) {
+      SCOOP_ASSIGN_OR_RETURN(GroupKeySpec ks, ResolveGroupSpec(g, schema));
+      key_specs.push_back(ks);
     }
-    AggSpec spec;
-    SCOOP_ASSIGN_OR_RETURN(spec.kind, AggKindFromName(part.substr(0, colon)));
-    if (spec.kind == AggKind::kAvg || spec.kind == AggKind::kFirstValue) {
-      return Status::InvalidArgument(
-          "aggstorlet supports sum/min/max/count (avg/first_value do not "
-          "merge as single partials)");
-    }
-    std::string_view column = Trim(part.substr(colon + 1));
-    if (column == "*") {
-      if (spec.kind != AggKind::kCount) {
-        return Status::InvalidArgument("'*' is only valid with count");
+    for (size_t i = 0; i < pushed.agg_kinds.size(); ++i) {
+      AggSpec spec;
+      spec.kind = pushed.agg_kinds[i];
+      if (pushed.agg_columns[i] == "*") {
+        spec.column_index = -1;
+        spec.type = ColumnType::kInt64;
+      } else {
+        spec.column_index = schema.IndexOf(pushed.agg_columns[i]);
+        if (spec.column_index < 0) {
+          return Status::NotFound("agg column not in schema: " +
+                                  pushed.agg_columns[i]);
+        }
+        spec.type =
+            schema.column(static_cast<size_t>(spec.column_index)).type;
       }
-      spec.column_index = -1;
-      spec.type = ColumnType::kInt64;
-    } else {
-      spec.column_index = schema.IndexOf(column);
-      if (spec.column_index < 0) {
-        return Status::NotFound("agg column not in schema: " +
-                                std::string(column));
-      }
-      spec.type = schema.column(static_cast<size_t>(spec.column_index)).type;
+      specs.push_back(spec);
     }
-    specs.push_back(spec);
+    wire_kinds = std::move(pushed.agg_kinds);
+  } else {
+    if (!group_param.empty()) {
+      for (std::string_view name : Split(group_param, ',')) {
+        int idx = schema.IndexOf(Trim(name));
+        if (idx < 0) {
+          return Status::NotFound("group column not in schema: " +
+                                  std::string(Trim(name)));
+        }
+        group_indices.push_back(idx);
+      }
+    }
+    for (std::string_view part : Split(aggs_it->second, ',')) {
+      part = Trim(part);
+      size_t colon = part.find(':');
+      if (colon == std::string_view::npos) {
+        return Status::InvalidArgument("bad agg spec: " + std::string(part));
+      }
+      AggSpec spec;
+      SCOOP_ASSIGN_OR_RETURN(spec.kind,
+                             AggKindFromName(part.substr(0, colon)));
+      if (spec.kind == AggKind::kAvg || spec.kind == AggKind::kFirstValue) {
+        return Status::InvalidArgument(
+            "aggstorlet supports sum/min/max/count in csv output mode "
+            "(avg/first_value do not merge as single finalized values)");
+      }
+      std::string_view column = Trim(part.substr(colon + 1));
+      if (column == "*") {
+        if (spec.kind != AggKind::kCount) {
+          return Status::InvalidArgument("'*' is only valid with count");
+        }
+        spec.column_index = -1;
+        spec.type = ColumnType::kInt64;
+      } else {
+        spec.column_index = schema.IndexOf(column);
+        if (spec.column_index < 0) {
+          return Status::NotFound("agg column not in schema: " +
+                                  std::string(column));
+        }
+        spec.type =
+            schema.column(static_cast<size_t>(spec.column_index)).type;
+      }
+      specs.push_back(spec);
+    }
   }
 
   SourceFilter selection = SourceFilter::True();
@@ -85,33 +187,61 @@ Status GroupAggStorlet::Invoke(StorletInputStream& input,
   }
   bool has_selection = !selection.IsTrue();
 
-  // Group map keyed by the rendered group fields (std::map: sorted output).
+  // Group map keyed by the serialized group key (std::map: sorted,
+  // deterministic output order).
   struct Entry {
-    std::vector<std::string> key_fields;
+    std::vector<std::string> key_fields;  // csv mode: raw field bytes
+    Row key_values;                       // partials mode: typed values
     std::vector<AggState> states;
   };
   std::map<std::string, Entry> groups;
   int64_t rows_in = 0;
 
-  // Folds one record (raw fields, schema order) into the group map.
+  // Folds one record (raw fields, schema order) into the group map. The
+  // partials mode computes typed keys with Value::FromField/SqlSubstring
+  // — the exact evaluation the driver executor runs — so group identity
+  // never depends on raw field spelling ("1.0" vs "1.00").
   auto accumulate = [&](const std::string_view* fields) {
     std::string key;
-    for (int idx : group_indices) {
-      key.append(fields[static_cast<size_t>(idx)]);
-      key.push_back('\x1f');
+    Row key_values;
+    if (partials_mode) {
+      key_values.reserve(key_specs.size());
+      for (const GroupKeySpec& ks : key_specs) {
+        std::string_view field = fields[static_cast<size_t>(ks.column_index)];
+        if (ks.is_substr) {
+          // Null (empty field) propagates through substr, like EvalExpr.
+          key_values.push_back(
+              field.empty()
+                  ? Value::Null()
+                  : Value(SqlSubstring(std::string(field), ks.pos, ks.len)));
+        } else {
+          key_values.push_back(Value::FromField(field, ks.type));
+        }
+      }
+      key = SerializeGroupKey(key_values);
+    } else {
+      for (int idx : group_indices) {
+        key.append(fields[static_cast<size_t>(idx)]);
+        key.push_back('\x1f');
+      }
     }
     auto [it, inserted] = groups.try_emplace(std::move(key));
     Entry& entry = it->second;
     if (inserted) {
-      for (int idx : group_indices) {
-        entry.key_fields.emplace_back(fields[static_cast<size_t>(idx)]);
+      if (partials_mode) {
+        entry.key_values = std::move(key_values);
+      } else {
+        for (int idx : group_indices) {
+          entry.key_fields.emplace_back(fields[static_cast<size_t>(idx)]);
+        }
       }
       entry.states.resize(specs.size());
     }
     for (size_t i = 0; i < specs.size(); ++i) {
       const AggSpec& spec = specs[i];
       if (spec.column_index < 0) {
-        entry.states[i].Update(AggKind::kCount, Value(static_cast<int64_t>(1)));
+        entry.states[i].Update(AggKind::kCount,
+                               Value(static_cast<int64_t>(1)));
       } else {
         entry.states[i].Update(
             spec.kind,
@@ -121,12 +251,29 @@ Status GroupAggStorlet::Invoke(StorletInputStream& input,
     }
   };
 
-  // Sniff the input: an upstream csv storlet invoked with output=batch
-  // sends length-prefixed RecordBatch frames instead of CSV text.
-  char magic[4];
-  size_t sniffed = input.Peek(magic, sizeof(magic));
-  bool wire_input =
-      LooksLikeBatchWire(std::string_view(magic, sniffed));
+  // Input format: an explicit input=batch/text parameter wins; otherwise
+  // sniff whether an upstream csv storlet invoked with output=batch sends
+  // length-prefixed RecordBatch frames instead of CSV text. The sniff
+  // reads a full header's worth of bytes so LooksLikeBatchWire can
+  // corroborate the magic against the frame length fields — a CSV record
+  // that merely *starts* with "SBT1" must not select the wire decoder.
+  bool wire_input;
+  auto input_it = params.find("input");
+  if (input_it != params.end() && !Trim(input_it->second).empty()) {
+    std::string_view mode = Trim(input_it->second);
+    if (mode == "batch") {
+      wire_input = true;
+    } else if (mode == "text") {
+      wire_input = false;
+    } else {
+      return Status::InvalidArgument("aggstorlet: unknown input mode: " +
+                                     std::string(mode));
+    }
+  } else {
+    char header[16];
+    size_t sniffed = input.Peek(header, sizeof(header));
+    wire_input = LooksLikeBatchWire(std::string_view(header, sniffed));
+  }
 
   if (wire_input) {
     // Wire frames carry raw string fields under their own (possibly
@@ -201,24 +348,43 @@ Status GroupAggStorlet::Invoke(StorletInputStream& input,
     }
   }
 
-  std::string scratch;
-  std::vector<std::string> rendered;
-  std::vector<std::string_view> views;
-  for (const auto& [key, entry] : groups) {
-    rendered.clear();
-    views.clear();
-    for (const std::string& field : entry.key_fields) rendered.push_back(field);
-    for (size_t i = 0; i < specs.size(); ++i) {
-      rendered.push_back(entry.states[i].Final(specs[i].kind).ToString());
+  if (partials_mode) {
+    AggPartialFrame frame;
+    frame.agg_kinds = std::move(wire_kinds);
+    frame.rows = rows_in;
+    frame.groups.reserve(groups.size());
+    for (auto& [key, entry] : groups) {
+      AggPartialGroup group;
+      group.key_values = std::move(entry.key_values);
+      group.states = std::move(entry.states);
+      frame.groups.push_back(std::move(group));
     }
-    for (const std::string& s : rendered) views.push_back(s);
-    scratch.clear();
-    WriteCsvRecord(views, &scratch);
-    output.Write(scratch);
+    std::string encoded;
+    AppendAggPartialFrame(frame, &encoded);
+    output.Write(encoded);
+  } else {
+    std::string scratch;
+    std::vector<std::string> rendered;
+    std::vector<std::string_view> views;
+    for (const auto& [key, entry] : groups) {
+      rendered.clear();
+      views.clear();
+      for (const std::string& field : entry.key_fields) {
+        rendered.push_back(field);
+      }
+      for (size_t i = 0; i < specs.size(); ++i) {
+        rendered.push_back(entry.states[i].Final(specs[i].kind).ToString());
+      }
+      for (const std::string& s : rendered) views.push_back(s);
+      scratch.clear();
+      WriteCsvRecord(views, &scratch);
+      output.Write(scratch);
+    }
   }
-  logger.Emit(StrFormat("aggstorlet: %lld rows -> %zu groups%s",
+  logger.Emit(StrFormat("aggstorlet: %lld rows -> %zu groups%s%s",
                         static_cast<long long>(rows_in), groups.size(),
-                        wire_input ? " (batch frames in)" : ""));
+                        wire_input ? " (batch frames in)" : "",
+                        partials_mode ? " (partial states out)" : ""));
   output.SetMetadata("groups", std::to_string(groups.size()));
   return Status::OK();
 }

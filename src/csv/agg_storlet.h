@@ -16,19 +16,28 @@ namespace scoop {
 //
 // Parameters:
 //   schema    — "name:type,..." of the object's columns (required)
-//   group     — comma-separated grouping column names (optional; absent
-//               means one global group)
-//   aggs      — comma-separated "<fn>:<column>" specs, fn in
-//               {sum, min, max, count, avg is NOT offered — avg does not
-//               partial-merge as a single value; push sum and count
-//               instead}; count accepts "*" as column (required)
+//   group     — comma-separated grouping specs (optional; absent means
+//               one global group). CSV mode takes bare column names;
+//               partials mode also accepts "substr(col,pos,len)" over
+//               string columns (AggPushdownSpec::GroupParam rendering)
+//   aggs      — comma-separated "<fn>:<column>" specs; count accepts "*"
+//               as column (required). CSV mode allows sum/min/max/count
+//               (avg does not merge as a single finalized value);
+//               partials mode additionally allows avg, whose (sum,count)
+//               state merges fine
 //   selection — serialized SourceFilter applied before aggregating
+//   output    — "csv" (default) or "partials"
+//   input     — "text" or "batch" to pin the input decoder; absent means
+//               sniff for SBT1 frames from an upstream output=batch csv
+//               storlet
 //
-// Output: CSV rows "<group values...>,<agg values...>", one per group, in
-// sorted group-key order; sum/count over integer columns stay integral.
-// These are *partial* results for one object/range; the compute side
-// merges partials across requests (sum+=, min/max fold, count+=) — which
-// is exactly what the AggState machinery in sql/aggregates.h does.
+// Output, csv mode: rows "<group values...>,<agg values...>", one per
+// group, sorted by raw group-key bytes; sum/count over integer columns
+// stay integral. Output, partials mode: one SAG1 frame (sql/agg_wire.h)
+// of typed group keys + mergeable AggStates, sorted by the driver's
+// SerializeGroupKey. Both are *partial* results for one object/range;
+// the compute side merges partials across requests with the AggState
+// machinery in sql/aggregates.h.
 class GroupAggStorlet : public Storlet {
  public:
   static constexpr char kName[] = "aggstorlet";

@@ -1,5 +1,6 @@
 #include "csv/csv_storlet.h"
 
+#include <cstdlib>
 #include <numeric>
 
 #include "columnar/batch_wire.h"
@@ -18,45 +19,53 @@ namespace {
 Status RowEngine(StorletInputStream& input, StorletOutputStream& output,
                  StorletLogger& logger, const Schema& schema,
                  const std::vector<int>& projection, bool project_all,
-                 const SourceFilter& selection, bool has_selection) {
+                 const SourceFilter& selection, bool has_selection,
+                 int64_t limit) {
   CsvRecordParser parser;
   std::vector<std::string_view> projected;
   std::string scratch;
   int64_t rows_in = 0;
   int64_t rows_out = 0;
-  while (auto line = input.ReadLine()) {
+  bool limit_hit = limit == 0;
+  while (!limit_hit) {
+    auto line = input.ReadLine();
+    if (!line) break;
     std::string_view record = *line;
     if (!record.empty() && record.back() == '\r') record.remove_suffix(1);
     if (record.empty()) continue;
     ++rows_in;
-    if (!has_selection && project_all) {
+    if (has_selection || !project_all) {
+      const std::vector<std::string_view>& fields = parser.Parse(record);
+      if (fields.size() != schema.size()) continue;  // malformed record
+      if (has_selection && !selection.Matches(fields, schema)) continue;
+      ++rows_out;
+      if (project_all) {
+        // Row-selectivity fast path: pass the record through untouched.
+        output.WriteLine(record);
+      } else {
+        projected.clear();
+        for (int idx : projection) {
+          projected.push_back(fields[static_cast<size_t>(idx)]);
+        }
+        scratch.clear();
+        WriteCsvRecord(projected, &scratch);
+        output.Write(scratch);
+      }
+    } else {
       // Trivial invocation: identity copy.
       output.WriteLine(record);
       ++rows_out;
-      continue;
     }
-    const std::vector<std::string_view>& fields = parser.Parse(record);
-    if (fields.size() != schema.size()) continue;  // malformed record
-    if (has_selection && !selection.Matches(fields, schema)) continue;
-    ++rows_out;
-    if (project_all) {
-      // Row-selectivity fast path: pass the record through untouched.
-      output.WriteLine(record);
-    } else {
-      projected.clear();
-      for (int idx : projection) {
-        projected.push_back(fields[static_cast<size_t>(idx)]);
-      }
-      scratch.clear();
-      WriteCsvRecord(projected, &scratch);
-      output.Write(scratch);
-    }
+    // LIMIT pushdown: stop the scan (and, via queue teardown, the
+    // upstream object read) once enough rows are out.
+    if (limit >= 0 && rows_out >= limit) limit_hit = true;
   }
   logger.Emit(StrFormat("csvstorlet: %lld rows in, %lld rows out",
                         static_cast<long long>(rows_in),
                         static_cast<long long>(rows_out)));
   output.SetMetadata("rows-in", std::to_string(rows_in));
   output.SetMetadata("rows-out", std::to_string(rows_out));
+  if (limit_hit) output.SetMetadata("limit-hit", "1");
   return Status::OK();
 }
 
@@ -96,6 +105,21 @@ Status CsvStorlet::Invoke(StorletInputStream& input,
   }
   bool has_selection = !selection.IsTrue();
 
+  // LIMIT pushdown: stop after emitting this many selection-surviving
+  // rows. Only valid when the driver needs a row *prefix* (no ORDER BY,
+  // no aggregation) — the planner decides that; here it is just a cap.
+  int64_t limit = -1;
+  auto limit_it = params.find("limit");
+  if (limit_it != params.end() && !Trim(limit_it->second).empty()) {
+    std::string text(Trim(limit_it->second));
+    char* end = nullptr;
+    limit = std::strtoll(text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || limit < 0) {
+      return Status::InvalidArgument("csvstorlet: bad 'limit' parameter: " +
+                                     text);
+    }
+  }
+
   auto output_it = params.find("output");
   bool batch_output = output_it != params.end() && output_it->second == "batch";
 
@@ -106,14 +130,14 @@ Status CsvStorlet::Invoke(StorletInputStream& input,
           "csvstorlet: engine=row cannot emit output=batch");
     }
     return RowEngine(input, output, logger, schema, projection, project_all,
-                     selection, has_selection);
+                     selection, has_selection, limit);
   }
 
   if (!batch_output && !has_selection && project_all) {
     // Trivial invocation: identity copy, malformed records included —
     // batching would drop them, and there is nothing to vectorize.
     return RowEngine(input, output, logger, schema, projection, project_all,
-                     selection, has_selection);
+                     selection, has_selection, limit);
   }
 
   // Batched engine: one structural scan per window, selection evaluated
@@ -145,12 +169,17 @@ Status CsvStorlet::Invoke(StorletInputStream& input,
   std::vector<std::string_view> projected;
   std::string scratch;
   int64_t rows_out = 0;
-  while (batcher.Next(&raw)) {
+  bool limit_hit = limit == 0;
+  while (!limit_hit && batcher.Next(&raw)) {
     selected.resize(static_cast<size_t>(raw.num_rows));
     std::iota(selected.begin(), selected.end(), 0u);
     if (has_selection) {
       selection.MatchRows(raw.fields.data(), raw.num_fields, schema,
                           &selected);
+    }
+    if (limit >= 0 &&
+        static_cast<int64_t>(selected.size()) > limit - rows_out) {
+      selected.resize(static_cast<size_t>(limit - rows_out));
     }
     if (selected.empty()) continue;
     rows_out += static_cast<int64_t>(selected.size());
@@ -182,6 +211,7 @@ Status CsvStorlet::Invoke(StorletInputStream& input,
         output.Write(scratch);
       }
     }
+    if (limit >= 0 && rows_out >= limit) limit_hit = true;
   }
   int64_t rows_in = batcher.records_seen();
   logger.Emit(StrFormat("csvstorlet: %lld rows in, %lld rows out%s",
@@ -191,6 +221,7 @@ Status CsvStorlet::Invoke(StorletInputStream& input,
   output.SetMetadata("rows-in", std::to_string(rows_in));
   output.SetMetadata("rows-out", std::to_string(rows_out));
   if (batch_output) output.SetMetadata("output-format", "batch");
+  if (limit_hit) output.SetMetadata("limit-hit", "1");
   return Status::OK();
 }
 

@@ -17,6 +17,9 @@ namespace scoop {
 //   projection — comma-separated column names to keep, in output order;
 //                absent/empty keeps every column
 //   selection  — serialized SourceFilter s-expression; absent keeps all rows
+//   limit      — stop after this many selection-surviving rows and stop
+//                consuming input (LIMIT pushdown; sets "limit-hit"
+//                metadata when the cap fired)
 //
 // Objects are stored without a header line; the schema always travels in
 // the request metadata (the convention the data generator and Spark-CSV

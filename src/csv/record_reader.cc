@@ -119,6 +119,13 @@ bool ScalarRowReader::Next(Row* row) {
 
 void WriteCsvRecord(const std::vector<std::string_view>& fields,
                     std::string* out) {
+  // A single empty field would serialize to a blank line, which every
+  // reader skips as if the record never existed — a null row must survive
+  // a projection round-trip, so quote it instead.
+  if (fields.size() == 1 && fields[0].empty()) {
+    out->append("\"\"\n");
+    return;
+  }
   for (size_t i = 0; i < fields.size(); ++i) {
     if (i > 0) out->push_back(',');
     AppendCsvField(fields[i], out);

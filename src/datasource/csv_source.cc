@@ -21,6 +21,16 @@ Result<PartitionScanResult> CsvDataSource::ScanPartition(
     const Partition& partition,
     const std::vector<std::string>& required_columns,
     const SourceFilter& filter) {
+  ScanSpec spec;
+  spec.required_columns = required_columns;
+  spec.filter = filter;
+  return ScanPartition(partition, spec);
+}
+
+Result<PartitionScanResult> CsvDataSource::ScanPartition(
+    const Partition& partition, const ScanSpec& spec) {
+  const std::vector<std::string>& required_columns = spec.required_columns;
+  const SourceFilter& filter = spec.filter;
   PartitionScanResult result;
   result.raw_bytes = partition.length();
 
@@ -31,6 +41,10 @@ Result<PartitionScanResult> CsvDataSource::ScanPartition(
     task.projection = required_columns;
     task.selection = filter;
     task.compress_transfer = options_.compress_transfer;
+    if (options_.agg_pushdown_enabled) task.aggregate = spec.aggregate;
+    if (options_.limit_pushdown_enabled && task.aggregate == nullptr) {
+      task.limit = spec.limit;
+    }
     task_ptr = &task;
   }
   SCOOP_ASSIGN_OR_RETURN(Stocator::ReadResult read,
@@ -38,6 +52,35 @@ Result<PartitionScanResult> CsvDataSource::ScanPartition(
   result.bytes_transferred = read.bytes_transferred;
   result.requests = read.requests;
   result.filter_applied = read.pushdown_executed;
+  result.limit_applied = read.limit_hit;
+
+  if (read.pushdown_executed && task.aggregate != nullptr) {
+    // The partition arrived as partial aggregate states, not rows: decode
+    // the SAG1 frame(s) and hand the groups to the engine to merge. A
+    // frame whose aggregate list disagrees with the request would merge
+    // into nonsense — reject it instead.
+    AggWireReader frames;
+    frames.Feed(read.data);
+    AggPartialFrame frame;
+    for (;;) {
+      SCOOP_ASSIGN_OR_RETURN(bool got, frames.Next(&frame));
+      if (!got) break;
+      if (frame.agg_kinds != task.aggregate->agg_kinds) {
+        return Status::InvalidArgument(
+            "agg pushdown: frame aggregates do not match the request");
+      }
+      result.agg_rows += frame.rows;
+      for (AggPartialGroup& group : frame.groups) {
+        result.agg_groups.push_back(std::move(group));
+      }
+    }
+    if (frames.buffered_bytes() != 0) {
+      return Status::InvalidArgument(
+          "agg pushdown: trailing bytes after SAG1 frames");
+    }
+    result.agg_applied = true;
+    return result;
+  }
 
   // With pushdown the storlet already projected the record to
   // required-column order; otherwise we scan full-schema batches and

@@ -19,6 +19,12 @@ struct CsvSourceOptions {
   bool pushdown_enabled = true;
   // §VI-C: compress the filtered stream for transfer (needs pushdown).
   bool compress_transfer = false;
+  // Aggregation pushdown (needs pushdown): GETs for eligible GROUP BY
+  // queries run the GroupAggStorlet and ship back partial AggStates.
+  bool agg_pushdown_enabled = true;
+  // LIMIT pushdown (needs pushdown): eligible prefix queries cap the
+  // store-side scan at the limit.
+  bool limit_pushdown_enabled = true;
   // §VII object-aware partitioning instead of fixed chunk size.
   bool object_aware_partitioning = false;
   int target_parallelism = 8;
@@ -51,6 +57,12 @@ class CsvDataSource : public PrunedFilteredScan,
       const Partition& partition,
       const std::vector<std::string>& required_columns,
       const SourceFilter& filter) override;
+
+  // Rich scan: honors ScanSpec::aggregate (partial aggregation at the
+  // store, SAG1-decoded into agg_groups) and ScanSpec::limit; both
+  // degrade to the row scan when pushdown declines or faults.
+  Result<PartitionScanResult> ScanPartition(const Partition& partition,
+                                            const ScanSpec& spec) override;
 
   Result<std::vector<Row>> Scan() override;
   Result<std::vector<Row>> ScanPruned(

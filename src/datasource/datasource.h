@@ -7,6 +7,7 @@
 #include "columnar/record_batch.h"
 #include "common/result.h"
 #include "datasource/partitioner.h"
+#include "sql/agg_wire.h"
 #include "sql/schema.h"
 #include "sql/source_filter.h"
 #include "sql/value.h"
@@ -29,6 +30,24 @@ namespace scoop {
 // executor drives; the whole-relation Scan methods are convenience
 // wrappers over it.
 
+// Everything the engine can push into one partition scan: the classic
+// projection/selection hints plus the aggregation/limit extensions. A
+// source is free to honor only the parts it understands — the result
+// reports what actually happened (filter_applied, agg_applied,
+// limit_applied) and the engine compensates compute-side.
+struct ScanSpec {
+  std::vector<std::string> required_columns;
+  SourceFilter filter = SourceFilter::True();
+  // When set, the source may fold the partition into per-group partial
+  // AggStates (PartitionScanResult::agg_groups) instead of rows. The
+  // pointer must outlive the scan; it is owned by the PhysicalPlan.
+  const AggPushdownSpec* aggregate = nullptr;
+  // >= 0: the driver needs only this many selection-surviving rows from
+  // this partition; the source may stop scanning (and transferring) once
+  // it has them. Only meaningful without `aggregate`.
+  int64_t limit = -1;
+};
+
 struct PartitionScanResult {
   // Typed rows in required-column order. Sources on the columnar plane
   // leave this empty and fill `batches` instead; a scan never populates
@@ -39,6 +58,15 @@ struct PartitionScanResult {
   std::vector<RecordBatch> batches;
   // True when the source already applied the selection filter exactly.
   bool filter_applied = false;
+  // Aggregation pushdown: when `agg_applied` the partition arrived as
+  // per-group partial AggStates — `rows`/`batches` stay empty and
+  // `agg_rows` counts the selection-surviving rows folded into the
+  // states (the scan's contribution to rows_seen/rows_passed).
+  std::vector<AggPartialGroup> agg_groups;
+  int64_t agg_rows = 0;
+  bool agg_applied = false;
+  // True when the store stopped this scan early at the LIMIT cap.
+  bool limit_applied = false;
   // Bytes that crossed the store->compute link for this partition.
   uint64_t bytes_transferred = 0;
   // Bytes of raw data the partition covers at rest.
@@ -104,6 +132,15 @@ class PartitionedRelation : public virtual BaseRelation {
       const Partition& partition,
       const std::vector<std::string>& required_columns,
       const SourceFilter& filter) = 0;
+
+  // Rich scan: adds the aggregation/limit pushdown hints. The default
+  // forwards to the projection+selection form (extensions ignored), so
+  // existing sources keep working unchanged; sources that can push
+  // aggregates or limits override this one.
+  virtual Result<PartitionScanResult> ScanPartition(const Partition& partition,
+                                                    const ScanSpec& spec) {
+    return ScanPartition(partition, spec.required_columns, spec.filter);
+  }
 };
 
 }  // namespace scoop

@@ -1,6 +1,8 @@
 #include "datasource/stocator.h"
 
 #include "common/strings.h"
+#include "csv/agg_storlet.h"
+#include "csv/csv_storlet.h"
 #include "objectstore/object_server.h"
 #include "storlets/compress_storlet.h"
 #include "storlets/headers.h"
@@ -39,6 +41,7 @@ Result<Stocator::ReadResult> Stocator::ReadPartition(
             return Status::OK();
           }));
   result.pushdown_executed = stats.pushdown_executed;
+  result.limit_hit = stats.limit_hit;
   result.bytes_transferred = stats.bytes_transferred;
   result.requests = stats.requests;
   return result;
@@ -111,15 +114,39 @@ Result<Stocator::ReadStats> Stocator::ReadPartitionIntoTraced(
   if (task == nullptr) return ReadAlignedInto(partition, consume, parent);
 
   Headers headers;
-  headers.Set(kRunStorletHeader,
-              task->compress_transfer ? "csvstorlet,compress" : "csvstorlet");
+  const bool agg = task->aggregate != nullptr;
+  if (agg) {
+    // Aggregation pushdown: the GroupAggStorlet folds the partition into
+    // per-group partial AggStates and ships back one SAG1 frame instead
+    // of filtered rows. Compression is pointless at that size; the input
+    // decoder is pinned to text because stage 0 reads raw object bytes
+    // (never an upstream SBT1 stream), so sniffing could only misfire.
+    headers.Set(kRunStorletHeader, GroupAggStorlet::kName);
+    headers.Set(std::string(kStorletParamPrefix) + "Output", "partials");
+    headers.Set(std::string(kStorletParamPrefix) + "Input", "text");
+    if (!task->aggregate->group_specs.empty()) {
+      headers.Set(std::string(kStorletParamPrefix) + "Group",
+                  task->aggregate->GroupParam());
+    }
+    headers.Set(std::string(kStorletParamPrefix) + "Aggs",
+                task->aggregate->AggsParam());
+  } else {
+    headers.Set(kRunStorletHeader, task->compress_transfer
+                                       ? std::string(CsvStorlet::kName) +
+                                             ",compress"
+                                       : CsvStorlet::kName);
+    if (!task->projection.empty()) {
+      headers.Set(std::string(kStorletParamPrefix) + "Projection",
+                  Join(task->projection, ","));
+    }
+    if (task->limit >= 0) {
+      headers.Set(std::string(kStorletParamPrefix) + "Limit",
+                  std::to_string(task->limit));
+    }
+  }
   headers.Set(kStorletRangeRecordsHeader, "true");
   headers.Set(std::string(kStorletParamPrefix) + "Schema",
               task->schema.ToSpec());
-  if (!task->projection.empty()) {
-    headers.Set(std::string(kStorletParamPrefix) + "Projection",
-                Join(task->projection, ","));
-  }
   if (!task->selection.IsTrue()) {
     headers.Set(std::string(kStorletParamPrefix) + "Selection",
                 task->selection.Serialize());
@@ -159,7 +186,35 @@ Result<Stocator::ReadStats> Stocator::ReadPartitionIntoTraced(
 
   ReadStats stats;
   stats.pushdown_executed = true;
-  if (task->compress_transfer) {
+  // Success accounting shared by the buffered and streaming arms: the
+  // limit-hit trailer the storlet published at EOF, plus the pushdown
+  // mode counters.
+  auto finish = [&] {
+    std::shared_ptr<const Headers> trailers = response.trailers();
+    if (trailers != nullptr && trailers->Has("X-Object-Meta-Limit-Hit")) {
+      stats.limit_hit = true;
+      if (metrics_ != nullptr) {
+        metrics_->GetCounter("pushdown.limit_short_circuits")->Increment();
+      }
+    }
+    if (agg) {
+      // Leaf marker span: this read's response was a SAG1 frame of
+      // partial aggregate states. The GET itself was stamped with
+      // `parent`, so the store-side tree still hangs off
+      // stocator.read_partition — this span only records the mode.
+      TraceSpan agg_span("pushdown.partial_agg", parent);
+      if (agg_span.active()) {
+        agg_span.SetTag("aggs", task->aggregate->AggsParam());
+        agg_span.SetTag("bytes_transferred",
+                        std::to_string(stats.bytes_transferred));
+      }
+      if (metrics_ != nullptr) {
+        metrics_->GetCounter("pushdown.partial_aggs")->Increment();
+      }
+    }
+  };
+
+  if (!agg && task->compress_transfer) {
     // A compressed frame decodes as a unit; this path trades the memory
     // bound for link bytes by design.
     Result<std::string> frame = response.TakeBodyStream()->ReadAll();
@@ -171,6 +226,7 @@ Result<Stocator::ReadStats> Stocator::ReadPartitionIntoTraced(
     stats.bytes_transferred = frame->size();
     SCOOP_ASSIGN_OR_RETURN(std::string decoded, DecodeCompressedFrame(*frame));
     SCOOP_RETURN_IF_ERROR(consume(decoded));
+    finish();
     return stats;
   }
   // Filtered rows flow straight from the storlet pipeline to the caller,
@@ -195,6 +251,7 @@ Result<Stocator::ReadStats> Stocator::ReadPartitionIntoTraced(
     return drained;
   }
   SCOOP_RETURN_IF_ERROR(drained);
+  finish();
   return stats;
 }
 

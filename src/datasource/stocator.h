@@ -7,6 +7,7 @@
 #include "common/result.h"
 #include "datasource/partitioner.h"
 #include "objectstore/cluster.h"
+#include "sql/agg_wire.h"
 #include "sql/schema.h"
 #include "sql/source_filter.h"
 #include "storlets/storlet.h"
@@ -24,6 +25,15 @@ struct PushdownTask {
   // the (already filtered) stream crosses the network compressed; the
   // connector decompresses transparently on receipt.
   bool compress_transfer = false;
+  // Aggregation pushdown: when set, the GET runs the GroupAggStorlet in
+  // partials mode instead of the CSVStorlet and the response body is one
+  // SAG1 frame of per-group AggStates (sql/agg_wire.h). `projection` and
+  // `compress_transfer` are ignored in this mode. The pointer must
+  // outlive the read.
+  const AggPushdownSpec* aggregate = nullptr;
+  // LIMIT pushdown (row mode only): >= 0 caps the storlet output at this
+  // many selection-surviving rows and stops the store-side scan early.
+  int64_t limit = -1;
 };
 
 // The high-speed object-store connector (paper §V-A): reads partition
@@ -34,8 +44,10 @@ class Stocator {
  public:
   // `metrics` (optional) receives the "pushdown.fallbacks" counter — one
   // increment per read that degraded from storlet pushdown to a plain
-  // client-side read — plus the "stocator.read_us" (full partition drain,
-  // the ingest latency the paper's figures measure) and
+  // client-side read — the "pushdown.partial_aggs" and
+  // "pushdown.limit_short_circuits" counters for the aggregation/limit
+  // extensions, plus the "stocator.read_us" (full partition drain, the
+  // ingest latency the paper's figures measure) and
   // "pushdown.bytes_saved" histograms (see METRICS.md).
   explicit Stocator(SwiftClient* client, MetricRegistry* metrics = nullptr)
       : client_(client),
@@ -47,6 +59,7 @@ class Stocator {
   struct ReadResult {
     std::string data;              // record-aligned CSV for the partition
     bool pushdown_executed = false;  // X-Storlet-Executed was present
+    bool limit_hit = false;        // storlet stopped at the LIMIT cap
     uint64_t bytes_transferred = 0;  // body size over the inter-cluster link
     int requests = 1;              // GETs issued (alignment may add extras)
   };
@@ -55,6 +68,7 @@ class Stocator {
   // reports after the chunks have been delivered.
   struct ReadStats {
     bool pushdown_executed = false;
+    bool limit_hit = false;
     uint64_t bytes_transferred = 0;
     int requests = 1;
   };

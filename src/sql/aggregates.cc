@@ -1,6 +1,20 @@
 #include "sql/aggregates.h"
 
+#include <cstring>
+
+#include "sql/agg_wire.h"
+
 namespace scoop {
+
+namespace {
+
+// Wrapping int64 addition: signed overflow is UB, unsigned wraps.
+int64_t WrapAdd(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                              static_cast<uint64_t>(b));
+}
+
+}  // namespace
 
 Result<AggKind> AggKindFromName(std::string_view name) {
   if (name == "sum") return AggKind::kSum;
@@ -43,7 +57,7 @@ void AggState::Update(AggKind kind, const Value& v) {
     case AggKind::kSum:
     case AggKind::kAvg:
       if (sum_is_integral_ && v.type() == ValueType::kInt64) {
-        int_sum_ += v.AsInt64();
+        int_sum_ = WrapAdd(int_sum_, v.AsInt64());
       } else {
         if (sum_is_integral_) {
           double_sum_ = static_cast<double>(int_sum_);
@@ -78,7 +92,7 @@ void AggState::Merge(AggKind kind, const AggState& other) {
     case AggKind::kSum:
     case AggKind::kAvg:
       if (sum_is_integral_ && other.sum_is_integral_) {
-        int_sum_ += other.int_sum_;
+        int_sum_ = WrapAdd(int_sum_, other.int_sum_);
       } else {
         if (sum_is_integral_) {
           double_sum_ = static_cast<double>(int_sum_);
@@ -129,6 +143,54 @@ Value AggState::Final(AggKind kind) const {
       return has_first_ ? first_ : Value::Null();
   }
   return Value::Null();
+}
+
+void AggState::EncodeTo(std::string* out) const {
+  uint8_t flags = 0;
+  if (sum_is_integral_) flags |= 1;
+  if (has_extreme_) flags |= 2;
+  if (has_first_) flags |= 4;
+  out->push_back(static_cast<char>(flags));
+  if (sum_is_integral_) {
+    aggwire::PutU64(static_cast<uint64_t>(int_sum_), out);
+  } else {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(double_sum_));
+    std::memcpy(&bits, &double_sum_, sizeof(bits));
+    aggwire::PutU64(bits, out);
+  }
+  aggwire::PutU64(static_cast<uint64_t>(count_), out);
+  if (has_extreme_) aggwire::PutValue(extreme_, out);
+  if (has_first_) aggwire::PutValue(first_, out);
+}
+
+Result<AggState> AggState::DecodeFrom(std::string_view* data) {
+  SCOOP_ASSIGN_OR_RETURN(uint8_t flags, aggwire::TakeU8(data));
+  if ((flags & ~7u) != 0) {
+    return Status::InvalidArgument("agg state: unknown flag bits");
+  }
+  AggState state;
+  state.sum_is_integral_ = (flags & 1) != 0;
+  SCOOP_ASSIGN_OR_RETURN(uint64_t sum_bits, aggwire::TakeU64(data));
+  if (state.sum_is_integral_) {
+    state.int_sum_ = static_cast<int64_t>(sum_bits);
+  } else {
+    std::memcpy(&state.double_sum_, &sum_bits, sizeof(sum_bits));
+  }
+  SCOOP_ASSIGN_OR_RETURN(uint64_t count, aggwire::TakeU64(data));
+  state.count_ = static_cast<int64_t>(count);
+  if (state.count_ < 0) {
+    return Status::InvalidArgument("agg state: negative count");
+  }
+  if ((flags & 2) != 0) {
+    SCOOP_ASSIGN_OR_RETURN(state.extreme_, aggwire::TakeValue(data));
+    state.has_extreme_ = true;
+  }
+  if ((flags & 4) != 0) {
+    SCOOP_ASSIGN_OR_RETURN(state.first_, aggwire::TakeValue(data));
+    state.has_first_ = true;
+  }
+  return state;
 }
 
 }  // namespace scoop

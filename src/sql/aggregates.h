@@ -35,9 +35,17 @@ class AggState {
   // empty count).
   Value Final(AggKind kind) const;
 
+  // Wire codec for shipping partial states driver-ward (sql/agg_wire.h
+  // frames). EncodeTo appends the state; DecodeFrom consumes one state
+  // from the front of *data. Decode(Encode(s)) reproduces s exactly, so
+  // merging shipped states is bit-identical to merging local ones.
+  void EncodeTo(std::string* out) const;
+  static Result<AggState> DecodeFrom(std::string_view* data);
+
  private:
   // sum/avg/count accumulation; integral sums stay exact in int64 until a
-  // double value arrives.
+  // double value arrives. Integer addition wraps (two's complement, like
+  // Spark's non-ANSI mode) so adversarial inputs cannot trip signed UB.
   int64_t int_sum_ = 0;
   double double_sum_ = 0.0;
   bool sum_is_integral_ = true;

@@ -255,29 +255,64 @@ Result<std::shared_ptr<const PhysicalPlan>> PhysicalPlan::Create(
     }
   }
   plan->output_schema_ = Schema(std::move(output_columns));
+  plan->ComputeAggPushdown();
+  plan->limit_pushdown_eligible_ =
+      !plan->has_aggregates_ && plan->limit_ >= 0 &&
+      plan->sort_exprs_.empty() && plan->residual_conjuncts_.empty();
   return std::shared_ptr<const PhysicalPlan>(plan);
 }
 
-std::string PhysicalPlan::SerializeKey(const Row& key) const {
-  std::string out;
-  for (const Value& v : key) {
-    switch (v.type()) {
-      case ValueType::kNull:
-        out += "n";
-        break;
-      case ValueType::kInt64:
-        out += "i" + std::to_string(v.AsInt64());
-        break;
-      case ValueType::kDouble:
-        out += "d" + StrFormat("%a", v.AsDoubleExact());
-        break;
-      case ValueType::kString:
-        out += "s" + v.AsString();
-        break;
-    }
-    out.push_back('\x1f');
+void PhysicalPlan::ComputeAggPushdown() {
+  // Residual predicates and HAVING need raw rows / final aggregates at
+  // the driver, so either disqualifies the whole query; ORDER BY does
+  // not (it runs over the merged groups).
+  if (!has_aggregates_ || !residual_conjuncts_.empty() ||
+      having_ != nullptr) {
+    return;
   }
-  return out;
+  auto spec = std::make_unique<AggPushdownSpec>();
+  for (const auto& expr : group_exprs_) {
+    if (expr->kind == Expr::Kind::kColumn) {
+      spec->group_specs.push_back(expr->name);
+      continue;
+    }
+    // substr(string-column, int-literal, int-literal) — the shape the
+    // Table-I monthly rollups group by.
+    if (expr->kind == Expr::Kind::kFunc &&
+        (expr->name == "substring" || expr->name == "substr") &&
+        expr->args.size() == 3 &&
+        expr->args[0]->kind == Expr::Kind::kColumn &&
+        expr->args[1]->kind == Expr::Kind::kLiteral &&
+        expr->args[1]->literal.type() == ValueType::kInt64 &&
+        expr->args[2]->kind == Expr::Kind::kLiteral &&
+        expr->args[2]->literal.type() == ValueType::kInt64) {
+      int col = scan_schema_.IndexOf(expr->args[0]->name);
+      if (col < 0 ||
+          scan_schema_.column(static_cast<size_t>(col)).type !=
+              ColumnType::kString) {
+        return;
+      }
+      spec->group_specs.push_back(StrFormat(
+          "substr(%s,%lld,%lld)", expr->args[0]->name.c_str(),
+          static_cast<long long>(expr->args[1]->literal.AsInt64()),
+          static_cast<long long>(expr->args[2]->literal.AsInt64())));
+      continue;
+    }
+    return;
+  }
+  for (const AggSpec& agg : agg_specs_) {
+    if (agg.kind == AggKind::kFirstValue) return;  // order-sensitive
+    if (agg.arg == nullptr) {
+      spec->agg_kinds.push_back(agg.kind);
+      spec->agg_columns.push_back("*");
+      continue;
+    }
+    if (agg.arg->kind != Expr::Kind::kColumn) return;
+    spec->agg_kinds.push_back(agg.kind);
+    spec->agg_columns.push_back(agg.arg->name);
+  }
+  if (spec->agg_kinds.empty()) return;
+  agg_pushdown_ = std::move(spec);
 }
 
 void PhysicalPlan::ProcessRow(const Row& row, bool filters_already_applied,
@@ -318,7 +353,7 @@ void PhysicalPlan::AccumulateRow(const Row& row, PartialResult* partial) const {
     Row key;
     key.reserve(group_exprs_.size());
     for (const auto& expr : group_exprs_) key.push_back(EvalExpr(*expr, row));
-    std::string serialized = SerializeKey(key);
+    std::string serialized = SerializeGroupKey(key);
     auto [it, inserted] = partial->groups.try_emplace(std::move(serialized));
     PartialResult::GroupEntry& entry = it->second;
     if (inserted) {
@@ -362,6 +397,42 @@ void PhysicalPlan::MergePartial(PartialResult* into,
     into->rows.reserve(into->rows.size() + from.rows.size());
     for (auto& row : from.rows) into->rows.push_back(std::move(row));
   }
+}
+
+Status PhysicalPlan::AbsorbAggPartials(const AggPartialFrame& frame,
+                                       PartialResult* partial) const {
+  if (agg_pushdown_ == nullptr) {
+    return Status::InvalidArgument(
+        "agg partials: plan has no aggregate pushdown");
+  }
+  if (frame.agg_kinds.size() != agg_specs_.size()) {
+    return Status::InvalidArgument("agg partials: aggregate count mismatch");
+  }
+  for (size_t i = 0; i < agg_specs_.size(); ++i) {
+    if (frame.agg_kinds[i] != agg_specs_[i].kind) {
+      return Status::InvalidArgument("agg partials: aggregate kind mismatch");
+    }
+  }
+  partial->rows_seen += frame.rows;
+  partial->rows_passed += frame.rows;
+  for (const AggPartialGroup& group : frame.groups) {
+    if (group.key_values.size() != group_exprs_.size() ||
+        group.states.size() != agg_specs_.size()) {
+      return Status::InvalidArgument("agg partials: group shape mismatch");
+    }
+    auto [it, inserted] =
+        partial->groups.try_emplace(SerializeGroupKey(group.key_values));
+    PartialResult::GroupEntry& entry = it->second;
+    if (inserted) {
+      entry.key_values = group.key_values;
+      entry.states = group.states;
+      continue;
+    }
+    for (size_t i = 0; i < agg_specs_.size(); ++i) {
+      entry.states[i].Merge(agg_specs_[i].kind, group.states[i]);
+    }
+  }
+  return Status::OK();
 }
 
 Result<ResultTable> PhysicalPlan::Finalize(PartialResult&& partial) const {
@@ -456,6 +527,10 @@ std::string PhysicalPlan::Explain() const {
     out += "]\n";
     if (having_ != nullptr) {
       out += "  having: " + having_->ToString() + "\n";
+    }
+    if (agg_pushdown_ != nullptr) {
+      out += "  agg pushdown:    group=[" + agg_pushdown_->GroupParam() +
+             "] aggs=[" + agg_pushdown_->AggsParam() + "]\n";
     }
   }
   out += "Project [";

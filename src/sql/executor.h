@@ -8,6 +8,7 @@
 
 #include "columnar/record_batch.h"
 #include "common/result.h"
+#include "sql/agg_wire.h"
 #include "sql/aggregates.h"
 #include "sql/ast.h"
 #include "sql/catalyst.h"
@@ -67,6 +68,21 @@ class PhysicalPlan {
   const Schema& output_schema() const { return output_schema_; }
   bool has_aggregates() const { return has_aggregates_; }
 
+  // Non-null when the aggregation is distributable to the store: every
+  // aggregate is sum/min/max/count/avg over a bare scan column (or
+  // count(*)), every GROUP BY key is a bare column or
+  // substr(string-column, int-literal, int-literal), and no residual
+  // predicate or HAVING forces raw rows back to the driver. Unsupported
+  // shapes return null and keep the select-only pushdown.
+  const AggPushdownSpec* agg_pushdown() const { return agg_pushdown_.get(); }
+
+  // True when a source may stop the scan after limit() filter-surviving
+  // rows without changing the result: no aggregation, no ORDER BY, and
+  // no residual predicate (the ordered partition merge then preserves
+  // exactly the global row prefix).
+  bool limit_pushdown_eligible() const { return limit_pushdown_eligible_; }
+  int64_t limit() const { return limit_; }
+
   // Feeds one scan row (typed per scan_schema()). When
   // `filters_already_applied` is true only the residual WHERE conjuncts
   // are checked (the store ran the pushed filter); otherwise the full
@@ -85,6 +101,12 @@ class PhysicalPlan {
   // Folds `from` into `into`. Call in ascending partition order so
   // first_value keeps the earliest partition's value.
   void MergePartial(PartialResult* into, PartialResult&& from) const;
+
+  // Folds one storlet-produced partial-aggregate frame into `partial`,
+  // exactly as if the frame's covered rows had been fed through
+  // ProcessRow. Fails when the frame shape disagrees with the plan.
+  Status AbsorbAggPartials(const AggPartialFrame& frame,
+                           PartialResult* partial) const;
 
   // Final aggregation + ORDER BY + LIMIT + projection.
   Result<ResultTable> Finalize(PartialResult&& partial) const;
@@ -117,7 +139,9 @@ class PhysicalPlan {
   // raw column survives the rewrite.
   Result<std::unique_ptr<Expr>> RewriteAggregateExpr(const Expr& expr);
 
-  std::string SerializeKey(const Row& key) const;
+  // Fills agg_pushdown_ when the compiled aggregation matches the
+  // distributable shape (see agg_pushdown()).
+  void ComputeAggPushdown();
 
   // Post-filter half of ProcessRow: aggregation update or output/sort
   // projection for one row that already passed the WHERE conjuncts.
@@ -154,6 +178,8 @@ class PhysicalPlan {
   std::vector<bool> sort_descending_;
 
   int64_t limit_ = -1;
+  std::unique_ptr<AggPushdownSpec> agg_pushdown_;
+  bool limit_pushdown_eligible_ = false;
 };
 
 // One-call helper: parse, plan, and execute `sql` over rows of

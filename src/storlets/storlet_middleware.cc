@@ -114,6 +114,12 @@ class RecordAlignedStream : public ByteStream {
                     static_cast<unsigned long long>(cursor_),
                     static_cast<unsigned long long>(chunk_last)));
       HttpResponse ext = next_(extension);
+      // Drain before the ok() check: a mid-stream read fault only flips the
+      // response to a 500 on materialization, and checking first would let
+      // the error text (or a truncated prefix) masquerade as record bytes —
+      // silently clipping the trailing record instead of failing the run so
+      // the client's fallback ladder can take over.
+      ext.Materialize();
       if (!ext.ok()) {
         return Status::Internal("record-alignment extension read failed: " +
                                 std::to_string(ext.status));

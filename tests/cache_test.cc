@@ -19,6 +19,9 @@
 #include "cache/singleflight.h"
 #include "common/failpoint.h"
 #include "common/metrics.h"
+#include "common/strings.h"
+#include "csv/agg_storlet.h"
+#include "sql/agg_wire.h"
 #include "scoop/controller.h"
 #include "scoop/scoop.h"
 #include "storlets/headers.h"
@@ -156,6 +159,32 @@ TEST(FingerprintTest, IgnoresHeadersThatDontShapeTheResult) {
   b.Set(kRunStorletHeader, "csvstorlet");
   b.Set("X-Auth-Token", "a-different-token");
   EXPECT_EQ(CanonicalQueryFingerprint(a), CanonicalQueryFingerprint(b));
+}
+
+TEST(FingerprintTest, ResponseShapeLeadsTheFingerprint) {
+  // A partial-aggregate response (SAG1 frame) and a row response must
+  // never share an entry, even if the rest of the header serialization
+  // ever collided: the shape token is the leading key component.
+  Headers rows;
+  rows.Set(kRunStorletHeader, "aggstorlet");
+  rows.Set("X-Storlet-Parameter-Sql", "SELECT city FROM t");
+  Headers partials = rows;
+  partials.Set("X-Storlet-Parameter-Output", "partials");
+  EXPECT_TRUE(StartsWith(CanonicalQueryFingerprint(rows), "v2|shape=rows"));
+  EXPECT_TRUE(
+      StartsWith(CanonicalQueryFingerprint(partials), "v2|shape=agg"));
+  EXPECT_NE(CanonicalQueryFingerprint(rows),
+            CanonicalQueryFingerprint(partials));
+  // The shape token tracks the value, not mere header presence, and is
+  // case-insensitive like the rest of the header plane.
+  Headers shouting = rows;
+  shouting.Set("X-Storlet-Parameter-Output", "PARTIALS");
+  EXPECT_TRUE(
+      StartsWith(CanonicalQueryFingerprint(shouting), "v2|shape=agg"));
+  Headers other_output = rows;
+  other_output.Set("X-Storlet-Parameter-Output", "rows");
+  EXPECT_TRUE(
+      StartsWith(CanonicalQueryFingerprint(other_output), "v2|shape=rows"));
 }
 
 TEST(FingerprintTest, ResultShapingHeadersChangeTheFingerprint) {
@@ -384,6 +413,25 @@ class CacheEndToEndTest : public ::testing::Test {
     return response;
   }
 
+  // A GROUP BY pushdown: the GroupAggStorlet folds the object into one
+  // SAG1 partial-aggregate frame (DESIGN.md §3i).
+  Request AggRequest(const std::string& object = "m0000.csv") {
+    Request request = Request::Get("/acct/meters/" + object);
+    request.headers.Set(kRunStorletHeader, GroupAggStorlet::kName);
+    request.headers.Set("X-Storlet-Parameter-Output", "partials");
+    request.headers.Set("X-Storlet-Parameter-Input", "text");
+    request.headers.Set("X-Storlet-Parameter-Group", "city");
+    request.headers.Set("X-Storlet-Parameter-Aggs", "sum:index");
+    request.headers.Set("X-Storlet-Parameter-Schema", schema_.ToSpec());
+    return request;
+  }
+
+  HttpResponse AggGet(const std::string& object = "m0000.csv") {
+    HttpResponse response = session_->client().Send(AggRequest(object));
+    response.Materialize();
+    return response;
+  }
+
   int64_t Metric(const std::string& name) {
     return cluster_->metrics().GetCounter(name)->value();
   }
@@ -425,6 +473,69 @@ TEST_F(CacheEndToEndTest, DifferentQueriesDontShareEntries) {
   EXPECT_FALSE(filtered.headers.Has(kCacheStatusHeader));
   EXPECT_NE(filtered.body(), full.body());
   EXPECT_EQ(Metric("cache.fills"), 2);
+}
+
+TEST_F(CacheEndToEndTest, CachedAggPartialsNeverServeARowShapeQuery) {
+  // Prime the cache with a partial-aggregate result. A row-shape query
+  // against the same object must then miss and execute its own storlet:
+  // a SAG1 frame handed to a row decoder would be garbage (at best the
+  // sniff guard rejects it; at worst rows appear from binary data).
+  HttpResponse agg = AggGet();
+  ASSERT_TRUE(agg.ok()) << agg.status;
+  ASSERT_TRUE(agg.headers.Has(kStorletExecutedHeader));
+  ASSERT_TRUE(StartsWith(agg.body(), kAggWireMagic));
+  EXPECT_EQ(Metric("cache.fills"), 1);
+
+  HttpResponse rows = PushdownGet();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_FALSE(rows.headers.Has(kCacheStatusHeader))
+      << "row-shape query served from the partial-agg cache entry";
+  EXPECT_FALSE(StartsWith(rows.body(), kAggWireMagic));
+  EXPECT_NE(rows.body(), agg.body());
+  EXPECT_EQ(Metric("cache.fills"), 2);
+
+  // Both shapes stay independently servable, byte-identically.
+  HttpResponse agg_hot = AggGet();
+  ASSERT_TRUE(agg_hot.ok());
+  EXPECT_EQ(agg_hot.headers.GetOr(kCacheStatusHeader, ""), "hit");
+  EXPECT_EQ(agg_hot.body(), agg.body());
+  HttpResponse rows_hot = PushdownGet();
+  ASSERT_TRUE(rows_hot.ok());
+  EXPECT_EQ(rows_hot.headers.GetOr(kCacheStatusHeader, ""), "hit");
+  EXPECT_EQ(rows_hot.body(), rows.body());
+}
+
+TEST_F(CacheEndToEndTest, IdenticalGroupByHerdCostsOneStorletRun) {
+  // The agg-pushdown flavor of the coalescing acceptance check: a herd of
+  // identical GROUP BY queries in flight at once runs the GroupAggStorlet
+  // exactly once, and every client receives the same SAG1 frame.
+  constexpr int kClients = 8;
+  const int64_t invocations_before = Metric("storlet.invocations");
+
+  std::vector<std::string> bodies(kClients);
+  std::vector<int> statuses(kClients, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([this, i, &bodies, &statuses] {
+      HttpResponse response = AggGet();
+      statuses[i] = response.status;
+      bodies[i] = response.body();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(Metric("storlet.invocations") - invocations_before, 1)
+      << "a GROUP BY herd must collapse to one partial-agg execution";
+  HttpResponse reference = AggGet();
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(reference.headers.GetOr(kCacheStatusHeader, ""), "hit");
+  ASSERT_TRUE(StartsWith(reference.body(), kAggWireMagic));
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_EQ(statuses[i], 200) << "client " << i;
+    EXPECT_EQ(bodies[i], reference.body()) << "client " << i;
+  }
+  EXPECT_EQ(Metric("cache.coalesced") + Metric("cache.hits"), kClients);
 }
 
 TEST_F(CacheEndToEndTest, PutInvalidatesAndNextReadSeesNewBytes) {

@@ -473,6 +473,94 @@ TEST_F(ChaosQueryTest, BatchPlaneFailoverMatchesScalarRowEngine) {
   EXPECT_EQ(faulted->table.ToCsv(), reference->ToCsv());
 }
 
+TEST_F(ChaosQueryTest, AggregateFaultDegradesToDriverSideAggregation) {
+  // kQuery is aggregate-pushdown eligible (DESIGN.md §3i), so the
+  // fault-free reference was produced from SAG1 partial states. When the
+  // storlet engine cannot launch at all, every partition must degrade to
+  // a plain GET with the aggregation done driver-side — and that result
+  // must be byte-identical both to the partial-state reference and to a
+  // never-pushdown registration over the same objects.
+  CsvSourceOptions options;
+  options.chunk_size = 16 * 1024;
+  session_->RegisterCsvTable("meterNoPush", "meters", "m",
+                             GridPocketGenerator::MeterSchema(), false,
+                             options);
+  std::string plain_sql = kQuery;
+  plain_sql.replace(plain_sql.find("meter"), 5, "meterNoPush");
+  auto plain = session_->Sql(plain_sql);
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  ASSERT_EQ(plain->table.ToCsv(), reference_csv_)
+      << "driver-side aggregation diverges from partial-state pushdown";
+
+  FailpointSpec spec;
+  spec.error = Status::Internal("sandbox exploded");
+  ASSERT_TRUE(Failpoints::Global().Arm("engine.invoke", spec).ok());
+  int64_t fallbacks_before = Fallbacks();
+  int64_t partials_before =
+      cluster_->metrics().GetCounter("pushdown.partial_aggs")->value();
+
+  auto faulted = session_->Sql(kQuery);
+  ASSERT_TRUE(faulted.ok()) << faulted.status();
+  EXPECT_EQ(faulted->table.ToCsv(), reference_csv_);
+  EXPECT_GT(Fallbacks(), fallbacks_before);
+  EXPECT_EQ(faulted->stats.partitions_pushdown, 0);
+  // Nothing aggregated store-side during the outage.
+  EXPECT_EQ(cluster_->metrics().GetCounter("pushdown.partial_aggs")->value(),
+            partials_before);
+}
+
+TEST_F(ChaosQueryTest, MidStreamFaultNeverDoubleCountsPartials) {
+  // A partition's SAG1 response dies mid-stream (dropped device chunk on
+  // the primary) and the read recovers — by proxy-level failover or by
+  // the connector's plain-read fallback. Either way a partially-drained
+  // frame must be discarded, never merged: a replayed or double-merged
+  // partial state would inflate sum/count, which ToCsv equality catches.
+  GeneratorConfig gen_config;
+  gen_config.num_meters = 6;
+  gen_config.readings_per_meter = 400;
+  gen_config.seed = 77;
+  GridPocketGenerator generator(gen_config);
+  std::string csv;
+  generator.AppendCsv(0, 6 * 400, &csv);
+  Schema schema = GridPocketGenerator::MeterSchema();
+  ScalarRowReader reader(csv, &schema);
+  std::vector<Row> rows;
+  Row row;
+  while (reader.Next(&row)) rows.push_back(row);
+  auto outside = ExecuteSqlOverRows(kQuery, schema, rows);
+  ASSERT_TRUE(outside.ok()) << outside.status();
+  ASSERT_EQ(outside->ToCsv(), reference_csv_);
+
+  const std::vector<int>& replicas =
+      cluster_->swift().ring().GetNodes("/gp/meters/m0000.csv");
+  ASSERT_FALSE(replicas.empty());
+  FailpointSpec spec;
+  spec.action = FailpointSpec::Action::kDrop;
+  spec.key = "d" + std::to_string(replicas[0]);
+  spec.skip = 1;  // die after real partial-frame bytes went out
+  ASSERT_TRUE(Failpoints::Global().Arm("object.read.chunk", spec).ok());
+
+  auto faulted = session_->Sql(kQuery);
+  ASSERT_TRUE(faulted.ok()) << faulted.status();
+  EXPECT_EQ(faulted->table.ToCsv(), reference_csv_);
+
+  // And under a probabilistic drop across several rounds: whatever mix of
+  // clean pushdown, failover, and fallback each round lands on, the
+  // aggregates never drift.
+  Failpoints::Global().DisarmAll();
+  FailpointSpec flaky;
+  flaky.action = FailpointSpec::Action::kDrop;
+  flaky.key = "d" + std::to_string(replicas[0]);  // healthy replicas remain
+  flaky.probability = 0.5;
+  ASSERT_TRUE(Failpoints::Global().Arm("object.read.chunk", flaky).ok());
+  for (int round = 0; round < 3; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    auto outcome = session_->Sql(kQuery);
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    EXPECT_EQ(outcome->table.ToCsv(), reference_csv_);
+  }
+}
+
 TEST_F(ChaosQueryTest, ReplicaFaultUnderPushdownIsInvisible) {
   // A device error under a pushdown read exercises the proxy's
   // response-level failover with storlet headers in play.

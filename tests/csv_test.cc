@@ -386,6 +386,43 @@ TEST_F(StorletPipelineTest, BatchWireAggEqualsTextAgg) {
   EXPECT_EQ(*text_agg, "Nice,40,1\nParis,10.5,1\n\"Rotter,dam\",50.25,2\n");
 }
 
+TEST_F(StorletPipelineTest, Sbt1LookingCsvIsNotMisparsedAsBatchWire) {
+  // Regression for the input sniffer: a text record that merely *starts*
+  // with the batch-wire magic must still be decoded as CSV. The sniff
+  // corroborates the frame header, and any printable payload fails it
+  // (ASCII bytes decoded as a little-endian u32 land >= 0x09000000, far
+  // past the length caps), so adversarial text can never select the wire
+  // decoder — sniffed and pinned-text runs must agree byte for byte.
+  GroupAggStorlet agg;
+  const std::string data =
+      "SBT1city,100.5\n"
+      "SBT1city,0.5\n"
+      "Paris,10\n";
+  StorletParams sniffed = {{"schema", "city:string,load:double"},
+                           {"group", "city"},
+                           {"aggs", "sum:load,count:*"}};
+  StorletParams pinned = sniffed;
+  pinned["input"] = "text";
+  auto via_sniff = RunOne(agg, data, sniffed);
+  auto via_pin = RunOne(agg, data, pinned);
+  ASSERT_TRUE(via_sniff.ok()) << via_sniff.status();
+  ASSERT_TRUE(via_pin.ok()) << via_pin.status();
+  EXPECT_EQ(*via_sniff, *via_pin);
+  EXPECT_EQ(*via_sniff, "Paris,10,1\nSBT1city,101,2\n");
+
+  // Same guarantee for the partials shape the driver's agg pushdown
+  // requests: the SAG1 frame folds the SBT1-prefixed rows as text.
+  StorletParams partials = sniffed;
+  partials["output"] = "partials";
+  StorletParams partials_pinned = pinned;
+  partials_pinned["output"] = "partials";
+  auto frame = RunOne(agg, data, partials);
+  auto frame_pinned = RunOne(agg, data, partials_pinned);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  ASSERT_TRUE(frame_pinned.ok()) << frame_pinned.status();
+  EXPECT_EQ(*frame, *frame_pinned);
+}
+
 TEST_F(StorletPipelineTest, TruncatedBatchFrameIsAnError) {
   CsvStorlet csv;
   GroupAggStorlet agg;
