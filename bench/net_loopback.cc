@@ -1,0 +1,170 @@
+// Loopback-TCP transport bench (DESIGN.md §3j): the same mini cluster
+// serves the same requests twice — once through in-process dispatch
+// (simnet) and once across the TcpFabric, where every proxy and object
+// server sits behind its own epoll listener and requests cross real
+// sockets with HTTP/1.1-style framing (docs/PROTOCOL.md).
+//
+//  1. GET latency — per-request overhead the wire adds over the
+//     in-process call (framing, syscalls, reactor hops);
+//  2. bulk throughput — a multi-megabyte object streamed over loopback,
+//     reported as MB/s;
+//  3. pushdown over TCP — a storlet query whose result must be
+//     byte-identical across both transports (the acceptance gate: the
+//     transport may add latency, never bytes).
+//
+// Emits BENCH_net.json carrying the cluster registry, which after a TCP
+// run includes the transport's own counters and latency histograms
+// (net.accepts, net.connects, net.reused_conns, net.read_us,
+// net.write_us — METRICS.md).
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "scoop/tcp_fabric.h"
+#include "storlets/headers.h"
+
+namespace scoop {
+namespace {
+
+Request PushdownRequest(const Schema& schema) {
+  Request request = Request::Get("/gp/meters/m0000.csv");
+  request.headers.Set(kRunStorletHeader, "csvstorlet");
+  request.headers.Set("X-Storlet-Parameter-Schema", schema.ToSpec());
+  request.headers.Set("X-Storlet-Parameter-Selection",
+                      "(like date \"2015-01-01%\")");
+  request.headers.Set("X-Storlet-Parameter-Projection", "vid,date,index");
+  return request;
+}
+
+// Average microseconds per materialized GET of `path` via `client`.
+double AverageGetUs(SwiftClient& client, const std::string& path, int iters) {
+  double total_us = 0;
+  for (int i = 0; i < iters; ++i) {
+    Stopwatch watch;
+    HttpResponse response = client.Send(Request::Get(path));
+    response.Materialize();
+    if (!response.ok()) {
+      std::fprintf(stderr, "GET %s failed: %d\n", path.c_str(),
+                   response.status);
+      std::abort();
+    }
+    total_us += watch.ElapsedSeconds() * 1e6;
+  }
+  return total_us / iters;
+}
+
+std::string MaterializedBody(SwiftClient& client, Request request) {
+  HttpResponse response = client.Send(std::move(request));
+  std::string body = response.TakeBody();
+  if (!response.ok()) {
+    std::fprintf(stderr, "request failed: %d %s\n", response.status,
+                 body.c_str());
+    std::abort();
+  }
+  return body;
+}
+
+int64_t CounterValue(bench::MiniDeployment& d, const std::string& name) {
+  return d.cluster->metrics().GetCounter(name)->value();
+}
+
+}  // namespace
+
+int Run() {
+  bench::MiniDeployment d = bench::MakeMiniDeployment(20, 1500, 3);
+  SwiftClient& inproc = d.session->client();
+
+  // A bulk object for the throughput pass: deterministic filler, large
+  // enough that framing cost is amortized and streaming dominates.
+  constexpr size_t kBulkBytes = 8 * 1024 * 1024;
+  std::string bulk(kBulkBytes, '\0');
+  uint64_t lcg = 2015;
+  for (size_t i = 0; i < bulk.size(); ++i) {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    bulk[i] = static_cast<char>('a' + (lcg >> 33) % 26);
+  }
+  if (!inproc.PutObject("meters", "bulk.bin", bulk).ok()) std::abort();
+
+  constexpr int kIters = 50;
+  const std::string small_path = "/gp/meters/m0000.csv";
+  double inproc_us = AverageGetUs(inproc, small_path, kIters);
+  std::string inproc_small = MaterializedBody(inproc, Request::Get(small_path));
+  std::string inproc_pushdown = MaterializedBody(inproc,
+                                                 PushdownRequest(d.schema));
+
+  // Everything below crosses real loopback sockets.
+  auto fabric = TcpFabric::Start(d.cluster.get());
+  if (!fabric.ok()) {
+    std::fprintf(stderr, "fabric: %s\n", fabric.status().ToString().c_str());
+    std::abort();
+  }
+  auto tcp_client = (*fabric)->Connect("gridpocket", "secret", "gp");
+  if (!tcp_client.ok()) {
+    std::fprintf(stderr, "connect: %s\n",
+                 tcp_client.status().ToString().c_str());
+    std::abort();
+  }
+
+  // --- 1. GET latency: in-process vs TCP -----------------------------------
+  double tcp_us = AverageGetUs(*tcp_client, small_path, kIters);
+  double overhead_us = tcp_us - inproc_us;
+  std::printf("Loopback TCP transport (%d-run averages)\n\n", kIters);
+  bench::TablePrinter latency({"path", "GET latency", "vs in-process"});
+  latency.AddRow({"in-process", StrFormat("%8.1f us", inproc_us), "1.0x"});
+  latency.AddRow({"loopback TCP", StrFormat("%8.1f us", tcp_us),
+                  StrFormat("%.1fx (+%.0f us)", tcp_us / inproc_us,
+                            overhead_us)});
+  latency.Print();
+
+  // --- 2. bulk throughput over the wire ------------------------------------
+  constexpr int kBulkIters = 10;
+  Stopwatch bulk_watch;
+  for (int i = 0; i < kBulkIters; ++i) {
+    std::string body =
+        MaterializedBody(*tcp_client, Request::Get("/gp/meters/bulk.bin"));
+    if (body.size() != kBulkBytes) {
+      std::fprintf(stderr, "bulk GET returned %zu bytes\n", body.size());
+      std::abort();
+    }
+  }
+  double bulk_seconds = bulk_watch.ElapsedSeconds();
+  double tcp_mb_s =
+      kBulkIters * (kBulkBytes / (1024.0 * 1024.0)) / bulk_seconds;
+  std::printf("\nbulk GET over TCP: %d x %zu MiB in %.2fs -> %.0f MB/s\n",
+              kBulkIters, kBulkBytes / (1024 * 1024), bulk_seconds, tcp_mb_s);
+
+  // --- 3. byte-identity across transports ----------------------------------
+  std::string tcp_small = MaterializedBody(*tcp_client,
+                                           Request::Get(small_path));
+  std::string tcp_pushdown = MaterializedBody(*tcp_client,
+                                              PushdownRequest(d.schema));
+  if (tcp_small != inproc_small || tcp_pushdown != inproc_pushdown) {
+    std::fprintf(stderr,
+                 "transport divergence: TCP bytes differ from in-process\n");
+    std::abort();
+  }
+  std::printf("byte-identity: plain GET and pushdown GET match in-process\n");
+
+  const int64_t accepts = CounterValue(d, "net.accepts");
+  const int64_t connects = CounterValue(d, "net.connects");
+  const int64_t reused = CounterValue(d, "net.reused_conns");
+  std::printf(
+      "connection reuse: %lld accepts, %lld connects, %lld reused "
+      "(pooled keep-alive)\n",
+      static_cast<long long>(accepts), static_cast<long long>(connects),
+      static_cast<long long>(reused));
+
+  bench::EmitBenchJson("net", d.cluster->metrics(),
+                       {{"inproc_get_us", inproc_us},
+                        {"tcp_get_us", tcp_us},
+                        {"tcp_overhead_us", overhead_us},
+                        {"tcp_bulk_mb_s", tcp_mb_s},
+                        {"accepts", static_cast<double>(accepts)},
+                        {"connects", static_cast<double>(connects)},
+                        {"reused_conns", static_cast<double>(reused)}});
+  return 0;
+}
+
+}  // namespace scoop
+
+int main() { return scoop::Run(); }

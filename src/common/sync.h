@@ -102,6 +102,9 @@ inline constexpr int kPipeline = 10;           // storlet pipeline run state
 inline constexpr int kSingleflight = 12;       // Singleflight flight table
 inline constexpr int kCacheFlight = 13;        // per-flight fan-out state
 inline constexpr int kCacheShard = 15;         // ResultCache shard LRU
+inline constexpr int kNetReactor = 16;         // reactor posted-task queue
+inline constexpr int kNetConn = 17;            // one TCP connection's outbox
+inline constexpr int kNetClientPool = 18;      // TcpClient idle-socket pool
 inline constexpr int kQueue = 20;              // BoundedByteQueue
 inline constexpr int kThreadPool = 30;         // ThreadPool bookkeeping
 inline constexpr int kMetrics = 40;            // MetricRegistry maps

@@ -1,0 +1,232 @@
+#include "net/client.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/strings.h"
+#include "common/trace.h"
+
+namespace scoop {
+namespace net {
+namespace {
+
+// Header marking a transport-synthesized response (PROTOCOL.md "Error
+// mapping"); the value is the canonical Status code name.
+constexpr char kNetErrorHeader[] = "X-Scoop-Net-Error";
+
+HttpResponse TransportError(const Status& status) {
+  HttpResponse resp = HttpResponse::Make(503, status.ToString());
+  resp.headers.Set(kNetErrorHeader,
+                   std::string(StatusCodeName(status.code())));
+  return resp;
+}
+
+}  // namespace
+
+// Lazy body: reads the socket and feeds the ResponseParser as the
+// consumer pulls. On a clean end-of-body the socket goes back to the
+// pool (if the server kept the connection alive) and trailers are
+// published; a torn connection mid-body surfaces as an IOError read —
+// which HttpResponse::Materialize turns into the 500 the in-process
+// contract promises.
+class WireBodyStream : public ByteStream {
+ public:
+  WireBodyStream(TcpClient* client, UniqueFd fd, ResponseParser parser,
+                 std::string leftover,
+                 std::shared_ptr<Headers> trailers_out)
+      : client_(client),
+        fd_(std::move(fd)),
+        parser_(std::move(parser)),
+        leftover_(std::move(leftover)),
+        trailers_out_(std::move(trailers_out)) {}
+
+  Result<size_t> Read(char* buf, size_t n) override {
+    if (!error_.ok()) return error_;
+    while (decoded_.size() - decoded_pos_ == 0 && !parser_.body_done()) {
+      SCOOP_RETURN_IF_ERROR(Fill());
+    }
+    size_t have = decoded_.size() - decoded_pos_;
+    if (have == 0) {
+      Finish();
+      return 0;
+    }
+    size_t take = std::min(n, have);
+    memcpy(buf, decoded_.data() + decoded_pos_, take);
+    decoded_pos_ += take;
+    if (decoded_pos_ == decoded_.size()) {
+      decoded_.clear();
+      decoded_pos_ = 0;
+    }
+    return take;
+  }
+
+  std::optional<uint64_t> SizeHint() const override {
+    // Exact only before the first Read; good enough for the size checks
+    // (lb byte counters, connectors) that look before consuming.
+    return parser_.remaining_identity_bytes();
+  }
+
+ private:
+  // Pulls one round of socket bytes through the parser.
+  Status Fill() {
+    if (!leftover_.empty()) {
+      SCOOP_ASSIGN_OR_RETURN(size_t used, Feed(leftover_));
+      leftover_.erase(0, used);
+      return Status::OK();
+    }
+    char buf[kDefaultStreamChunk];
+    auto got = RecvSome(fd_.get(), buf, sizeof(buf),
+                        client_->config().io_timeout_ms);
+    if (!got.ok()) return Fail(got.status());
+    if (*got == 0) {
+      // Peer closed before the body ended: the server aborted mid-stream
+      // (its wire image of a failed producer) — propagate as a stream
+      // error, never as a silently truncated body.
+      return Fail(Status::IOError("connection closed mid-body"));
+    }
+    SCOOP_ASSIGN_OR_RETURN(size_t used, Feed({buf, *got}));
+    if (used < *got) {
+      // Bytes past end-of-body would belong to a pipelined response that
+      // nothing requested; treat as a framing violation.
+      return Fail(Status::InvalidArgument("bytes after end of body"));
+    }
+    return Status::OK();
+  }
+
+  Result<size_t> Feed(std::string_view data) {
+    Result<size_t> used = parser_.ConsumeBody(data, &decoded_);
+    if (!used.ok()) return Fail(used.status());
+    return used;
+  }
+
+  Status Fail(Status status) {
+    error_ = status;
+    fd_.Reset();  // a broken exchange never returns to the pool
+    return status;
+  }
+
+  // Clean end-of-body: publish trailers, maybe pool the socket.
+  void Finish() {
+    if (finished_) return;
+    finished_ = true;
+    if (trailers_out_ != nullptr) *trailers_out_ = parser_.trailers();
+    if (parser_.keep_alive() && leftover_.empty() && fd_.valid()) {
+      client_->Return(std::move(fd_));
+    } else {
+      fd_.Reset();
+    }
+  }
+
+  TcpClient* client_;
+  UniqueFd fd_;
+  ResponseParser parser_;
+  std::string leftover_;  // body bytes read together with the head
+  std::shared_ptr<Headers> trailers_out_;
+  std::string decoded_;
+  size_t decoded_pos_ = 0;
+  bool finished_ = false;
+  Status error_ = Status::OK();
+};
+
+TcpClient::TcpClient(TcpClientConfig config, MetricRegistry* metrics)
+    : config_(std::move(config)) {
+  static MetricRegistry* fallback = new MetricRegistry();
+  if (metrics == nullptr) metrics = fallback;
+  connects_ = metrics->GetCounter("net.connects");
+  reused_conns_ = metrics->GetCounter("net.reused_conns");
+}
+
+Result<UniqueFd> TcpClient::Checkout(bool* reused) {
+  {
+    MutexLock lock(mu_);
+    if (!idle_.empty()) {
+      UniqueFd fd = std::move(idle_.back());
+      idle_.pop_back();
+      *reused = true;
+      reused_conns_->Increment();
+      return fd;
+    }
+  }
+  *reused = false;
+  connects_->Increment();
+  return ConnectTcp(config_.host, config_.port, config_.connect_timeout_ms);
+}
+
+void TcpClient::Return(UniqueFd fd) {
+  MutexLock lock(mu_);
+  if (idle_.size() < config_.max_idle_sockets) {
+    idle_.push_back(std::move(fd));
+  }
+  // else: fd closes on scope exit
+}
+
+HttpResponse TcpClient::RoundTrip(Request request) {
+  TraceContext parent = TraceContextFromHeaders(request.headers);
+  TraceSpan span("net.roundtrip", parent);
+  span.SetTag("path", request.path);
+  StampTraceContext(span.context(), &request.headers);
+  std::string wire = SerializeRequest(request);
+  bool head_request = request.method == HttpMethod::kHead;
+
+  // A pooled socket may have been closed by the server's idle sweep
+  // between exchanges; retry the send once on a fresh connection. Never
+  // retried after any response byte arrived, so requests are not
+  // duplicated against a live server.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    bool reused = false;
+    Result<UniqueFd> fd = Checkout(&reused);
+    if (!fd.ok()) return TransportError(fd.status());
+
+    Status sent = SendAll(fd->get(), wire, config_.io_timeout_ms);
+    if (!sent.ok()) {
+      if (reused && attempt == 0) continue;  // stale keep-alive socket
+      return TransportError(sent);
+    }
+
+    ResponseParser parser(/*expect_body=*/!head_request);
+    std::string leftover;
+    char buf[8192];
+    bool stale = false;
+    while (!parser.head_done()) {
+      Result<size_t> got =
+          RecvSome(fd->get(), buf, sizeof(buf), config_.io_timeout_ms);
+      if (!got.ok()) return TransportError(got.status());
+      if (*got == 0) {
+        // EOF before any response: on a reused socket this is the
+        // idle-closed race, safe to retry once on a fresh connection.
+        if (reused && attempt == 0) {
+          stale = true;
+          break;
+        }
+        return TransportError(
+            Status::IOError("connection closed before response"));
+      }
+      std::string_view data(buf, *got);
+      Result<size_t> used = parser.ConsumeHead(data);
+      if (!used.ok()) return TransportError(used.status());
+      if (parser.head_done() && *used < data.size()) {
+        leftover.assign(data.substr(*used));
+      }
+    }
+    if (stale) continue;
+
+    HttpResponse response = std::move(parser.response());
+    if (parser.body_done() && leftover.empty()) {
+      // Bodyless response (HEAD, 0-length): pool the socket right away.
+      if (parser.keep_alive()) {
+        Return(std::move(*fd));
+      }
+      return response;
+    }
+    auto trailers = std::make_shared<Headers>();
+    auto stream = std::make_shared<WireBodyStream>(
+        this, std::move(*fd), std::move(parser), std::move(leftover),
+        trailers);
+    response.SetBodyStream(std::move(stream), trailers);
+    return response;
+  }
+  return TransportError(Status::Internal("unreachable retry exit"));
+}
+
+}  // namespace net
+}  // namespace scoop

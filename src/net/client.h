@@ -1,0 +1,76 @@
+// TCP client for the scoop wire protocol: a synchronous
+// request/response RoundTrip over pooled keep-alive connections.
+// Response bodies come back as lazy ByteStreams that read the socket as
+// they are consumed, so streamed pushdown results cross the wire without
+// buffering; a connection returns to the idle pool only after its body
+// was drained to a clean end-of-body.
+//
+// Locking contract: `mu_` (lockrank::kNetClientPool) guards the idle
+// socket pool; it is a leaf lock held only around pool push/pop.
+#ifndef SCOOP_NET_CLIENT_H_
+#define SCOOP_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/sync.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "objectstore/http.h"
+
+namespace scoop {
+namespace net {
+
+struct TcpClientConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int connect_timeout_ms = 5'000;
+  // Deadline for each blocked send/recv (not the whole exchange; a
+  // streamed body may legitimately take longer than any single wait).
+  int io_timeout_ms = 30'000;
+  size_t max_idle_sockets = 8;
+};
+
+// One upstream endpoint. Thread-safe: concurrent RoundTrips each check
+// out their own socket. Metrics: net.connects, net.reused_conns.
+class TcpClient {
+ public:
+  TcpClient(TcpClientConfig config, MetricRegistry* metrics = nullptr);
+  ~TcpClient() = default;
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  // Sends `request` and returns the response; mirrors the in-process
+  // HttpHandler contract, so transport failures surface as HTTP statuses
+  // (PROTOCOL.md "Error mapping"): 503 with an X-Scoop-Net-Error header
+  // for connect/send/head failures, and a mid-body stream error (flipping
+  // to 500 at materialization) for a connection lost inside the body.
+  HttpResponse RoundTrip(Request request);
+
+  const TcpClientConfig& config() const { return config_; }
+
+ private:
+  friend class WireBodyStream;
+
+  // Pool hit (reused) or fresh connect.
+  Result<UniqueFd> Checkout(bool* reused);
+  // Hands a drained keep-alive socket back for reuse.
+  void Return(UniqueFd fd);
+
+  const TcpClientConfig config_;
+  Counter* connects_ = nullptr;      // UNGUARDED: atomic metric handle
+  Counter* reused_conns_ = nullptr;  // UNGUARDED: atomic metric handle
+
+  Mutex mu_{"net.client_pool", lockrank::kNetClientPool};
+  std::vector<UniqueFd> idle_ GUARDED_BY(mu_);
+};
+
+}  // namespace net
+}  // namespace scoop
+
+#endif  // SCOOP_NET_CLIENT_H_

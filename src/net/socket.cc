@@ -1,0 +1,164 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/strings.h"
+
+namespace scoop {
+namespace net {
+namespace {
+
+Status ErrnoStatus(const char* what) {
+  return Status::IOError(StrFormat("%s: %s", what, strerror(errno)));
+}
+
+Result<sockaddr_in> MakeAddr(const std::string& host, uint16_t port) {
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  // Numeric IPv4 only — scoopd configs and tests use loopback or explicit
+  // addresses; name resolution is out of scope for the reproduction.
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 address: " + host);
+  }
+  return addr;
+}
+
+// Waits for `events` on fd; false on timeout.
+Result<bool> PollOne(int fd, short events, int timeout_ms) {
+  pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  for (;;) {
+    int n = poll(&pfd, 1, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("poll");
+    }
+    return n > 0;
+  }
+}
+
+}  // namespace
+
+void UniqueFd::Reset() {
+  if (fd_ >= 0) {
+    // Best-effort close; there is no meaningful recovery from a failed
+    // close on a socket we are done with.
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)");
+  if (fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(F_SETFL)");
+  }
+  return Status::OK();
+}
+
+Result<UniqueFd> ListenTcp(const std::string& host, uint16_t port,
+                           int backlog) {
+  SCOOP_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(host, port));
+  UniqueFd fd(socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return ErrnoStatus("socket");
+  int one = 1;
+  if (setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0) {
+    return ErrnoStatus("setsockopt(SO_REUSEADDR)");
+  }
+  if (bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return ErrnoStatus("bind");
+  }
+  if (listen(fd.get(), backlog) < 0) return ErrnoStatus("listen");
+  SCOOP_RETURN_IF_ERROR(SetNonBlocking(fd.get()));
+  return fd;
+}
+
+Result<uint16_t> GetBoundPort(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return ErrnoStatus("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port,
+                            int timeout_ms) {
+  SCOOP_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(host, port));
+  UniqueFd fd(socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return ErrnoStatus("socket");
+  // Connect in non-blocking mode so the deadline applies to the TCP
+  // handshake too, then flip back to blocking for the exchange.
+  SCOOP_RETURN_IF_ERROR(SetNonBlocking(fd.get()));
+  int rc = connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) return ErrnoStatus("connect");
+  if (rc < 0) {
+    SCOOP_ASSIGN_OR_RETURN(bool ready, PollOne(fd.get(), POLLOUT, timeout_ms));
+    if (!ready) return Status::DeadlineExceeded("connect timed out");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+      return ErrnoStatus("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      return Status::IOError(StrFormat("connect: %s", strerror(err)));
+    }
+  }
+  int flags = fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0 || fcntl(fd.get(), F_SETFL, flags & ~O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(clear O_NONBLOCK)");
+  }
+  int one = 1;
+  if (setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0) {
+    return ErrnoStatus("setsockopt(TCP_NODELAY)");
+  }
+  return fd;
+}
+
+Status SendAll(int fd, std::string_view data, int timeout_ms) {
+  // Poll before each send: the client socket is blocking, so the poll is
+  // what enforces the deadline (send itself would block indefinitely).
+  size_t sent = 0;
+  while (sent < data.size()) {
+    SCOOP_ASSIGN_OR_RETURN(bool ready, PollOne(fd, POLLOUT, timeout_ms));
+    if (!ready) return Status::DeadlineExceeded("send timed out");
+    // MSG_NOSIGNAL: a peer reset surfaces as EPIPE, not a fatal SIGPIPE.
+    ssize_t n = send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
+    return ErrnoStatus("send");
+  }
+  return Status::OK();
+}
+
+Result<size_t> RecvSome(int fd, char* buf, size_t len, int timeout_ms) {
+  for (;;) {
+    SCOOP_ASSIGN_OR_RETURN(bool ready, PollOne(fd, POLLIN, timeout_ms));
+    if (!ready) return Status::DeadlineExceeded("recv timed out");
+    ssize_t n = recv(fd, buf, len, 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return ErrnoStatus("recv");
+  }
+}
+
+}  // namespace net
+}  // namespace scoop

@@ -1,0 +1,73 @@
+// Thin RAII + error-mapping layer over the POSIX socket calls the
+// transport uses. Everything returns Status/Result instead of errno, and
+// every fd is owned by a UniqueFd so early returns cannot leak sockets.
+#ifndef SCOOP_NET_SOCKET_H_
+#define SCOOP_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/result.h"
+
+namespace scoop {
+namespace net {
+
+// Move-only owner of a file descriptor; closes on destruction.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() { return std::exchange(fd_, -1); }
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+// Creates a non-blocking listening TCP socket bound to host:port
+// (port 0 picks an ephemeral port; read it back with GetBoundPort).
+// SO_REUSEADDR is set so tests can rebind immediately.
+Result<UniqueFd> ListenTcp(const std::string& host, uint16_t port,
+                           int backlog);
+
+// The port a bound socket actually listens on.
+Result<uint16_t> GetBoundPort(int fd);
+
+// Blocking connect with a deadline, returning a *blocking* connected
+// socket (the client's request/response exchange is synchronous; only
+// the server side runs an event loop). TCP_NODELAY is set.
+Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port,
+                            int timeout_ms);
+
+// Blocking-with-timeout full write of `data`. Partial writes are retried
+// until done or the deadline passes (kDeadlineExceeded).
+Status SendAll(int fd, std::string_view data, int timeout_ms);
+
+// Blocking-with-timeout single read into `buf`. Returns the byte count;
+// 0 means clean EOF. Waits at most `timeout_ms` for readability.
+Result<size_t> RecvSome(int fd, char* buf, size_t len, int timeout_ms);
+
+// Marks an fd non-blocking (server side of an accepted connection).
+Status SetNonBlocking(int fd);
+
+}  // namespace net
+}  // namespace scoop
+
+#endif  // SCOOP_NET_SOCKET_H_

@@ -1,0 +1,71 @@
+#include "net/transport.h"
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace scoop {
+namespace net {
+
+HttpHandler Transport::AsHandler() {
+  return [this](Request& request) { return RoundTrip(std::move(request)); };
+}
+
+TcpTransport::TcpTransport(const std::vector<Endpoint>& endpoints,
+                           MetricRegistry* metrics,
+                           TcpClientConfig base_config) {
+  for (const Endpoint& ep : endpoints) {
+    TcpClientConfig config = base_config;
+    config.host = ep.host;
+    config.port = ep.port;
+    clients_.push_back(std::make_unique<TcpClient>(config, metrics));
+  }
+}
+
+HttpResponse TcpTransport::RoundTrip(Request request) {
+  if (clients_.empty()) {
+    return HttpResponse::Make(503, "tcp transport has no endpoints");
+  }
+  uint64_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+  return clients_[idx % clients_.size()]->RoundTrip(std::move(request));
+}
+
+Result<ScoopUrl> ParseScoopUrl(std::string_view url) {
+  ScoopUrl parsed;
+  if (url == "simnet://" || url == "simnet") {
+    parsed.kind = ScoopUrl::Kind::kSimnet;
+    return parsed;
+  }
+  constexpr std::string_view kTcpScheme = "tcp://";
+  if (!StartsWith(url, kTcpScheme)) {
+    return Status::InvalidArgument("unknown transport url: " +
+                                   std::string(url));
+  }
+  parsed.kind = ScoopUrl::Kind::kTcp;
+  std::string_view rest = url.substr(kTcpScheme.size());
+  for (std::string_view part : Split(rest, ',')) {
+    size_t colon = part.rfind(':');
+    if (colon == std::string_view::npos || colon == 0 ||
+        colon + 1 == part.size()) {
+      return Status::InvalidArgument("bad endpoint (want host:port): " +
+                                     std::string(part));
+    }
+    SCOOP_ASSIGN_OR_RETURN(int64_t port,
+                           ParseInt64(part.substr(colon + 1)));
+    if (port < 1 || port > 65535) {
+      return Status::InvalidArgument("port out of range: " +
+                                     std::string(part));
+    }
+    TcpTransport::Endpoint ep;
+    ep.host = std::string(part.substr(0, colon));
+    ep.port = static_cast<uint16_t>(port);
+    parsed.endpoints.push_back(std::move(ep));
+  }
+  if (parsed.endpoints.empty()) {
+    return Status::InvalidArgument("tcp:// url names no endpoints");
+  }
+  return parsed;
+}
+
+}  // namespace net
+}  // namespace scoop

@@ -1,0 +1,84 @@
+// The seam that lets one cluster run either in-process ("simnet") or
+// over real sockets ("tcp"): a Transport turns a Request into an
+// HttpResponse, and everything above SwiftClient selects one by URL
+// scheme (DESIGN.md §3j).
+//
+//   simnet://            in-process function calls (the default; all
+//                        deterministic tests run here)
+//   tcp://h:p[,h:p...]   real loopback/network sockets; multiple
+//                        endpoints round-robin like the LB tier
+#ifndef SCOOP_NET_TRANSPORT_H_
+#define SCOOP_NET_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "net/client.h"
+#include "objectstore/http.h"
+
+namespace scoop {
+namespace net {
+
+// Where a request goes. Implementations must be thread-safe: Spark-like
+// workers issue concurrent partition reads through one transport.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual HttpResponse RoundTrip(Request request) = 0;
+
+  // The std::function shape SwiftClient (objectstore layer, which cannot
+  // see this header) is constructed from.
+  HttpHandler AsHandler();
+};
+
+// simnet: wraps any in-process handler (e.g. SwiftCluster::Handle).
+class HandlerTransport : public Transport {
+ public:
+  explicit HandlerTransport(std::function<HttpResponse(Request)> handler)
+      : handler_(std::move(handler)) {}
+
+  HttpResponse RoundTrip(Request request) override {
+    return handler_(std::move(request));
+  }
+
+ private:
+  std::function<HttpResponse(Request)> handler_;
+};
+
+// tcp: one TcpClient per endpoint, requests round-robin across them.
+class TcpTransport : public Transport {
+ public:
+  struct Endpoint {
+    std::string host;
+    uint16_t port = 0;
+  };
+
+  TcpTransport(const std::vector<Endpoint>& endpoints,
+               MetricRegistry* metrics = nullptr,
+               TcpClientConfig base_config = {});
+
+  HttpResponse RoundTrip(Request request) override;
+
+ private:
+  std::vector<std::unique_ptr<TcpClient>> clients_;
+  std::atomic<uint64_t> next_{0};
+};
+
+// Parsed form of a transport URL (see the scheme table above).
+struct ScoopUrl {
+  enum class Kind { kSimnet, kTcp };
+  Kind kind = Kind::kSimnet;
+  std::vector<TcpTransport::Endpoint> endpoints;  // kTcp only
+};
+
+Result<ScoopUrl> ParseScoopUrl(std::string_view url);
+
+}  // namespace net
+}  // namespace scoop
+
+#endif  // SCOOP_NET_TRANSPORT_H_

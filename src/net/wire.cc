@@ -1,0 +1,454 @@
+#include "net/wire.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace scoop {
+namespace net {
+namespace {
+
+// RFC 7231 reason phrases for the statuses the store actually emits;
+// the reason is cosmetic on the wire (parsers key on the code alone).
+std::string_view ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 206: return "Partial Content";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 404: return "Not Found";
+    case 409: return "Conflict";
+    case 411: return "Length Required";
+    case 412: return "Precondition Failed";
+    case 413: return "Payload Too Large";
+    case 416: return "Range Not Satisfiable";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+Result<HttpMethod> ParseMethod(std::string_view name) {
+  if (name == "GET") return HttpMethod::kGet;
+  if (name == "PUT") return HttpMethod::kPut;
+  if (name == "POST") return HttpMethod::kPost;
+  if (name == "DELETE") return HttpMethod::kDelete;
+  if (name == "HEAD") return HttpMethod::kHead;
+  return Status::InvalidArgument("unknown method: " + std::string(name));
+}
+
+// Strict non-negative decimal (Content-Length). Rejects signs, spaces,
+// and empties — anything ParseInt64 would take but RFC 7230 would not.
+Result<uint64_t> ParseDecimalU64(std::string_view s) {
+  if (s.empty() || s.size() > 19) {
+    return Status::InvalidArgument("bad decimal length field");
+  }
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad decimal length field");
+    }
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return v;
+}
+
+// Chunk-size line: lowercase/uppercase hex, no extensions accepted.
+Result<uint64_t> ParseHexU64(std::string_view s) {
+  if (s.empty() || s.size() > 16) {
+    return Status::InvalidArgument("bad chunk size");
+  }
+  uint64_t v = 0;
+  for (char c : s) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return Status::InvalidArgument("bad chunk size");
+    }
+    v = (v << 4) | static_cast<uint64_t>(digit);
+  }
+  return v;
+}
+
+void AppendHeaders(const Headers& headers, std::string* out) {
+  for (const auto& [name, value] : headers) {
+    out->append(name);
+    out->append(": ");
+    out->append(value);
+    out->append("\r\n");
+  }
+}
+
+// Finds "\r\n\r\n" straddling the already-buffered `have` bytes and the
+// incoming `data`; appends into `*buf` and returns true once the blank
+// line is fully buffered (buf then ends exactly at the blank line).
+// Returns the number of `data` bytes consumed via *consumed.
+bool BufferHead(std::string* buf, std::string_view data, size_t* consumed) {
+  // Append then search — heads are small (kMaxHeadBytes) so re-scanning
+  // from a small back-off is cheap and keeps the logic split-proof.
+  size_t old_size = buf->size();
+  buf->append(data);
+  size_t search_from = old_size < 3 ? 0 : old_size - 3;
+  size_t pos = buf->find("\r\n\r\n", search_from);
+  if (pos == std::string::npos) {
+    *consumed = data.size();
+    return false;
+  }
+  size_t head_end = pos + 4;
+  *consumed = data.size() - (buf->size() - head_end);
+  buf->resize(head_end);
+  return true;
+}
+
+}  // namespace
+
+Status ParseHeaderBlock(std::string_view block, std::string* start_line,
+                        Headers* headers) {
+  // `block` includes the trailing blank line ("\r\n\r\n").
+  size_t line_start = 0;
+  bool first = true;
+  while (line_start < block.size()) {
+    size_t eol = block.find("\r\n", line_start);
+    if (eol == std::string_view::npos) {
+      return Status::InvalidArgument("head line missing CRLF");
+    }
+    std::string_view line = block.substr(line_start, eol - line_start);
+    line_start = eol + 2;
+    if (first) {
+      if (line.empty()) return Status::InvalidArgument("empty start line");
+      *start_line = std::string(line);
+      first = false;
+      continue;
+    }
+    if (line.empty()) break;  // blank line: end of headers
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Status::InvalidArgument("malformed header line");
+    }
+    std::string_view name = line.substr(0, colon);
+    std::string_view value = Trim(line.substr(colon + 1));
+    headers->Set(name, std::string(value));
+  }
+  return Status::OK();
+}
+
+std::string SerializeRequest(const Request& request) {
+  std::string out;
+  out.reserve(256 + request.body.size());
+  out.append(HttpMethodName(request.method));
+  out.push_back(' ');
+  out.append(request.path.empty() ? "/" : request.path);
+  out.append(" HTTP/1.1\r\n");
+  AppendHeaders(request.headers, &out);
+  // Framing headers are the serializer's alone; a Content-Length the
+  // caller set is ignored in favor of the actual body size.
+  out.append(StrFormat("Content-Length: %llu\r\n",
+                       (unsigned long long)request.body.size()));
+  out.append("\r\n");
+  out.append(request.body);
+  return out;
+}
+
+std::string SerializeResponseHead(const HttpResponse& response,
+                                  BodyFraming framing,
+                                  uint64_t content_length, bool keep_alive) {
+  std::string out;
+  out.reserve(256);
+  out.append(StrFormat("HTTP/1.1 %d ", response.status));
+  out.append(ReasonPhrase(response.status));
+  out.append("\r\n");
+  Headers headers = response.headers;
+  headers.Remove(kWireTransferEncoding);
+  headers.Remove(kWireConnection);
+  if (framing == BodyFraming::kIdentity) {
+    // Identity framing owns Content-Length: the exact body byte count.
+    headers.Remove(kWireContentLength);
+  }
+  AppendHeaders(headers, &out);
+  switch (framing) {
+    case BodyFraming::kIdentity:
+      out.append(StrFormat("Content-Length: %llu\r\n",
+                           (unsigned long long)content_length));
+      break;
+    case BodyFraming::kChunked:
+      out.append("Transfer-Encoding: chunked\r\n");
+      break;
+    case BodyFraming::kNone:
+      // HEAD: the application's Content-Length (the object size, already
+      // appended above) describes no wire bytes.
+      break;
+  }
+  out.append("Connection: ");
+  out.append(keep_alive ? kConnectionKeepAlive : kConnectionClose);
+  out.append("\r\n\r\n");
+  return out;
+}
+
+std::string EncodeChunk(std::string_view data) {
+  std::string out;
+  out.reserve(data.size() + 20);
+  out.append(StrFormat("%llx\r\n", (unsigned long long)data.size()));
+  out.append(data);
+  out.append("\r\n");
+  return out;
+}
+
+std::string EncodeFinalChunk(const Headers* trailers) {
+  std::string out = "0\r\n";
+  if (trailers != nullptr) AppendHeaders(*trailers, &out);
+  out.append("\r\n");
+  return out;
+}
+
+// --- RequestParser ----------------------------------------------------------
+
+Result<size_t> RequestParser::Consume(std::string_view data) {
+  size_t total = 0;
+  while (total < data.size() && state_ != State::kDone) {
+    std::string_view rest = data.substr(total);
+    switch (state_) {
+      case State::kHead: {
+        SCOOP_ASSIGN_OR_RETURN(size_t n, ConsumeHead(rest));
+        total += n;
+        break;
+      }
+      case State::kBody: {
+        size_t want = body_expected_ - body_.size();
+        size_t take = std::min(want, rest.size());
+        body_.append(rest.substr(0, take));
+        total += take;
+        if (body_.size() == body_expected_) {
+          request_.body = std::move(body_);
+          body_.clear();
+          state_ = State::kDone;
+        }
+        break;
+      }
+      case State::kDone:
+        break;
+    }
+  }
+  return total;
+}
+
+Result<size_t> RequestParser::ConsumeHead(std::string_view data) {
+  size_t consumed = 0;
+  bool complete = BufferHead(&head_, data, &consumed);
+  if (head_.size() > kMaxHeadBytes) {
+    return Status::InvalidArgument("request head exceeds limit");
+  }
+  if (!complete) return consumed;
+  SCOOP_RETURN_IF_ERROR(ParseHead());
+  head_.clear();
+  state_ = body_expected_ == 0 ? State::kDone : State::kBody;
+  if (state_ == State::kBody) body_.reserve(body_expected_);
+  return consumed;
+}
+
+Status RequestParser::ParseHead() {
+  std::string start_line;
+  request_ = Request();
+  SCOOP_RETURN_IF_ERROR(ParseHeaderBlock(head_, &start_line,
+                                         &request_.headers));
+  auto parts = Split(start_line, ' ');
+  if (parts.size() != 3 || parts[2] != "HTTP/1.1") {
+    return Status::InvalidArgument("bad request line: " + start_line);
+  }
+  SCOOP_ASSIGN_OR_RETURN(request_.method, ParseMethod(parts[0]));
+  request_.path = std::string(parts[1]);
+  if (request_.headers.Has(kWireTransferEncoding)) {
+    return Status::InvalidArgument("chunked requests unsupported");
+  }
+  body_expected_ = 0;
+  if (auto cl = request_.headers.Get(kWireContentLength)) {
+    SCOOP_ASSIGN_OR_RETURN(uint64_t n, ParseDecimalU64(*cl));
+    if (n > max_body_bytes_) {
+      return Status::ResourceExhausted("request body exceeds limit");
+    }
+    body_expected_ = static_cast<size_t>(n);
+  }
+  keep_alive_ =
+      ToLower(request_.headers.GetOr(kWireConnection, kConnectionKeepAlive)) !=
+      kConnectionClose;
+  // Framing headers never reach the handler.
+  request_.headers.Remove(kWireContentLength);
+  request_.headers.Remove(kWireConnection);
+  return Status::OK();
+}
+
+Request RequestParser::Take() { return std::move(request_); }
+
+void RequestParser::Reset() {
+  state_ = State::kHead;
+  head_.clear();
+  body_.clear();
+  body_expected_ = 0;
+  keep_alive_ = true;
+  request_ = Request();
+}
+
+// --- ResponseParser ---------------------------------------------------------
+
+Result<size_t> ResponseParser::ConsumeHead(std::string_view data) {
+  size_t consumed = 0;
+  bool complete = BufferHead(&head_, data, &consumed);
+  if (head_.size() > kMaxHeadBytes) {
+    return Status::InvalidArgument("response head exceeds limit");
+  }
+  if (!complete) return consumed;
+  SCOOP_RETURN_IF_ERROR(ParseHead());
+  head_.clear();
+  head_done_ = true;
+  return consumed;
+}
+
+Status ResponseParser::ParseHead() {
+  std::string start_line;
+  SCOOP_RETURN_IF_ERROR(ParseHeaderBlock(head_, &start_line,
+                                         &response_.headers));
+  if (!StartsWith(start_line, "HTTP/1.1 ")) {
+    return Status::InvalidArgument("bad status line: " + start_line);
+  }
+  std::string_view rest = std::string_view(start_line).substr(9);
+  if (rest.size() < 3) {
+    return Status::InvalidArgument("bad status line: " + start_line);
+  }
+  SCOOP_ASSIGN_OR_RETURN(uint64_t code, ParseDecimalU64(rest.substr(0, 3)));
+  response_.status = static_cast<int>(code);
+
+  keep_alive_ =
+      ToLower(response_.headers.GetOr(kWireConnection, kConnectionKeepAlive)) !=
+      kConnectionClose;
+  std::string te = ToLower(response_.headers.GetOr(kWireTransferEncoding, ""));
+  if (!te.empty() && te != kChunkedValue) {
+    return Status::InvalidArgument("unsupported transfer encoding: " + te);
+  }
+  if (!expect_body_) {
+    // HEAD response: Content-Length (if any) is the object size, not
+    // framing — no body bytes follow on the wire.
+    chunked_ = false;
+    identity_remaining_ = 0;
+    body_state_ = BodyState::kDone;
+  } else if (te == kChunkedValue) {
+    chunked_ = true;
+    body_state_ = BodyState::kChunkHeader;
+  } else {
+    chunked_ = false;
+    identity_remaining_ = 0;
+    if (auto cl = response_.headers.Get(kWireContentLength)) {
+      SCOOP_ASSIGN_OR_RETURN(identity_remaining_, ParseDecimalU64(*cl));
+    }
+    body_state_ =
+        identity_remaining_ == 0 ? BodyState::kDone : BodyState::kIdentity;
+  }
+  // Only the pure framing headers are hop-by-hop; Content-Length stays —
+  // it doubles as the application's object-size metadata, exactly as the
+  // in-process object server sets it.
+  response_.headers.Remove(kWireTransferEncoding);
+  response_.headers.Remove(kWireConnection);
+  return Status::OK();
+}
+
+Result<size_t> ResponseParser::ConsumeBody(std::string_view data,
+                                           std::string* out) {
+  size_t total = 0;
+  while (total < data.size() && body_state_ != BodyState::kDone) {
+    std::string_view rest = data.substr(total);
+    switch (body_state_) {
+      case BodyState::kIdentity: {
+        size_t take = std::min<uint64_t>(identity_remaining_, rest.size());
+        out->append(rest.substr(0, take));
+        identity_remaining_ -= take;
+        total += take;
+        if (identity_remaining_ == 0) body_state_ = BodyState::kDone;
+        break;
+      }
+      case BodyState::kChunkHeader: {
+        size_t eol = rest.find('\n');
+        size_t take = eol == std::string_view::npos ? rest.size() : eol + 1;
+        line_.append(rest.substr(0, take));
+        total += take;
+        if (line_.size() > 32) {
+          return Status::InvalidArgument("oversized chunk-size line");
+        }
+        if (eol == std::string_view::npos) break;
+        if (line_.size() < 2 || line_[line_.size() - 2] != '\r') {
+          return Status::InvalidArgument("chunk size missing CRLF");
+        }
+        SCOOP_ASSIGN_OR_RETURN(
+            chunk_remaining_,
+            ParseHexU64(std::string_view(line_).substr(0, line_.size() - 2)));
+        line_.clear();
+        body_state_ = chunk_remaining_ == 0 ? BodyState::kTrailers
+                                            : BodyState::kChunkData;
+        break;
+      }
+      case BodyState::kChunkData: {
+        size_t take = std::min<uint64_t>(chunk_remaining_, rest.size());
+        out->append(rest.substr(0, take));
+        chunk_remaining_ -= take;
+        total += take;
+        if (chunk_remaining_ == 0) body_state_ = BodyState::kChunkDataEnd;
+        break;
+      }
+      case BodyState::kChunkDataEnd: {
+        // Eat the "\r\n" that closes a data chunk.
+        size_t want = 2 - line_.size();
+        size_t take = std::min(want, rest.size());
+        line_.append(rest.substr(0, take));
+        total += take;
+        if (line_.size() == 2) {
+          if (line_ != "\r\n") {
+            return Status::InvalidArgument("chunk data missing CRLF");
+          }
+          line_.clear();
+          body_state_ = BodyState::kChunkHeader;
+        }
+        break;
+      }
+      case BodyState::kTrailers: {
+        // Buffer trailer lines until the blank line that ends the body.
+        size_t eol = rest.find('\n');
+        size_t take = eol == std::string_view::npos ? rest.size() : eol + 1;
+        line_.append(rest.substr(0, take));
+        total += take;
+        if (line_.size() > kMaxHeadBytes) {
+          return Status::InvalidArgument("trailer block exceeds limit");
+        }
+        if (eol == std::string_view::npos) break;
+        if (line_.size() < 2 || line_[line_.size() - 2] != '\r') {
+          return Status::InvalidArgument("trailer line missing CRLF");
+        }
+        std::string_view one_line(line_.data(), line_.size() - 2);
+        if (one_line.empty()) {
+          body_state_ = BodyState::kDone;
+        } else {
+          size_t colon = one_line.find(':');
+          if (colon == std::string_view::npos || colon == 0) {
+            return Status::InvalidArgument("malformed trailer line");
+          }
+          trailers_.Set(one_line.substr(0, colon),
+                        std::string(Trim(one_line.substr(colon + 1))));
+        }
+        line_.clear();
+        break;
+      }
+      case BodyState::kDone:
+        break;
+    }
+  }
+  return total;
+}
+
+}  // namespace net
+}  // namespace scoop

@@ -1,0 +1,185 @@
+// HTTP/1.1-style wire framing for the in-process Request / HttpResponse
+// vocabulary (objectstore/http.h). The normative byte-level contract —
+// request/response head layout, Content-Length vs chunked bodies, trailer
+// framing, error mapping — lives in docs/PROTOCOL.md; this header is its
+// implementation. Parsers are incremental and re-chunking-proof: bytes may
+// arrive one at a time or in arbitrary splits and the state machines make
+// identical progress (the same property batch_wire.h guarantees for SBT1).
+#ifndef SCOOP_NET_WIRE_H_
+#define SCOOP_NET_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "objectstore/http.h"
+
+namespace scoop {
+namespace net {
+
+// Hop-by-hop framing headers owned by the transport (docs/PROTOCOL.md
+// "Header catalog"). They are stamped by the serializer and consumed by
+// the parser; handler code never sees a Transfer-Encoding header.
+inline constexpr char kWireContentLength[] = "Content-Length";
+inline constexpr char kWireTransferEncoding[] = "Transfer-Encoding";
+inline constexpr char kWireConnection[] = "Connection";
+inline constexpr char kChunkedValue[] = "chunked";
+inline constexpr char kConnectionClose[] = "close";
+inline constexpr char kConnectionKeepAlive[] = "keep-alive";
+
+// Framing bounds (PROTOCOL.md "Limits"). A head larger than kMaxHeadBytes
+// or a declared body larger than the server's configured body cap is a
+// framing error, not a handler error.
+inline constexpr size_t kMaxHeadBytes = 64 * 1024;
+inline constexpr size_t kDefaultMaxBodyBytes = 512ull * 1024 * 1024;
+
+// --- Serialization ----------------------------------------------------------
+
+// Request head + buffered body (requests are always buffered — only
+// responses stream). Stamps Content-Length from `request.body`.
+std::string SerializeRequest(const Request& request);
+
+// How a response body is framed on the wire (PROTOCOL.md "Response
+// framing"). kIdentity carries exactly Content-Length bytes; kChunked is
+// used for every streamed body (unknown size and/or trailers) — an
+// application Content-Length header may ride along as metadata (the
+// object size) and does not participate in framing; kNone means no body
+// follows at all (HEAD responses), whatever Content-Length says.
+enum class BodyFraming { kIdentity, kChunked, kNone };
+
+// Response head only. For kIdentity, `content_length` is the exact body
+// byte count and overrides any application Content-Length header; for
+// the other framings it is ignored and the application header (if any)
+// is passed through untouched. `keep_alive` stamps the Connection header
+// the server decided on.
+std::string SerializeResponseHead(const HttpResponse& response,
+                                  BodyFraming framing,
+                                  uint64_t content_length, bool keep_alive);
+
+// One chunked-transfer frame: "<hex>\r\n<data>\r\n". Empty data is
+// illegal here (the terminal frame is EncodeFinalChunk's job).
+std::string EncodeChunk(std::string_view data);
+
+// Terminal frame "0\r\n<trailer lines>\r\n": ends a chunked body and
+// carries the producer's trailers (e.g. the limit-hit marker).
+std::string EncodeFinalChunk(const Headers* trailers);
+
+// --- Incremental parsing ----------------------------------------------------
+
+// Common result of feeding bytes to a parser: how many of the offered
+// bytes were consumed. Progress is byte-exact: feeding a byte at a time
+// reaches the same states as feeding the whole buffer at once.
+//
+// A parser signals completion via done(); errors are sticky and final
+// (framing errors are connection-fatal, PROTOCOL.md "Error mapping").
+
+// Parses "METHOD /path HTTP/1.1\r\nHeaders...\r\n\r\n<body>" into a
+// Request. The body must be identity-framed (requests never chunk).
+class RequestParser {
+ public:
+  explicit RequestParser(size_t max_body_bytes = kDefaultMaxBodyBytes)
+      : max_body_bytes_(max_body_bytes) {}
+
+  // Consumes a prefix of `data`; returns how many bytes were eaten.
+  // Returns an error for malformed framing (the connection must close).
+  Result<size_t> Consume(std::string_view data);
+
+  bool done() const { return state_ == State::kDone; }
+  // The parsed request; valid once done(). Take ownership via Take().
+  Request Take();
+
+  // The client's Connection preference, captured before the framing
+  // headers are stripped. Valid once done().
+  bool keep_alive() const { return keep_alive_; }
+
+  // Ready for the next request on the same connection (keep-alive).
+  void Reset();
+
+ private:
+  enum class State { kHead, kBody, kDone };
+
+  Result<size_t> ConsumeHead(std::string_view data);
+  Status ParseHead();
+
+  State state_ = State::kHead;
+  size_t max_body_bytes_;
+  std::string head_;
+  std::string body_;
+  size_t body_expected_ = 0;
+  bool keep_alive_ = true;
+  Request request_;
+};
+
+// Parses "HTTP/1.1 <status> <reason>\r\nHeaders...\r\n\r\n" plus an
+// identity or chunked body. The body is surfaced incrementally via
+// ConsumeBody so a client can expose it as a ByteStream without
+// buffering; trailers parsed from the terminal chunk land in trailers().
+class ResponseParser {
+ public:
+  // `expect_body` is false for responses to HEAD requests: the head's
+  // Content-Length (the object size) then describes no wire bytes.
+  explicit ResponseParser(bool expect_body = true)
+      : expect_body_(expect_body) {}
+
+  // Consumes head bytes; returns bytes eaten. head_done() flips once the
+  // blank line was seen and the framing (identity/chunked) is decided.
+  Result<size_t> ConsumeHead(std::string_view data);
+  bool head_done() const { return head_done_; }
+
+  // Status + headers of the parsed head (framing headers removed).
+  HttpResponse& response() { return response_; }
+
+  // True when the response cannot carry body bytes (HEAD is handled by
+  // the caller; 204/304 and Content-Length: 0 land here).
+  bool body_done() const { return body_state_ == BodyState::kDone; }
+
+  // Feeds body bytes: appends decoded payload bytes to `*out` and returns
+  // how many input bytes were consumed. Chunk framing, the terminal
+  // chunk, and trailer lines are eaten internally.
+  Result<size_t> ConsumeBody(std::string_view data, std::string* out);
+
+  // Trailers from the terminal chunk (empty Headers when none). Only
+  // meaningful once body_done().
+  const Headers& trailers() const { return trailers_; }
+
+  // Identity framing: total body bytes still expected (nullopt: chunked).
+  std::optional<uint64_t> remaining_identity_bytes() const {
+    return chunked_ ? std::nullopt
+                    : std::make_optional<uint64_t>(identity_remaining_);
+  }
+
+  // The server's keep-alive decision ("Connection: close" means the
+  // client must not pool this socket).
+  bool keep_alive() const { return keep_alive_; }
+
+ private:
+  enum class BodyState { kChunkHeader, kChunkData, kChunkDataEnd,
+                         kTrailers, kIdentity, kDone };
+
+  Status ParseHead();
+
+  const bool expect_body_ = true;
+  std::string head_;
+  bool head_done_ = false;
+  HttpResponse response_;
+  Headers trailers_;
+  bool chunked_ = false;
+  bool keep_alive_ = true;
+  uint64_t identity_remaining_ = 0;
+  BodyState body_state_ = BodyState::kIdentity;
+  // Chunked-decoder scratch: the partial chunk-size line / trailer block.
+  std::string line_;
+  uint64_t chunk_remaining_ = 0;
+};
+
+// Shared by both parsers: splits a CRLF-terminated head block into the
+// start line and a Headers map. Exposed for tests.
+Status ParseHeaderBlock(std::string_view block, std::string* start_line,
+                        Headers* headers);
+
+}  // namespace net
+}  // namespace scoop
+
+#endif  // SCOOP_NET_WIRE_H_

@@ -49,15 +49,7 @@ Result<std::unique_ptr<SwiftCluster>> SwiftCluster::Create(
   }
 
   // Proxies forward backend requests by looking up the device's node.
-  SwiftCluster* raw = cluster.get();
-  BackendFn backend = [raw](int device_id, Request& request) -> HttpResponse {
-    if (device_id < 0 ||
-        device_id >= static_cast<int>(raw->device_to_node_.size())) {
-      return HttpResponse::Make(500, "no such device");
-    }
-    int node = raw->device_to_node_[device_id];
-    return raw->object_servers_[node]->Handle(request);
-  };
+  BackendFn backend = cluster->InProcessBackend();
   for (int p = 0; p < config.num_proxies; ++p) {
     auto proxy = std::make_unique<ProxyServer>(
         p, &cluster->ring_, cluster->registry_, backend, &cluster->metrics_,
@@ -71,6 +63,17 @@ Result<std::unique_ptr<SwiftCluster>> SwiftCluster::Create(
   cluster->fault_counter_ = cluster->metrics_.GetCounter("faults.injected");
   Failpoints::Global().SetFaultCounter(cluster->fault_counter_);
   return cluster;
+}
+
+BackendFn SwiftCluster::InProcessBackend() {
+  return [this](int device_id, Request& request) -> HttpResponse {
+    if (device_id < 0 ||
+        device_id >= static_cast<int>(device_to_node_.size())) {
+      return HttpResponse::Make(500, "no such device");
+    }
+    int node = device_to_node_[device_id];
+    return object_servers_[node]->Handle(request);
+  };
 }
 
 HttpResponse SwiftCluster::Handle(Request request) {
@@ -141,11 +144,20 @@ Result<SwiftClient> SwiftClient::Connect(SwiftCluster* cluster,
                                          const std::string& tenant,
                                          const std::string& key,
                                          const std::string& account) {
-  Status s = cluster->auth().RegisterTenant(tenant, key, account);
+  return ConnectVia(
+      [cluster](Request request) { return cluster->Handle(std::move(request)); },
+      cluster->auth(), tenant, key, account);
+}
+
+Result<SwiftClient> SwiftClient::ConnectVia(ClientTransportFn transport,
+                                            AuthService& auth,
+                                            const std::string& tenant,
+                                            const std::string& key,
+                                            const std::string& account) {
+  Status s = auth.RegisterTenant(tenant, key, account);
   if (!s.ok() && s.code() != StatusCode::kAlreadyExists) return s;
-  SCOOP_ASSIGN_OR_RETURN(std::string token,
-                         cluster->auth().IssueToken(tenant, key));
-  SwiftClient client(cluster, account, token);
+  SCOOP_ASSIGN_OR_RETURN(std::string token, auth.IssueToken(tenant, key));
+  SwiftClient client(std::move(transport), account, token);
   Request create_account = Request::Put("/" + account, "");
   HttpResponse r = client.Send(std::move(create_account));
   if (!r.ok()) {
@@ -157,7 +169,7 @@ Result<SwiftClient> SwiftClient::Connect(SwiftCluster* cluster,
 
 HttpResponse SwiftClient::Send(Request request) {
   request.headers.Set(kAuthTokenHeader, token_);
-  return cluster_->Handle(std::move(request));
+  return transport_(std::move(request));
 }
 
 Status SwiftClient::CreateContainer(const std::string& container) {

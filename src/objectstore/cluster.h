@@ -67,6 +67,12 @@ class SwiftCluster {
   // (round-robin, like the paper's HAProxy + VRRP front end).
   HttpResponse Handle(Request request);
 
+  // The in-process device-to-node routing BackendFn the cluster wires
+  // into its proxies at Create time. Exposed so a transport fabric
+  // (scoop/tcp_fabric) can restore it after swapping the proxies over to
+  // socket-backed backends.
+  BackendFn InProcessBackend();
+
   // Runs one replica-repair pass over the whole cluster. With
   // `remove_handoffs`, copies outside an object's replica set are removed
   // once the set is fully populated (post-rebalance cleanup).
@@ -108,12 +114,29 @@ class SwiftCluster {
   std::atomic<uint64_t> next_proxy_{0};
 };
 
+// How a SwiftClient reaches the cluster: any callable that carries a
+// request to the proxy tier and returns its response. In-process this
+// wraps SwiftCluster::Handle; the TCP transport (src/net, wired up in
+// the scoop layer so objectstore stays socket-free) provides the same
+// shape over real connections.
+using ClientTransportFn = std::function<HttpResponse(Request)>;
+
 // Convenience client bound to one tenant's token. This is the HTTP-level
 // API that Stocator, the examples, and the tests drive the store with.
 class SwiftClient {
  public:
   SwiftClient(SwiftCluster* cluster, std::string account, std::string token)
-      : cluster_(cluster),
+      : SwiftClient(
+            [cluster](Request request) {
+              return cluster->Handle(std::move(request));
+            },
+            std::move(account), std::move(token)) {}
+
+  // Transport-agnostic form: `transport` decides how requests travel
+  // (in-process call or TCP round-trip) — the client is oblivious.
+  SwiftClient(ClientTransportFn transport, std::string account,
+              std::string token)
+      : transport_(std::move(transport)),
         account_(std::move(account)),
         token_(std::move(token)) {}
 
@@ -122,6 +145,15 @@ class SwiftClient {
                                      const std::string& tenant,
                                      const std::string& key,
                                      const std::string& account);
+
+  // As Connect, but the returned client sends through `transport` (the
+  // tenant is still registered on `auth` directly — token issue happens
+  // out of band of the request path, as with any identity service).
+  static Result<SwiftClient> ConnectVia(ClientTransportFn transport,
+                                        AuthService& auth,
+                                        const std::string& tenant,
+                                        const std::string& key,
+                                        const std::string& account);
 
   const std::string& account() const { return account_; }
 
@@ -146,7 +178,7 @@ class SwiftClient {
   HttpResponse Send(Request request);
 
  private:
-  SwiftCluster* cluster_;
+  ClientTransportFn transport_;
   std::string account_;
   std::string token_;
 };

@@ -61,6 +61,11 @@ class ProxyServer {
   Pipeline& pipeline() { return *pipeline_; }
   const ProxyRetryPolicy& retry_policy() const { return policy_; }
 
+  // Swaps how this proxy reaches object servers (e.g. the TCP fabric
+  // replacing the in-process call). Not thread-safe against concurrent
+  // Handle() calls — rewire before serving traffic.
+  void set_backend(BackendFn backend) { backend_ = std::move(backend); }
+
   // Full request entry (runs the middleware pipeline, then the app).
   HttpResponse Handle(Request& request);
 

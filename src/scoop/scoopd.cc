@@ -1,0 +1,167 @@
+// scoopd: the standalone Scoop daemon. One process serves ONE component
+// of the deployment — a proxy or an object server — selected by the
+// `role`/`index` keys of its config file. Every process builds the same
+// deterministic cluster from the same shape keys, so the ring (and hence
+// device placement) agrees fleet-wide without any coordination.
+//
+//   scoopd <config-file>
+//
+// Admin endpoints on every role:
+//   GET /__scoop/health    liveness: "ok <role> <index>"
+//   GET /__scoop/metrics   MetricRegistry::ToJson() snapshot
+// Proxy role additionally serves tempauth-style token issue:
+//   GET /auth/v1.0         X-Auth-User/X-Auth-Key -> X-Auth-Token
+//
+// See docs/RUNBOOK.md for a worked 1-proxy/3-object-server deployment.
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "objectstore/http.h"
+#include "scoop/scoop.h"
+#include "scoop/scoopd_config.h"
+
+namespace scoop {
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void OnSignal(int) { g_stop = 1; }
+
+int Run(const std::string& config_path) {
+  Result<ScoopdConfig> loaded = ScoopdConfig::Load(config_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "scoopd: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  ScoopdConfig config = std::move(*loaded);
+
+  ResultCacheConfig cache_config;
+  cache_config.enabled = config.cache_enabled;
+  Result<std::unique_ptr<ScoopCluster>> created =
+      ScoopCluster::Create(config.swift, cache_config);
+  if (!created.ok()) {
+    std::fprintf(stderr, "scoopd: cluster: %s\n",
+                 created.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<ScoopCluster> cluster = std::move(*created);
+  SwiftCluster& swift = cluster->swift();
+
+  // Deterministic tenant registration: all processes know the same
+  // tenants, so any proxy can validate any account path. Tokens are
+  // per-proxy-process (see /auth/v1.0 below).
+  for (const ScoopdTenant& t : config.tenants) {
+    Status s = swift.auth().RegisterTenant(t.tenant, t.key, t.account);
+    if (!s.ok() && s.code() != StatusCode::kAlreadyExists) {
+      std::fprintf(stderr, "scoopd: tenant %s: %s\n", t.tenant.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  const bool is_proxy = config.role == "proxy";
+  HttpHandler app;
+  std::vector<std::unique_ptr<net::TcpClient>> node_clients;
+  std::vector<int> device_to_node;
+
+  if (is_proxy) {
+    for (const auto& endpoint : config.object_servers) {
+      net::TcpClientConfig client_config = config.client;
+      client_config.host = endpoint.host;
+      client_config.port = endpoint.port;
+      node_clients.push_back(std::make_unique<net::TcpClient>(
+          client_config, &swift.metrics()));
+    }
+    device_to_node.resize(swift.ring().devices().size());
+    for (const RingDevice& d : swift.ring().devices()) {
+      device_to_node[d.id] = d.node;
+    }
+    ProxyServer* proxy = swift.proxies()[config.index].get();
+    proxy->set_backend([&node_clients, &device_to_node](
+                           int device_id, Request& request) -> HttpResponse {
+      if (device_id < 0 ||
+          device_id >= static_cast<int>(device_to_node.size())) {
+        return HttpResponse::Make(500, "no such device");
+      }
+      int node = device_to_node[device_id];
+      return node_clients[node]->RoundTrip(std::move(request));
+    });
+    app = [proxy](Request& request) { return proxy->Handle(request); };
+  } else {
+    ObjectServer* server = swift.object_servers()[config.index].get();
+    app = [server](Request& request) { return server->Handle(request); };
+  }
+
+  std::string health = "ok " + config.role + " " +
+                       std::to_string(config.index) + "\n";
+  HttpHandler handler = [&](Request& request) -> HttpResponse {
+    if (request.path == "/__scoop/health") {
+      return HttpResponse::Make(200, health);
+    }
+    if (request.path == "/__scoop/metrics") {
+      return HttpResponse::Make(200, swift.metrics().ToJson());
+    }
+    if (is_proxy && request.path == "/auth/v1.0") {
+      auto user = request.headers.Get("X-Auth-User");
+      auto key = request.headers.Get("X-Auth-Key");
+      if (!user || !key) {
+        return HttpResponse::Make(401, "missing X-Auth-User / X-Auth-Key");
+      }
+      Result<std::string> token = swift.auth().IssueToken(*user, *key);
+      if (!token.ok()) {
+        return HttpResponse::Make(401, token.status().ToString());
+      }
+      std::string account;
+      for (const ScoopdTenant& t : config.tenants) {
+        if (t.tenant == *user) account = t.account;
+      }
+      HttpResponse response = HttpResponse::Make(200, account + "\n");
+      response.headers.Set("X-Auth-Token", *token);
+      response.headers.Set("X-Storage-Account", account);
+      return response;
+    }
+    return app(request);
+  };
+
+  Result<std::unique_ptr<net::TcpServer>> started =
+      net::TcpServer::Start(config.server, handler, &swift.metrics());
+  if (!started.ok()) {
+    std::fprintf(stderr, "scoopd: listen: %s\n",
+                 started.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<net::TcpServer> listener = std::move(*started);
+  std::printf("scoopd: %s %d listening on %s:%u\n", config.role.c_str(),
+              config.index, listener->host().c_str(),
+              static_cast<unsigned>(listener->port()));
+  std::fflush(stdout);
+
+  struct sigaction sa = {};
+  sa.sa_handler = OnSignal;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("scoopd: %s %d shutting down\n", config.role.c_str(),
+              config.index);
+  listener->Stop();
+  return 0;
+}
+
+}  // namespace
+}  // namespace scoop
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: scoopd <config-file>\n");
+    return 2;
+  }
+  return scoop::Run(argv[1]);
+}

@@ -1,0 +1,180 @@
+#include "scoop/scoopd_config.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace scoop {
+namespace {
+
+Result<net::TcpTransport::Endpoint> ParseHostPort(std::string_view value) {
+  size_t colon = value.rfind(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    return Status::InvalidArgument("expected host:port, got '" +
+                                   std::string(value) + "'");
+  }
+  net::TcpTransport::Endpoint endpoint;
+  endpoint.host = std::string(value.substr(0, colon));
+  SCOOP_ASSIGN_OR_RETURN(int64_t port, ParseInt64(value.substr(colon + 1)));
+  if (port < 1 || port > 65535) {
+    return Status::InvalidArgument("port out of range: " +
+                                   std::to_string(port));
+  }
+  endpoint.port = static_cast<uint16_t>(port);
+  return endpoint;
+}
+
+Result<bool> ParseBool(std::string_view value) {
+  std::string v = ToLower(value);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  return Status::InvalidArgument("expected bool, got '" + std::string(value) +
+                                 "'");
+}
+
+}  // namespace
+
+Result<ScoopdConfig> ScoopdConfig::Parse(std::string_view text) {
+  ScoopdConfig config;
+  int line_no = 0;
+  for (std::string_view raw_line : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = raw_line;
+    size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: expected key = value", line_no));
+    }
+    std::string key(Trim(line.substr(0, eq)));
+    std::string_view value = Trim(line.substr(eq + 1));
+
+    auto set_int = [&](int* out) -> Status {
+      SCOOP_ASSIGN_OR_RETURN(int64_t v, ParseInt64(value));
+      *out = static_cast<int>(v);
+      return Status::OK();
+    };
+    auto set_size = [&](size_t* out) -> Status {
+      SCOOP_ASSIGN_OR_RETURN(int64_t v, ParseInt64(value));
+      if (v < 0) return Status::InvalidArgument(key + " must be >= 0");
+      *out = static_cast<size_t>(v);
+      return Status::OK();
+    };
+
+    Status s = Status::OK();
+    if (key == "role") {
+      config.role = std::string(value);
+    } else if (key == "index") {
+      s = set_int(&config.index);
+    } else if (key == "listen_host") {
+      config.listen_host = std::string(value);
+    } else if (key == "listen_port") {
+      SCOOP_ASSIGN_OR_RETURN(int64_t port, ParseInt64(value));
+      if (port < 0 || port > 65535) {
+        return Status::InvalidArgument("listen_port out of range");
+      }
+      config.listen_port = static_cast<uint16_t>(port);
+    } else if (key == "num_proxies") {
+      s = set_int(&config.swift.num_proxies);
+    } else if (key == "num_storage_nodes") {
+      s = set_int(&config.swift.num_storage_nodes);
+    } else if (key == "disks_per_node") {
+      s = set_int(&config.swift.disks_per_node);
+    } else if (key == "num_zones") {
+      s = set_int(&config.swift.num_zones);
+    } else if (key == "part_power") {
+      s = set_int(&config.swift.part_power);
+    } else if (key == "replica_count") {
+      s = set_int(&config.swift.replica_count);
+    } else if (key == "cache_enabled") {
+      SCOOP_ASSIGN_OR_RETURN(config.cache_enabled, ParseBool(value));
+    } else if (StartsWith(key, "object_server.")) {
+      SCOOP_ASSIGN_OR_RETURN(
+          int64_t n, ParseInt64(std::string_view(key).substr(14)));
+      if (n < 0 || n > 4096) {
+        return Status::InvalidArgument("bad object_server index: " + key);
+      }
+      if (static_cast<size_t>(n) >= config.object_servers.size()) {
+        config.object_servers.resize(static_cast<size_t>(n) + 1);
+      }
+      SCOOP_ASSIGN_OR_RETURN(config.object_servers[static_cast<size_t>(n)],
+                             ParseHostPort(value));
+    } else if (key == "max_connections") {
+      s = set_size(&config.server.max_connections);
+    } else if (key == "max_inflight") {
+      s = set_size(&config.server.max_inflight);
+    } else if (key == "idle_timeout_ms") {
+      s = set_int(&config.server.idle_timeout_ms);
+    } else if (key == "num_workers") {
+      s = set_size(&config.server.num_workers);
+    } else if (key == "outbox_max_bytes") {
+      s = set_size(&config.server.outbox_max_bytes);
+    } else if (key == "max_body_bytes") {
+      s = set_size(&config.server.max_body_bytes);
+    } else if (key == "connect_timeout_ms") {
+      s = set_int(&config.client.connect_timeout_ms);
+    } else if (key == "io_timeout_ms") {
+      s = set_int(&config.client.io_timeout_ms);
+    } else if (key == "max_idle_sockets") {
+      s = set_size(&config.client.max_idle_sockets);
+    } else if (key == "tenant") {
+      std::vector<std::string_view> parts = Split(value, ':');
+      if (parts.size() != 3) {
+        return Status::InvalidArgument(
+            "tenant must be name:key:account, got '" + std::string(value) +
+            "'");
+      }
+      config.tenants.push_back(ScoopdTenant{std::string(parts[0]),
+                                            std::string(parts[1]),
+                                            std::string(parts[2])});
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("line %d: unknown key '%s'", line_no, key.c_str()));
+    }
+    SCOOP_RETURN_IF_ERROR(s);
+  }
+
+  if (config.role != "proxy" && config.role != "object") {
+    return Status::InvalidArgument("role must be 'proxy' or 'object', got '" +
+                                   config.role + "'");
+  }
+  int fleet = config.role == "proxy" ? config.swift.num_proxies
+                                     : config.swift.num_storage_nodes;
+  if (config.index < 0 || config.index >= fleet) {
+    return Status::InvalidArgument(
+        StrFormat("index %d out of range for role %s (fleet of %d)",
+                  config.index, config.role.c_str(), fleet));
+  }
+  if (config.role == "proxy") {
+    if (static_cast<int>(config.object_servers.size()) !=
+        config.swift.num_storage_nodes) {
+      return Status::InvalidArgument(StrFormat(
+          "proxy role needs object_server.0..%d, got %d entries",
+          config.swift.num_storage_nodes - 1,
+          static_cast<int>(config.object_servers.size())));
+    }
+    for (size_t n = 0; n < config.object_servers.size(); ++n) {
+      if (config.object_servers[n].host.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("missing object_server.%d", static_cast<int>(n)));
+      }
+    }
+  }
+  config.server.host = config.listen_host;
+  config.server.port = config.listen_port;
+  return config;
+}
+
+Result<ScoopdConfig> ScoopdConfig::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open config: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Parse(buf.str());
+}
+
+}  // namespace scoop

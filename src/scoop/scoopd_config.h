@@ -1,0 +1,61 @@
+// Config file for `scoopd`, the standalone proxy / object-server
+// daemon. Plain `key = value` lines, `#` comments. Every process of one
+// deployment is given the SAME cluster-shape keys — the ring is a pure
+// function of them, so all processes agree on device placement without
+// talking to each other (Swift's "ring file" distilled to a config
+// stanza). See docs/RUNBOOK.md for the full key reference and a worked
+// 1-proxy/3-object-server example.
+#ifndef SCOOP_SCOOP_SCOOPD_CONFIG_H_
+#define SCOOP_SCOOP_SCOOPD_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/transport.h"
+#include "objectstore/cluster.h"
+
+namespace scoop {
+
+// A tenant pre-registered at startup (`tenant = name:key:account`).
+// Registration is deterministic, so every process of the deployment
+// knows the same tenants; tokens are still issued per proxy process via
+// GET /auth/v1.0 (see scoopd.cc).
+struct ScoopdTenant {
+  std::string tenant;
+  std::string key;
+  std::string account;
+};
+
+struct ScoopdConfig {
+  // Which component of the deterministic cluster this process serves.
+  std::string role;  // "proxy" | "object"
+  int index = 0;     // proxy index or storage-node index
+
+  std::string listen_host = "127.0.0.1";
+  uint16_t listen_port = 0;  // 0: ephemeral (printed at startup)
+
+  // Cluster shape — identical across every process of the deployment.
+  SwiftConfig swift;
+  bool cache_enabled = false;
+
+  // Proxy role: object_server.N = host:port for storage node N. Must
+  // cover all num_storage_nodes nodes.
+  std::vector<net::TcpTransport::Endpoint> object_servers;
+
+  // Listener limits / worker pool for this process's TcpServer.
+  net::TcpServerConfig server;
+  // Proxy-to-object-server client knobs (timeouts, pool size).
+  net::TcpClientConfig client;
+
+  std::vector<ScoopdTenant> tenants;
+
+  static Result<ScoopdConfig> Parse(std::string_view text);
+  static Result<ScoopdConfig> Load(const std::string& path);
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_SCOOP_SCOOPD_CONFIG_H_

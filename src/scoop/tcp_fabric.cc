@@ -1,0 +1,98 @@
+#include "scoop/tcp_fabric.h"
+
+#include <utility>
+
+namespace scoop {
+
+Result<std::unique_ptr<TcpFabric>> TcpFabric::Start(ScoopCluster* cluster,
+                                                    const Options& options) {
+  auto fabric = std::unique_ptr<TcpFabric>(new TcpFabric());
+  fabric->cluster_ = cluster;
+  SwiftCluster& swift = cluster->swift();
+  MetricRegistry* metrics = &swift.metrics();
+
+  // One listener per object server; the handler is the server's full
+  // pipeline (storlet middleware included), exactly as in-process.
+  for (auto& server : swift.object_servers()) {
+    net::TcpServerConfig config = options.server;
+    config.port = 0;
+    ObjectServer* raw = server.get();
+    SCOOP_ASSIGN_OR_RETURN(
+        auto listener,
+        net::TcpServer::Start(
+            config, [raw](Request& request) { return raw->Handle(request); },
+            metrics));
+    fabric->object_endpoints_.push_back(
+        {listener->host(), listener->port()});
+    fabric->object_listeners_.push_back(std::move(listener));
+  }
+  for (const auto& endpoint : fabric->object_endpoints_) {
+    net::TcpClientConfig config = options.client;
+    config.host = endpoint.host;
+    config.port = endpoint.port;
+    fabric->node_clients_.push_back(
+        std::make_unique<net::TcpClient>(config, metrics));
+  }
+  fabric->device_to_node_.resize(swift.ring().devices().size());
+  for (const RingDevice& d : swift.ring().devices()) {
+    fabric->device_to_node_[d.id] = d.node;
+  }
+
+  // Rewire every proxy's backend over the wire. The device id still
+  // rides in X-Backend-Device (set by the proxy before this runs); here
+  // it only picks which node's client carries the request.
+  TcpFabric* raw_fabric = fabric.get();
+  BackendFn tcp_backend = [raw_fabric](int device_id,
+                                       Request& request) -> HttpResponse {
+    if (device_id < 0 ||
+        device_id >= static_cast<int>(raw_fabric->device_to_node_.size())) {
+      return HttpResponse::Make(500, "no such device");
+    }
+    int node = raw_fabric->device_to_node_[device_id];
+    return raw_fabric->node_clients_[node]->RoundTrip(std::move(request));
+  };
+  for (auto& proxy : swift.proxies()) {
+    proxy->set_backend(tcp_backend);
+    net::TcpServerConfig config = options.server;
+    config.port = 0;
+    ProxyServer* raw = proxy.get();
+    SCOOP_ASSIGN_OR_RETURN(
+        auto listener,
+        net::TcpServer::Start(
+            config, [raw](Request& request) { return raw->Handle(request); },
+            metrics));
+    fabric->proxy_endpoints_.push_back({listener->host(), listener->port()});
+    fabric->proxy_listeners_.push_back(std::move(listener));
+  }
+  fabric->front_ = std::make_unique<net::TcpTransport>(
+      fabric->proxy_endpoints_, metrics, options.client);
+  return fabric;
+}
+
+TcpFabric::~TcpFabric() {
+  // Stop listeners before touching proxy backends so no handler is
+  // mid-flight during the swap; proxies first (they call into nodes).
+  for (auto& listener : proxy_listeners_) listener->Stop();
+  for (auto& listener : object_listeners_) listener->Stop();
+  if (cluster_ != nullptr) {
+    BackendFn backend = cluster_->swift().InProcessBackend();
+    for (auto& proxy : cluster_->swift().proxies()) {
+      proxy->set_backend(backend);
+    }
+  }
+}
+
+HttpResponse TcpFabric::Handle(Request request) {
+  return front_->RoundTrip(std::move(request));
+}
+
+Result<SwiftClient> TcpFabric::Connect(const std::string& tenant,
+                                       const std::string& key,
+                                       const std::string& account) {
+  net::TcpTransport* front = front_.get();
+  return SwiftClient::ConnectVia(
+      [front](Request request) { return front->RoundTrip(std::move(request)); },
+      cluster_->swift().auth(), tenant, key, account);
+}
+
+}  // namespace scoop

@@ -1,0 +1,84 @@
+// Wires a ScoopCluster's tiers together over real loopback TCP instead
+// of in-process calls: every object server and every proxy gets its own
+// epoll listener (src/net), proxies reach object servers through pooled
+// TcpClients, and clients reach proxies through a round-robin
+// TcpTransport. The cluster itself is unchanged — same ring, same
+// middleware pipelines, same storlets — so responses are byte-identical
+// to simnet; only the hop between tiers becomes a wire (DESIGN.md §3j).
+//
+// This is the single-process form (all listeners in one address space,
+// which keeps process-global failpoints usable under chaos tests). The
+// multi-process form is `scoopd` (scoop/scoopd.cc), which serves one
+// role per process from the same building blocks.
+#ifndef SCOOP_SCOOP_TCP_FABRIC_H_
+#define SCOOP_SCOOP_TCP_FABRIC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/transport.h"
+#include "scoop/scoop.h"
+
+namespace scoop {
+
+class TcpFabric {
+ public:
+  struct Options {
+    // Template for every listener; `port` is ignored (each listener
+    // binds an ephemeral port, read back from the endpoints() lists).
+    net::TcpServerConfig server;
+    // Template for every client; `host`/`port` are filled per endpoint.
+    net::TcpClientConfig client;
+  };
+
+  // Starts listeners for every tier of `cluster` and swaps each proxy's
+  // backend over to TCP. `cluster` must outlive the fabric.
+  static Result<std::unique_ptr<TcpFabric>> Start(ScoopCluster* cluster,
+                                                  const Options& options = {});
+
+  // Stops all listeners and restores the in-process backend on every
+  // proxy, returning the cluster to pure-simnet operation.
+  ~TcpFabric();
+
+  TcpFabric(const TcpFabric&) = delete;
+  TcpFabric& operator=(const TcpFabric&) = delete;
+
+  // Client entry point over the wire: round-robins across the proxy
+  // listeners (the TCP analogue of SwiftCluster::Handle).
+  HttpResponse Handle(Request request);
+
+  // Registers a tenant on the cluster's auth service and returns a
+  // client whose every request crosses the proxy listeners via TCP.
+  Result<SwiftClient> Connect(const std::string& tenant,
+                              const std::string& key,
+                              const std::string& account);
+
+  const std::vector<net::TcpTransport::Endpoint>& proxy_endpoints() const {
+    return proxy_endpoints_;
+  }
+  const std::vector<net::TcpTransport::Endpoint>& object_endpoints() const {
+    return object_endpoints_;
+  }
+
+ private:
+  TcpFabric() = default;
+
+  ScoopCluster* cluster_ = nullptr;
+  // Listener per object server, then the per-node clients proxies use.
+  std::vector<std::unique_ptr<net::TcpServer>> object_listeners_;
+  std::vector<std::unique_ptr<net::TcpClient>> node_clients_;
+  std::vector<int> device_to_node_;  // ring device id -> node index
+  // Listener per proxy, and the round-robin front door over them.
+  std::vector<std::unique_ptr<net::TcpServer>> proxy_listeners_;
+  std::unique_ptr<net::TcpTransport> front_;
+  std::vector<net::TcpTransport::Endpoint> proxy_endpoints_;
+  std::vector<net::TcpTransport::Endpoint> object_endpoints_;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_SCOOP_TCP_FABRIC_H_

@@ -1,0 +1,272 @@
+// End-to-end byte-identity of the full Scoop stack over real loopback
+// TCP (scoop/tcp_fabric.h): the same cluster is exercised in-process
+// first, then through epoll listeners + pooled clients, and every
+// observable — object bytes, pushdown query results, cache semantics,
+// chaos healing — must be identical across the boundary. Runs under the
+// `tcp` ctest label; the listeners live in this process, so the
+// process-global failpoint registry drives faults on both sides.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "csv/record_reader.h"
+#include "scoop/scoop.h"
+#include "scoop/tcp_fabric.h"
+#include "sql/executor.h"
+#include "workload/generator.h"
+#include "workload/queries.h"
+
+namespace scoop {
+namespace {
+
+class TcpE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Failpoints::Global().DisarmAll();
+    SwiftConfig config;
+    config.num_proxies = 2;
+    config.num_storage_nodes = 3;
+    config.disks_per_node = 2;
+    config.part_power = 5;
+    ResultCacheConfig cache_config;
+    cache_config.enabled = true;
+    auto cluster = ScoopCluster::Create(config, cache_config);
+    ASSERT_TRUE(cluster.ok()) << cluster.status();
+    cluster_ = std::move(cluster).value();
+  }
+
+  void TearDown() override { Failpoints::Global().DisarmAll(); }
+
+  // A connected in-process client (the simnet reference side).
+  SwiftClient SimnetClient() {
+    auto client = cluster_->Connect("tenant", "key", "acct");
+    EXPECT_TRUE(client.ok()) << client.status();
+    return std::move(client).value();
+  }
+
+  void StartFabric() {
+    auto fabric = TcpFabric::Start(cluster_.get());
+    ASSERT_TRUE(fabric.ok()) << fabric.status();
+    fabric_ = std::move(fabric).value();
+  }
+
+  // A client whose every request crosses the TCP listeners.
+  SwiftClient TcpClient() {
+    auto client = fabric_->Connect("tenant", "key", "acct");
+    EXPECT_TRUE(client.ok()) << client.status();
+    return std::move(client).value();
+  }
+
+  int64_t Metric(const std::string& name) {
+    return cluster_->metrics().GetCounter(name)->value();
+  }
+
+  std::unique_ptr<ScoopCluster> cluster_;
+  std::unique_ptr<TcpFabric> fabric_;  // destroyed before cluster_
+};
+
+// Pseudo-random but deterministic payload, sized to span several
+// integrity chunks so mid-stream faults hit after real progress.
+std::string MakePayload(size_t size) {
+  std::string payload;
+  payload.reserve(size);
+  uint64_t x = 0x9e3779b97f4a7c15ull;
+  while (payload.size() < size) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    payload += static_cast<char>('a' + (x >> 33) % 26);
+  }
+  return payload;
+}
+
+TEST_F(TcpE2eTest, ObjectBytesIdenticalAcrossTransports) {
+  const std::string payload = MakePayload(3 * kIntegrityChunkSize + 777);
+  SwiftClient simnet = SimnetClient();
+  ASSERT_TRUE(simnet.CreateContainer("data").ok());
+  ASSERT_TRUE(simnet.PutObject("data", "obj", payload).ok());
+  auto via_simnet = simnet.GetObject("data", "obj");
+  ASSERT_TRUE(via_simnet.ok()) << via_simnet.status();
+
+  StartFabric();
+  SwiftClient tcp = TcpClient();
+  auto via_tcp = tcp.GetObject("data", "obj");
+  ASSERT_TRUE(via_tcp.ok()) << via_tcp.status();
+  EXPECT_EQ(*via_tcp, *via_simnet);
+  EXPECT_EQ(*via_tcp, payload);
+
+  // Ranged reads and HEAD metadata agree too.
+  auto range_simnet = simnet.GetObjectRange("data", "obj", 100, 70'000);
+  auto range_tcp = tcp.GetObjectRange("data", "obj", 100, 70'000);
+  ASSERT_TRUE(range_simnet.ok());
+  ASSERT_TRUE(range_tcp.ok()) << range_tcp.status();
+  EXPECT_EQ(*range_tcp, *range_simnet);
+
+  auto size_simnet = simnet.ObjectSize("data", "obj");
+  auto size_tcp = tcp.ObjectSize("data", "obj");
+  ASSERT_TRUE(size_simnet.ok());
+  ASSERT_TRUE(size_tcp.ok()) << size_tcp.status();
+  EXPECT_EQ(*size_tcp, *size_simnet);
+  EXPECT_EQ(*size_tcp, payload.size());
+
+  // A PUT over TCP reads back identically in-process (and vice versa).
+  ASSERT_TRUE(tcp.PutObject("data", "obj2", payload).ok());
+  auto roundtrip = simnet.GetObject("data", "obj2");
+  ASSERT_TRUE(roundtrip.ok());
+  EXPECT_EQ(*roundtrip, payload);
+
+  // Listings agree byte-for-byte (name, size, etag).
+  auto ls_simnet = simnet.ListObjects("data", "");
+  auto ls_tcp = tcp.ListObjects("data", "");
+  ASSERT_TRUE(ls_simnet.ok());
+  ASSERT_TRUE(ls_tcp.ok());
+  ASSERT_EQ(ls_tcp->size(), ls_simnet->size());
+  for (size_t i = 0; i < ls_tcp->size(); ++i) {
+    EXPECT_EQ((*ls_tcp)[i].name, (*ls_simnet)[i].name);
+    EXPECT_EQ((*ls_tcp)[i].size, (*ls_simnet)[i].size);
+    EXPECT_EQ((*ls_tcp)[i].etag, (*ls_simnet)[i].etag);
+  }
+}
+
+TEST_F(TcpE2eTest, PushdownQueriesByteIdenticalOverTcp) {
+  GeneratorConfig gen_config;
+  gen_config.num_meters = 10;
+  gen_config.readings_per_meter = 1500;
+  gen_config.seed = 2015;
+  GridPocketGenerator generator(gen_config);
+  Schema schema = GridPocketGenerator::MeterSchema();
+
+  auto simnet_session = std::make_unique<ScoopSession>(
+      cluster_.get(), SimnetClient(), /*num_workers=*/4);
+  ASSERT_TRUE(generator.Upload(&simnet_session->client(), "meters", "m", 2)
+                  .ok());
+  simnet_session->RegisterCsvTable("largeMeter", "meters", "m", schema, true);
+
+  const std::string sql =
+      "SELECT vid, sum(index) as total FROM largeMeter "
+      "WHERE city LIKE 'Rotterdam' AND date LIKE '2015-01%' "
+      "GROUP BY vid ORDER BY vid";
+  auto simnet_result = simnet_session->Sql(sql);
+  ASSERT_TRUE(simnet_result.ok()) << simnet_result.status();
+  ASSERT_FALSE(simnet_result->table.rows.empty());
+
+  StartFabric();
+  auto tcp_session = std::make_unique<ScoopSession>(
+      cluster_.get(), TcpClient(), /*num_workers=*/4);
+  tcp_session->RegisterCsvTable("largeMeter", "meters", "m", schema, true);
+  auto tcp_result = tcp_session->Sql(sql);
+  ASSERT_TRUE(tcp_result.ok()) << tcp_result.status();
+
+  EXPECT_EQ(tcp_result->table.ToCsv(), simnet_result->table.ToCsv());
+  // The offload itself survived the boundary: storlets still ran at the
+  // storage tier, not as a client-side fallback.
+  EXPECT_GT(tcp_result->stats.partitions_pushdown, 0);
+
+  auto reference =
+      ExecuteSqlOverRows(sql, schema, generator.MakeAllRows());
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(tcp_result->table.ToCsv(), reference->ToCsv());
+}
+
+TEST_F(TcpE2eTest, ResultCacheSemanticsSurviveTheWire) {
+  GeneratorConfig gen_config;
+  gen_config.num_meters = 5;
+  gen_config.readings_per_meter = 800;
+  gen_config.seed = 7;
+  GridPocketGenerator generator(gen_config);
+  Schema schema = GridPocketGenerator::MeterSchema();
+
+  auto seed_session = std::make_unique<ScoopSession>(
+      cluster_.get(), SimnetClient(), /*num_workers=*/2);
+  ASSERT_TRUE(
+      generator.Upload(&seed_session->client(), "meters", "m", 1).ok());
+
+  StartFabric();
+  auto tcp_session = std::make_unique<ScoopSession>(
+      cluster_.get(), TcpClient(), /*num_workers=*/2);
+  tcp_session->RegisterCsvTable("largeMeter", "meters", "m", schema, true);
+
+  const std::string sql =
+      "SELECT vid, sum(index) as total FROM largeMeter "
+      "WHERE date LIKE '2015-01%' GROUP BY vid ORDER BY vid";
+  auto cold = tcp_session->Sql(sql);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  int64_t hits_before = Metric("cache.hits");
+  auto warm = tcp_session->Sql(sql);
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  // The proxy-tier cache fired across the wire, and the cached bytes are
+  // identical to the cold run's.
+  EXPECT_GT(Metric("cache.hits"), hits_before);
+  EXPECT_EQ(warm->table.ToCsv(), cold->table.ToCsv());
+
+  // Invalidation semantics survive too: a write to the container drops
+  // the entry, and the re-computed result still matches.
+  SwiftClient tcp = TcpClient();
+  ASSERT_TRUE(
+      tcp.PutObject("meters", "unrelated.csv", "vid,index\n").ok());
+  auto recomputed = tcp_session->Sql(sql);
+  ASSERT_TRUE(recomputed.ok()) << recomputed.status();
+  EXPECT_EQ(recomputed->table.ToCsv(), cold->table.ToCsv());
+}
+
+TEST_F(TcpE2eTest, ChaosHealingInvisibleOverTcp) {
+  const std::string payload = MakePayload(5 * kIntegrityChunkSize + 1234);
+  SwiftClient simnet = SimnetClient();
+  ASSERT_TRUE(simnet.CreateContainer("data").ok());
+  ASSERT_TRUE(simnet.PutObject("data", "obj", payload).ok());
+  std::vector<int> replicas =
+      cluster_->swift().ring().GetNodes("/acct/data/obj");
+  ASSERT_GE(replicas.size(), 2u);
+
+  StartFabric();
+  SwiftClient tcp = TcpClient();
+
+  // Primary replica dies mid-stream: the proxy's failover + resume runs
+  // behind its listener, and the re-assembled bytes cross the wire
+  // byte-identical — the TCP client cannot tell anything happened.
+  FailpointSpec spec;
+  spec.action = FailpointSpec::Action::kDrop;
+  spec.key = "d" + std::to_string(replicas[0]);
+  spec.skip = 2;
+  ASSERT_TRUE(Failpoints::Global().Arm("object.read.chunk", spec).ok());
+  int64_t failovers_before = Metric("proxy.failovers");
+  auto healed = tcp.GetObject("data", "obj");
+  ASSERT_TRUE(healed.ok()) << healed.status();
+  EXPECT_EQ(*healed, payload);
+  EXPECT_GT(Metric("proxy.failovers"), failovers_before);
+  Failpoints::Global().DisarmAll();
+
+  // Unanimous replica failure: the error must surface as an error (the
+  // wire maps the aborted stream to a failed read, never to silently
+  // truncated bytes), and disarming heals with no residue.
+  FailpointSpec fatal;
+  fatal.error = Status::IOError("every disk on fire");
+  ASSERT_TRUE(Failpoints::Global().Arm("device.read", fatal).ok());
+  auto failed = tcp.GetObject("data", "obj");
+  EXPECT_FALSE(failed.ok());
+  Failpoints::Global().DisarmAll();
+
+  auto after = tcp.GetObject("data", "obj");
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(*after, payload);
+}
+
+TEST_F(TcpE2eTest, FabricTeardownRestoresInProcessOperation) {
+  const std::string payload = MakePayload(kIntegrityChunkSize);
+  SwiftClient simnet = SimnetClient();
+  ASSERT_TRUE(simnet.CreateContainer("data").ok());
+  ASSERT_TRUE(simnet.PutObject("data", "obj", payload).ok());
+
+  StartFabric();
+  auto via_tcp = TcpClient().GetObject("data", "obj");
+  ASSERT_TRUE(via_tcp.ok());
+  fabric_.reset();  // stop listeners, restore in-process backends
+
+  auto via_simnet = simnet.GetObject("data", "obj");
+  ASSERT_TRUE(via_simnet.ok()) << via_simnet.status();
+  EXPECT_EQ(*via_simnet, payload);
+}
+
+}  // namespace
+}  // namespace scoop

@@ -17,6 +17,8 @@ the catalogs that give names meaning. Checks (all documented in DESIGN.md
   span-name       TraceSpan literals vs the DESIGN.md §3f span catalog
   failpoint-name  failpoint literals vs kFailpointSites (failpoint.h)
   metric-name     metric literals vs METRICS.md
+  header-name     wire-layer header names (src/net/, src/scoop/) vs the
+                  docs/PROTOCOL.md header catalog
 
 Engines: `--engine libclang` uses a real AST for class/member extraction
 when python3-libclang is importable; `--engine tokens` (the reference
@@ -51,7 +53,7 @@ import status_audit     # noqa: E402
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 
 ALL_CHECKS = ("layering", "guarded-by", "status-audit", "lock-rank",
-              "span-name", "failpoint-name", "metric-name")
+              "span-name", "failpoint-name", "metric-name", "header-name")
 
 
 def _read(path):
@@ -146,6 +148,12 @@ def run(argv=None):
         findings.extend(crosscheck.check_failpoint_names(sources))
     if "metric-name" in selected:
         findings.extend(crosscheck.check_metric_names(sources, metrics_text))
+    if "header-name" in selected:
+        protocol_text = (root / "docs" / "PROTOCOL.md").read_text(
+            encoding="utf-8", errors="replace") \
+            if (root / "docs" / "PROTOCOL.md").is_file() else ""
+        findings.extend(crosscheck.check_header_names(sources,
+                                                      protocol_text))
 
     findings.sort(key=lambda f: (f.path, f.line, f.check))
     for finding in findings:

@@ -15,6 +15,9 @@ subsume the old one-off regex checks that lived in tools/lint.py):
                    vs kFailpointSites (src/common/failpoint.h).
   metric-name      GetCounter/GetGauge/GetHistogram literals in src/ and
                    bench/ vs METRICS.md (tests may use scratch names).
+  header-name      HTTP header names used by the wire layer (src/net/,
+                   src/scoop/) vs the header catalog in docs/PROTOCOL.md
+                   — every header that crosses a socket is spec'd.
 """
 
 import re
@@ -60,6 +63,26 @@ RANK_ROW_RE = re.compile(
 
 SPAN_CATALOG_HEADING = "Span catalog"
 SPAN_ROW_RE = re.compile(r"^\|\s*`([^`]+)`", re.M)
+
+# --- header-name ------------------------------------------------------------
+# The wire layer: every file here either frames headers onto a socket or
+# reads them off one, so any header name it touches must be in the
+# docs/PROTOCOL.md header catalog.
+HEADER_SCAN_PREFIXES = ("src/net/", "src/scoop/")
+HEADER_CATALOG_HEADING = "Header catalog"
+HEADER_ROW_RE = re.compile(r"^\|\s*`([^`]+)`", re.M)
+# Literal header names at call sites: headers.Set("X-Foo", ...) etc.
+HEADER_CALL_RE = re.compile(
+    r"\b(?:headers|trailers)\s*(?:\.|->)\s*(?:Set|Get|Has|Remove)\s*\(\s*"
+    r"\"([A-Za-z][A-Za-z0-9-]*)\"")
+# Header-name constants: `kFooHeader[] = "X-Foo"` anywhere in src/, plus
+# the kWire* framing names (wire.h). Value constants (kChunkedValue,
+# kConnectionClose, ...) deliberately do not match.
+HEADER_CONST_RE = re.compile(
+    r"\b(k\w*Header|kWire[A-Z]\w*)\[\]\s*=\s*\"([A-Za-z][A-Za-z0-9-]*)\"")
+# Prefix constants name header families: `kFooPrefix[] = "X-Foo-"`.
+HEADER_PREFIX_CONST_RE = re.compile(
+    r"\b(k\w*Prefix)\[\]\s*=\s*\"([A-Za-z][A-Za-z0-9-]*-)\"")
 
 
 # --- catalog loaders --------------------------------------------------------
@@ -280,10 +303,118 @@ def check_metric_names(sources, metrics_md_text):
     return findings
 
 
-def check(sources, design_text, metrics_md_text):
+def load_header_catalog(protocol_text):
+    """Header names from the 'Header catalog' table, or None. Rows whose
+    name embeds `<` (e.g. `X-Storlet-Parameter-<key>`) are prefixes."""
+    idx = protocol_text.find(HEADER_CATALOG_HEADING)
+    if idx < 0:
+        return None
+    section = protocol_text[idx:]
+    next_heading = re.search(r"\n#{2,}\s", section)
+    if next_heading:
+        section = section[:next_heading.start()]
+    exact, prefixes = {}, {}  # lowercased -> as written in the doc
+    for name in HEADER_ROW_RE.findall(section):
+        cut = name.find("<")
+        if cut >= 0:
+            prefixes[name[:cut].lower()] = name
+        else:
+            exact[name.lower()] = name
+    if not exact and not prefixes:
+        return None
+    return exact, prefixes
+
+
+def _catalog_has(catalog, name):
+    exact, prefixes = catalog
+    lowered = name.lower()
+    return lowered in exact or any(lowered.startswith(p) for p in prefixes)
+
+
+def check_header_names(sources, protocol_text):
+    findings = []
+    catalog = load_header_catalog(protocol_text)
+    if catalog is None:
+        return [common.Finding(
+            "docs/PROTOCOL.md", 1, "header-name",
+            "no 'Header catalog' table found in docs/PROTOCOL.md — the "
+            "wire-header cross-check has nothing to validate against")]
+
+    # Pass 1: collect header-name constants tree-wide (the wire layer
+    # references constants that live next to the feature that owns them,
+    # e.g. kBackendDeviceHeader in objectstore/), and every literal call
+    # site anywhere, for the stale-row pass.
+    constants = {}    # constant identifier -> (value, path, line)
+    used_anywhere = set()
+    for source in sources:
+        for m in HEADER_CONST_RE.finditer(source.text):
+            constants[m.group(1)] = (m.group(2), source.path,
+                                     source.line_of(m.start()))
+            used_anywhere.add(m.group(2))
+        for m in HEADER_PREFIX_CONST_RE.finditer(source.text):
+            constants[m.group(1)] = (m.group(2), source.path,
+                                     source.line_of(m.start()))
+            used_anywhere.add(m.group(2))
+        for m in HEADER_CALL_RE.finditer(source.text):
+            used_anywhere.add(m.group(1))
+
+    # Pass 2: names the wire layer touches — literals at call sites plus
+    # referenced header constants — must all be in the catalog.
+    flagged = set()
+    for source in sources:
+        if not source.path.startswith(HEADER_SCAN_PREFIXES):
+            continue
+        for m in HEADER_CALL_RE.finditer(source.text):
+            name = m.group(1)
+            if not _catalog_has(catalog, name) and name not in flagged:
+                flagged.add(name)
+                findings.append(common.Finding(
+                    source.path, source.line_of(m.start()), "header-name",
+                    f"header \"{name}\" crosses the wire here but has no "
+                    "row in the docs/PROTOCOL.md header catalog — spec it "
+                    "or fix the typo"))
+        for const, (value, _, def_line) in constants.items():
+            if const not in source.structure_text:
+                continue
+            if re.search(r"\b" + re.escape(const) + r"\b",
+                         source.structure_text) is None:
+                continue
+            if not _catalog_has(catalog, value) and value not in flagged:
+                flagged.add(value)
+                line = def_line if source.path == constants[const][1] \
+                    else source.line_of(
+                        source.structure_text.find(const),
+                        source.structure_text)
+                findings.append(common.Finding(
+                    source.path, line, "header-name",
+                    f"header \"{value}\" ({const}) crosses the wire here "
+                    "but has no row in the docs/PROTOCOL.md header "
+                    "catalog — spec it or fix the typo"))
+
+    # Pass 3: catalog rows must correspond to a header the code actually
+    # uses somewhere (call-site literal or named constant).
+    exact, prefixes = catalog
+    for lowered, name in sorted(exact.items()):
+        if not any(u.lower() == lowered for u in used_anywhere):
+            findings.append(common.Finding(
+                "docs/PROTOCOL.md", 1, "header-name",
+                f"header catalog documents \"{name}\" but nothing in the "
+                "scanned tree sets or reads it — remove the stale row"))
+    for lowered, name in sorted(prefixes.items()):
+        if not any(u.lower().startswith(lowered) for u in used_anywhere):
+            findings.append(common.Finding(
+                "docs/PROTOCOL.md", 1, "header-name",
+                f"header catalog documents the \"{name}\" family but "
+                "nothing in the scanned tree uses that prefix — remove "
+                "the stale row"))
+    return findings
+
+
+def check(sources, design_text, metrics_md_text, protocol_text=""):
     findings = []
     findings.extend(check_lock_ranks(sources, design_text))
     findings.extend(check_span_names(sources, design_text))
     findings.extend(check_failpoint_names(sources))
     findings.extend(check_metric_names(sources, metrics_md_text))
+    findings.extend(check_header_names(sources, protocol_text))
     return findings

@@ -381,6 +381,73 @@ def test_metric_name():
         METRICS_MD))
 
 
+# --- header-name ------------------------------------------------------------
+
+HEADER_PROTOCOL = ("## Header catalog\n\n"
+                   "| Header | Direction | Meaning |\n"
+                   "|---|---|---|\n"
+                   "| `X-Auth-Token` | request | auth |\n"
+                   "| `Content-Length` | both | body size |\n"
+                   "| `X-Storlet-Parameter-<key>` | request | params |\n")
+
+
+def test_header_name():
+    ok = _src("src/net/a.cc",
+              'void F(Headers& headers) {\n'
+              '  headers.Set("X-Auth-Token", "t");\n'
+              '  headers.Get("X-Storlet-Parameter-Schema");\n}\n'
+              'constexpr char kWireContentLength[] = "Content-Length";\n')
+    expect("header-name/catalogued-ok",
+           crosscheck.check_header_names([ok], HEADER_PROTOCOL))
+
+    bad = _src("src/net/b.cc",
+               'void G(Headers& headers) {\n'
+               '  headers.Set("X-Auth-Tokem", "t");\n}\n')
+    expect("header-name/typo-rejected",
+           crosscheck.check_header_names([ok, bad], HEADER_PROTOCOL),
+           "header-name", contains="X-Auth-Tokem")
+
+    bad_const = _src("src/net/c.cc",
+                     'constexpr char kBogusHeader[] = "X-Bogus";\n'
+                     'void H(Headers& h) { h.Set(kBogusHeader, "1"); }\n')
+    expect("header-name/uncatalogued-constant",
+           crosscheck.check_header_names([ok, bad_const], HEADER_PROTOCOL),
+           "header-name", contains="kBogusHeader")
+
+    # Constants defined elsewhere but referenced by the wire layer are in
+    # scope; the same constant never touched by src/net or src/scoop is
+    # not (its header may be app-level metadata that never frames).
+    remote_const = _src("src/objectstore/h.h",
+                        '#ifndef SCOOP_H_H_\n'
+                        'inline constexpr char kDeviceHeader[] '
+                        '= "X-Device";\n#endif\n')
+    user = _src("src/net/d.cc", 'void I(Headers& h) '
+                '{ h.Set(kDeviceHeader, "0"); }\n')
+    expect("header-name/referenced-constant-rejected",
+           crosscheck.check_header_names([ok, remote_const, user],
+                                         HEADER_PROTOCOL),
+           "header-name", contains="X-Device")
+    expect("header-name/unreferenced-constant-out-of-scope",
+           crosscheck.check_header_names([ok, remote_const],
+                                         HEADER_PROTOCOL))
+
+    # Outside the wire layer literal calls are unconstrained...
+    app = _src("src/cache/e.cc",
+               'void J(Headers& h) { h.Set("X-App-Scratch", "1"); }\n')
+    expect("header-name/app-layer-exempt",
+           crosscheck.check_header_names([ok, app], HEADER_PROTOCOL))
+
+    # ...but catalog rows nothing uses anywhere are stale.
+    expect("header-name/stale-row",
+           crosscheck.check_header_names(
+               [ok], HEADER_PROTOCOL + "| `X-Ghost` | response | gone |\n"),
+           "header-name", contains="X-Ghost")
+
+    expect("header-name/no-catalog",
+           crosscheck.check_header_names([ok], "# PROTOCOL\nno table\n"),
+           "header-name", contains="Header catalog")
+
+
 def run():
     tests = [(name, fn) for name, fn in sorted(globals().items())
              if name.startswith("test_") and callable(fn)]

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """End-to-end seeded-violation test for the scoop_check CLI.
 
-Copies the real tree (src/, DESIGN.md, METRICS.md) into a scratch root,
+Copies the real tree (src/, DESIGN.md, METRICS.md, docs/PROTOCOL.md)
+into a scratch root,
 seeds one violation per check into fresh files, runs the CLI as a
 subprocess, and asserts (a) exit code 1, (b) every seeded check fires,
 (c) every finding points into the seeded files — the copied real tree
@@ -60,9 +61,21 @@ int ZzSeeded::Get() {{
 }}  // namespace scoop
 """
 
+SEEDED_WIRE_CC = """\
+namespace scoop::net {
+
+void ZzSeededWire(Headers& headers) {
+  headers.Set("X-Zz-Bogus-Header", "1");
+}
+
+}  // namespace scoop::net
+"""
+
 EXPECTED_CHECKS = {"layering", "guarded-by", "status-audit", "lock-rank",
-                   "span-name", "failpoint-name", "metric-name"}
-SEEDED_PATHS = {"src/common/zz_seeded_guard.h", "src/common/zz_seeded.cc"}
+                   "span-name", "failpoint-name", "metric-name",
+                   "header-name"}
+SEEDED_PATHS = {"src/common/zz_seeded_guard.h", "src/common/zz_seeded.cc",
+                "src/net/zz_seeded_wire.cc"}
 
 
 def main():
@@ -71,6 +84,9 @@ def main():
         shutil.copytree(REPO_ROOT / "src", root / "src")
         for doc in ("DESIGN.md", "METRICS.md"):
             shutil.copy2(REPO_ROOT / doc, root / doc)
+        (root / "docs").mkdir()
+        shutil.copy2(REPO_ROOT / "docs" / "PROTOCOL.md",
+                     root / "docs" / "PROTOCOL.md")
 
         csv_header = sorted(
             p.name for p in (REPO_ROOT / "src" / "csv").glob("*.h"))[0]
@@ -78,6 +94,8 @@ def main():
             SEEDED_GUARD_H, encoding="utf-8")
         (root / "src" / "common" / "zz_seeded.cc").write_text(
             SEEDED_CC.format(csv_header=csv_header), encoding="utf-8")
+        (root / "src" / "net" / "zz_seeded_wire.cc").write_text(
+            SEEDED_WIRE_CC, encoding="utf-8")
 
         artifact = root / "findings.json"
         proc = subprocess.run(
