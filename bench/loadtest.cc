@@ -1,0 +1,367 @@
+// Open-loop load test of the multi-tenant QoS subsystem (DESIGN.md §3k):
+//
+//  1. rate sweep — a single gold tenant replays the zipfian repeated-
+//     query mix at increasing open-loop arrival rates; per step we report
+//     p50/p95/p99 (clocked from *scheduled* arrival, so backlog counts),
+//     goodput, shed rate, and the result-cache hit ratio;
+//  2. antagonist — a bronze tenant floods uncacheable storlet queries
+//     while the gold tenant keeps its modest zipfian rate. With QoS on,
+//     admission throttles and the weighted fair queue isolates: the gold
+//     tenant's p99 must stay within the gated bound of its unloaded
+//     baseline while the bronze flood is degraded/shed;
+//  3. ablation — same antagonist on a QoS-off cluster, demonstrating the
+//     interference QoS removes.
+//
+// BENCH_loadtest.json carries the per-step numbers plus the two p99
+// ratios; CI gates light_p99_ratio_qos <= 2.0, that the ablation shows
+// at least as much interference, and that every 503 carried Retry-After.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "storlets/headers.h"
+#include "workload/loadgen.h"
+#include "workload/queries.h"
+
+namespace scoop {
+namespace {
+
+constexpr int kNumObjects = 3;
+
+// One two-tenant cluster: "light" (gold) and "heavy" (bronze), each with
+// its own account and a copy of the meter dataset.
+struct LoadDeployment {
+  std::unique_ptr<ScoopCluster> cluster;
+  std::unique_ptr<SwiftClient> light;
+  std::unique_ptr<SwiftClient> heavy;
+  Schema schema;
+};
+
+LoadDeployment MakeDeployment(bool qos_on) {
+  SwiftConfig config;
+  config.num_proxies = 2;
+  config.num_storage_nodes = 4;
+  config.disks_per_node = 2;
+  config.part_power = 6;
+
+  ResultCacheConfig cache_config;
+  cache_config.enabled = true;
+
+  qos::QosConfig qos;
+  qos.enabled = qos_on;
+  // Gold gets an envelope the light tenant never exhausts; bronze is
+  // squeezed so the flood hits the degrade and shed rungs.
+  qos.gold = qos::QosTierLimits{2000.0, 400.0, 8.0, 64};
+  qos.bronze = qos::QosTierLimits{20.0, 5.0, 1.0, 4};
+  qos.storlet_concurrency = 4;
+
+  LoadDeployment d;
+  auto cluster = ScoopCluster::Create(config, cache_config, qos);
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "cluster: %s\n", cluster.status().ToString().c_str());
+    std::abort();
+  }
+  d.cluster = std::move(cluster).value();
+
+  auto light = d.cluster->Connect("light", "light-key", "lacct");
+  auto heavy = d.cluster->Connect("heavy", "heavy-key", "hacct");
+  if (!light.ok() || !heavy.ok()) std::abort();
+  d.light = std::make_unique<SwiftClient>(std::move(light).value());
+  d.heavy = std::make_unique<SwiftClient>(std::move(heavy).value());
+  if (!d.cluster->swift()
+           .auth()
+           .SetTier("hacct", TenantTier::kBronze)
+           .ok()) {
+    std::abort();
+  }
+
+  // Small objects keep one heavy request's worth of un-preemptible work
+  // (a raw GET or one storlet scan) bounded, so tenant isolation is
+  // decided by admission/queueing — which QoS controls — rather than by
+  // head-of-line blocking inside a single huge transfer.
+  GeneratorConfig gen;
+  gen.num_meters = 20;
+  gen.readings_per_meter = 150;
+  gen.seed = 2015;
+  GridPocketGenerator generator(gen);
+  d.schema = GridPocketGenerator::MeterSchema();
+  for (SwiftClient* client : {d.light.get(), d.heavy.get()}) {
+    Status up = generator.Upload(client, "meters", "m", kNumObjects);
+    if (!up.ok()) {
+      std::fprintf(stderr, "upload: %s\n", up.ToString().c_str());
+      std::abort();
+    }
+  }
+  return d;
+}
+
+Request PushdownGet(const std::string& account, const Schema& schema,
+                    int object_index, const std::string& selection);
+
+// Touches every (zipf month x object) combination once so the result
+// cache is warm before any measured step — both clusters start from the
+// same state, making the unloaded baselines comparable.
+void Warmup(LoadDeployment& d) {
+  for (const char* month : {"2015-01", "2015-02", "2015-03"}) {
+    for (int object = 0; object < kNumObjects; ++object) {
+      std::string selection = StrFormat("(like date \"%s%%\")", month);
+      HttpResponse r = d.light->Send(
+          PushdownGet("lacct", d.schema, object, selection));
+      r.Materialize();
+      if (!r.ok()) {
+        std::fprintf(stderr, "warmup GET -> %d\n", r.status);
+        std::abort();
+      }
+    }
+  }
+}
+
+Request PushdownGet(const std::string& account, const Schema& schema,
+                    int object_index, const std::string& selection) {
+  Request request = Request::Get(
+      StrFormat("/%s/meters/m%04d.csv", account.c_str(),
+                object_index % kNumObjects));
+  request.headers.Set(kRunStorletHeader, "csvstorlet");
+  request.headers.Set("X-Storlet-Parameter-Schema", schema.ToSpec());
+  request.headers.Set("X-Storlet-Parameter-Selection", selection);
+  request.headers.Set("X-Storlet-Parameter-Projection", "vid,date,index");
+  return request;
+}
+
+// The zipfian RepeatedQueryMix rendered as month-selection pushdown GETs:
+// variant "Name@2015-MM" becomes `(like date "2015-MM%")`, so the hot
+// head of the zipf repeats — exactly the traffic the result cache
+// amortizes. Pre-drawn so the factory is safely concurrent.
+std::vector<std::string> DrawZipfSelections(int n, uint64_t seed) {
+  QueryMixConfig mix_config;
+  mix_config.seed = seed;
+  mix_config.distinct_queries = 21;
+  RepeatedQueryMix mix(mix_config);
+  std::vector<std::string> selections;
+  selections.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const MixedQuery& q = mix.Next();
+    size_t at = q.name.rfind('@');
+    std::string month =
+        at == std::string::npos ? "2015-01" : q.name.substr(at + 1);
+    selections.push_back("(like date \"" + month + "%\")");
+  }
+  return selections;
+}
+
+struct StepResult {
+  OpenLoopReport report;
+  double cache_hit_ratio = 0.0;
+};
+
+// The light tenant's request stream: mostly the zipfian hot head (cache
+// hits), with every 8th query a fresh selection that misses the cache
+// and really runs a storlet scan — so the light tenant exercises the
+// fair queue, and its p99 sits in the scan-latency regime rather than on
+// sub-bucket cache-hit noise. `miss_salt` keeps the fresh selections of
+// different phases from colliding in the cache.
+std::string LightSelection(const std::vector<std::string>& zipf, int i,
+                           int miss_salt) {
+  if (i % 8 == 7) return StrFormat("(ge index %d)", miss_salt + i);
+  return zipf[static_cast<size_t>(i)];
+}
+
+// Runs the light tenant's mix at `rate` on its own.
+StepResult RunLightStep(LoadDeployment& d, double rate, int requests,
+                        uint64_t seed, int miss_salt) {
+  std::vector<std::string> selections = DrawZipfSelections(requests, seed);
+  OpenLoopConfig config;
+  config.rate_per_s = rate;
+  config.total_requests = requests;
+  config.seed = seed;
+  config.workers = 8;
+
+  Counter* hits = d.cluster->metrics().GetCounter("cache.hits");
+  Counter* misses = d.cluster->metrics().GetCounter("cache.misses");
+  int64_t hits_before = hits->value();
+  int64_t misses_before = misses->value();
+
+  OpenLoopDriver driver(config);
+  StepResult step;
+  step.report = driver.Run(d.light.get(), [&](int i) {
+    return PushdownGet("lacct", d.schema, i,
+                       LightSelection(selections, i, miss_salt));
+  });
+  int64_t lookups = (hits->value() - hits_before) +
+                    (misses->value() - misses_before);
+  step.cache_hit_ratio =
+      lookups > 0 ? static_cast<double>(hits->value() - hits_before) /
+                        static_cast<double>(lookups)
+                  : 0.0;
+  return step;
+}
+
+// The antagonist pair: bronze flood + gold zipfian mix, concurrently.
+// Returns (light report, heavy report).
+std::pair<OpenLoopReport, OpenLoopReport> RunAntagonist(LoadDeployment& d) {
+  constexpr double kLightRate = 120.0;
+  constexpr int kLightRequests = 720;
+  constexpr double kHeavyRate = 400.0;
+  constexpr int kHeavyRequests = 1200;
+
+  std::vector<std::string> selections =
+      DrawZipfSelections(kLightRequests, /*seed=*/7);
+
+  OpenLoopConfig light_config;
+  light_config.rate_per_s = kLightRate;
+  light_config.total_requests = kLightRequests;
+  light_config.seed = 7;
+  light_config.workers = 8;
+
+  OpenLoopConfig heavy_config;
+  heavy_config.rate_per_s = kHeavyRate;
+  heavy_config.total_requests = kHeavyRequests;
+  heavy_config.seed = 8;
+  heavy_config.workers = 16;
+
+  OpenLoopReport light_report;
+  OpenLoopReport heavy_report;
+  std::thread light_thread([&] {
+    OpenLoopDriver driver(light_config);
+    light_report = driver.Run(d.light.get(), [&](int i) {
+      return PushdownGet("lacct", d.schema, i,
+                         LightSelection(selections, i, /*miss_salt=*/2000000));
+    });
+  });
+  std::thread heavy_thread([&] {
+    OpenLoopDriver driver(heavy_config);
+    heavy_report = driver.Run(d.heavy.get(), [&](int i) {
+      // A distinct selection per request defeats the result cache, so
+      // every admitted flood query really runs a storlet scan.
+      return PushdownGet("hacct", d.schema, i,
+                         StrFormat("(ge index %d)", i));
+    });
+  });
+  light_thread.join();
+  heavy_thread.join();
+  return {light_report, heavy_report};
+}
+
+void PrintReport(const char* label, const OpenLoopReport& r) {
+  std::printf(
+      "%-18s ok %5lld  degraded %5lld  shed %5lld  err %3lld  "
+      "p50 %7.0fus  p99 %8.0fus  goodput %6.1f/s\n",
+      label, static_cast<long long>(r.ok), static_cast<long long>(r.degraded),
+      static_cast<long long>(r.shed), static_cast<long long>(r.errors),
+      r.latency_us.p50, r.latency_us.p99, r.goodput_per_s);
+}
+
+}  // namespace
+
+int Run() {
+  std::vector<bench::BenchExtra> extras;
+
+  // --- 1. rate sweep (QoS on, light tenant alone) -------------------------
+  LoadDeployment qos_d = MakeDeployment(/*qos_on=*/true);
+  Warmup(qos_d);
+  std::printf("rate sweep (gold tenant, zipfian mix, QoS on)\n");
+  const double kRates[] = {50.0, 150.0, 300.0};
+  for (double rate : kRates) {
+    int requests = static_cast<int>(rate * 2);  // ~2s per step
+    StepResult step =
+        RunLightStep(qos_d, rate, requests, /*seed=*/1000 + (int)rate,
+                     /*miss_salt=*/10000000 + 100000 * (int)rate);
+    std::string label = StrFormat("rate %.0f/s", rate);
+    PrintReport(label.c_str(), step.report);
+    const OpenLoopReport& r = step.report;
+    std::string prefix = StrFormat("rate%.0f_", rate);
+    double total = static_cast<double>(r.ok + r.degraded + r.shed + r.errors);
+    extras.push_back({prefix + "p50_us", r.latency_us.p50});
+    extras.push_back({prefix + "p95_us", r.latency_us.p95});
+    extras.push_back({prefix + "p99_us", r.latency_us.p99});
+    extras.push_back({prefix + "goodput_per_s", r.goodput_per_s});
+    extras.push_back(
+        {prefix + "shed_rate",
+         total > 0 ? static_cast<double>(r.shed) / total : 0.0});
+    extras.push_back({prefix + "cache_hit_ratio", step.cache_hit_ratio});
+  }
+
+  // --- 2. antagonist with QoS ----------------------------------------------
+  // Unloaded baseline first (same cluster, so the cache warmth matches).
+  StepResult alone = RunLightStep(qos_d, 120.0, 720, /*seed=*/7,
+                                  /*miss_salt=*/1000000);
+  PrintReport("light alone", alone.report);
+
+  auto [light_qos, heavy_qos] = RunAntagonist(qos_d);
+  std::printf("\nantagonist, QoS ON\n");
+  PrintReport("light (gold)", light_qos);
+  PrintReport("heavy (bronze)", heavy_qos);
+  int64_t qos_sheds =
+      qos_d.cluster->metrics().GetCounter("qos.sheds")->value();
+  int64_t qos_degrades =
+      qos_d.cluster->metrics().GetCounter("qos.degrades")->value();
+  std::printf("qos.sheds %lld  qos.degrades %lld  queue ewma %lldus\n",
+              static_cast<long long>(qos_sheds),
+              static_cast<long long>(qos_degrades),
+              static_cast<long long>(
+                  qos_d.cluster->qos() ? qos_d.cluster->qos()->QueueEwmaUs()
+                                       : 0));
+
+  // --- 3. ablation: same antagonist, QoS off -------------------------------
+  LoadDeployment raw_d = MakeDeployment(/*qos_on=*/false);
+  Warmup(raw_d);
+  // Mirror the measured sweep the QoS cluster ran before ITS baseline, so
+  // both unloaded baselines sit on the same allocator/page-cache history.
+  for (double rate : kRates) {
+    RunLightStep(raw_d, rate, static_cast<int>(rate * 2),
+                 /*seed=*/1000 + (int)rate,
+                 /*miss_salt=*/10000000 + 100000 * (int)rate);
+  }
+  StepResult alone_raw = RunLightStep(raw_d, 120.0, 720, /*seed=*/7,
+                                      /*miss_salt=*/1000000);
+  auto [light_raw, heavy_raw] = RunAntagonist(raw_d);
+  std::printf("\nantagonist, QoS OFF (ablation)\n");
+  PrintReport("light (gold)", light_raw);
+  PrintReport("heavy (bronze)", heavy_raw);
+
+  double base_qos = std::max(alone.report.latency_us.p99, 1.0);
+  double base_raw = std::max(alone_raw.report.latency_us.p99, 1.0);
+  double ratio_qos = light_qos.latency_us.p99 / base_qos;
+  double ratio_raw = light_raw.latency_us.p99 / base_raw;
+  std::printf(
+      "\nlight-tenant p99 vs unloaded baseline: QoS on %.2fx, off %.2fx\n",
+      ratio_qos, ratio_raw);
+
+  int64_t sheds_total = light_qos.shed + heavy_qos.shed + alone.report.shed;
+  int64_t sheds_hinted = light_qos.shed_with_retry_after +
+                         heavy_qos.shed_with_retry_after +
+                         alone.report.shed_with_retry_after;
+
+  extras.push_back({"light_alone_p99_us", alone.report.latency_us.p99});
+  extras.push_back({"light_qos_p99_us", light_qos.latency_us.p99});
+  extras.push_back({"light_noqos_alone_p99_us",
+                    alone_raw.report.latency_us.p99});
+  extras.push_back({"light_noqos_p99_us", light_raw.latency_us.p99});
+  extras.push_back({"light_p99_ratio_qos", ratio_qos});
+  extras.push_back({"light_p99_ratio_noqos", ratio_raw});
+  extras.push_back({"light_qos_shed", static_cast<double>(light_qos.shed)});
+  extras.push_back({"heavy_qos_shed", static_cast<double>(heavy_qos.shed)});
+  extras.push_back(
+      {"heavy_qos_degraded", static_cast<double>(heavy_qos.degraded)});
+  extras.push_back({"heavy_qos_ok", static_cast<double>(heavy_qos.ok)});
+  extras.push_back({"qos_sheds_counter", static_cast<double>(qos_sheds)});
+  extras.push_back(
+      {"qos_degrades_counter", static_cast<double>(qos_degrades)});
+  extras.push_back({"sheds_missing_retry_after",
+                    static_cast<double>(sheds_total - sheds_hinted)});
+  extras.push_back(
+      {"errors_total",
+       static_cast<double>(light_qos.errors + heavy_qos.errors +
+                           light_raw.errors + heavy_raw.errors +
+                           alone.report.errors + alone_raw.report.errors)});
+
+  bench::EmitBenchJson("loadtest", qos_d.cluster->metrics(), extras);
+  return 0;
+}
+
+}  // namespace scoop
+
+int main() { return scoop::Run(); }

@@ -53,6 +53,8 @@ inline constexpr const char* kFailpointSites[] = {
     "engine.stage_crash",  // stage thread dies without closing its queue
     "cache.lookup",        // result-cache lookup (fault => uncached path)
     "cache.fill",          // result-cache fill (fault => fill dropped)
+    "qos.admit",           // proxy QoS admission (fault => pushdown degrades)
+    "qos.queue",           // fair-queue slot acquisition (fault => slot denied)
 };
 
 // What an armed failpoint does when it fires.

@@ -98,6 +98,8 @@ inline constexpr int kNoLockRank = -1;
 // locks). Two distinct same-rank locks must never be held together. The
 // full table of which mutex guards what is in DESIGN.md "Locking model".
 namespace lockrank {
+inline constexpr int kQosTenants = 8;          // QosController tenant buckets
+inline constexpr int kQosQueue = 9;            // weighted-fair-queue scheduler
 inline constexpr int kPipeline = 10;           // storlet pipeline run state
 inline constexpr int kSingleflight = 12;       // Singleflight flight table
 inline constexpr int kCacheFlight = 13;        // per-flight fan-out state

@@ -29,6 +29,11 @@ int64_t NowNs() {
 // close, in-flight overflow keeps the connection for a later retry.
 std::string CannedReject(bool keep_alive) {
   HttpResponse resp = HttpResponse::Make(503);
+  // Every 503 on the wire carries its backoff hint (PROTOCOL.md §4):
+  // clients and the transport LB treat it as the retry floor. A capacity
+  // reject clears quickly, hence the small millisecond floor.
+  resp.headers.Set(kRetryAfterHeader, "1");
+  resp.headers.Set(kRetryAfterMsHeader, "50");
   std::string body = "scoop: listener over capacity";
   return SerializeResponseHead(resp, BodyFraming::kIdentity, body.size(),
                                keep_alive) +

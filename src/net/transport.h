@@ -50,7 +50,13 @@ class HandlerTransport : public Transport {
   std::function<HttpResponse(Request)> handler_;
 };
 
-// tcp: one TcpClient per endpoint, requests round-robin across them.
+// tcp: one TcpClient per endpoint, requests round-robin across them —
+// with a backpressure-aware twist: an endpoint answering 503 +
+// Retry-After is skipped until its advertised backoff floor expires, so
+// a shedding replica stops receiving traffic it would only refuse. When
+// every endpoint is penalized the plain round-robin choice stands (the
+// request still has to go somewhere, and the 503 it gets carries the
+// freshest hint).
 class TcpTransport : public Transport {
  public:
   struct Endpoint {
@@ -66,6 +72,9 @@ class TcpTransport : public Transport {
 
  private:
   std::vector<std::unique_ptr<TcpClient>> clients_;
+  // Per-endpoint penalty deadline, steady-clock nanoseconds; 0 = clear.
+  // Plain stores/loads: a stale read only mis-skips one request.
+  std::vector<std::unique_ptr<std::atomic<int64_t>>> penalty_until_ns_;
   std::atomic<uint64_t> next_{0};
 };
 

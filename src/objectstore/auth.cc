@@ -38,6 +38,14 @@ Result<std::string> AuthService::ValidateToken(const std::string& token) const {
   return it->second;
 }
 
+std::string_view TenantTierName(TenantTier tier) {
+  return tier == TenantTier::kBronze ? "bronze" : "gold";
+}
+
+TenantTier ParseTenantTier(std::string_view name) {
+  return name == "bronze" ? TenantTier::kBronze : TenantTier::kGold;
+}
+
 Result<TenantTier> AuthService::GetTier(const std::string& account) const {
   MutexLock lock(mu_);
   auto it = account_tier_.find(account);
@@ -69,6 +77,13 @@ HttpResponse AuthMiddleware::Process(Request& request,
     return HttpResponse::Make(403, "token not valid for account " +
                                        path->account);
   }
+  // Stamp the authenticated tier, overwriting anything the client sent —
+  // the tier is an authorization attribute, not a client claim.
+  TenantTier tier = TenantTier::kGold;
+  if (auto looked_up = auth_->GetTier(*account); looked_up.ok()) {
+    tier = *looked_up;
+  }
+  request.headers.Set(kTenantTierHeader, std::string(TenantTierName(tier)));
   return next(request);
 }
 

@@ -17,9 +17,21 @@ namespace scoop {
 
 inline constexpr char kAuthTokenHeader[] = "X-Auth-Token";
 
+// Stamped (never trusted from the client) by AuthMiddleware after token
+// validation: the authenticated account's service tier, so downstream
+// QoS admission and tier-gated pushdown policy need no auth lookup.
+inline constexpr char kTenantTierHeader[] = "X-Scoop-Tenant-Tier";
+
 // Service tier of a tenant; §VII's adaptive-pushdown discussion lets
 // administrators reserve pushdown for "gold" tenants under load.
 enum class TenantTier { kGold, kBronze };
+
+// "gold" / "bronze".
+std::string_view TenantTierName(TenantTier tier);
+
+// Parses a tier name; anything unrecognized is kGold (fail open: a
+// missing or mangled stamp must not demote a tenant).
+TenantTier ParseTenantTier(std::string_view name);
 
 // Keystone-lite identity service: tenants authenticate with a secret key
 // and receive a bearer token scoped to their account.

@@ -1,5 +1,9 @@
 #include "objectstore/cluster.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "common/failpoint.h"
 #include "common/strings.h"
 
@@ -77,7 +81,16 @@ BackendFn SwiftCluster::InProcessBackend() {
 }
 
 HttpResponse SwiftCluster::Handle(Request request) {
-  uint64_t idx = next_proxy_.fetch_add(1) % proxies_.size();
+  // Two-choice load balancing: compare the round-robin pick against its
+  // neighbor and take the less-loaded one. Plain round-robin is blind to
+  // storlet queueing, which makes proxies unevenly busy — a light
+  // tenant's GET would otherwise wait behind a heavy tenant's backlog.
+  uint64_t rr = next_proxy_.fetch_add(1);
+  uint64_t idx = rr % proxies_.size();
+  if (proxies_.size() > 1) {
+    uint64_t alt = (rr + 1) % proxies_.size();
+    if (proxies_[alt]->inflight() < proxies_[idx]->inflight()) idx = alt;
+  }
   metrics_.GetCounter("lb.requests")->Increment();
   metrics_.GetCounter("lb.bytes_in")
       ->Add(static_cast<int64_t>(request.body.size()));
@@ -169,6 +182,22 @@ Result<SwiftClient> SwiftClient::ConnectVia(ClientTransportFn transport,
 
 HttpResponse SwiftClient::Send(Request request) {
   request.headers.Set(kAuthTokenHeader, token_);
+  // A 503 that advertises Retry-After is explicit backpressure (QoS
+  // admission shed, listener at capacity): honor the advertised floor —
+  // not a blind exponential — and retry a bounded number of times. A 503
+  // without the hint (e.g. quorum failure) is returned as-is; the server
+  // did not invite a retry.
+  constexpr int kShedRetries = 2;
+  constexpr int64_t kMaxShedWaitMs = 2000;
+  for (int attempt = 0; attempt < kShedRetries; ++attempt) {
+    HttpResponse response = transport_(Request(request));
+    if (response.status != 503) return response;
+    auto floor_ms = RetryAfterMillis(response.headers);
+    if (!floor_ms) return response;
+    int64_t wait_ms =
+        std::min<int64_t>(std::max<int64_t>(*floor_ms, 1), kMaxShedWaitMs);
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+  }
   return transport_(std::move(request));
 }
 

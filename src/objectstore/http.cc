@@ -205,6 +205,18 @@ Result<ContentRange> ContentRange::Parse(std::string_view header_value) {
   return out;
 }
 
+std::optional<int64_t> RetryAfterMillis(const Headers& headers) {
+  if (auto ms = headers.Get(kRetryAfterMsHeader)) {
+    auto parsed = ParseInt64(*ms);
+    if (parsed.ok() && *parsed >= 0) return *parsed;
+  }
+  if (auto secs = headers.Get(kRetryAfterHeader)) {
+    auto parsed = ParseInt64(*secs);
+    if (parsed.ok() && *parsed >= 0) return *parsed * 1000;
+  }
+  return std::nullopt;
+}
+
 TraceContext TraceContextFromHeaders(const Headers& headers) {
   // Disabled collector → every span is inert, so skip the map lookups and
   // keep the request path at one relaxed atomic load.

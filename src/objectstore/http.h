@@ -67,6 +67,27 @@ TraceContext TraceContextFromHeaders(const Headers& headers);
 // instead (so a disabled collector leaves requests byte-identical).
 void StampTraceContext(const TraceContext& ctx, Headers* headers);
 
+// --- QoS / backpressure wire vocabulary (DESIGN.md §3k) ---------------------
+// Shed responses advertise when to come back; clients treat the hint as
+// the *floor* of their backoff instead of guessing with a blind
+// exponential. Retry-After is the RFC 7231 integer-seconds form; the
+// millisecond twin exists because bucket refill times are usually far
+// below one second and rounding up to 1s would idle clients needlessly.
+
+inline constexpr char kRetryAfterHeader[] = "Retry-After";
+inline constexpr char kRetryAfterMsHeader[] = "X-Scoop-Retry-After-Ms";
+// Response annotation from the QoS admission ladder: "degraded" (pushdown
+// stripped, raw bytes served) or "shed" (on the 503).
+inline constexpr char kQosDecisionHeader[] = "X-Scoop-Qos";
+// Client-declared per-request latency budget in microseconds; the proxy
+// degrades pushdown when predicted queueing would blow it.
+inline constexpr char kQosDeadlineHeader[] = "X-Scoop-Deadline-Us";
+
+// The advertised backoff floor in milliseconds: X-Scoop-Retry-After-Ms
+// when present, else Retry-After seconds * 1000. nullopt when neither
+// header parses.
+std::optional<int64_t> RetryAfterMillis(const Headers& headers);
+
 // Parsed /account/container/object path. `object` may contain slashes
 // (Swift pseudo-directories).
 struct ObjectPath {

@@ -156,17 +156,26 @@ ProxyServer::ProxyServer(int proxy_id, const Ring* ring,
       [this](Request& request) { return App(request); });
 }
 
-void ProxyServer::Backoff(int attempt, Rng* rng) const {
-  if (policy_.backoff_base_us <= 0 || attempt <= 1) return;
-  int64_t backoff = policy_.backoff_base_us;
-  for (int i = 2; i < attempt && backoff < policy_.backoff_max_us; ++i) {
-    backoff *= 2;
+void ProxyServer::Backoff(int attempt, Rng* rng, int64_t floor_us) const {
+  if (attempt <= 1) return;
+  int64_t jittered = 0;
+  if (policy_.backoff_base_us > 0) {
+    int64_t backoff = policy_.backoff_base_us;
+    for (int i = 2; i < attempt && backoff < policy_.backoff_max_us; ++i) {
+      backoff *= 2;
+    }
+    backoff = std::min(backoff, policy_.backoff_max_us);
+    // Jitter in [backoff/2, backoff): decorrelates concurrent retriers
+    // while staying deterministic for a given seed.
+    jittered = backoff / 2 + rng->NextInt(0, backoff / 2);
   }
-  backoff = std::min(backoff, policy_.backoff_max_us);
-  // Jitter in [backoff/2, backoff): decorrelates concurrent retriers while
-  // staying deterministic for a given seed.
-  int64_t jittered = backoff / 2 + rng->NextInt(0, backoff / 2);
-  std::this_thread::sleep_for(std::chrono::microseconds(jittered));
+  // A backend's advertised Retry-After is the floor, not a suggestion —
+  // but cap it so one extravagant hint cannot stall the read path past
+  // its own attempt budget.
+  constexpr int64_t kMaxFloorUs = 250'000;
+  int64_t wait = std::max(jittered, std::min(floor_us, kMaxFloorUs));
+  if (wait <= 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(wait));
 }
 
 void ProxyServer::CountRetry() {
@@ -179,6 +188,12 @@ void ProxyServer::CountFailover(const std::string& path) {
 }
 
 HttpResponse ProxyServer::Handle(Request& request) {
+  struct InflightGuard {
+    std::atomic<int64_t>* n;
+    ~InflightGuard() { n->fetch_sub(1, std::memory_order_relaxed); }
+  };
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  InflightGuard inflight_guard{&inflight_};
   // Child of the caller's context (Stocator / SwiftClient); roots a new
   // trace when the client did not stamp one.
   TraceSpan span("proxy.request", TraceContextFromHeaders(request.headers));
@@ -334,13 +349,17 @@ HttpResponse ProxyServer::ObjectRead(Request& request,
   TraceContext parent = TraceContextFromHeaders(request.headers);
   HttpResponse last = HttpResponse::Make(404);
   int attempt = 0;
+  // Backoff floor advertised by the most recent 503 (Retry-After /
+  // X-Scoop-Retry-After-Ms); consumed by the next attempt's backoff.
+  int64_t retry_floor_us = 0;
   for (int sweep = 0; sweep < std::max(1, policy_.read_sweeps); ++sweep) {
     bool retryable_failure = false;
     for (size_t i = 0; i < replicas.size(); ++i) {
       ++attempt;
       if (attempt > 1) {
         CountRetry();
-        Backoff(attempt, &rng);
+        Backoff(attempt, &rng, retry_floor_us);
+        retry_floor_us = 0;
       }
       Request replica_request = request;
       // One span per replica attempt; a faulted run's trace shows every
@@ -361,6 +380,11 @@ HttpResponse ProxyServer::ObjectRead(Request& request,
       }
       if (!r.ok()) {
         if (r.status != 404) retryable_failure = true;
+        if (r.status == 503) {
+          if (auto floor_ms = RetryAfterMillis(r.headers)) {
+            retry_floor_us = *floor_ms * 1000;
+          }
+        }
         last = std::move(r);
         continue;
       }

@@ -69,6 +69,13 @@ class ProxyServer {
   // Full request entry (runs the middleware pipeline, then the app).
   HttpResponse Handle(Request& request);
 
+  // Requests currently inside Handle(). The cluster LB reads this for
+  // two-choice load balancing; storlet queueing makes proxies unevenly
+  // busy, so round-robin alone piles light tenants behind heavy ones.
+  int64_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class FailoverByteStream;
 
@@ -85,8 +92,10 @@ class ProxyServer {
   HttpResponse SendToDevice(int device_id, Request& request);
 
   // Capped exponential backoff before retry `attempt` (1-based), with
-  // jitter drawn from `rng`.
-  void Backoff(int attempt, Rng* rng) const;
+  // jitter drawn from `rng`. `floor_us` is the minimum wait regardless of
+  // the exponential schedule — the Retry-After hint from a shedding
+  // replica (0 = no floor).
+  void Backoff(int attempt, Rng* rng, int64_t floor_us = 0) const;
 
   void CountRetry();
   void CountFailover(const std::string& path);
@@ -102,6 +111,8 @@ class ProxyServer {
   Counter* failovers_counter_ = nullptr;  // "proxy.failovers"
   std::unique_ptr<Pipeline> pipeline_;
   std::atomic<uint64_t> timestamp_seq_{1};
+  // Gauge of concurrent Handle() calls; see inflight().
+  mutable std::atomic<int64_t> inflight_{0};
 };
 
 }  // namespace scoop

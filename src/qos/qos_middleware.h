@@ -1,0 +1,39 @@
+// Proxy middleware applying the QoS admission ladder (DESIGN.md §3k).
+// Sits between auth (which stamps the authenticated tier) and the result
+// cache, so throttled requests never consume cache or storlet resources.
+#ifndef SCOOP_QOS_QOS_MIDDLEWARE_H_
+#define SCOOP_QOS_QOS_MIDDLEWARE_H_
+
+#include <memory>
+#include <string>
+
+#include "objectstore/middleware.h"
+#include "qos/qos.h"
+#include "storlets/policy.h"
+
+namespace scoop {
+namespace qos {
+
+// Per-request admission: token-bucket check keyed by the account in the
+// (auth-validated) path, the deadline-vs-EWMA degrade rung, and the 503 +
+// Retry-After shed rung. Also relays the controller's overload signal
+// into the PolicyStore tier gate (§VII: bronze loses pushdown under
+// load).
+class QosMiddleware : public Middleware {
+ public:
+  QosMiddleware(std::shared_ptr<QosController> controller,
+                PolicyStore* policies)
+      : controller_(std::move(controller)), policies_(policies) {}
+
+  std::string name() const override { return "qos"; }
+  HttpResponse Process(Request& request, const HttpHandler& next) override;
+
+ private:
+  std::shared_ptr<QosController> controller_;
+  PolicyStore* policies_;  // may be null (no tier gating)
+};
+
+}  // namespace qos
+}  // namespace scoop
+
+#endif  // SCOOP_QOS_QOS_MIDDLEWARE_H_

@@ -9,7 +9,8 @@
 namespace scoop {
 
 Result<std::unique_ptr<ScoopCluster>> ScoopCluster::Create(
-    const SwiftConfig& config, const ResultCacheConfig& cache_config) {
+    const SwiftConfig& config, const ResultCacheConfig& cache_config,
+    const qos::QosConfig& qos_config) {
   auto cluster = std::unique_ptr<ScoopCluster>(new ScoopCluster());
   SCOOP_ASSIGN_OR_RETURN(cluster->swift_, SwiftCluster::Create(config));
 
@@ -44,15 +45,39 @@ Result<std::unique_ptr<ScoopCluster>> ScoopCluster::Create(
   cluster->flights_ = std::make_shared<Singleflight>(
       &cluster->swift_->metrics(), cluster->cache_->max_entry_bytes());
 
+  // Multi-tenant QoS (DESIGN.md §3k): one controller per cluster. The
+  // proxy middleware below runs admission; the engine's invocation gate
+  // runs the weighted fair queue, its ticket held until the filtered
+  // stream drains so a slot covers the whole storlet execution.
+  if (qos_config.enabled) {
+    cluster->qos_ = std::make_shared<qos::QosController>(
+        qos_config, &cluster->swift_->metrics());
+    std::shared_ptr<qos::QosController> controller = cluster->qos_;
+    cluster->engine_->set_invocation_gate(
+        [controller](const std::string& account)
+            -> Result<std::shared_ptr<void>> {
+          SCOOP_ASSIGN_OR_RETURN(std::shared_ptr<qos::QosTicket> ticket,
+                                 controller->AcquireStorletSlot(account));
+          return std::shared_ptr<void>(std::move(ticket));
+        });
+  }
+
   // Install the middleware: object servers get the storlet stage (the
-  // default execution site); proxies get result cache + singleflight
-  // first (so hits and coalesced fans never reach the storlet), then the
-  // proxy storlet stage (PUT-path ETL and the staging override).
+  // default execution site); proxies get QoS admission first (auth ran
+  // already — SwiftCluster installs it at pipeline head — so the tier
+  // stamp is trustworthy and throttled requests touch nothing else),
+  // then result cache + singleflight (so hits and coalesced fans never
+  // reach the storlet), then the proxy storlet stage (PUT-path ETL and
+  // the staging override).
   for (auto& server : cluster->swift_->object_servers()) {
     server->pipeline().Use(std::make_shared<StorletMiddleware>(
         ExecutionStage::kObjectNode, cluster->engine_));
   }
   for (auto& proxy : cluster->swift_->proxies()) {
+    if (cluster->qos_ != nullptr) {
+      proxy->pipeline().Use(std::make_shared<qos::QosMiddleware>(
+          cluster->qos_, &cluster->engine_->policies()));
+    }
     proxy->pipeline().Use(std::make_shared<ResultCacheMiddleware>(
         cluster->cache_, cluster->flights_, &cluster->swift_->registry(),
         &cluster->swift_->metrics()));

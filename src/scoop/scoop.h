@@ -14,6 +14,8 @@
 #include "datasource/parquet_source.h"
 #include "datasource/stocator.h"
 #include "objectstore/cluster.h"
+#include "qos/qos.h"
+#include "qos/qos_middleware.h"
 #include "storlets/engine.h"
 #include "storlets/storlet_middleware.h"
 
@@ -32,10 +34,13 @@ class ScoopCluster {
   // registered through engine().registry() at any time ("on-the-fly"
   // extension, §IV). The cache ships disabled by default
   // (cache_config.enabled) and can be toggled at runtime through
-  // result_cache().
+  // result_cache(). When qos_config.enabled, every proxy gets the QoS
+  // admission middleware (between auth and the cache) and the storlet
+  // engine is gated by the weighted fair queue (DESIGN.md §3k).
   static Result<std::unique_ptr<ScoopCluster>> Create(
       const SwiftConfig& config = SwiftConfig(),
-      const ResultCacheConfig& cache_config = ResultCacheConfig());
+      const ResultCacheConfig& cache_config = ResultCacheConfig(),
+      const qos::QosConfig& qos_config = qos::QosConfig());
 
   SwiftCluster& swift() { return *swift_; }
   StorletEngine& engine() { return *engine_; }
@@ -43,6 +48,8 @@ class ScoopCluster {
   MetricRegistry& metrics() { return swift_->metrics(); }
   ResultCache& result_cache() { return *cache_; }
   Singleflight& singleflight() { return *flights_; }
+  // Null unless the cluster was built with qos_config.enabled.
+  qos::QosController* qos() { return qos_.get(); }
 
   // The (process-global) trace collector, surfaced here for controllers
   // and tests: Enable() around a query, then Snapshot()/DumpJson() to see
@@ -68,6 +75,7 @@ class ScoopCluster {
   std::shared_ptr<StorletEngine> engine_;
   std::shared_ptr<ResultCache> cache_;
   std::shared_ptr<Singleflight> flights_;
+  std::shared_ptr<qos::QosController> qos_;
 };
 
 // The compute side bound to one tenant: a SparkSession plus the Stocator

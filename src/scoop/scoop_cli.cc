@@ -2,6 +2,7 @@
 //
 //   scoop_cli health  <url>
 //   scoop_cli metrics <url>
+//   scoop_cli qos     <url>
 //   scoop_cli auth    <url> <tenant> <key>
 //   scoop_cli put     <url> <tenant> <key> <container> <object> <data>
 //   scoop_cli get     <url> <tenant> <key> <container> <object>
@@ -77,7 +78,7 @@ Result<SwiftClient> MakeClient(net::Transport& transport,
 int Run(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: scoop_cli <health|metrics|auth|put|get|ls> <url> "
+                 "usage: scoop_cli <health|metrics|qos|auth|put|get|ls> <url> "
                  "[args...]\n");
     return 2;
   }
@@ -85,8 +86,11 @@ int Run(int argc, char** argv) {
   auto transport = MakeTransport(argv[2]);
   if (!transport.ok()) return Fail(transport.status().ToString());
 
-  if (command == "health" || command == "metrics") {
+  if (command == "health" || command == "metrics" || command == "qos") {
+    // `qos` dumps the proxy's per-tenant bucket/queue/shed counters
+    // (QosController::ToJson; "{"enabled": false}" when QoS is off).
     Request request = Request::Get(command == "health" ? "/__scoop/health"
+                                   : command == "qos"  ? "/__scoop/qos"
                                                        : "/__scoop/metrics");
     HttpResponse response = (*transport)->RoundTrip(std::move(request));
     std::string body = response.TakeBody();

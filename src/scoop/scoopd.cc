@@ -9,8 +9,11 @@
 // Admin endpoints on every role:
 //   GET /__scoop/health    liveness: "ok <role> <index>"
 //   GET /__scoop/metrics   MetricRegistry::ToJson() snapshot
-// Proxy role additionally serves tempauth-style token issue:
+// Proxy role additionally serves tempauth-style token issue and the
+// QoS snapshot:
 //   GET /auth/v1.0         X-Auth-User/X-Auth-Key -> X-Auth-Token
+//   GET /__scoop/qos       QosController::ToJson() (buckets, queue,
+//                          per-tenant shed/degrade counters)
 //
 // See docs/RUNBOOK.md for a worked 1-proxy/3-object-server deployment.
 #include <csignal>
@@ -44,7 +47,7 @@ int Run(const std::string& config_path) {
   ResultCacheConfig cache_config;
   cache_config.enabled = config.cache_enabled;
   Result<std::unique_ptr<ScoopCluster>> created =
-      ScoopCluster::Create(config.swift, cache_config);
+      ScoopCluster::Create(config.swift, cache_config, config.qos);
   if (!created.ok()) {
     std::fprintf(stderr, "scoopd: cluster: %s\n",
                  created.status().ToString().c_str());
@@ -57,7 +60,7 @@ int Run(const std::string& config_path) {
   // tenants, so any proxy can validate any account path. Tokens are
   // per-proxy-process (see /auth/v1.0 below).
   for (const ScoopdTenant& t : config.tenants) {
-    Status s = swift.auth().RegisterTenant(t.tenant, t.key, t.account);
+    Status s = swift.auth().RegisterTenant(t.tenant, t.key, t.account, t.tier);
     if (!s.ok() && s.code() != StatusCode::kAlreadyExists) {
       std::fprintf(stderr, "scoopd: tenant %s: %s\n", t.tenant.c_str(),
                    s.ToString().c_str());
@@ -106,6 +109,13 @@ int Run(const std::string& config_path) {
     }
     if (request.path == "/__scoop/metrics") {
       return HttpResponse::Make(200, swift.metrics().ToJson());
+    }
+    if (is_proxy && request.path == "/__scoop/qos") {
+      qos::QosController* qos = cluster->qos();
+      if (qos == nullptr) {
+        return HttpResponse::Make(200, "{\"enabled\": false}");
+      }
+      return HttpResponse::Make(200, qos->ToJson());
     }
     if (is_proxy && request.path == "/auth/v1.0") {
       auto user = request.headers.Get("X-Auth-User");

@@ -64,6 +64,18 @@ Result<ScoopdConfig> ScoopdConfig::Parse(std::string_view text) {
       *out = static_cast<size_t>(v);
       return Status::OK();
     };
+    auto set_int64 = [&](int64_t* out) -> Status {
+      SCOOP_ASSIGN_OR_RETURN(*out, ParseInt64(value));
+      return Status::OK();
+    };
+    // QoS rates/weights are whole numbers in the config (parsed as
+    // integers, stored as the double the token bucket computes with).
+    auto set_double = [&](double* out) -> Status {
+      SCOOP_ASSIGN_OR_RETURN(int64_t v, ParseInt64(value));
+      if (v < 0) return Status::InvalidArgument(key + " must be >= 0");
+      *out = static_cast<double>(v);
+      return Status::OK();
+    };
 
     Status s = Status::OK();
     if (key == "role") {
@@ -92,6 +104,34 @@ Result<ScoopdConfig> ScoopdConfig::Parse(std::string_view text) {
       s = set_int(&config.swift.replica_count);
     } else if (key == "cache_enabled") {
       SCOOP_ASSIGN_OR_RETURN(config.cache_enabled, ParseBool(value));
+    } else if (key == "qos_enabled") {
+      SCOOP_ASSIGN_OR_RETURN(config.qos.enabled, ParseBool(value));
+    } else if (key == "qos_gold_rate") {
+      s = set_double(&config.qos.gold.rate_per_s);
+    } else if (key == "qos_gold_burst") {
+      s = set_double(&config.qos.gold.burst);
+    } else if (key == "qos_gold_weight") {
+      s = set_double(&config.qos.gold.weight);
+    } else if (key == "qos_gold_depth") {
+      s = set_int(&config.qos.gold.max_queue_depth);
+    } else if (key == "qos_bronze_rate") {
+      s = set_double(&config.qos.bronze.rate_per_s);
+    } else if (key == "qos_bronze_burst") {
+      s = set_double(&config.qos.bronze.burst);
+    } else if (key == "qos_bronze_weight") {
+      s = set_double(&config.qos.bronze.weight);
+    } else if (key == "qos_bronze_depth") {
+      s = set_int(&config.qos.bronze.max_queue_depth);
+    } else if (key == "qos_concurrency") {
+      s = set_int(&config.qos.storlet_concurrency);
+    } else if (key == "qos_pushdown_cost") {
+      s = set_double(&config.qos.pushdown_cost);
+    } else if (key == "qos_default_deadline_us") {
+      s = set_int64(&config.qos.default_deadline_us);
+    } else if (key == "qos_max_queue_wait_us") {
+      s = set_int64(&config.qos.max_queue_wait_us);
+    } else if (key == "qos_overload_queue_us") {
+      s = set_int64(&config.qos.overload_queue_us);
     } else if (StartsWith(key, "object_server.")) {
       SCOOP_ASSIGN_OR_RETURN(
           int64_t n, ParseInt64(std::string_view(key).substr(14)));
@@ -123,14 +163,22 @@ Result<ScoopdConfig> ScoopdConfig::Parse(std::string_view text) {
       s = set_size(&config.client.max_idle_sockets);
     } else if (key == "tenant") {
       std::vector<std::string_view> parts = Split(value, ':');
-      if (parts.size() != 3) {
+      if (parts.size() != 3 && parts.size() != 4) {
         return Status::InvalidArgument(
-            "tenant must be name:key:account, got '" + std::string(value) +
-            "'");
+            "tenant must be name:key:account[:tier], got '" +
+            std::string(value) + "'");
       }
-      config.tenants.push_back(ScoopdTenant{std::string(parts[0]),
-                                            std::string(parts[1]),
-                                            std::string(parts[2])});
+      ScoopdTenant tenant{std::string(parts[0]), std::string(parts[1]),
+                          std::string(parts[2]), TenantTier::kGold};
+      if (parts.size() == 4) {
+        std::string tier_name = ToLower(parts[3]);
+        if (tier_name != "gold" && tier_name != "bronze") {
+          return Status::InvalidArgument("tenant tier must be gold|bronze: '" +
+                                         std::string(parts[3]) + "'");
+        }
+        tenant.tier = ParseTenantTier(tier_name);
+      }
+      config.tenants.push_back(std::move(tenant));
     } else {
       return Status::InvalidArgument(
           StrFormat("line %d: unknown key '%s'", line_no, key.c_str()));

@@ -16,10 +16,12 @@
 #include "net/server.h"
 #include "net/transport.h"
 #include "objectstore/cluster.h"
+#include "qos/qos.h"
 
 namespace scoop {
 
-// A tenant pre-registered at startup (`tenant = name:key:account`).
+// A tenant pre-registered at startup (`tenant = name:key:account` with
+// an optional fourth `:tier` field, "gold" or "bronze"; default gold).
 // Registration is deterministic, so every process of the deployment
 // knows the same tenants; tokens are still issued per proxy process via
 // GET /auth/v1.0 (see scoopd.cc).
@@ -27,6 +29,7 @@ struct ScoopdTenant {
   std::string tenant;
   std::string key;
   std::string account;
+  TenantTier tier = TenantTier::kGold;
 };
 
 struct ScoopdConfig {
@@ -40,6 +43,10 @@ struct ScoopdConfig {
   // Cluster shape — identical across every process of the deployment.
   SwiftConfig swift;
   bool cache_enabled = false;
+
+  // Multi-tenant QoS envelope of this proxy process (qos_* keys; see
+  // docs/RUNBOOK.md). Off by default — object role ignores it.
+  qos::QosConfig qos;
 
   // Proxy role: object_server.N = host:port for storage node N. Must
   // cover all num_storage_nodes nodes.

@@ -96,6 +96,9 @@ struct PipelineRun {
   // UNGUARDED: pointer set once here; the pointee is written by the final
   // stage strictly before queue close, read only after EOF (see above).
   std::shared_ptr<Headers> trailers = std::make_shared<Headers>();
+  // QoS fair-queue slot (opaque; set before threads start, released by
+  // this destructor) — the slot is held for the stream's whole drain.
+  std::shared_ptr<void> qos_ticket;  // UNGUARDED: set before threads start
 
   ~PipelineRun() {
     for (auto& queue : queues) {
@@ -167,6 +170,12 @@ Result<SandboxResult> StorletEngine::RunPipeline(
     std::string_view data) const {
   SCOOP_FAILPOINT("engine.invoke");
   StorletPolicy policy = policies_->Resolve(account, container);
+  // Same QoS gate as the streaming form; the buffered run completes
+  // within this call, so the slot is held for the function's scope.
+  std::shared_ptr<void> qos_ticket;
+  if (gate_ && !invocations.empty()) {
+    SCOOP_ASSIGN_OR_RETURN(qos_ticket, gate_(account));
+  }
   // The buffered form holds each stage's full input plus its full output
   // resident at once; the gauge makes that visible next to the streaming
   // form's bounded footprint.
@@ -230,6 +239,14 @@ Result<StorletEngine::StreamingPipeline> StorletEngine::RunPipelineStreaming(
   if (run->storlets.empty()) {
     out.output = run->source;
     return out;
+  }
+
+  // QoS invocation gate: a fair-queue slot must be granted before any
+  // stage thread launches. A refusal surfaces synchronously (the caller
+  // degrades to raw bytes); a grant rides in the run, holding the slot
+  // until the consumer drains or drops the stream.
+  if (gate_) {
+    SCOOP_ASSIGN_OR_RETURN(run->qos_ticket, gate_(account));
   }
 
   Gauge* buffered = metrics_ != nullptr

@@ -88,12 +88,29 @@ class StorletEngine {
   // storlet middleware records its own latency histograms here.
   MetricRegistry* metrics() const { return metrics_; }
 
+  // QoS hook: called once per pipeline run (buffered or streaming, when
+  // at least one storlet would execute) before any thread launches or
+  // byte moves. Returns an opaque ticket that is held until the run is
+  // torn down — for the streaming form that means until the consumer has
+  // drained (or dropped) the output stream, so a granted slot covers the
+  // storlet's whole execution, not just its launch. An error refuses the
+  // invocation: ResourceExhausted / DeadlineExceeded are the polite
+  // refusals the middleware degrades on. Keeping the hook a plain
+  // function preserves the layering (storlets never sees qos).
+  using InvocationGate =
+      std::function<Result<std::shared_ptr<void>>(const std::string& account)>;
+
+  // Wiring-time setter (ScoopCluster::Create); not thread-safe against
+  // in-flight pipelines — install the gate before serving traffic.
+  void set_invocation_gate(InvocationGate gate) { gate_ = std::move(gate); }
+
  private:
   std::shared_ptr<StorletRegistry> registry_;
   std::shared_ptr<PolicyStore> policies_;
   MetricRegistry* metrics_;
   Sandbox sandbox_;
   size_t chunk_size_ = kDefaultStreamChunk;
+  InvocationGate gate_;  // null: no gating
 };
 
 }  // namespace scoop

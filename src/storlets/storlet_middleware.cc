@@ -4,6 +4,7 @@
 
 #include "common/failpoint.h"
 #include "common/strings.h"
+#include "objectstore/auth.h"
 #include "objectstore/object_server.h"
 #include "storlets/headers.h"
 
@@ -165,8 +166,9 @@ HttpResponse StorletMiddleware::Process(Request& request,
   }
   if (invocations->empty()) return next(request);
 
-  StorletPolicy policy =
-      engine_->policies().Resolve(path->account, path->container);
+  StorletPolicy policy = engine_->policies().Resolve(
+      path->account, path->container,
+      ParseTenantTier(request.headers.GetOr(kTenantTierHeader, "gold")));
   if (!policy.pushdown_enabled) {
     // Pushdown disabled for this scope: serve the raw data; the client
     // detects the missing X-Storlet-Executed header and filters locally.
@@ -282,6 +284,19 @@ HttpResponse StorletMiddleware::ProcessGet(
       response.SetBodyStream(std::move(source));
       return response;
     }
+    if (pipeline.status().IsResourceExhausted() ||
+        pipeline.status().IsDeadlineExceeded()) {
+      // The QoS invocation gate refused a storlet slot (queue full or
+      // wait capped): same degrade rung as a policy denial — raw bytes,
+      // client filters locally. Gates, like policy, are checked before
+      // the engine consumes the stream.
+      if (engine_->metrics() != nullptr) {
+        engine_->metrics()->GetCounter("qos.degrades")->Increment();
+      }
+      response.headers.Set(kQosDecisionHeader, "degraded");
+      response.SetBodyStream(std::move(source));
+      return response;
+    }
     return HttpResponse::Make(500, pipeline.status().ToString());
   }
   source.reset();
@@ -318,6 +333,17 @@ HttpResponse StorletMiddleware::ProcessPut(
                                      request.body);
   if (!result.ok()) {
     if (result.status().IsUnauthorized()) return next(request);
+    if (result.status().IsResourceExhausted() ||
+        result.status().IsDeadlineExceeded()) {
+      // A PUT-side ETL transform cannot be silently skipped (it changes
+      // the stored bytes), so the write is shed with a retry hint
+      // instead of degraded.
+      HttpResponse shed = HttpResponse::Make(503, "qos: storlet slot denied");
+      shed.headers.Set(kRetryAfterHeader, "1");
+      shed.headers.Set(kRetryAfterMsHeader, "100");
+      shed.headers.Set(kQosDecisionHeader, "shed");
+      return shed;
+    }
     return HttpResponse::Make(500, result.status().ToString());
   }
   request.body = std::move(result->output);

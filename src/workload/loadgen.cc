@@ -1,0 +1,123 @@
+#include "workload/loadgen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "storlets/headers.h"
+
+namespace scoop {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Inter-arrival gaps in nanoseconds for the whole schedule, seeded.
+std::vector<int64_t> BuildSchedule(const OpenLoopConfig& config) {
+  std::vector<int64_t> arrival_ns;
+  arrival_ns.reserve(static_cast<size_t>(std::max(config.total_requests, 0)));
+  Rng rng(config.seed);
+  const double mean_gap_ns = 1e9 / std::max(config.rate_per_s, 1e-9);
+  double t = 0.0;
+  for (int i = 0; i < config.total_requests; ++i) {
+    arrival_ns.push_back(static_cast<int64_t>(t));
+    if (config.poisson) {
+      // Exponential gap: -ln(1-U) * mean. U < 1 guaranteed by NextDouble.
+      t += -std::log(1.0 - rng.NextDouble()) * mean_gap_ns;
+    } else {
+      t += mean_gap_ns;
+    }
+  }
+  return arrival_ns;
+}
+
+}  // namespace
+
+OpenLoopDriver::OpenLoopDriver(const OpenLoopConfig& config)
+    : config_(config) {}
+
+OpenLoopReport OpenLoopDriver::Run(SwiftClient* client,
+                                   const MakeRequestFn& make_request) const {
+  const std::vector<int64_t> arrival_ns = BuildSchedule(config_);
+
+  ExponentialHistogram latency;
+  std::atomic<int> next_index{0};
+  std::atomic<int64_t> ok{0};
+  std::atomic<int64_t> degraded{0};
+  std::atomic<int64_t> shed{0};
+  std::atomic<int64_t> shed_with_hint{0};
+  std::atomic<int64_t> errors{0};
+
+  const Clock::time_point start = Clock::now();
+  auto worker = [&] {
+    for (;;) {
+      int i = next_index.fetch_add(1, std::memory_order_relaxed);
+      if (i >= static_cast<int>(arrival_ns.size())) return;
+      const Clock::time_point scheduled =
+          start + std::chrono::nanoseconds(arrival_ns[static_cast<size_t>(i)]);
+      // Open loop: wait for the scheduled release even if earlier
+      // requests are still in flight; never wait to "catch up" — a late
+      // pickup means the server is behind, and the backlog is charged to
+      // the response's latency below.
+      std::this_thread::sleep_until(scheduled);
+
+      Request request = make_request(i);
+      const bool wanted_pushdown = request.headers.Has(kRunStorletHeader);
+      if (config_.deadline_us > 0) {
+        request.headers.Set(kQosDeadlineHeader,
+                            std::to_string(config_.deadline_us));
+      }
+      HttpResponse response = client->Send(std::move(request));
+      std::string body = response.TakeBody();  // full drain, like a reader
+
+      const Clock::time_point done = Clock::now();
+      latency.Record(std::chrono::duration_cast<std::chrono::microseconds>(
+                         done - scheduled)
+                         .count());
+
+      if (response.status == 503) {
+        shed.fetch_add(1, std::memory_order_relaxed);
+        if (RetryAfterMillis(response.headers)) {
+          shed_with_hint.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else if (response.ok()) {
+        const bool served_raw =
+            response.headers.GetOr(kQosDecisionHeader, "") == "degraded" ||
+            (wanted_pushdown && !response.headers.Has(kStorletExecutedHeader));
+        if (served_raw) {
+          degraded.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else {
+        errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  const int workers = std::max(config_.workers, 1);
+  pool.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  OpenLoopReport report;
+  report.ok = ok.load();
+  report.degraded = degraded.load();
+  report.shed = shed.load();
+  report.shed_with_retry_after = shed_with_hint.load();
+  report.errors = errors.load();
+  report.latency_us = latency.Take();
+  report.duration_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  if (report.duration_s > 0) {
+    report.goodput_per_s =
+        static_cast<double>(report.ok + report.degraded) / report.duration_s;
+  }
+  return report;
+}
+
+}  // namespace scoop

@@ -1,0 +1,77 @@
+// Open-loop arrival driver (the QoS verification harness of DESIGN.md
+// §3k): requests are released on a precomputed, seeded arrival schedule
+// at a configured rate — NOT when the previous response returns — so a
+// slow server builds a backlog and the measured latency includes the
+// queueing the client actually suffers (the coordinated-omission-free
+// methodology open-loop load generators exist for). Latency is clocked
+// from each request's *scheduled* arrival through full body drain.
+//
+// The driver is transport-agnostic: it drives any SwiftClient (simnet or
+// TCP) with requests built by a caller-supplied factory, typically the
+// zipfian RepeatedQueryMix rendered as pushdown GETs. Responses are
+// classified against the QoS shed ladder: ok (full pushdown), degraded
+// (served raw — X-Scoop-Qos: degraded, or the requested storlet did not
+// run), shed (503), or error.
+#ifndef SCOOP_WORKLOAD_LOADGEN_H_
+#define SCOOP_WORKLOAD_LOADGEN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/metrics.h"
+#include "objectstore/cluster.h"
+#include "objectstore/http.h"
+
+namespace scoop {
+
+struct OpenLoopConfig {
+  // Arrival rate of the schedule (requests per second, > 0).
+  double rate_per_s = 100.0;
+  int total_requests = 200;
+  uint64_t seed = 1;
+  // Poisson arrivals (exponential gaps) vs. a uniform tick. Poisson is
+  // the honest model for independent dashboard users.
+  bool poisson = true;
+  // Concurrent senders draining the schedule. Enough that the schedule,
+  // not worker starvation, is the limiting factor at the target rate.
+  int workers = 8;
+  // When > 0, stamped on every request as X-Scoop-Deadline-Us so the
+  // QoS admission ladder sheds predicted deadline misses.
+  int64_t deadline_us = 0;
+};
+
+// What one open-loop run observed. Counts partition total_requests.
+struct OpenLoopReport {
+  int64_t ok = 0;        // 2xx with the requested storlet executed
+  int64_t degraded = 0;  // 2xx served raw (the degrade rung)
+  int64_t shed = 0;      // 503
+  int64_t shed_with_retry_after = 0;  // 503s carrying the backoff hint
+  int64_t errors = 0;    // anything else
+  // Scheduled-arrival -> body-drained, microseconds (includes backlog).
+  ExponentialHistogram::Snapshot latency_us;
+  double duration_s = 0.0;
+  // Successfully answered requests (ok + degraded) per wall second.
+  double goodput_per_s = 0.0;
+};
+
+class OpenLoopDriver {
+ public:
+  // Builds the request for arrival `index` in [0, total_requests). Must
+  // be callable concurrently from the worker pool.
+  using MakeRequestFn = std::function<Request(int index)>;
+
+  explicit OpenLoopDriver(const OpenLoopConfig& config);
+
+  // Replays the whole schedule through `client`. Blocks until every
+  // response is drained; deterministic schedule, real wall-clock sends.
+  OpenLoopReport Run(SwiftClient* client,
+                     const MakeRequestFn& make_request) const;
+
+ private:
+  OpenLoopConfig config_;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_WORKLOAD_LOADGEN_H_

@@ -33,7 +33,17 @@ class RobustnessTest : public ::testing::Test {
     config.num_storage_nodes = 4;
     config.disks_per_node = 2;
     config.part_power = 6;
-    auto cluster = ScoopCluster::Create(config);
+    // QoS is on with an envelope generous enough that nothing throttles:
+    // every request traverses the admission and fair-queue code paths
+    // (so the qos.* failpoint sites below are live) without the limits
+    // themselves ever shaping these tests.
+    qos::QosConfig qos_config;
+    qos_config.enabled = true;
+    qos_config.gold = qos::QosTierLimits{1e9, 1e9, 8.0, 10'000};
+    qos_config.bronze = qos::QosTierLimits{1e9, 1e9, 1.0, 10'000};
+    qos_config.storlet_concurrency = 64;
+    auto cluster =
+        ScoopCluster::Create(config, ResultCacheConfig(), qos_config);
     ASSERT_TRUE(cluster.ok()) << cluster.status();
     cluster_ = std::move(cluster).value();
     auto client = cluster_->Connect("tenant", "key", "acct");
@@ -407,6 +417,25 @@ TEST_P(FailpointSiteTest, InjectedFaultSurfacesAndIsCounted) {
     EXPECT_EQ(cluster_->metrics().GetCounter("cache.fills")->value(), 0)
         << site;
     cluster_->result_cache().set_enabled(false);
+  } else if (site == "qos.admit" || site == "qos.queue") {
+    // QoS faults take the degrade rung, never an error: the pushdown GET
+    // still succeeds, serving the raw object bytes (the client's
+    // fallback filter keeps results byte-identical), and a plain GET
+    // rides free — chaos at the QoS layer must not 503 plain reads.
+    auto raw = client.GetObject("meters", "m0000.csv");
+    ASSERT_TRUE(raw.ok()) << site << ": " << raw.status();
+    HttpResponse faulted = PushdownGet();
+    faulted.Materialize();
+    EXPECT_TRUE(faulted.ok()) << site << ": " << faulted.status;
+    EXPECT_FALSE(faulted.headers.Has(kStorletExecutedHeader)) << site;
+    EXPECT_EQ(faulted.body(), *raw) << site;
+    expect_counted();
+    // With the site disarmed the same request pushes down again.
+    Failpoints::Global().DisarmAll();
+    HttpResponse healed = PushdownGet();
+    healed.Materialize();
+    EXPECT_TRUE(healed.ok()) << site;
+    EXPECT_TRUE(healed.headers.Has(kStorletExecutedHeader)) << site;
   } else {
     FAIL() << "no driver for failpoint site " << site
            << " — extend this test when adding sites";
